@@ -1,0 +1,62 @@
+"""Quantitative claims of §1/§2/§3.2, checked against the measured workload.
+
+Not a figure, but the paper's load-bearing numbers: the front-loaded
+alignment-length CDF, the search-space-dwarfs-alignment premise, the >99%
+DP runtime share, and the cyclic-buffer traffic reductions (92% executor
+bandwidth, >96% score traffic, ~97% overall).
+"""
+
+import pytest
+
+from repro.analysis import (
+    characterize,
+    format_characterization,
+    format_traffic_report,
+    traffic_report,
+)
+from repro.workloads import build_profile, get_benchmark, bench_scale
+from repro.workloads.profiles import bench_calibration
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return build_profile(get_benchmark("C1_1,1"), scale=bench_scale())
+
+
+def test_workload_characterization(benchmark, emit, profile):
+    char = benchmark(characterize, profile.arrays)
+    emit("claims_characterization", format_characterization(char))
+
+    benchmark.extra_info["short_fraction"] = round(char.short_alignment_fraction, 3)
+    benchmark.extra_info["search_to_alignment"] = round(
+        char.search_to_alignment_cells, 1
+    )
+
+    # §1: short alignments dominate (paper: >97% <= 128bp at its scale).
+    assert char.short_alignment_fraction > 0.7
+    # §1: the search space is explored far beyond the optimum for everyone.
+    assert char.search_dwarfs_alignment
+    assert char.search_depth_p10 > char.extent_percentiles[0]
+    # §2.1: the DP is essentially all of sequential LASTZ's time.
+    assert char.dp_runtime_fraction > 0.95
+
+
+def test_traffic_reductions(benchmark, emit, profile):
+    calib = bench_calibration()
+    report = benchmark(traffic_report, profile.arrays, calib)
+    emit("claims_traffic", format_traffic_report(report))
+
+    benchmark.extra_info["score_reduction"] = round(
+        report.score_traffic_reduction, 3
+    )
+    benchmark.extra_info["executor_reduction"] = round(
+        report.executor_bandwidth_reduction, 3
+    )
+
+    # §3.2: cyclic buffering removes the vast majority of score traffic...
+    assert report.score_traffic_reduction > 0.9
+    # ...and most of the executor's bandwidth demand; the remainder is the
+    # traceback state that must be written (paper: 92% / 8%).
+    assert report.executor_bandwidth_reduction > 0.85
+    assert report.traceback_share_after > 0.5
+    assert report.overall_access_reduction > 0.9

@@ -1,0 +1,58 @@
+"""Micro-benchmarks of the DP engines themselves (implementation health).
+
+Not a paper figure: these time this library's three extension engines on a
+fixed homologous extension so regressions in the hot loops are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.align import gotoh_extend, wavefront_extend, ydrop_extend
+from repro.genome import mutate, random_codes
+from repro.scoring import default_scheme
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(99)
+    core = random_codes(rng, 400)
+    q_core = mutate(core, rng, divergence=0.07, indel_rate=0.005)
+    target = np.concatenate([core, random_codes(rng, 800)])
+    query = np.concatenate([q_core, random_codes(rng, 800)])
+    scheme = default_scheme(gap_extend=60, ydrop=2400)
+    return target, query, scheme
+
+
+def test_ydrop_row_engine(benchmark, workload):
+    target, query, scheme = workload
+    result = benchmark(ydrop_extend, target, query, scheme)
+    benchmark.extra_info["cells"] = result.stats.cells
+    benchmark.extra_info["rows"] = result.stats.rows
+    assert result.end_i > 300
+
+
+def test_wavefront_engine(benchmark, workload):
+    target, query, scheme = workload
+    result = benchmark(wavefront_extend, target, query, scheme)
+    benchmark.extra_info["cells"] = result.stats.cells
+    benchmark.extra_info["diagonals"] = result.stats.diagonals
+    assert result.end_i > 300
+
+
+def test_wavefront_with_traceback(benchmark, workload):
+    target, query, scheme = workload
+    result = benchmark(wavefront_extend, target, query, scheme, traceback=True)
+    assert result.ops is not None
+
+
+def test_gotoh_reference_small(benchmark, workload):
+    target, query, scheme = workload
+    result = benchmark(gotoh_extend, target[:80], query[:80], scheme)
+    assert result.score > 0
+
+
+def test_engines_agree(workload):
+    target, query, scheme = workload
+    w = wavefront_extend(target, query, scheme)
+    y = ydrop_extend(target, query, scheme)
+    assert (w.score, w.end_i, w.end_j) == (y.score, y.end_i, y.end_j)

@@ -1,0 +1,51 @@
+"""Figures 10/11: FastZ on cross-genus (dissimilar) genome pairs.
+
+Paper shape: dissimilar genomes have no alignments in the two largest
+bins, spend relatively more time in the fast inspector, and therefore see
+*higher* speedups than same-genus pairs (mean 137x vs 111x on Ampere).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import figure7_rows, figure11_rows, figure11_text
+from repro.core import time_fastz
+from repro.gpusim import RTX_3080_AMPERE
+from repro.workloads.profiles import BENCH_OPTIONS, bench_calibration, build_profile
+from repro.workloads import CROSS_GENUS_BENCHMARKS, bench_scale
+
+
+@pytest.fixture(scope="module")
+def cross_rows():
+    return figure11_rows()
+
+
+@pytest.fixture(scope="module")
+def same_rows():
+    return figure7_rows()
+
+
+def test_figure11(benchmark, emit, cross_rows, same_rows):
+    same_mean = float(np.mean([r.fastz["RTX 3080"] for r in same_rows]))
+    emit("figure11_dissimilar", figure11_text(cross_rows, same_genus_mean=same_mean))
+
+    profile = build_profile(CROSS_GENUS_BENCHMARKS[0], scale=bench_scale())
+    calib = bench_calibration()
+    benchmark(
+        time_fastz,
+        profile.arrays,
+        RTX_3080_AMPERE,
+        BENCH_OPTIONS,
+        calib,
+        transfer_bytes=profile.transfer_bytes,
+    )
+
+    cross_mean = float(np.mean([r.fastz["RTX 3080"] for r in cross_rows]))
+    benchmark.extra_info["cross_genus_mean"] = round(cross_mean, 1)
+    benchmark.extra_info["same_genus_mean"] = round(same_mean, 1)
+
+    # Dissimilar pairs are faster than similar pairs (paper: 137x vs 111x).
+    assert cross_mean > same_mean
+    # No deep-bin alignments on dissimilar pairs.
+    for r in cross_rows:
+        assert r.bin4_count == 0, r.benchmark

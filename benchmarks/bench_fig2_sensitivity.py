@@ -1,0 +1,35 @@
+"""Figure 2: gapped vs ungapped sensitivity on the nematode-like pair.
+
+Paper shape: the gapped pipeline finds more, longer, higher-scoring
+alignments — more than twice the number above the high-score threshold.
+"""
+
+import pytest
+
+from repro.analysis import compare_sensitivity
+from repro.analysis.experiments import figure2_text
+from repro.workloads import SENSITIVITY_BENCHMARK, bench_scale
+from repro.workloads.profiles import build_sensitivity_run
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return build_sensitivity_run(SENSITIVITY_BENCHMARK, scale=bench_scale())
+
+
+def test_figure2(benchmark, emit, runs):
+    gapped, ungapped = runs
+    report = benchmark(
+        compare_sensitivity, gapped, ungapped, high_score_threshold=8000
+    )
+    emit("figure2_sensitivity", figure2_text(report))
+
+    g_total, u_total = report.total_counts()
+    benchmark.extra_info["gapped_alignments"] = g_total
+    benchmark.extra_info["ungapped_alignments"] = u_total
+    benchmark.extra_info["high_score_ratio"] = report.high_score_ratio
+
+    # Shape assertions (paper: gapped strictly more sensitive).
+    assert g_total > u_total
+    assert report.gapped_high >= report.ungapped_high
+    assert report.high_score_ratio >= 1.5 or report.ungapped_high == 0

@@ -1,0 +1,54 @@
+"""Figure 7: speedups over sequential LASTZ for all nine benchmarks.
+
+Paper shape: the Feng-style GPU baseline *loses* to sequential LASTZ
+(0.57-0.82x), the 32-process multicore gets ~20x, FastZ gets ~43x/93x/111x
+on Pascal/Volta/Ampere, and speedups fall as the bin-4 tail grows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import figure7_rows, figure7_text, _speedup_row
+from repro.workloads import build_profile, get_benchmark, bench_scale
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return figure7_rows()
+
+
+def test_figure7(benchmark, emit, rows):
+    emit("figure7_speedup", figure7_text(rows))
+
+    # Benchmark the model-evaluation step on one profile.
+    profile = build_profile(get_benchmark("C1_1,1"), scale=bench_scale())
+    row = benchmark(_speedup_row, profile)
+
+    means = {d: float(np.mean([r.fastz[d] for r in rows])) for d in row.fastz}
+    for dev, mean in means.items():
+        benchmark.extra_info[f"fastz_mean_{dev}"] = round(mean, 1)
+    benchmark.extra_info["multicore_mean"] = round(
+        float(np.mean([r.multicore for r in rows])), 1
+    )
+
+    # --- shape assertions --------------------------------------------------
+    for r in rows:
+        # GPU baseline loses to sequential LASTZ on every device.
+        assert all(s < 1.0 for s in r.gpu_baseline.values()), r.benchmark
+        # FastZ wins big everywhere.
+        assert all(s > 10.0 for s in r.fastz.values()), r.benchmark
+        # FastZ beats the multicore everywhere.
+        assert all(s > r.multicore for s in r.fastz.values()), r.benchmark
+
+    # Cross-device ordering of the means: Pascal slowest, Ampere fastest.
+    assert means["Titan X"] < means["QV100"]
+    assert means["Titan X"] < means["RTX 3080"]
+
+    # Multicore lands in the paper's neighbourhood.
+    mc = float(np.mean([r.multicore for r in rows]))
+    assert 10.0 < mc <= 21.0
+
+    # Benchmarks with a heavy bin-4 tail are slower than the tail-free one.
+    heavy = next(r for r in rows if r.benchmark == "C1_5,5")
+    light = next(r for r in rows if r.benchmark == "D1_2R,2")
+    assert light.fastz["RTX 3080"] > heavy.fastz["RTX 3080"]

@@ -1,0 +1,45 @@
+"""Figure 8: FastZ execution-time breakdown on the Ampere GPU.
+
+Paper shape: the inspector dominates (around two thirds, up to 79%), the
+executor is a small slice (~10%), and the host-side 'other' work is only
+visible because the GPU phases got so fast.
+"""
+
+import pytest
+
+from repro.analysis.experiments import figure8_rows, figure8_text
+from repro.core import time_fastz
+from repro.gpusim import RTX_3080_AMPERE
+from repro.workloads import build_profile, get_benchmark, bench_scale
+from repro.workloads.profiles import BENCH_OPTIONS, bench_calibration
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return figure8_rows()
+
+
+def test_figure8(benchmark, emit, rows):
+    emit("figure8_breakdown", figure8_text(rows))
+
+    profile = build_profile(get_benchmark("C1_1,1"), scale=bench_scale())
+    calib = bench_calibration()
+    timing = benchmark(
+        time_fastz,
+        profile.arrays,
+        RTX_3080_AMPERE,
+        BENCH_OPTIONS,
+        calib,
+        transfer_bytes=profile.transfer_bytes,
+    )
+    for phase, frac in timing.breakdown().items():
+        benchmark.extra_info[phase] = round(frac, 3)
+
+    for name, bd in rows:
+        # Inspector is the largest component on every benchmark.
+        assert bd["inspector"] >= bd["executor"], name
+        assert bd["inspector"] >= bd["other"], name
+        assert 0.3 < bd["inspector"] < 0.95, name
+        # Executor stays a minor slice; 'other' is visible but not dominant.
+        assert bd["executor"] < 0.45, name
+        assert bd["other"] < 0.5, name

@@ -1,0 +1,57 @@
+"""Figure 9: isolating the impact of FastZ's optimisations.
+
+Paper shape (mean speedups, progressively composed): the base
+inspector-executor with binning manages 0.92x-2.8x; cyclic use-and-discard
+lifts it to 4.7x/6.1x/17x; eager traceback to 15x/21x/46x; executor
+trimming completes FastZ at 43x/93x/111x; dropping to a single CUDA stream
+costs 1.7x-2.4x.
+"""
+
+import pytest
+
+from repro.analysis.experiments import figure9_table, figure9_text
+from repro.core import ablation_times
+from repro.core.options import SCALED_BIN_EDGES
+from repro.gpusim import RTX_3080_AMPERE
+from repro.workloads import build_profile, get_benchmark, bench_scale
+from repro.workloads.profiles import bench_calibration
+
+_LADDER = [
+    "insp-exec+binning",
+    "+cyclic",
+    "+eager",
+    "+trim (FastZ)",
+    "FastZ-single-stream",
+]
+
+
+@pytest.fixture(scope="module")
+def table():
+    return figure9_table()
+
+
+def test_figure9(benchmark, emit, table):
+    emit("figure9_ablation", figure9_text(table))
+
+    profile = build_profile(get_benchmark("C1_1,1"), scale=bench_scale())
+    calib = bench_calibration()
+    benchmark(
+        ablation_times,
+        profile.arrays,
+        RTX_3080_AMPERE,
+        calib,
+        bin_edges=SCALED_BIN_EDGES,
+        transfer_bytes=profile.transfer_bytes,
+    )
+
+    for dev, by_label in table.items():
+        speedups = [by_label[l] for l in _LADDER]
+        for label in _LADDER:
+            benchmark.extra_info[f"{dev}/{label}"] = round(by_label[label], 1)
+        # Progressive composition: every added optimisation helps.
+        assert speedups[0] < speedups[1] < speedups[2] < speedups[3], dev
+        # Single stream costs a meaningful factor (paper: 1.7x-2.4x).
+        penalty = speedups[3] / speedups[4]
+        assert penalty > 1.2, (dev, penalty)
+        # The full config reaches a large net speedup.
+        assert speedups[3] > 25.0, dev

@@ -1,0 +1,57 @@
+"""Section 6: operational-intensity (roofline) analysis.
+
+Paper numbers: inspector 24 ops/byte (slightly compute-bound), executor
+6.5 ops/byte (slightly memory-bound), RTX 3080 ridge 39 ops/byte nominal
+and 15.2 after the 2.56x divergence derate; the unoptimised kernels would
+sit at 0.75/0.69 ops/byte — deeply memory-bound.
+"""
+
+import pytest
+
+from repro.analysis import (
+    derated_ridge,
+    executor_intensity,
+    inspector_intensity,
+    naive_executor_intensity,
+    naive_inspector_intensity,
+    nominal_ridge,
+    roofline_report,
+)
+from repro.gpusim import ALL_DEVICES, RTX_3080_AMPERE
+
+
+def _text() -> str:
+    lines = ["Section 6 — operational intensity (ops/byte)"]
+    lines.append(
+        f"  FastZ inspector: {inspector_intensity():.1f}   "
+        f"executor: {executor_intensity():.2f}   "
+        f"naive: {naive_inspector_intensity():.2f}/{naive_executor_intensity():.2f}"
+    )
+    for dev in ALL_DEVICES:
+        report = roofline_report(dev)
+        ridge = derated_ridge(dev)
+        bounds = ", ".join(f"{p.phase}={p.bound}" for p in report)
+        lines.append(
+            f"  {dev.name:<10} nominal ridge {nominal_ridge(dev):5.1f}, "
+            f"derated {ridge:5.1f}  ->  {bounds}"
+        )
+    return "\n".join(lines)
+
+
+def test_roofline(benchmark, emit):
+    emit("sec6_roofline", _text())
+    report = benchmark(roofline_report, RTX_3080_AMPERE)
+
+    points = {p.phase: p for p in report}
+    benchmark.extra_info["inspector_oi"] = points["inspector"].intensity
+    benchmark.extra_info["executor_oi"] = round(points["executor"].intensity, 2)
+    benchmark.extra_info["derated_ridge"] = round(points["inspector"].ridge, 1)
+
+    # Paper's §6 conclusions.
+    assert points["inspector"].intensity == pytest.approx(24.0)
+    assert points["executor"].intensity == pytest.approx(6.5, abs=0.1)
+    assert points["inspector"].ridge == pytest.approx(15.2, rel=0.02)
+    assert points["inspector"].bound == "compute"
+    assert points["executor"].bound == "memory"
+    assert points["inspector-naive"].bound == "memory"
+    assert points["executor-naive"].bound == "memory"

@@ -1,0 +1,15 @@
+"""Table 1: the genome registry, plus synthetic-pair synthesis throughput."""
+
+from repro.analysis import table1_text
+from repro.workloads import build_benchmark_pair, get_benchmark
+
+
+def test_table1(benchmark, emit):
+    emit("table1_genomes", table1_text())
+
+    spec = get_benchmark("C1_1,1")
+    pair = benchmark(build_benchmark_pair, spec, 0.05)
+    benchmark.extra_info["target_bp"] = len(pair.target)
+    benchmark.extra_info["query_bp"] = len(pair.query)
+    benchmark.extra_info["planted_segments"] = len(pair.segments)
+    assert len(pair.segments) > 0

@@ -1,0 +1,41 @@
+"""Table 2: alignment-length distribution of every benchmark's seeds.
+
+Paper shape: 75-80% of extensions resolve in the eager-traceback tile, the
+vast majority of the rest land in bin 1, and the deep bins thin out with
+C1_5,5 carrying the heaviest bin-4 tail and D1_2R,2 none.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import table2_rows, table2_text
+from repro.core import assign_bins
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table2_rows()
+
+
+def test_table2(benchmark, emit, rows):
+    emit("table2_distribution", table2_text(rows))
+
+    # Benchmark the vectorised binning kernel itself.
+    rng = np.random.default_rng(0)
+    extents = rng.integers(0, 5000, size=200_000)
+    eager = rng.random(200_000) < 0.78
+    out = benchmark(assign_bins, extents, eager, (64, 256, 1024, 4096))
+    assert out.shape == extents.shape
+
+    by_name = {r.benchmark: r for r in rows}
+    for r in rows:
+        benchmark.extra_info[r.benchmark] = list(r.counts)
+        # Eager dominates, bins thin out monotonically through bin 2.
+        assert 0.6 < r.eager_fraction < 0.9, r.benchmark
+        assert r.counts[1] > r.counts[2] >= r.counts[3], r.benchmark
+
+    # Tail ordering: C1_5,5 heaviest bin-4, D1 empty (paper's Table 2).
+    assert by_name["C1_5,5"].bin4_count >= max(
+        row.bin4_count for row in rows
+    ) - 1
+    assert by_name["D1_2R,2"].bin4_count == 0

@@ -1,0 +1,36 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper:
+it prints the regenerated rows/series (also written to ``bench_results/``)
+and times a representative step with pytest-benchmark.
+
+Scale: profiles default to ``REPRO_BENCH_SCALE`` (1.0 ~ 1000 anchors per
+benchmark, a 1000x reduction from the paper's 1M seeds).  The first run
+builds profiles with the real DP engines (several minutes for the whole
+suite) and caches them under ``.repro_cache/``; later runs are fast.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Print a rendered experiment and persist it under bench_results/."""
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{'=' * 78}\n{text}\n{'=' * 78}")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

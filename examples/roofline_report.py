@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Operational-intensity (roofline) analysis of FastZ's kernels (paper §6).
+
+Places the inspector and executor — optimised and naive — on each
+evaluation GPU's roofline, reproducing the paper's arithmetic: the
+inspector ends up slightly compute-bound, the executor slightly
+memory-bound, and both would be deeply memory-bound without cyclic
+use-and-discard buffering.
+
+Run:  python examples/roofline_report.py
+"""
+
+from repro import ALL_DEVICES
+from repro.analysis import (
+    DIVERGENCE_DERATE,
+    derated_ridge,
+    nominal_ridge,
+    roofline_report,
+)
+
+
+def main() -> None:
+    print(f"branch-divergence derate: {DIVERGENCE_DERATE:.2f} "
+          "(9 DP ops expand to 23 under SIMD divergence)\n")
+
+    for dev in ALL_DEVICES:
+        print(f"{dev.name} ({dev.arch}): "
+              f"{dev.peak_flops / 1e12:.2f} TFLOP/s, "
+              f"{dev.mem_bandwidth_gbs:.0f} GB/s")
+        print(f"  nominal ridge {nominal_ridge(dev):5.1f} ops/byte, "
+              f"derated {derated_ridge(dev):5.1f} ops/byte")
+        for point in roofline_report(dev):
+            marker = ">" if point.bound == "compute" else "<"
+            print(f"    {point.phase:<17} {point.intensity:6.2f} ops/byte "
+                  f"{marker} ridge  ->  {point.bound}-bound "
+                  f"(headroom {point.headroom:.2f}x)")
+        print()
+
+    print("paper §6 (RTX 3080): inspector 24 ops/byte vs threshold 15.2 ->\n"
+          "slightly compute-bound; executor 6.5 -> slightly memory-bound;\n"
+          "without the optimisations: 0.75/0.69 ops/byte, deeply memory-bound.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""FastZ reproduction: gapped whole-genome alignment with an
+inspector-executor GPU execution model.
+
+Reproduction of "FastZ: Accelerating Gapped Whole Genome Alignment on GPUs"
+(Gundabolu, Vijaykumar, Thottethodi — SC '21).  See README.md for the
+architecture overview and DESIGN.md for the system inventory.
+
+Quick start::
+
+    from repro import (
+        Sequence, LastzConfig, default_scheme,
+        run_gapped_lastz, run_fastz,
+    )
+
+    config = LastzConfig(scheme=default_scheme())
+    reference = run_gapped_lastz(target, query, config)
+    fastz = run_fastz(target, query, config, anchors=reference.anchors)
+"""
+
+from .align import (
+    Alignment,
+    banded_extend,
+    gotoh_extend,
+    ungapped_extend,
+    wavefront_extend,
+    ydrop_extend,
+)
+from .core import (
+    FASTZ_FULL,
+    FastzOptions,
+    FastzResult,
+    ablation_times,
+    run_fastz,
+    time_fastz,
+    time_fastz_multi_gpu,
+    time_feng_baseline,
+)
+from .genome import GenomePair, SegmentClass, Sequence, build_pair
+from .gpusim import (
+    ALL_DEVICES,
+    DeviceSpec,
+    QV100_VOLTA,
+    RTX_3080_AMPERE,
+    TITAN_X_PASCAL,
+)
+from .lastz import (
+    LastzConfig,
+    run_gapped_lastz,
+    run_multicore_lastz,
+    run_ungapped_lastz,
+    write_general,
+    write_maf,
+)
+from .scoring import (
+    HOXD70,
+    ScoringScheme,
+    default_scheme,
+    read_score_file,
+    unit_scheme,
+    write_score_file,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_DEVICES",
+    "Alignment",
+    "DeviceSpec",
+    "FASTZ_FULL",
+    "FastzOptions",
+    "FastzResult",
+    "GenomePair",
+    "HOXD70",
+    "LastzConfig",
+    "QV100_VOLTA",
+    "RTX_3080_AMPERE",
+    "ScoringScheme",
+    "SegmentClass",
+    "Sequence",
+    "TITAN_X_PASCAL",
+    "ablation_times",
+    "banded_extend",
+    "build_pair",
+    "default_scheme",
+    "gotoh_extend",
+    "run_fastz",
+    "run_gapped_lastz",
+    "run_multicore_lastz",
+    "run_ungapped_lastz",
+    "read_score_file",
+    "write_general",
+    "write_maf",
+    "write_score_file",
+    "time_fastz",
+    "time_fastz_multi_gpu",
+    "time_feng_baseline",
+    "ungapped_extend",
+    "unit_scheme",
+    "wavefront_extend",
+    "ydrop_extend",
+    "__version__",
+]

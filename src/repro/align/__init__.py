@@ -1,0 +1,63 @@
+"""Alignment engines: Gotoh reference, y-drop row engine, FastZ wavefront."""
+
+from .alignment import Alignment, merge_ops
+from .banded import banded_extend
+from .diagonal import (
+    DiagonalLayout,
+    diagonal_span,
+    from_diagonal,
+    skew_matrix,
+    to_diagonal,
+    unskew_matrix,
+)
+from .extend import AnchorExtension, combine_alignment, extend_anchor
+from .gotoh import GotohResult, gotoh_extend, gotoh_matrices
+from .traceback import pack, walk_traceback
+from .ungapped import UngappedHSP, ungapped_extend, ungapped_extend_one_sided
+from .wavefront import (
+    WARP_WIDTH,
+    DiagTraceback,
+    WavefrontResult,
+    WavefrontStats,
+    wavefront_extend,
+)
+from .ydrop import (
+    ExtensionResult,
+    ExtensionStats,
+    WindowedTraceback,
+    diag_width_profile,
+    ydrop_extend,
+)
+
+__all__ = [
+    "Alignment",
+    "banded_extend",
+    "AnchorExtension",
+    "combine_alignment",
+    "extend_anchor",
+    "DiagTraceback",
+    "DiagonalLayout",
+    "ExtensionResult",
+    "ExtensionStats",
+    "GotohResult",
+    "UngappedHSP",
+    "WARP_WIDTH",
+    "WavefrontResult",
+    "WavefrontStats",
+    "WindowedTraceback",
+    "diag_width_profile",
+    "diagonal_span",
+    "from_diagonal",
+    "gotoh_extend",
+    "gotoh_matrices",
+    "merge_ops",
+    "pack",
+    "skew_matrix",
+    "to_diagonal",
+    "ungapped_extend",
+    "ungapped_extend_one_sided",
+    "unskew_matrix",
+    "walk_traceback",
+    "wavefront_extend",
+    "ydrop_extend",
+]

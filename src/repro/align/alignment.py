@@ -1,0 +1,138 @@
+"""Alignment results: edit scripts, CIGAR strings, identity statistics.
+
+The coordinate convention throughout: an alignment covers the half-open
+intervals ``[target_start, target_end)`` and ``[query_start, query_end)``.
+Edit operations are ``M`` (match/mismatch column, consumes both), ``I``
+(insertion in the query relative to the target, consumes query only — the
+paper's ``I`` matrix) and ``D`` (deletion, consumes target only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["EditOp", "Alignment", "merge_ops"]
+
+#: Allowed edit-operation codes.
+EditOp = str
+_OPS = ("M", "I", "D")
+
+
+def merge_ops(ops: list[tuple[str, int]]) -> tuple[tuple[str, int], ...]:
+    """Collapse adjacent same-op runs and drop zero-length runs."""
+    merged: list[tuple[str, int]] = []
+    for op, length in ops:
+        if op not in _OPS:
+            raise ValueError(f"unknown edit op {op!r}")
+        if length < 0:
+            raise ValueError("edit op length must be non-negative")
+        if length == 0:
+            continue
+        if merged and merged[-1][0] == op:
+            merged[-1] = (op, merged[-1][1] + length)
+        else:
+            merged.append((op, length))
+    return tuple(merged)
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A scored local alignment between a target and query interval."""
+
+    target_start: int
+    target_end: int
+    query_start: int
+    query_end: int
+    score: int
+    ops: tuple[tuple[str, int], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.target_end < self.target_start or self.query_end < self.query_start:
+            raise ValueError("alignment interval ends before it starts")
+        object.__setattr__(self, "ops", merge_ops(list(self.ops)))
+        if self.ops:
+            t_span = sum(n for op, n in self.ops if op in ("M", "D"))
+            q_span = sum(n for op, n in self.ops if op in ("M", "I"))
+            if t_span != self.target_length or q_span != self.query_length:
+                raise ValueError(
+                    f"edit script spans ({t_span}, {q_span}) do not match intervals "
+                    f"({self.target_length}, {self.query_length})"
+                )
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def target_length(self) -> int:
+        return self.target_end - self.target_start
+
+    @property
+    def query_length(self) -> int:
+        return self.query_end - self.query_start
+
+    @property
+    def length(self) -> int:
+        """Alignment length in columns (bases + gaps) if the edit script is
+        known, else the larger of the two interval lengths."""
+        if self.ops:
+            return sum(n for _, n in self.ops)
+        return max(self.target_length, self.query_length)
+
+    def cigar(self) -> str:
+        """CIGAR rendering of the edit script, e.g. ``"120M2D87M"``."""
+        return "".join(f"{n}{op}" for op, n in self.ops)
+
+    # -- verification ------------------------------------------------------
+    def rescore(self, target: np.ndarray, query: np.ndarray, scheme) -> int:
+        """Recompute the score of this alignment from scratch.
+
+        Used by tests and the FastZ executor's self-check: walking the edit
+        script over the sequences must reproduce ``self.score``.
+        """
+        if not self.ops:
+            if self.target_length == 0 and self.query_length == 0:
+                return 0  # empty alignment scores zero by definition
+            raise ValueError("cannot rescore an alignment without an edit script")
+        score = 0
+        ti, qj = self.target_start, self.query_start
+        for op, n in self.ops:
+            if op == "M":
+                t = np.asarray(target[ti : ti + n], dtype=np.intp)
+                q = np.asarray(query[qj : qj + n], dtype=np.intp)
+                score += int(scheme.substitution[t, q].sum())
+                ti += n
+                qj += n
+            elif op == "I":
+                score -= scheme.gap_open + n * scheme.gap_extend
+                qj += n
+            else:  # "D"
+                score -= scheme.gap_open + n * scheme.gap_extend
+                ti += n
+        return score
+
+    def identity(self, target: np.ndarray, query: np.ndarray) -> float:
+        """Fraction of M columns whose bases are equal (0.0 if no M column)."""
+        if not self.ops:
+            return 0.0
+        same = 0
+        total = 0
+        ti, qj = self.target_start, self.query_start
+        for op, n in self.ops:
+            if op == "M":
+                t = np.asarray(target[ti : ti + n])
+                q = np.asarray(query[qj : qj + n])
+                same += int(np.count_nonzero(t == q))
+                total += n
+                ti += n
+                qj += n
+            elif op == "I":
+                qj += n
+            else:
+                ti += n
+        return same / total if total else 0.0
+
+    def overlaps(self, other: "Alignment") -> bool:
+        """True if both target and query intervals intersect ``other``'s."""
+        t = self.target_start < other.target_end and other.target_start < self.target_end
+        q = self.query_start < other.query_end and other.query_start < self.query_end
+        return t and q

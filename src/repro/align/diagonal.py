@@ -1,0 +1,112 @@
+"""The anti-diagonal layout transformation of Figure 4.
+
+GPUs need the cells of one anti-diagonal to be *contiguous* so a warp's
+loads/stores coalesce.  The classic transform maps logical cell ``(i, j)``
+to transformed coordinates ``(i + j, j)``: every anti-diagonal becomes a row
+of the transformed (skewed) matrix.  The transformed array needs padding —
+``(M+N+1) x (min(M,N)+1)`` instead of ``(M+1) x (N+1)`` — which this module
+quantifies, because the paper notes the footprint increase is the price of
+coalescing.
+
+These helpers are used by the GPU-simulator's memory model (to reason about
+coalesced transactions) and are tested for bijectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "to_diagonal",
+    "from_diagonal",
+    "diagonal_span",
+    "DiagonalLayout",
+    "skew_matrix",
+    "unskew_matrix",
+]
+
+
+def to_diagonal(i: int | np.ndarray, j: int | np.ndarray) -> tuple:
+    """Logical ``(i, j)`` -> transformed ``(d, k) = (i + j, j)``."""
+    return i + j, j
+
+
+def from_diagonal(d: int | np.ndarray, k: int | np.ndarray) -> tuple:
+    """Transformed ``(d, k)`` -> logical ``(i, j) = (d - k, k)``."""
+    return d - k, k
+
+
+def diagonal_span(d: int, m: int, n: int) -> tuple[int, int]:
+    """Half-open ``j`` range of anti-diagonal ``d`` of an (m+1)x(n+1) grid."""
+    if d < 0 or d > m + n:
+        return 0, 0
+    lo = max(0, d - m)
+    hi = min(d, n) + 1
+    return lo, hi
+
+
+@dataclass(frozen=True)
+class DiagonalLayout:
+    """Geometry of the transformed layout for an ``(m+1) x (n+1)`` DP grid."""
+
+    m: int
+    n: int
+
+    @property
+    def rows(self) -> int:
+        """Transformed row count: one per anti-diagonal."""
+        return self.m + self.n + 1
+
+    @property
+    def row_width(self) -> int:
+        """Width of the widest anti-diagonal (allocation width)."""
+        return min(self.m, self.n) + 1
+
+    @property
+    def logical_cells(self) -> int:
+        return (self.m + 1) * (self.n + 1)
+
+    @property
+    def padded_cells(self) -> int:
+        return self.rows * self.row_width
+
+    @property
+    def padding_overhead(self) -> float:
+        """Fractional footprint increase caused by the skew padding."""
+        return self.padded_cells / self.logical_cells - 1.0
+
+
+def skew_matrix(matrix: np.ndarray, fill=0) -> np.ndarray:
+    """Skew a dense ``(m+1) x (n+1)`` matrix into diagonal-major layout.
+
+    Row ``d`` of the result holds the cells of anti-diagonal ``d`` packed
+    left-to-right by increasing ``j``; unused slots carry ``fill``.
+    """
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    m, n = matrix.shape[0] - 1, matrix.shape[1] - 1
+    layout = DiagonalLayout(m, n)
+    out = np.full((layout.rows, layout.row_width), fill, dtype=matrix.dtype)
+    for d in range(layout.rows):
+        lo, hi = diagonal_span(d, m, n)
+        js = np.arange(lo, hi)
+        out[d, : hi - lo] = matrix[d - js, js]
+    return out
+
+
+def unskew_matrix(skewed: np.ndarray, m: int, n: int) -> np.ndarray:
+    """Inverse of :func:`skew_matrix`."""
+    layout = DiagonalLayout(m, n)
+    if skewed.shape != (layout.rows, layout.row_width):
+        raise ValueError(
+            f"skewed matrix shape {skewed.shape} does not match layout "
+            f"({layout.rows}, {layout.row_width})"
+        )
+    out = np.zeros((m + 1, n + 1), dtype=skewed.dtype)
+    for d in range(layout.rows):
+        lo, hi = diagonal_span(d, m, n)
+        js = np.arange(lo, hi)
+        out[d - js, js] = skewed[d, : hi - lo]
+    return out

@@ -1,0 +1,108 @@
+"""Two-sided anchor extension: combine left and right one-sided extensions.
+
+LASTZ (and FastZ) extend every anchor *twice* — leftward over the reversed
+prefixes and rightward over the suffixes — and combine the two optimal
+one-sided alignments into the final gapped alignment (paper §3.1.2 explains
+why a short left extension cannot be discarded early: the combined alignment
+may still score high).
+
+The anchor is a DP origin *between* bases: the right extension's first
+diagonal move consumes ``target[t]``/``query[q]``, the left extension's
+first move consumes ``target[t-1]``/``query[q-1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..scoring import ScoringScheme
+from .alignment import Alignment, merge_ops
+
+__all__ = ["AnchorExtension", "extend_anchor", "combine_alignment"]
+
+
+@dataclass(frozen=True)
+class AnchorExtension:
+    """Both one-sided extension results around one anchor."""
+
+    anchor_t: int
+    anchor_q: int
+    left: object  # ExtensionResult | WavefrontResult
+    right: object
+    score: int
+
+    @property
+    def target_span(self) -> int:
+        return self.left.end_i + self.right.end_i
+
+    @property
+    def query_span(self) -> int:
+        return self.left.end_j + self.right.end_j
+
+    @property
+    def extent(self) -> int:
+        """Max of target/query spans — the paper's binning measure."""
+        return max(self.target_span, self.query_span)
+
+    def alignment(self) -> Alignment:
+        return combine_alignment(
+            self.anchor_t, self.anchor_q, self.left, self.right, self.score
+        )
+
+
+def combine_alignment(
+    anchor_t: int,
+    anchor_q: int,
+    left,
+    right,
+    score: int,
+) -> Alignment:
+    """Stitch two one-sided results (with edit scripts) into one alignment."""
+    if left.ops is None or right.ops is None:
+        raise ValueError("both extensions need tracebacks to combine")
+    # The left extension ran on reversed sequences: reversing the op order
+    # yields the forward script (per-op base order inside a run is symmetric).
+    ops = merge_ops(list(reversed(left.ops)) + list(right.ops))
+    return Alignment(
+        target_start=anchor_t - left.end_i,
+        target_end=anchor_t + right.end_i,
+        query_start=anchor_q - left.end_j,
+        query_end=anchor_q + right.end_j,
+        score=score,
+        ops=ops,
+    )
+
+
+def extend_anchor(
+    target: np.ndarray,
+    query: np.ndarray,
+    anchor_t: int,
+    anchor_q: int,
+    scheme: ScoringScheme,
+    engine: Callable,
+    **engine_kwargs,
+) -> AnchorExtension:
+    """Run ``engine`` on both sides of an anchor and combine the scores.
+
+    ``engine`` is any one-sided extension callable with the signature
+    ``engine(target, query, scheme, **kwargs)`` returning an object with
+    ``score``, ``end_i``, ``end_j`` and optional ``ops`` — i.e.
+    :func:`repro.align.ydrop.ydrop_extend` or
+    :func:`repro.align.wavefront.wavefront_extend`.
+    """
+    if not (0 <= anchor_t <= target.shape[0] and 0 <= anchor_q <= query.shape[0]):
+        raise IndexError("anchor outside sequence bounds")
+    right = engine(target[anchor_t:], query[anchor_q:], scheme, **engine_kwargs)
+    left = engine(
+        target[:anchor_t][::-1], query[:anchor_q][::-1], scheme, **engine_kwargs
+    )
+    return AnchorExtension(
+        anchor_t=anchor_t,
+        anchor_q=anchor_q,
+        left=left,
+        right=right,
+        score=left.score + right.score,
+    )

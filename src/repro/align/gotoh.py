@@ -1,0 +1,123 @@
+"""Full-matrix Gotoh affine-gap extension alignment (reference engine).
+
+This is the textbook O(M*N) memory implementation of the recurrences in the
+paper's Figure 1.  It exists to *verify* the production engines: the y-drop
+row engine (:mod:`repro.align.ydrop`) and the cyclic-buffer wavefront engine
+(:mod:`repro.align.wavefront`) are both tested bit-exact against it (with
+pruning disabled).  It is intentionally simple and only suitable for small
+problems.
+
+Semantics: an *extension* alignment anchored at the origin.  ``S[0, 0] = 0``;
+every other cell may only be reached through the affine recurrences (leading
+gaps pay full open+extend penalties, as in LASTZ's one-sided extension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..scoring import NEG_INF, ScoringScheme
+from .alignment import Alignment
+from .traceback import S_DIAG, S_FROM_D, S_FROM_I, S_ORIGIN, pack, walk_traceback
+
+__all__ = ["GotohResult", "gotoh_extend", "gotoh_matrices"]
+
+
+@dataclass(frozen=True)
+class GotohResult:
+    """Result of a full-matrix extension."""
+
+    score: int
+    end_i: int
+    end_j: int
+    alignment: Alignment
+
+
+def gotoh_matrices(
+    target: np.ndarray,
+    query: np.ndarray,
+    scheme: ScoringScheme,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Compute the full S, I, D score matrices and packed traceback.
+
+    Returns ``(S, I, D, TB)`` each of shape ``(M+1, N+1)``.
+    """
+    target = np.asarray(target, dtype=np.uint8)
+    query = np.asarray(query, dtype=np.uint8)
+    m, n = target.shape[0], query.shape[0]
+    oe = scheme.gap_open + scheme.gap_extend
+    e = scheme.gap_extend
+    sub = scheme.substitution
+
+    S = np.full((m + 1, n + 1), NEG_INF, dtype=np.int64)
+    I = np.full((m + 1, n + 1), NEG_INF, dtype=np.int64)
+    D = np.full((m + 1, n + 1), NEG_INF, dtype=np.int64)
+    TB = np.zeros((m + 1, n + 1), dtype=np.uint8)
+
+    S[0, 0] = 0
+    TB[0, 0] = S_ORIGIN
+
+    for j in range(1, n + 1):
+        i_open = S[0, j - 1] - oe
+        i_ext = I[0, j - 1] - e
+        I[0, j] = max(i_open, i_ext)
+        S[0, j] = I[0, j]
+        TB[0, j] = pack(S_FROM_I, i_ext > i_open, False)
+
+    for i in range(1, m + 1):
+        d_open = S[i - 1, 0] - oe
+        d_ext = D[i - 1, 0] - e
+        D[i, 0] = max(d_open, d_ext)
+        S[i, 0] = D[i, 0]
+        TB[i, 0] = pack(S_FROM_D, False, d_ext > d_open)
+        for j in range(1, n + 1):
+            i_open = S[i, j - 1] - oe
+            i_ext = I[i, j - 1] - e
+            I[i, j] = max(i_open, i_ext)
+
+            d_open = S[i - 1, j] - oe
+            d_ext = D[i - 1, j] - e
+            D[i, j] = max(d_open, d_ext)
+
+            diag = S[i - 1, j - 1] + sub[target[i - 1], query[j - 1]]
+            best = max(diag, I[i, j], D[i, j])
+            S[i, j] = best
+            if best == diag:
+                choice = S_DIAG
+            elif best == I[i, j]:
+                choice = S_FROM_I
+            else:
+                choice = S_FROM_D
+            TB[i, j] = pack(choice, i_ext > i_open, d_ext > d_open)
+
+    return S, I, D, TB
+
+
+def gotoh_extend(
+    target: np.ndarray,
+    query: np.ndarray,
+    scheme: ScoringScheme,
+) -> GotohResult:
+    """One-sided extension: best-scoring cell plus its alignment.
+
+    Ties on the score are broken toward the *shortest* alignment: smallest
+    anti-diagonal ``i + j`` first, then smallest ``i``.  The production
+    engines use the same rule so end cells are comparable across engines.
+    """
+    S, _, _, TB = gotoh_matrices(target, query, scheme)
+    score = int(S.max())
+    ii, jj = np.nonzero(S == score)
+    order = np.lexsort((ii, ii + jj))  # primary: i+j, secondary: i
+    end_i, end_j = int(ii[order[0]]), int(jj[order[0]])
+    ops = walk_traceback(TB, end_i, end_j)
+    alignment = Alignment(
+        target_start=0,
+        target_end=end_i,
+        query_start=0,
+        query_end=end_j,
+        score=score,
+        ops=ops,
+    )
+    return GotohResult(score=score, end_i=end_i, end_j=end_j, alignment=alignment)

@@ -1,0 +1,114 @@
+"""Byte-packed traceback state and the traceback walk.
+
+The paper (§3.1.3) packs the per-cell traceback of all three DP matrices
+into a single byte: the ``S`` recurrence selects among 3 choices (2 bits),
+and the ``I``/``D`` recurrences among 2 each (1 bit each).  We use:
+
+=========  ====  =========================================================
+bits       mask  meaning
+=========  ====  =========================================================
+0-1        0x03  S choice: 0 = diagonal (match column), 1 = I, 2 = D,
+                 3 = origin (stop; only ever set at cell (0, 0))
+2          0x04  I came from I (gap extension) rather than from S (open)
+3          0x08  D came from D rather than from S
+=========  ====  =========================================================
+
+The walk is a three-state machine (S, I, D) exactly mirroring the affine
+recurrences: in state I the walker consumes a query base per step and stays
+in I while bit 2 is set; symmetrically for D.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .alignment import merge_ops
+
+__all__ = [
+    "S_DIAG",
+    "S_FROM_I",
+    "S_FROM_D",
+    "S_ORIGIN",
+    "I_EXTEND_BIT",
+    "D_EXTEND_BIT",
+    "pack",
+    "walk_traceback",
+]
+
+S_DIAG = 0
+S_FROM_I = 1
+S_FROM_D = 2
+S_ORIGIN = 3
+I_EXTEND_BIT = 0x04
+D_EXTEND_BIT = 0x08
+
+
+def pack(s_choice: np.ndarray, i_extend: np.ndarray, d_extend: np.ndarray) -> np.ndarray:
+    """Pack per-matrix choices into single bytes (vectorised)."""
+    out = np.asarray(s_choice, dtype=np.uint8) & 0x03
+    out = out | (np.asarray(i_extend, dtype=bool).astype(np.uint8) << 2)
+    out = out | (np.asarray(d_extend, dtype=bool).astype(np.uint8) << 3)
+    return out
+
+
+def walk_traceback(
+    tb: np.ndarray,
+    end_i: int,
+    end_j: int,
+) -> tuple[tuple[str, int], ...]:
+    """Walk a packed traceback matrix from ``(end_i, end_j)`` back to (0, 0).
+
+    ``tb`` is indexed ``[i, j]`` over the (M+1) x (N+1) DP grid.  Returns the
+    edit script in forward order (ops as produced left-to-right along the
+    alignment).  Raises ``ValueError`` if the walk escapes the matrix, which
+    indicates a corrupted traceback (the executor treats that as fatal).
+    """
+    if len(tb.shape) != 2:
+        raise ValueError("traceback matrix must be 2-D")
+    if not (0 <= end_i < tb.shape[0] and 0 <= end_j < tb.shape[1]):
+        raise ValueError("traceback end cell outside matrix")
+
+    ops_rev: list[tuple[str, int]] = []
+    i, j = end_i, end_j
+    state = "S"
+    # Upper bound on steps: every step either consumes a base or switches
+    # state into a gap (which the next step must consume).
+    for _ in range(2 * (end_i + end_j) + 2):
+        if state == "S":
+            if i == 0 and j == 0:
+                break
+            choice = int(tb[i, j]) & 0x03
+            if choice == S_ORIGIN:
+                break
+            if choice == S_DIAG:
+                if i == 0 or j == 0:
+                    raise ValueError(f"diagonal move out of bounds at ({i}, {j})")
+                ops_rev.append(("M", 1))
+                i -= 1
+                j -= 1
+            elif choice == S_FROM_I:
+                state = "I"
+            else:
+                state = "D"
+        elif state == "I":
+            if j == 0:
+                raise ValueError(f"insertion move out of bounds at ({i}, {j})")
+            ops_rev.append(("I", 1))
+            extend = bool(int(tb[i, j]) & I_EXTEND_BIT)
+            j -= 1
+            if not extend:
+                state = "S"
+        else:  # state == "D"
+            if i == 0:
+                raise ValueError(f"deletion move out of bounds at ({i}, {j})")
+            ops_rev.append(("D", 1))
+            extend = bool(int(tb[i, j]) & D_EXTEND_BIT)
+            i -= 1
+            if not extend:
+                state = "S"
+    else:
+        raise ValueError("traceback walk did not terminate")
+
+    if (i, j) != (0, 0):
+        raise ValueError(f"traceback walk ended at ({i}, {j}), not the origin")
+    return merge_ops(list(reversed(ops_rev)))

@@ -1,0 +1,85 @@
+"""X-drop ungapped extension (the filtering stage of 'ungapped LASTZ').
+
+An ungapped extension walks the single diagonal through the anchor, summing
+substitution scores, and stops once the running score drops more than
+``xdrop`` below the running maximum.  Both directions are pure prefix
+scans, so the whole thing is three NumPy calls per side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..scoring import ScoringScheme
+
+__all__ = ["UngappedHSP", "ungapped_extend_one_sided", "ungapped_extend"]
+
+
+@dataclass(frozen=True)
+class UngappedHSP:
+    """An ungapped high-scoring segment pair around an anchor.
+
+    ``left``/``right`` are the number of bases included on each side of the
+    anchor (the anchor base itself belongs to the right side).
+    """
+
+    score: int
+    left: int
+    right: int
+
+    @property
+    def length(self) -> int:
+        return self.left + self.right
+
+
+def ungapped_extend_one_sided(
+    target: np.ndarray,
+    query: np.ndarray,
+    scheme: ScoringScheme,
+) -> tuple[int, int]:
+    """Best prefix score along one direction.
+
+    Returns ``(score, length)``: the maximum prefix-sum of per-base scores
+    within the x-drop horizon, and the number of bases up to that maximum.
+    The inputs must already be equal-length diagonal slices.
+    """
+    target = np.asarray(target, dtype=np.intp)
+    query = np.asarray(query, dtype=np.intp)
+    n = min(target.shape[0], query.shape[0])
+    if n == 0:
+        return 0, 0
+    per_base = scheme.substitution[target[:n], query[:n]].astype(np.int64)
+    prefix = np.cumsum(per_base)
+    running_max = np.maximum.accumulate(np.concatenate(([0], prefix)))
+    # First position where the score has dropped xdrop below the running max.
+    dropped = np.flatnonzero(prefix < running_max[:-1] - scheme.xdrop)
+    horizon = int(dropped[0]) if dropped.size else n
+    if horizon == 0:
+        return 0, 0
+    window = prefix[:horizon]
+    best_idx = int(np.argmax(window))
+    best = int(window[best_idx])
+    if best <= 0:
+        return 0, 0
+    return best, best_idx + 1
+
+
+def ungapped_extend(
+    target: np.ndarray,
+    query: np.ndarray,
+    t_anchor: int,
+    q_anchor: int,
+    scheme: ScoringScheme,
+) -> UngappedHSP:
+    """Two-sided x-drop ungapped extension around an anchor pair."""
+    if not (0 <= t_anchor <= target.shape[0] and 0 <= q_anchor <= query.shape[0]):
+        raise IndexError("anchor outside sequence bounds")
+    r_score, r_len = ungapped_extend_one_sided(
+        target[t_anchor:], query[q_anchor:], scheme
+    )
+    l_score, l_len = ungapped_extend_one_sided(
+        target[:t_anchor][::-1], query[:q_anchor][::-1], scheme
+    )
+    return UngappedHSP(score=l_score + r_score, left=l_len, right=r_len)

@@ -1,0 +1,404 @@
+"""Row-wise y-drop gapped extension (the LASTZ reference engine).
+
+This reproduces LASTZ's ``ydrop_one_sided_align``: a one-sided affine-gap
+extension anchored at the origin that explores the DP matrix row by row,
+keeping per-row active windows and pruning cells that score more than
+``ydrop`` below the best score seen in completed rows.
+
+The implementation is vectorised per row:
+
+* ``D`` (deletion) and the diagonal contribution are pure element-wise maps
+  over the previous row;
+* ``I`` (insertion) is a within-row prefix scan, computed with the classic
+  transformation ``I[j] = cummax(S_noI[k] + k*e)[j-1] - (o + e) - (j-1)*e``
+  (gap chains never re-open through ``I`` because re-opening costs strictly
+  more than extending);
+* the rightward *tail* of pure-insertion cells past the last computed column
+  decays by exactly ``gap_extend`` per step, so its length is computed in
+  closed form instead of cell by cell — but the cells still count toward the
+  explored-work statistics, since LASTZ computes them.
+
+The per-row windows double as the work profile: :func:`diag_width_profile`
+converts them to anti-diagonal widths, which is what the GPU cost model
+needs (a warp covers an anti-diagonal 32 cells at a time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..scoring import NEG_INF, ScoringScheme
+from .alignment import Alignment
+from .traceback import (
+    D_EXTEND_BIT,
+    I_EXTEND_BIT,
+    S_DIAG,
+    S_FROM_D,
+    S_FROM_I,
+    S_ORIGIN,
+    walk_traceback,
+)
+
+__all__ = [
+    "ExtensionStats",
+    "ExtensionResult",
+    "ydrop_extend",
+    "diag_width_profile",
+    "WindowedTraceback",
+]
+
+_INITIAL_CAPACITY = 256
+
+
+@dataclass(frozen=True)
+class ExtensionStats:
+    """Work profile of one one-sided extension (the *search space*)."""
+
+    rows: int
+    cells: int
+    max_row_width: int
+    max_antidiag: int
+
+    @property
+    def mean_row_width(self) -> float:
+        return self.cells / self.rows if self.rows else 0.0
+
+
+@dataclass(frozen=True)
+class ExtensionResult:
+    """Outcome of a one-sided y-drop extension.
+
+    ``end_i``/``end_j`` locate the optimal cell (ties broken toward the
+    smallest anti-diagonal, then the smallest row — identical to the Gotoh
+    and wavefront engines).  ``ops`` is present only when traceback was
+    requested.
+    """
+
+    score: int
+    end_i: int
+    end_j: int
+    stats: ExtensionStats
+    ops: tuple[tuple[str, int], ...] | None = None
+    windows: tuple[tuple[int, int], ...] | None = field(default=None, repr=False)
+
+    def alignment(self) -> Alignment:
+        if self.ops is None:
+            raise ValueError("extension was run without traceback")
+        return Alignment(
+            target_start=0,
+            target_end=self.end_i,
+            query_start=0,
+            query_end=self.end_j,
+            score=self.score,
+            ops=self.ops,
+        )
+
+
+class WindowedTraceback:
+    """Sparse packed-traceback store addressed like a dense (i, j) matrix.
+
+    Row ``i`` stores bytes for columns ``[start_i, start_i + len_i)``; any
+    access outside a stored window raises, which flags a corrupted walk.
+    """
+
+    def __init__(self, shape: tuple[int, int]):
+        self.shape = shape
+        self._starts: list[int] = []
+        self._rows: list[np.ndarray] = []
+
+    def append_row(self, start: int, packed: np.ndarray) -> None:
+        self._starts.append(start)
+        self._rows.append(np.asarray(packed, dtype=np.uint8))
+
+    def __getitem__(self, key: tuple[int, int]) -> int:
+        i, j = key
+        if not 0 <= i < len(self._rows):
+            raise ValueError(f"traceback row {i} was never computed")
+        off = j - self._starts[i]
+        row = self._rows[i]
+        if not 0 <= off < row.shape[0]:
+            raise ValueError(f"traceback cell ({i}, {j}) was never computed")
+        return int(row[off])
+
+    def nbytes(self) -> int:
+        return sum(r.shape[0] for r in self._rows)
+
+
+def diag_width_profile(windows: tuple[tuple[int, int], ...]) -> np.ndarray:
+    """Anti-diagonal widths of the explored region.
+
+    ``windows[i] = (L, R)`` means row ``i`` computed columns ``[L, R)``.
+    Row ``i`` covers anti-diagonals ``i + L .. i + R - 1``, one cell each,
+    so the per-diagonal widths follow from a difference array in
+    O(rows + D).
+    """
+    if not windows:
+        return np.zeros(0, dtype=np.int64)
+    max_d = max(i + r - 1 for i, (_, r) in enumerate(windows) if r > 0)
+    diff = np.zeros(max_d + 2, dtype=np.int64)
+    for i, (left, right) in enumerate(windows):
+        if right > left:
+            diff[i + left] += 1
+            diff[i + right] -= 1
+    return np.cumsum(diff)[:-1]
+
+
+def _regrow(buf: np.ndarray, cap: int, fill) -> np.ndarray:
+    out = np.full(cap, fill, dtype=buf.dtype)
+    out[: buf.shape[0]] = buf
+    return out
+
+
+def ydrop_extend(
+    target: np.ndarray,
+    query: np.ndarray,
+    scheme: ScoringScheme,
+    *,
+    traceback: bool = False,
+    collect_windows: bool = False,
+) -> ExtensionResult:
+    """One-sided y-drop extension of ``query`` against ``target``.
+
+    Both inputs are code arrays (the extension direction is encoded by the
+    caller reversing them for leftward extension).  Returns the optimal
+    cell and the explored-work statistics; with ``traceback=True`` also the
+    edit script of the optimal alignment.
+    """
+    target = np.asarray(target, dtype=np.uint8)
+    query = np.asarray(query, dtype=np.uint8)
+    m, n = int(target.shape[0]), int(query.shape[0])
+    o = int(scheme.gap_open)
+    e = int(scheme.gap_extend)
+    oe = o + e
+    ydrop = int(scheme.ydrop)
+    sub = scheme.substitution
+
+    tb = WindowedTraceback((m + 1, n + 1)) if traceback else None
+    windows: list[tuple[int, int]] = []
+
+    # --- row 0: origin plus the pure-insertion tail -----------------------
+    tail0 = 0
+    if n >= 1 and oe <= ydrop:
+        tail0 = min(n, (ydrop - oe) // e + 1)
+    width0 = 1 + tail0
+    cap = max(_INITIAL_CAPACITY, width0 + 2)
+    S_prev = np.full(cap, NEG_INF, dtype=np.int64)
+    S_cur = np.full(cap, NEG_INF, dtype=np.int64)
+    D_prev = np.full(cap, NEG_INF, dtype=np.int64)
+    D_cur = np.full(cap, NEG_INF, dtype=np.int64)
+    I_cur = np.full(cap, NEG_INF, dtype=np.int64)
+    scratch = np.empty(cap, dtype=np.int64)
+    idx_e = np.arange(cap, dtype=np.int64) * e  # cached j*e table
+
+    S_prev[0] = 0
+    if tail0:
+        S_prev[1 : tail0 + 1] = -o - idx_e[1 : tail0 + 1]
+    if tb is not None:
+        row0 = np.full(width0, S_FROM_I | I_EXTEND_BIT, dtype=np.uint8)
+        row0[0] = S_ORIGIN
+        if tail0:
+            row0[1] = S_FROM_I
+        tb.append_row(0, row0)
+    if collect_windows:
+        windows.append((0, width0))
+
+    best = 0
+    best_i = best_j = 0
+    rows = 1
+    cells = width0
+    max_row_width = width0
+    max_antidiag = width0 - 1
+    # Active window [left, right) of the previous row.
+    left, right = 0, width0
+
+    maximum = np.maximum
+    subtract = np.subtract
+
+    for i in range(1, m + 1):
+        if right <= left:
+            break
+        t_code = int(target[i - 1])
+        thresh = best - ydrop
+
+        lo = left
+        hi = right + 1 if right + 1 <= n + 1 else n + 1
+        if hi <= lo:
+            break
+        width = hi - lo
+
+        if hi + 2 > S_cur.shape[0]:
+            cap = max(hi + 2, 2 * S_cur.shape[0])
+            S_prev = _regrow(S_prev, cap, NEG_INF)
+            S_cur = _regrow(S_cur, cap, NEG_INF)
+            D_prev = _regrow(D_prev, cap, NEG_INF)
+            D_cur = _regrow(D_cur, cap, NEG_INF)
+            I_cur = _regrow(I_cur, cap, NEG_INF)
+            scratch = np.empty(cap, dtype=np.int64)
+            idx_e = np.arange(cap, dtype=np.int64) * e
+
+        Dw = D_cur[lo:hi]
+        sc = scratch[:width]
+
+        # D: element-wise from the previous row (same columns).
+        subtract(D_prev[lo:hi], e, out=Dw)
+        subtract(S_prev[lo:hi], oe, out=sc)
+        d_from_d = None
+        if tb is not None:
+            d_from_d = Dw > sc
+        maximum(Dw, sc, out=Dw)
+
+        # S without I: max(D, diagonal).
+        Sw = S_cur[lo:hi]
+        np.copyto(Sw, Dw)
+        di_lo = lo if lo >= 1 else 1
+        if di_lo <= hi - 1:
+            q_sl = query[di_lo - 1 : hi - 1]
+            diag_core = S_prev[di_lo - 1 : hi - 1] + sub[t_code, q_sl]
+            core = Sw[di_lo - lo :]
+            maximum(core, diag_core, out=core)
+        else:
+            diag_core = None
+
+        # I prefix scan: I[j] = cummax(S_noI[k] + k*e)[j-1] - oe - (j-1)*e.
+        Iw = I_cur[lo:hi]
+        Iw[0] = NEG_INF
+        i_from_i = None
+        if width > 1:
+            c = Sw + idx_e[lo:hi]
+            run = np.maximum.accumulate(c)
+            subtract(run[:-1], oe + idx_e[lo + 1 : hi] - idx_e[1], out=Iw[1:])
+            if tb is not None:
+                i_from_i = np.zeros(width, dtype=bool)
+                i_from_i[1:] = run[:-1] > c[:-1]
+            maximum(Sw, Iw, out=Sw)
+
+        # Closed-form pure-insertion tail past column hi-1.
+        tail_start = hi
+        tail = 0
+        if hi <= n:
+            i_tail0 = max(int(Iw[-1]) - e, int(Sw[-1]) - oe)
+            if i_tail0 >= thresh:
+                tail = min(n + 1 - tail_start, (i_tail0 - thresh) // e + 1)
+
+        total_width = width + tail
+        if tail_start + tail + 1 > S_cur.shape[0]:
+            cap = max(tail_start + tail + 1, 2 * S_cur.shape[0])
+            S_prev = _regrow(S_prev, cap, NEG_INF)
+            S_cur = _regrow(S_cur, cap, NEG_INF)
+            D_prev = _regrow(D_prev, cap, NEG_INF)
+            D_cur = _regrow(D_cur, cap, NEG_INF)
+            I_cur = _regrow(I_cur, cap, NEG_INF)
+            scratch = np.empty(cap, dtype=np.int64)
+            idx_e = np.arange(cap, dtype=np.int64) * e
+            Sw = S_cur[lo:hi]
+            Iw = I_cur[lo:hi]
+
+        # --- prune: shrink the active window at both edges ----------------
+        alive = np.flatnonzero(Sw >= thresh)
+        if alive.shape[0] == 0 and tail == 0:
+            # The extension dies on this row; its cells were still computed.
+            rows += 1
+            cells += width
+            if tb is not None:
+                tb.append_row(lo, np.zeros(0, dtype=np.uint8))
+            if collect_windows:
+                windows.append((lo, hi))
+            break
+        first = int(alive[0]) if alive.shape[0] else width
+        last = int(alive[-1]) if alive.shape[0] else width - 1
+
+        # --- traceback bytes for every computed cell -----------------------
+        if tb is not None:
+            # S choice with the fixed priority diag > I > D, matching the
+            # Gotoh and wavefront engines.
+            s_choice = np.full(width, S_FROM_D, dtype=np.uint8)
+            s_choice[Sw == Iw] = S_FROM_I
+            if diag_core is not None:
+                sl = slice(di_lo - lo, width)
+                s_choice[sl][Sw[sl] == diag_core] = S_DIAG
+            row_bytes = s_choice
+            if i_from_i is not None:
+                row_bytes = row_bytes | (i_from_i.astype(np.uint8) << 2)
+            if d_from_d is not None:
+                row_bytes = row_bytes | (d_from_d.astype(np.uint8) << 3)
+            if tail:
+                tail_bytes = np.full(tail, S_FROM_I | I_EXTEND_BIT, dtype=np.uint8)
+                if not (int(Iw[-1]) - e > int(Sw[-1]) - oe):
+                    tail_bytes[0] = S_FROM_I
+                row_bytes = np.concatenate([row_bytes, tail_bytes])
+            tb.append_row(lo, row_bytes)
+
+        # --- fill the tail into the current row ----------------------------
+        if tail:
+            seed = max(int(Iw[-1]) - e, int(Sw[-1]) - oe)
+            S_cur[tail_start : tail_start + tail] = seed - idx_e[:tail]
+            I_cur[tail_start : tail_start + tail] = S_cur[tail_start : tail_start + tail]
+            D_cur[tail_start : tail_start + tail] = NEG_INF
+
+        # --- best-cell tracking (ties: smallest i+j, then smallest i) ------
+        w_idx = int(np.argmax(Sw))
+        row_best = int(Sw[w_idx])
+        if row_best >= best:
+            cand_i, cand_j = i, lo + w_idx
+            if row_best > best or (cand_i + cand_j, cand_i) < (
+                best_i + best_j,
+                best_i,
+            ):
+                best = row_best
+                best_i, best_j = cand_i, cand_j
+
+        # --- bookkeeping ----------------------------------------------------
+        rows += 1
+        cells += total_width
+        if total_width > max_row_width:
+            max_row_width = total_width
+        if i + tail_start + tail - 1 > max_antidiag:
+            max_antidiag = i + tail_start + tail - 1
+        if collect_windows:
+            windows.append((lo, tail_start + tail))
+
+        # Window for the next row; NEG edge-pruned cells so they cannot
+        # feed it.
+        new_left = lo + first
+        new_right = tail_start + tail if tail else lo + last + 1
+        if first > 0:
+            S_cur[lo:new_left] = NEG_INF
+            I_cur[lo:new_left] = NEG_INF
+            D_cur[lo:new_left] = NEG_INF
+        if not tail and lo + last + 1 < hi:
+            S_cur[lo + last + 1 : hi] = NEG_INF
+            I_cur[lo + last + 1 : hi] = NEG_INF
+            D_cur[lo + last + 1 : hi] = NEG_INF
+
+        # Scrub the one-cell borders of this row's span: the buffers
+        # alternate rows (double buffering), so a column this row did not
+        # write still holds row i-2 data.  The next row reads at most one
+        # column outside [lo, span_end), on each side.
+        span_end = tail_start + tail
+        if lo >= 1:
+            S_cur[lo - 1] = D_cur[lo - 1] = NEG_INF
+        S_cur[span_end] = D_cur[span_end] = NEG_INF
+
+        S_prev, S_cur = S_cur, S_prev
+        D_prev, D_cur = D_cur, D_prev
+        left, right = new_left, new_right
+
+    stats = ExtensionStats(
+        rows=rows,
+        cells=cells,
+        max_row_width=max_row_width,
+        max_antidiag=max_antidiag,
+    )
+    ops = None
+    if tb is not None:
+        ops = walk_traceback(tb, best_i, best_j)
+    return ExtensionResult(
+        score=best,
+        end_i=best_i,
+        end_j=best_j,
+        stats=stats,
+        ops=ops,
+        windows=tuple(windows) if collect_windows else None,
+    )

@@ -1,0 +1,65 @@
+"""Alignment-length distribution analysis (paper Table 2).
+
+Table 2 bins the 1M seed extensions of each benchmark into the eager class
+plus the four load-balancing bins, and observes 75-80% eager with a thin
+tail; the bin-4 tail ordering across benchmarks explains the Figure 7/8
+trends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.pipeline import FastzResult
+
+__all__ = ["DistributionRow", "distribution_row", "format_distribution_table"]
+
+
+@dataclass(frozen=True)
+class DistributionRow:
+    """One benchmark's Table-2 row."""
+
+    benchmark: str
+    counts: tuple[int, ...]  # [eager, bin1, .., binN]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def eager_fraction(self) -> float:
+        return self.counts[0] / self.total if self.total else 0.0
+
+    @property
+    def bin4_count(self) -> int:
+        return self.counts[-1]
+
+    def fractions(self) -> tuple[float, ...]:
+        total = self.total or 1
+        return tuple(c / total for c in self.counts)
+
+
+def distribution_row(benchmark: str, result: FastzResult) -> DistributionRow:
+    """Bin a FastZ run's tasks (Table 2 semantics: every seed counted)."""
+    counts = result.bin_counts()
+    return DistributionRow(benchmark=benchmark, counts=tuple(int(c) for c in counts))
+
+
+def format_distribution_table(rows: list[DistributionRow]) -> str:
+    """Plain-text rendering in the paper's layout (sorted by bin-4 count)."""
+    rows = sorted(rows, key=lambda r: (-r.bin4_count, r.benchmark))
+    n_bins = max(len(r.counts) for r in rows) - 1
+    header = (
+        f"{'Benchmark':<12} {'Eager':>8} "
+        + " ".join(f"{'bin' + str(b):>7}" for b in range(1, n_bins + 1))
+        + f" {'eager%':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        bins = " ".join(f"{c:>7}" for c in r.counts[1:])
+        lines.append(
+            f"{r.benchmark:<12} {r.counts[0]:>8} {bins} {100 * r.eager_fraction:>6.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,329 @@
+"""Experiment assembly: regenerate every table and figure of the paper.
+
+Each ``figure*/table*`` function returns structured rows plus a plain-text
+rendering, consuming the cached workload profiles.  The benchmark harness
+(``benchmarks/``) is a thin wrapper around these functions, so examples and
+tests can regenerate any experiment programmatically too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.options import SCALED_BIN_EDGES
+from ..core.perfmodel import FastzTiming, ablation_times, time_fastz, time_feng_baseline
+from ..gpusim.device import ALL_DEVICES, DeviceSpec, RTX_3080_AMPERE
+from ..lastz.cpu_model import multicore_seconds, sequential_seconds
+from ..workloads.profiles import (
+    BENCH_OPTIONS,
+    WorkloadProfile,
+    bench_calibration,
+    build_profile,
+    build_sensitivity_run,
+)
+from ..workloads.registry import (
+    CROSS_GENUS_BENCHMARKS,
+    GENOMES,
+    SAME_GENUS_BENCHMARKS,
+    SENSITIVITY_BENCHMARK,
+    bench_scale,
+)
+from .distribution import DistributionRow, distribution_row, format_distribution_table
+from .sensitivity import SensitivityReport, compare_sensitivity
+
+__all__ = [
+    "SpeedupRow",
+    "table1_text",
+    "figure2_report",
+    "figure7_rows",
+    "figure7_text",
+    "figure8_rows",
+    "figure8_text",
+    "figure9_table",
+    "figure9_text",
+    "figure11_rows",
+    "figure11_text",
+    "table2_rows",
+    "table2_text",
+]
+
+
+# --------------------------------------------------------------------------
+# Table 1 — genomes
+# --------------------------------------------------------------------------
+
+def table1_text() -> str:
+    """Table 1: the seven species / fifteen chromosomes (real + scaled bp)."""
+    lines = [
+        f"{'Label':<6} {'Species':<18} {'Chromosome':<10} {'Basepairs':>12} {'Scaled':>9}",
+    ]
+    lines.append("-" * len(lines[0]))
+    for g in GENOMES.values():
+        lines.append(
+            f"{g.label:<6} {g.species:<18} {g.chromosome:<10} "
+            f"{g.real_basepairs:>12,} {g.scaled_basepairs:>9,}"
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Figure 2 — gapped vs ungapped sensitivity
+# --------------------------------------------------------------------------
+
+def figure2_report(
+    *, scale: float | None = None, high_score_threshold: int = 8000
+) -> SensitivityReport:
+    """Figure 2: run both pipelines on the sensitivity pair and compare.
+
+    The high-score threshold plays the role of the paper's 10,000-score
+    cut: high enough that only multi-hundred-bp alignments qualify.
+    """
+    scale = bench_scale() if scale is None else scale
+    gapped, ungapped = build_sensitivity_run(SENSITIVITY_BENCHMARK, scale=scale)
+    return compare_sensitivity(
+        gapped, ungapped, high_score_threshold=high_score_threshold
+    )
+
+
+def figure2_text(report: SensitivityReport) -> str:
+    g_total, u_total = report.total_counts()
+    g_max, u_max = report.max_lengths()
+    return "\n".join(
+        [
+            "Figure 2 — gapped vs ungapped sensitivity",
+            f"  alignments found:        gapped={g_total}  ungapped={u_total}",
+            f"  longest alignment:       gapped={g_max}  ungapped={u_max}",
+            f"  score > {report.high_score_threshold}:           gapped={report.gapped_high}  "
+            f"ungapped={report.ungapped_high}  (ratio {report.high_score_ratio:.2f}; "
+            "paper: >2x at its scale)",
+        ]
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure 7 / 11 — speedups over sequential LASTZ
+# --------------------------------------------------------------------------
+
+@dataclass
+class SpeedupRow:
+    """One benchmark's bar group in Figure 7/11."""
+
+    benchmark: str
+    cpu_seconds: float
+    gpu_baseline: dict[str, float] = field(default_factory=dict)  # speedups
+    multicore: float = 0.0
+    fastz: dict[str, float] = field(default_factory=dict)
+    fastz_timings: dict[str, FastzTiming] = field(default_factory=dict)
+    bin4_count: int = 0
+
+
+def _speedup_row(profile: WorkloadProfile, devices=ALL_DEVICES) -> SpeedupRow:
+    calib = bench_calibration()
+    cpu = sequential_seconds(profile.cpu_cells)
+    row = SpeedupRow(
+        benchmark=profile.name,
+        cpu_seconds=cpu,
+        bin4_count=int(profile.fastz.bin_counts()[-1]),
+    )
+    row.multicore = cpu / multicore_seconds(profile.cpu_cells)
+    arrays = profile.arrays
+    for dev in devices:
+        row.gpu_baseline[dev.name] = cpu / time_feng_baseline(arrays, dev, calib)
+        timing = time_fastz(
+            arrays, dev, BENCH_OPTIONS, calib, transfer_bytes=profile.transfer_bytes
+        )
+        row.fastz[dev.name] = cpu / timing.total_seconds
+        row.fastz_timings[dev.name] = timing
+    return row
+
+
+def figure7_rows(*, scale: float | None = None) -> list[SpeedupRow]:
+    """Figure 7: speedups for the nine same-genus benchmarks.
+
+    Rows are ordered by decreasing bin-4 count, as in the paper.
+    """
+    scale = bench_scale() if scale is None else scale
+    rows = [
+        _speedup_row(build_profile(spec, scale=scale))
+        for spec in SAME_GENUS_BENCHMARKS
+    ]
+    rows.sort(key=lambda r: (-r.bin4_count, r.benchmark))
+    return rows
+
+
+def _speedup_text(rows: list[SpeedupRow], title: str) -> str:
+    devices = [d.name for d in ALL_DEVICES]
+    header = (
+        f"{'Benchmark':<12} "
+        + " ".join(f"{'GPUbase/' + d:>14}" for d in devices)
+        + f" {'Multicore':>10} "
+        + " ".join(f"{'FastZ/' + d:>14}" for d in devices)
+    )
+    lines = [title, header, "-" * len(header)]
+    for r in rows:
+        base = " ".join(f"{r.gpu_baseline[d]:>13.2f}x" for d in devices)
+        fz = " ".join(f"{r.fastz[d]:>13.1f}x" for d in devices)
+        lines.append(f"{r.benchmark:<12} {base} {r.multicore:>9.1f}x {fz}")
+    means = "MEAN"
+    base = " ".join(
+        f"{np.mean([r.gpu_baseline[d] for r in rows]):>13.2f}x" for d in devices
+    )
+    fz = " ".join(f"{np.mean([r.fastz[d] for r in rows]):>13.1f}x" for d in devices)
+    mc = np.mean([r.multicore for r in rows])
+    lines.append("-" * len(header))
+    lines.append(f"{means:<12} {base} {mc:>9.1f}x {fz}")
+    return "\n".join(lines)
+
+
+def figure7_text(rows: list[SpeedupRow] | None = None) -> str:
+    rows = figure7_rows() if rows is None else rows
+    return _speedup_text(
+        rows,
+        "Figure 7 — speedup over sequential LASTZ "
+        "(paper means: GPU baseline 0.57-0.82x, multicore 20x, "
+        "FastZ 43x/93x/111x on Pascal/Volta/Ampere)",
+    )
+
+
+def figure11_rows(*, scale: float | None = None) -> list[SpeedupRow]:
+    """Figure 11: cross-genus (dissimilar) benchmarks on Ampere."""
+    scale = bench_scale() if scale is None else scale
+    return [
+        _speedup_row(build_profile(spec, scale=scale), devices=(RTX_3080_AMPERE,))
+        for spec in CROSS_GENUS_BENCHMARKS
+    ]
+
+
+def figure11_text(
+    rows: list[SpeedupRow] | None = None,
+    same_genus_mean: float | None = None,
+) -> str:
+    rows = figure11_rows() if rows is None else rows
+    lines = [
+        "Figure 11 — FastZ on Ampere, cross-genus (dissimilar) pairs "
+        "(paper: mean 137x vs 111x for similar pairs)",
+        f"{'Benchmark':<12} {'FastZ/Ampere':>14}",
+    ]
+    for r in rows:
+        lines.append(f"{r.benchmark:<12} {r.fastz['RTX 3080']:>13.1f}x")
+    mean = np.mean([r.fastz["RTX 3080"] for r in rows])
+    lines.append(f"{'MEAN':<12} {mean:>13.1f}x")
+    if same_genus_mean is not None:
+        lines.append(
+            f"(same-genus mean: {same_genus_mean:.1f}x; dissimilar/similar = "
+            f"{mean / same_genus_mean:.2f}, paper: 137/111 = 1.23)"
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Figure 8 — execution-time breakdown
+# --------------------------------------------------------------------------
+
+def figure8_rows(
+    *, scale: float | None = None, device: DeviceSpec = RTX_3080_AMPERE
+) -> list[tuple[str, dict[str, float]]]:
+    """Figure 8: per-benchmark (inspector, executor, other) fractions."""
+    scale = bench_scale() if scale is None else scale
+    calib = bench_calibration()
+    rows = []
+    for spec in SAME_GENUS_BENCHMARKS:
+        profile = build_profile(spec, scale=scale)
+        timing = time_fastz(
+            profile.arrays,
+            device,
+            BENCH_OPTIONS,
+            calib,
+            transfer_bytes=profile.transfer_bytes,
+        )
+        rows.append((spec.name, timing.breakdown()))
+    return rows
+
+
+def figure8_text(rows=None) -> str:
+    rows = figure8_rows() if rows is None else rows
+    lines = [
+        "Figure 8 — execution-time breakdown on Ampere "
+        "(paper: inspector ~2/3, executor ~10%, other the rest)",
+        f"{'Benchmark':<12} {'inspector':>10} {'executor':>10} {'other':>8}",
+    ]
+    for name, bd in rows:
+        lines.append(
+            f"{name:<12} {100 * bd['inspector']:>9.1f}% "
+            f"{100 * bd['executor']:>9.1f}% {100 * bd['other']:>7.1f}%"
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Figure 9 — ablation ladder
+# --------------------------------------------------------------------------
+
+def figure9_table(*, scale: float | None = None) -> dict[str, dict[str, float]]:
+    """Figure 9: mean speedup per ablation step per device."""
+    scale = bench_scale() if scale is None else scale
+    calib = bench_calibration()
+    sums: dict[str, dict[str, list[float]]] = {}
+    for spec in SAME_GENUS_BENCHMARKS:
+        profile = build_profile(spec, scale=scale)
+        cpu = sequential_seconds(profile.cpu_cells)
+        for dev in ALL_DEVICES:
+            table = ablation_times(
+                profile.arrays,
+                dev,
+                calib,
+                bin_edges=SCALED_BIN_EDGES,
+                transfer_bytes=profile.transfer_bytes,
+            )
+            for label, timing in table.items():
+                sums.setdefault(dev.name, {}).setdefault(label, []).append(
+                    cpu / timing.total_seconds
+                )
+    return {
+        dev: {label: float(np.mean(vals)) for label, vals in by_label.items()}
+        for dev, by_label in sums.items()
+    }
+
+
+_PAPER_FIG9 = {
+    "Titan X": (0.92, 4.7, 15.0, 43.0, 25.0),
+    "QV100": (None, 6.1, 21.0, 93.0, 55.0),
+    "RTX 3080": (2.8, 17.0, 46.0, 111.0, 46.0),
+}
+
+
+def figure9_text(table=None) -> str:
+    table = figure9_table() if table is None else table
+    lines = ["Figure 9 — progressive optimisation ladder (mean over benchmarks)"]
+    for dev, by_label in table.items():
+        paper = _PAPER_FIG9.get(dev)
+        lines.append(f"  {dev}:")
+        for idx, (label, speedup) in enumerate(by_label.items()):
+            ref = ""
+            if paper and idx < len(paper) and paper[idx] is not None:
+                ref = f"  (paper ~{paper[idx]}x)"
+            lines.append(f"    {label:<22} {speedup:>8.1f}x{ref}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Table 2 — alignment-length distribution
+# --------------------------------------------------------------------------
+
+def table2_rows(*, scale: float | None = None) -> list[DistributionRow]:
+    scale = bench_scale() if scale is None else scale
+    return [
+        distribution_row(spec.name, build_profile(spec, scale=scale).fastz)
+        for spec in SAME_GENUS_BENCHMARKS
+    ]
+
+
+def table2_text(rows: list[DistributionRow] | None = None) -> str:
+    rows = table2_rows() if rows is None else rows
+    return (
+        "Table 2 — alignment-length distribution "
+        "(paper: 75-80% eager; bins thin out 1>2>3>4)\n"
+        + format_distribution_table(rows)
+    )

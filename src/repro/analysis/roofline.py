@@ -1,0 +1,105 @@
+"""Operational-intensity analysis (paper §6, "Remaining bottlenecks").
+
+The paper's arithmetic, reproduced verbatim:
+
+* inspector: 12 bytes of output per 32 x 9 = 288 ops -> 24 ops/byte;
+* executor: (12 + 32) bytes per 288 ops -> ~6.5 ops/byte;
+* RTX 3080 nominal ridge: 29.77 TFLOP/s / 760 GB/s = 39 ops/byte, derated
+  by 2.56 for branch divergence (9 ops expand to 23) -> ~15.2 ops/byte;
+* hence the inspector is slightly compute-bound, the executor slightly
+  memory-bound;
+* without FastZ's optimisations the kernels would sit at ~0.75 (inspector)
+  and ~0.69 (executor) ops/byte — deeply memory-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim.calibration import DIVERGED_OPS_PER_CELL, OPS_PER_CELL
+from ..gpusim.device import DeviceSpec
+
+__all__ = [
+    "RooflinePoint",
+    "DIVERGENCE_DERATE",
+    "inspector_intensity",
+    "executor_intensity",
+    "naive_inspector_intensity",
+    "naive_executor_intensity",
+    "nominal_ridge",
+    "derated_ridge",
+    "classify",
+    "roofline_report",
+]
+
+#: §6's derating factor: 9 ops expand to 23 under SIMD divergence.
+DIVERGENCE_DERATE = DIVERGED_OPS_PER_CELL / OPS_PER_CELL
+
+_WARP = 32
+_OPS_PER_STRIP = _WARP * OPS_PER_CELL  # 288
+_CYCLIC_BYTES_PER_STRIP = 12.0  # 3 scores x 4 B, boundary lane only
+_TRACEBACK_BYTES_PER_STRIP = float(_WARP)  # 1 B per cell
+
+
+def inspector_intensity() -> float:
+    """FastZ inspector: 288 ops per 12 bytes -> 24 ops/byte."""
+    return _OPS_PER_STRIP / _CYCLIC_BYTES_PER_STRIP
+
+
+def executor_intensity() -> float:
+    """FastZ executor: 288 ops per 44 bytes -> ~6.5 ops/byte."""
+    return _OPS_PER_STRIP / (_CYCLIC_BYTES_PER_STRIP + _TRACEBACK_BYTES_PER_STRIP)
+
+
+def naive_inspector_intensity() -> float:
+    """Without cyclic buffering: 9 ops per 12 bytes written -> 0.75."""
+    return OPS_PER_CELL / 12.0
+
+
+def naive_executor_intensity() -> float:
+    """Without cyclic buffering, with traceback: 9 ops per 13 bytes -> ~0.69."""
+    return OPS_PER_CELL / 13.0
+
+
+def nominal_ridge(device: DeviceSpec) -> float:
+    """Peak FLOPs / peak bandwidth, ops per byte."""
+    return device.ridge_ops_per_byte
+
+
+def derated_ridge(device: DeviceSpec) -> float:
+    """Ridge after the 2.56x branch-divergence derate (§6)."""
+    return nominal_ridge(device) / DIVERGENCE_DERATE
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """A kernel placed on a device's roofline."""
+
+    phase: str
+    intensity: float
+    ridge: float
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.intensity >= self.ridge else "memory"
+
+    @property
+    def headroom(self) -> float:
+        """intensity / ridge: >1 means compute-bound by that factor."""
+        return self.intensity / self.ridge
+
+
+def classify(intensity: float, device: DeviceSpec) -> str:
+    """'compute' or 'memory' bound against the derated ridge."""
+    return "compute" if intensity >= derated_ridge(device) else "memory"
+
+
+def roofline_report(device: DeviceSpec) -> list[RooflinePoint]:
+    """The four §6 points (inspector/executor, optimised/naive)."""
+    ridge = derated_ridge(device)
+    return [
+        RooflinePoint("inspector", inspector_intensity(), ridge),
+        RooflinePoint("executor", executor_intensity(), ridge),
+        RooflinePoint("inspector-naive", naive_inspector_intensity(), ridge),
+        RooflinePoint("executor-naive", naive_executor_intensity(), ridge),
+    ]

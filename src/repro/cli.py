@@ -1,0 +1,203 @@
+"""Command-line interface: a LASTZ-style front end over the library.
+
+Three subcommands:
+
+``align``
+    Align two FASTA files (target, query) with the gapped pipeline —
+    sequential LASTZ semantics by default, ``--engine fastz`` for the
+    inspector-executor pipeline, ``--engine ungapped`` for the
+    ungapped-filter variant.  Output is LASTZ ``--format=general``-style
+    tab-separated rows.
+
+``synth``
+    Synthesise a related chromosome pair with planted homology and write
+    it to FASTA (handy for trying ``align`` without real genomes).
+
+``bench``
+    Build (or load) one registry benchmark's work profile and print the
+    modelled speedup report for it.
+
+Run ``python -m repro.cli <subcommand> --help`` for the options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence as Seq
+
+from .core import run_fastz, time_fastz, time_feng_baseline
+from .genome import SegmentClass, build_pair, read_fasta, write_fasta
+from .gpusim import ALL_DEVICES
+from .lastz import (
+    LastzConfig,
+    multicore_seconds,
+    run_gapped_lastz,
+    run_ungapped_lastz,
+    sequential_seconds,
+)
+from .scoring import default_scheme
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fastz-repro",
+        description="FastZ reproduction: gapped whole-genome alignment.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    align = sub.add_parser("align", help="align two FASTA files")
+    align.add_argument("target", help="target FASTA (first record used)")
+    align.add_argument("query", help="query FASTA (first record used)")
+    align.add_argument(
+        "--engine",
+        choices=("lastz", "fastz", "ungapped"),
+        default="lastz",
+        help="pipeline variant (default: sequential gapped LASTZ)",
+    )
+    align.add_argument("--gap-open", type=int, default=400)
+    align.add_argument("--gap-extend", type=int, default=30)
+    align.add_argument("--ydrop", type=int, default=None)
+    align.add_argument("--hsp-threshold", type=int, default=3000)
+    align.add_argument("--gapped-threshold", type=int, default=3000)
+    align.add_argument("--seed-length", type=int, default=19)
+    align.add_argument("--collapse-window", type=int, default=500)
+    align.add_argument("--diag-band", type=int, default=150)
+    align.add_argument("--no-cigar", action="store_true", help="skip tracebacks")
+    align.add_argument(
+        "--format",
+        choices=("general", "maf"),
+        default="general",
+        help="output format (maf requires tracebacks)",
+    )
+    align.add_argument("--output", default=None, help="write to a file instead of stdout")
+
+    synth = sub.add_parser("synth", help="synthesise a related genome pair")
+    synth.add_argument("--target-out", required=True)
+    synth.add_argument("--query-out", required=True)
+    synth.add_argument("--length", type=int, default=100_000)
+    synth.add_argument("--segments", type=int, default=150)
+    synth.add_argument("--segment-min", type=int, default=19)
+    synth.add_argument("--segment-max", type=int, default=400)
+    synth.add_argument("--divergence", type=float, default=0.05)
+    synth.add_argument("--indel-rate", type=float, default=0.003)
+    synth.add_argument("--rng-seed", type=int, default=0)
+
+    bench = sub.add_parser("bench", help="modelled speedup report for a benchmark")
+    bench.add_argument("--benchmark", default="C1_1,1")
+    bench.add_argument("--scale", type=float, default=0.25)
+    return parser
+
+
+def _align_command(args: argparse.Namespace) -> int:
+    target = read_fasta(args.target)[0]
+    query = read_fasta(args.query)[0]
+    scheme = default_scheme(
+        gap_open=args.gap_open,
+        gap_extend=args.gap_extend,
+        ydrop=args.ydrop,
+        hsp_threshold=args.hsp_threshold,
+        gapped_threshold=args.gapped_threshold,
+    )
+    config = LastzConfig(
+        scheme=scheme,
+        seed_length=args.seed_length,
+        collapse_window=args.collapse_window,
+        diag_band=args.diag_band,
+        traceback=not args.no_cigar,
+    )
+
+    if args.engine == "fastz":
+        alignments = run_fastz(target, query, config).unique_alignments()
+    elif args.engine == "ungapped":
+        alignments = run_ungapped_lastz(target, query, config).alignments
+    else:
+        alignments = run_gapped_lastz(target, query, config).alignments
+
+    from .lastz.output import write_general, write_maf
+
+    if args.format == "maf" and args.no_cigar:
+        print("error: --format maf requires tracebacks (drop --no-cigar)",
+              file=sys.stderr)
+        return 2
+    sink = open(args.output, "w", encoding="ascii") if args.output else sys.stdout
+    try:
+        if args.format == "maf":
+            write_maf(sink, alignments, target, query)
+        else:
+            write_general(sink, alignments, target, query)
+    finally:
+        if args.output:
+            sink.close()
+    print(f"# {len(alignments)} alignments ({args.engine})", file=sys.stderr)
+    return 0
+
+
+def _synth_command(args: argparse.Namespace) -> int:
+    pair = build_pair(
+        "synth",
+        target_length=args.length,
+        query_length=args.length,
+        classes=[
+            SegmentClass(
+                "planted",
+                args.segments,
+                args.segment_min,
+                args.segment_max,
+                divergence=args.divergence,
+                indel_rate=args.indel_rate,
+            )
+        ],
+        rng=args.rng_seed,
+    )
+    write_fasta(args.target_out, [pair.target])
+    write_fasta(args.query_out, [pair.query])
+    print(
+        f"wrote {args.target_out} ({len(pair.target):,} bp) and "
+        f"{args.query_out} ({len(pair.query):,} bp), "
+        f"{len(pair.segments)} planted homologies",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _bench_command(args: argparse.Namespace) -> int:
+    from .workloads import build_profile, get_benchmark
+    from .workloads.profiles import BENCH_OPTIONS, bench_calibration
+
+    profile = build_profile(get_benchmark(args.benchmark), scale=args.scale)
+    calib = bench_calibration()
+    cpu = sequential_seconds(profile.cpu_cells)
+    print(f"{args.benchmark} @ scale {args.scale}: {profile.n_anchors} anchors")
+    print(f"  bins [eager,1-4]: {profile.fastz.bin_counts().tolist()}")
+    print(f"  sequential LASTZ (modelled): {cpu * 1e3:.2f} ms")
+    print(f"  multicore x32:   {cpu / multicore_seconds(profile.cpu_cells):6.1f}x")
+    for dev in ALL_DEVICES:
+        feng = cpu / time_feng_baseline(profile.arrays, dev, calib)
+        t = time_fastz(
+            profile.arrays,
+            dev,
+            BENCH_OPTIONS,
+            calib,
+            transfer_bytes=profile.transfer_bytes,
+        )
+        print(
+            f"  {dev.name:<10} GPU-baseline {feng:5.2f}x   "
+            f"FastZ {cpu / t.total_seconds:6.1f}x"
+        )
+    return 0
+
+
+def main(argv: Seq[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "align":
+        return _align_command(args)
+    if args.command == "synth":
+        return _synth_command(args)
+    return _bench_command(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

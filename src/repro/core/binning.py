@@ -1,0 +1,63 @@
+"""Alignment-length binning (paper §3.3).
+
+An optimal alignment with extent ``max(target_span, query_span)`` is placed
+in the smallest bin that contains it; extensions resolved by eager
+traceback form their own class (bin 0).  The default edges are the paper's
+512 / 2048 / 8192 / 32768 with 4x scaling; anything beyond the last edge is
+clamped into the last bin (the paper notes larger bins could be added the
+same way).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .options import DEFAULT_BIN_EDGES
+
+__all__ = ["assign_bin", "assign_bins", "bin_labels", "bin_histogram"]
+
+
+def assign_bin(
+    extent: int,
+    eager: bool,
+    edges: tuple[int, ...] = DEFAULT_BIN_EDGES,
+) -> int:
+    """Bin id for one task: 0 = eager, else 1..len(edges)."""
+    if eager:
+        return 0
+    for idx, edge in enumerate(edges, start=1):
+        if extent <= edge:
+            return idx
+    return len(edges)
+
+
+def assign_bins(
+    extents: np.ndarray,
+    eager: np.ndarray,
+    edges: tuple[int, ...] = DEFAULT_BIN_EDGES,
+) -> np.ndarray:
+    """Vectorised :func:`assign_bin`."""
+    extents = np.asarray(extents)
+    eager = np.asarray(eager, dtype=bool)
+    bins = np.searchsorted(np.asarray(edges), extents, side="left") + 1
+    bins = np.minimum(bins, len(edges))
+    bins[eager] = 0
+    return bins.astype(np.int64)
+
+
+def bin_labels(edges: tuple[int, ...] = DEFAULT_BIN_EDGES) -> list[str]:
+    """Human-readable labels, Table-2 style."""
+    labels = ["eager"]
+    prev = None
+    for edge in edges:
+        labels.append(f"<= {edge}" if prev is None else f"{prev}-{edge}")
+        prev = edge
+    return labels
+
+
+def bin_histogram(
+    bin_ids: np.ndarray,
+    edges: tuple[int, ...] = DEFAULT_BIN_EDGES,
+) -> np.ndarray:
+    """Counts per bin id (length ``len(edges) + 1``, index 0 = eager)."""
+    return np.bincount(np.asarray(bin_ids), minlength=len(edges) + 1)

@@ -1,0 +1,116 @@
+"""FastZ configuration: the optimisation toggles of the paper's Figure 9.
+
+The ablation study progressively enables cyclic buffering, eager traceback
+and executor trimming on top of the base inspector-executor-with-binning
+design, and finally isolates CUDA streams.  :class:`FastzOptions` encodes
+exactly those switches; :func:`ablation_ladder` returns the paper's
+progression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "FastzOptions",
+    "ablation_ladder",
+    "FASTZ_FULL",
+    "DEFAULT_BIN_EDGES",
+    "SCALED_BIN_EDGES",
+]
+
+#: Bin upper bounds (paper §3.3): 512, 2048, 8192, 32768 with 4x scaling.
+DEFAULT_BIN_EDGES = (512, 2048, 8192, 32768)
+
+#: Bin edges used by the scaled benchmark suite: the whole workload is
+#: shrunk ~8x relative to the paper (chromosomes, y-drop horizon, segment
+#: lengths), so the bins shrink by the same factor while keeping the 4x
+#: ladder (see EXPERIMENTS.md).
+SCALED_BIN_EDGES = (64, 256, 1024, 4096)
+
+
+@dataclass(frozen=True)
+class FastzOptions:
+    """Optimisation switches of the FastZ GPU pipeline."""
+
+    #: Hold the three live diagonals in registers (cyclic use-and-discard)
+    #: instead of spilling score matrices to global memory.
+    cyclic_buffers: bool = True
+    #: Track a small traceback tile in the inspector and resolve short
+    #: alignments there, skipping the executor.
+    eager_traceback: bool = True
+    #: Side length of the eager tile (16 x 16 in the paper).
+    eager_tile: int = 16
+    #: Restrict the executor to the optimal-alignment region found by the
+    #: inspector instead of recomputing the whole search space.
+    executor_trimming: bool = True
+    #: Group executor tasks into alignment-length bins (one kernel each).
+    binning: bool = True
+    bin_edges: tuple[int, ...] = DEFAULT_BIN_EDGES
+    #: Number of CUDA streams (1 disables cross-kernel overlap).
+    streams: int = 32
+
+    def __post_init__(self) -> None:
+        if self.eager_tile <= 0:
+            raise ValueError("eager_tile must be positive")
+        if self.streams <= 0:
+            raise ValueError("streams must be positive")
+        if not self.bin_edges or any(
+            b <= a for a, b in zip(self.bin_edges, self.bin_edges[1:])
+        ):
+            raise ValueError("bin_edges must be strictly increasing and non-empty")
+
+    @property
+    def label(self) -> str:
+        parts = []
+        parts.append("cyclic" if self.cyclic_buffers else "naive")
+        if self.eager_traceback:
+            parts.append("eager")
+        if self.executor_trimming:
+            parts.append("trim")
+        parts.append(f"streams={self.streams}")
+        return "+".join(parts)
+
+
+#: The complete FastZ configuration (the paper's penultimate Figure 9 bar).
+FASTZ_FULL = FastzOptions()
+
+
+def ablation_ladder(streams: int = 32) -> list[tuple[str, FastzOptions]]:
+    """The paper's Figure 9 progression, in order.
+
+    Each entry includes all optimisations of the entries before it:
+    base (inspector-executor + binning + lightweight inspector) ->
+    +cyclic -> +eager -> +trim (= FastZ) -> FastZ-single-stream.
+    """
+    base = FastzOptions(
+        cyclic_buffers=False,
+        eager_traceback=False,
+        executor_trimming=False,
+        streams=streams,
+    )
+    ladder = [
+        ("insp-exec+binning", base),
+        ("+cyclic", replace(base, cyclic_buffers=True)),
+        ("+eager", replace(base, cyclic_buffers=True, eager_traceback=True)),
+        (
+            "+trim (FastZ)",
+            replace(
+                base,
+                cyclic_buffers=True,
+                eager_traceback=True,
+                executor_trimming=True,
+            ),
+        ),
+        (
+            "FastZ-single-stream",
+            replace(
+                base,
+                cyclic_buffers=True,
+                eager_traceback=True,
+                executor_trimming=True,
+                streams=1,
+            ),
+        ),
+    ]
+    return ladder

@@ -1,0 +1,204 @@
+"""The FastZ pipeline: inspector -> (eager traceback | trimmed executor).
+
+Functional model of the paper's §3.1: every anchor is inspected with the
+cyclic-buffer wavefront engine (no traceback, except the 16x16 eager tile);
+extensions that resolve inside the tile are complete after the inspector;
+the rest are re-run by the executor on the *trimmed* region — exactly up to
+the optimal cell the inspector found — with full packed traceback.
+
+The pipeline produces the same alignments as sequential LASTZ, or
+occasionally longer ones (the wavefront's conservative pruning explores a
+superset; paper §3.4), and records a :class:`~repro.core.task.FastzTask`
+profile per anchor for the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from ..align.alignment import Alignment
+from ..align.extend import combine_alignment
+from ..align.wavefront import WavefrontResult, wavefront_extend
+from ..genome.sequence import Sequence
+from ..lastz.config import LastzConfig
+from ..lastz.pipeline import select_anchors
+from ..seeding import Anchors
+from .binning import assign_bin, bin_histogram
+from .options import FASTZ_FULL, FastzOptions
+from .task import FastzTask, TaskArrays, tasks_to_arrays
+
+__all__ = ["FastzResult", "run_fastz"]
+
+
+@dataclass
+class FastzResult:
+    """Alignments plus per-task work profiles from a FastZ run."""
+
+    alignments: list[Alignment]
+    tasks: list[FastzTask]
+    anchors: Anchors
+    options: FastzOptions
+    #: Times the trimmed executor disagreed with the inspector and fell
+    #: back to an exact (unpruned) recompute. Expected to be ~0.
+    executor_fallbacks: int = 0
+    extensions: list = field(default_factory=list, repr=False)
+
+    @cached_property
+    def arrays(self) -> TaskArrays:
+        return tasks_to_arrays(self.tasks)
+
+    @property
+    def eager_count(self) -> int:
+        return sum(1 for t in self.tasks if t.eager)
+
+    @property
+    def eager_fraction(self) -> float:
+        return self.eager_count / len(self.tasks) if self.tasks else 0.0
+
+    def bin_counts(self) -> np.ndarray:
+        """Table-2 row: [eager, bin1, bin2, bin3, bin4] counts."""
+        ids = np.array([t.bin_id for t in self.tasks], dtype=np.int64)
+        return bin_histogram(ids, self.options.bin_edges)
+
+    def unique_alignments(self) -> list[Alignment]:
+        """Alignments deduplicated by (target, query) interval."""
+        seen = set()
+        out = []
+        for a in self.alignments:
+            key = (a.target_start, a.target_end, a.query_start, a.query_end)
+            if key not in seen:
+                seen.add(key)
+                out.append(a)
+        return out
+
+
+def _executor_side(
+    t_suffix: np.ndarray,
+    q_suffix: np.ndarray,
+    inspected: WavefrontResult,
+    scheme,
+) -> tuple[WavefrontResult, bool]:
+    """Trimmed executor recompute of one direction.
+
+    Returns the executor result and whether an exact-recompute fallback was
+    needed (the trimmed y-drop rerun found a different optimum — extremely
+    rare, but the executor must never emit a wrong alignment).
+    """
+    trimmed_t = t_suffix[: inspected.end_i]
+    trimmed_q = q_suffix[: inspected.end_j]
+    result = wavefront_extend(trimmed_t, trimmed_q, scheme, traceback=True)
+    if (result.score, result.end_i, result.end_j) == (
+        inspected.score,
+        inspected.end_i,
+        inspected.end_j,
+    ):
+        return result, False
+    exact = wavefront_extend(trimmed_t, trimmed_q, scheme, traceback=True, prune=False)
+    return exact, True
+
+
+def run_fastz(
+    target: Sequence | np.ndarray,
+    query: Sequence | np.ndarray,
+    config: LastzConfig | None = None,
+    options: FastzOptions = FASTZ_FULL,
+    *,
+    anchors: Anchors | None = None,
+    keep_extensions: bool = False,
+) -> FastzResult:
+    """Run the FastZ pipeline over all anchors (no sequential skipping).
+
+    ``options`` controls the *functional* behaviour: disabling eager
+    traceback sends every task to the executor; disabling trimming makes
+    the executor recompute the full search space (as the ablation variants
+    of Figure 9 do).  The performance model can also replay a full-FastZ
+    profile under any variant without re-running this pipeline.
+    """
+    config = config or LastzConfig()
+    t_codes = np.asarray(target.codes if isinstance(target, Sequence) else target)
+    q_codes = np.asarray(query.codes if isinstance(query, Sequence) else query)
+    scheme = config.scheme
+
+    if anchors is None:
+        anchors = select_anchors(t_codes, q_codes, config)
+    order = np.lexsort((anchors.target_pos, anchors.query_pos))
+    anchors = anchors.take(order)
+
+    tile = options.eager_tile if options.eager_traceback else 0
+    alignments: list[Alignment] = []
+    tasks: list[FastzTask] = []
+    extensions: list = []
+    fallbacks = 0
+
+    for t, q in zip(anchors.target_pos.tolist(), anchors.query_pos.tolist()):
+        right_suffix_t = t_codes[t:]
+        right_suffix_q = q_codes[q:]
+        left_suffix_t = t_codes[:t][::-1]
+        left_suffix_q = q_codes[:q][::-1]
+
+        # --- inspector ------------------------------------------------------
+        insp_r = wavefront_extend(right_suffix_t, right_suffix_q, scheme, eager_tile=tile)
+        insp_l = wavefront_extend(left_suffix_t, left_suffix_q, scheme, eager_tile=tile)
+        eager = insp_l.eager_hit and insp_r.eager_hit
+        score = insp_l.score + insp_r.score
+
+        # --- executor (or not) ----------------------------------------------
+        if eager:
+            final_l, final_r = insp_l, insp_r
+            exec_l = exec_r = None
+        elif options.executor_trimming:
+            final_r, fb_r = _executor_side(right_suffix_t, right_suffix_q, insp_r, scheme)
+            final_l, fb_l = _executor_side(left_suffix_t, left_suffix_q, insp_l, scheme)
+            fallbacks += int(fb_r) + int(fb_l)
+            exec_l, exec_r = final_l.stats, final_r.stats
+        else:
+            # Untrimmed executor: recompute the full search space with
+            # traceback (the V1/V2 ablation behaviour).
+            final_r = wavefront_extend(right_suffix_t, right_suffix_q, scheme, traceback=True)
+            final_l = wavefront_extend(left_suffix_t, left_suffix_q, scheme, traceback=True)
+            exec_l, exec_r = final_l.stats, final_r.stats
+
+        cols_l = sum(n for _, n in (final_l.ops or ()))
+        cols_r = sum(n for _, n in (final_r.ops or ()))
+        bin_id = assign_bin(
+            max(
+                final_l.end_i + final_r.end_i,
+                final_l.end_j + final_r.end_j,
+            ),
+            eager,
+            options.bin_edges,
+        )
+        tasks.append(
+            FastzTask(
+                anchor_t=t,
+                anchor_q=q,
+                score=score,
+                insp_left=insp_l.stats,
+                insp_right=insp_r.stats,
+                left_end=(insp_l.end_i, insp_l.end_j),
+                right_end=(insp_r.end_i, insp_r.end_j),
+                eager=eager,
+                exec_left=exec_l,
+                exec_right=exec_r,
+                cols_left=cols_l,
+                cols_right=cols_r,
+                bin_id=bin_id,
+            )
+        )
+
+        if score >= scheme.gapped_threshold:
+            alignments.append(combine_alignment(t, q, final_l, final_r, score))
+        if keep_extensions:
+            extensions.append((final_l, final_r))
+
+    return FastzResult(
+        alignments=alignments,
+        tasks=tasks,
+        anchors=anchors,
+        options=options,
+        executor_fallbacks=fallbacks,
+        extensions=extensions,
+    )

@@ -1,0 +1,217 @@
+"""Per-seed task profiles: everything the performance model needs.
+
+One :class:`FastzTask` records the inspector's work profile for both
+extension directions, the optimal cells, the eager-traceback outcome, and —
+for tasks that reached the executor — the trimmed executor profile.  The
+cost model replays these records under any ablation variant without
+re-running the DP (the untrimmed executor's work equals the inspector's
+search space by construction).
+
+The GPU model works at *side* granularity: each one-sided extension is an
+independent DP problem and maps to its own warp, so
+:class:`TaskArrays` exposes both task-level sums (CPU model, Feng baseline)
+and side-level arrays laid out ``[left0, right0, left1, right1, ...]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..align.wavefront import WavefrontStats
+
+__all__ = ["FastzTask", "TaskArrays", "tasks_to_arrays"]
+
+_EMPTY_STATS = WavefrontStats(
+    diagonals=0, cells=0, warp_steps=0, boundary_cells=0, max_width=0
+)
+
+
+@dataclass(frozen=True)
+class FastzTask:
+    """Profile of one seed extension through the FastZ pipeline."""
+
+    anchor_t: int
+    anchor_q: int
+    score: int
+    #: Inspector (search-space) work profiles, one per direction.
+    insp_left: WavefrontStats
+    insp_right: WavefrontStats
+    #: Optimal cells found by the inspector.
+    left_end: tuple[int, int]
+    right_end: tuple[int, int]
+    #: True when both directions resolved inside the eager tile.
+    eager: bool
+    #: Trimmed executor profiles (None for eager tasks — never executed).
+    exec_left: WavefrontStats | None
+    exec_right: WavefrontStats | None
+    #: Alignment length in columns (bases + gaps) per direction, for the
+    #: serial traceback walk.
+    cols_left: int
+    cols_right: int
+    #: Load-balancing bin: 0 = eager, 1..len(bin_edges) per §3.3.
+    bin_id: int
+
+    @property
+    def target_span(self) -> int:
+        return self.left_end[0] + self.right_end[0]
+
+    @property
+    def query_span(self) -> int:
+        return self.left_end[1] + self.right_end[1]
+
+    @property
+    def extent(self) -> int:
+        return max(self.target_span, self.query_span)
+
+    @property
+    def alignment_cols(self) -> int:
+        return self.cols_left + self.cols_right
+
+    @property
+    def inspector_cells(self) -> int:
+        return self.insp_left.cells + self.insp_right.cells
+
+    @property
+    def inspector_steps(self) -> int:
+        return self.insp_left.warp_steps + self.insp_right.warp_steps
+
+    @property
+    def inspector_boundary(self) -> int:
+        return self.insp_left.boundary_cells + self.insp_right.boundary_cells
+
+    @property
+    def inspector_diagonals(self) -> int:
+        return self.insp_left.diagonals + self.insp_right.diagonals
+
+    @property
+    def executor_cells(self) -> int:
+        """Trimmed executor cells (0 for eager tasks)."""
+        left = self.exec_left.cells if self.exec_left else 0
+        right = self.exec_right.cells if self.exec_right else 0
+        return left + right
+
+    @property
+    def executor_steps(self) -> int:
+        left = self.exec_left.warp_steps if self.exec_left else 0
+        right = self.exec_right.warp_steps if self.exec_right else 0
+        return left + right
+
+    @property
+    def executor_boundary(self) -> int:
+        left = self.exec_left.boundary_cells if self.exec_left else 0
+        right = self.exec_right.boundary_cells if self.exec_right else 0
+        return left + right
+
+
+@dataclass(frozen=True)
+class TaskArrays:
+    """Column-oriented views of a task list (fast vector math).
+
+    Task-level arrays have length ``n``; side-level arrays have length
+    ``2n`` with left/right interleaved.
+    """
+
+    # task level
+    insp_cells: np.ndarray
+    insp_steps: np.ndarray
+    insp_boundary: np.ndarray
+    insp_diagonals: np.ndarray
+    exec_cells: np.ndarray
+    exec_steps: np.ndarray
+    exec_boundary: np.ndarray
+    alignment_cols: np.ndarray
+    eager: np.ndarray
+    bin_id: np.ndarray
+    extent: np.ndarray
+    # side level (length 2n, [left0, right0, left1, right1, ...])
+    side_insp_cells: np.ndarray
+    side_insp_steps: np.ndarray
+    side_insp_boundary: np.ndarray
+    #: Allocation rectangle of the search space in skewed layout
+    #: (diagonals x widest diagonal) — what an untrimmed executor or a
+    #: spilling inspector must allocate per problem.
+    side_insp_rect: np.ndarray
+    side_exec_cells: np.ndarray
+    side_exec_steps: np.ndarray
+    side_exec_boundary: np.ndarray
+    side_cols: np.ndarray
+    side_span: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.insp_cells.shape[0])
+
+    @property
+    def side_eager(self) -> np.ndarray:
+        return np.repeat(self.eager, 2)
+
+    @property
+    def side_bin_id(self) -> np.ndarray:
+        return np.repeat(self.bin_id, 2)
+
+    @property
+    def side_extent(self) -> np.ndarray:
+        return np.repeat(self.extent, 2)
+
+
+def tasks_to_arrays(tasks: list[FastzTask]) -> TaskArrays:
+    """Convert a task list into parallel arrays."""
+    n = len(tasks)
+
+    def per_task(fn) -> np.ndarray:
+        return np.fromiter((fn(t) for t in tasks), dtype=np.int64, count=n)
+
+    def per_side(fn_l, fn_r) -> np.ndarray:
+        out = np.empty(2 * n, dtype=np.int64)
+        for k, t in enumerate(tasks):
+            out[2 * k] = fn_l(t)
+            out[2 * k + 1] = fn_r(t)
+        return out
+
+    def exec_stats(stats: WavefrontStats | None) -> WavefrontStats:
+        return stats if stats is not None else _EMPTY_STATS
+
+    return TaskArrays(
+        insp_cells=per_task(lambda t: t.inspector_cells),
+        insp_steps=per_task(lambda t: t.inspector_steps),
+        insp_boundary=per_task(lambda t: t.inspector_boundary),
+        insp_diagonals=per_task(lambda t: t.inspector_diagonals),
+        exec_cells=per_task(lambda t: t.executor_cells),
+        exec_steps=per_task(lambda t: t.executor_steps),
+        exec_boundary=per_task(lambda t: t.executor_boundary),
+        alignment_cols=per_task(lambda t: t.alignment_cols),
+        eager=np.fromiter((t.eager for t in tasks), dtype=bool, count=n),
+        bin_id=per_task(lambda t: t.bin_id),
+        extent=per_task(lambda t: t.extent),
+        side_insp_cells=per_side(
+            lambda t: t.insp_left.cells, lambda t: t.insp_right.cells
+        ),
+        side_insp_steps=per_side(
+            lambda t: t.insp_left.warp_steps, lambda t: t.insp_right.warp_steps
+        ),
+        side_insp_boundary=per_side(
+            lambda t: t.insp_left.boundary_cells,
+            lambda t: t.insp_right.boundary_cells,
+        ),
+        side_insp_rect=per_side(
+            lambda t: t.insp_left.diagonals * t.insp_left.max_width,
+            lambda t: t.insp_right.diagonals * t.insp_right.max_width,
+        ),
+        side_exec_cells=per_side(
+            lambda t: exec_stats(t.exec_left).cells,
+            lambda t: exec_stats(t.exec_right).cells,
+        ),
+        side_exec_steps=per_side(
+            lambda t: exec_stats(t.exec_left).warp_steps,
+            lambda t: exec_stats(t.exec_right).warp_steps,
+        ),
+        side_exec_boundary=per_side(
+            lambda t: exec_stats(t.exec_left).boundary_cells,
+            lambda t: exec_stats(t.exec_right).boundary_cells,
+        ),
+        side_cols=per_side(lambda t: t.cols_left, lambda t: t.cols_right),
+        side_span=per_side(
+            lambda t: max(t.left_end), lambda t: max(t.right_end)
+        ),
+    )

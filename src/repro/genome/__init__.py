@@ -1,0 +1,38 @@
+"""Genome substrate: sequences, FASTA I/O, and synthetic genome evolution."""
+
+from .alphabet import (
+    ALPHABET_SIZE,
+    BASES,
+    N_CODE,
+    complement_codes,
+    decode,
+    encode,
+    encode_with_mask,
+    reverse_complement,
+)
+from .evolve import GenomePair, PlantedSegment, SegmentClass, build_pair, mutate
+from .fasta import read_fasta, write_fasta
+from .generator import random_codes, random_sequence, tandem_repeat
+from .sequence import Sequence
+
+__all__ = [
+    "ALPHABET_SIZE",
+    "BASES",
+    "N_CODE",
+    "GenomePair",
+    "PlantedSegment",
+    "SegmentClass",
+    "Sequence",
+    "build_pair",
+    "complement_codes",
+    "decode",
+    "encode",
+    "encode_with_mask",
+    "mutate",
+    "random_codes",
+    "random_sequence",
+    "read_fasta",
+    "reverse_complement",
+    "tandem_repeat",
+    "write_fasta",
+]

@@ -1,0 +1,108 @@
+"""DNA alphabet and 2-bit nucleotide codes.
+
+Sequences throughout the library are stored as ``numpy.uint8`` arrays of
+2-bit codes (``A=0, C=1, G=2, T=3``).  An ``N`` (unknown base) is mapped to
+the sentinel :data:`N_CODE`; scoring treats it as mismatching everything.
+
+The 2-bit convention mirrors what LASTZ and FastZ do on real hardware: the
+packed representation is what makes 19-mer seed words fit in a single
+64-bit integer (see :mod:`repro.seeding.seeds`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "BASES",
+    "N_CODE",
+    "ALPHABET_SIZE",
+    "encode",
+    "encode_with_mask",
+    "decode",
+    "complement_codes",
+    "reverse_complement",
+    "is_valid_codes",
+]
+
+#: The four nucleotides in code order.
+BASES = "ACGT"
+
+#: Number of real (non-N) symbols.
+ALPHABET_SIZE = 4
+
+#: Code used for an unknown/ambiguous base.
+N_CODE = np.uint8(4)
+
+# Build the 256-entry ASCII -> code lookup table once.
+_ENCODE_LUT = np.full(256, N_CODE, dtype=np.uint8)
+for _i, _b in enumerate(BASES):
+    _ENCODE_LUT[ord(_b)] = _i
+    _ENCODE_LUT[ord(_b.lower())] = _i
+
+_DECODE_LUT = np.frombuffer((BASES + "N").encode("ascii"), dtype=np.uint8)
+
+# complement: A<->T (0<->3), C<->G (1<->2), N->N
+_COMPLEMENT_LUT = np.array([3, 2, 1, 0, 4], dtype=np.uint8)
+
+
+def encode(text: str | bytes) -> np.ndarray:
+    """Encode an ASCII nucleotide string into a 2-bit code array.
+
+    Unknown characters (anything outside ``ACGTacgt``) become :data:`N_CODE`.
+
+    >>> encode("ACGTn").tolist()
+    [0, 1, 2, 3, 4]
+    """
+    if isinstance(text, str):
+        text = text.encode("ascii", errors="replace")
+    raw = np.frombuffer(text, dtype=np.uint8)
+    return _ENCODE_LUT[raw]
+
+
+def encode_with_mask(text: str | bytes) -> tuple[np.ndarray, np.ndarray]:
+    """Encode, additionally reporting the soft-mask (lowercase) positions.
+
+    FASTA files mark repeats by lower-casing them; LASTZ excludes such
+    positions from *seeding* while still aligning through them.  Returns
+    ``(codes, mask)`` with ``mask[i]`` True where the input was lowercase.
+
+    >>> codes, mask = encode_with_mask("ACgtA")
+    >>> mask.tolist()
+    [False, False, True, True, False]
+    """
+    if isinstance(text, str):
+        text = text.encode("ascii", errors="replace")
+    raw = np.frombuffer(text, dtype=np.uint8)
+    mask = (raw >= ord("a")) & (raw <= ord("z"))
+    return _ENCODE_LUT[raw], mask
+
+
+def decode(codes: np.ndarray) -> str:
+    """Decode a 2-bit code array back into an ASCII string.
+
+    >>> decode(np.array([0, 1, 2, 3, 4], dtype=np.uint8))
+    'ACGTN'
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size and codes.max() > N_CODE:
+        raise ValueError("code array contains values outside [0, 4]")
+    return _DECODE_LUT[codes].tobytes().decode("ascii")
+
+
+def complement_codes(codes: np.ndarray) -> np.ndarray:
+    """Return the complement of each code (A<->T, C<->G, N->N)."""
+    return _COMPLEMENT_LUT[np.asarray(codes, dtype=np.uint8)]
+
+
+def reverse_complement(codes: np.ndarray) -> np.ndarray:
+    """Return the reverse complement of a code array."""
+    return complement_codes(codes)[::-1].copy()
+
+
+def is_valid_codes(codes: np.ndarray) -> bool:
+    """True iff every element is a legal code (0..4)."""
+    codes = np.asarray(codes)
+    if codes.size == 0:
+        return True
+    return bool(codes.dtype == np.uint8 and codes.min() >= 0 and codes.max() <= N_CODE)

@@ -1,0 +1,69 @@
+"""Minimal FASTA reader/writer.
+
+LASTZ consumes chromosome FASTA files; the benchmark registry can persist
+synthetic genomes to disk in the same format so runs are reproducible and
+inspectable with standard tools.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from .sequence import Sequence
+
+__all__ = ["read_fasta", "write_fasta", "parse_fasta"]
+
+
+def parse_fasta(handle: TextIO) -> Iterator[Sequence]:
+    """Yield :class:`Sequence` records from an open FASTA text stream."""
+    name: str | None = None
+    chunks: list[str] = []
+    for raw in handle:
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                yield Sequence.from_text(name, "".join(chunks))
+            name = line[1:].split()[0] if len(line) > 1 else ""
+            if not name:
+                raise ValueError("FASTA record with empty name")
+            chunks = []
+        else:
+            if name is None:
+                raise ValueError("FASTA data before first header line")
+            chunks.append(line)
+    if name is not None:
+        yield Sequence.from_text(name, "".join(chunks))
+
+
+def read_fasta(path: str | Path) -> list[Sequence]:
+    """Read every record of a FASTA file."""
+    with open(path, "r", encoding="ascii") as handle:
+        return list(parse_fasta(handle))
+
+
+def write_fasta(
+    path: str | Path | TextIO,
+    sequences: Iterable[Sequence],
+    *,
+    width: int = 70,
+) -> None:
+    """Write records in FASTA format with ``width``-column wrapping."""
+    if width <= 0:
+        raise ValueError("line width must be positive")
+
+    own = not isinstance(path, io.TextIOBase)
+    handle: TextIO = open(path, "w", encoding="ascii") if own else path  # type: ignore[arg-type]
+    try:
+        for seq in sequences:
+            handle.write(f">{seq.name}\n")
+            text = seq.text()
+            for off in range(0, len(text), width):
+                handle.write(text[off : off + width])
+                handle.write("\n")
+    finally:
+        if own:
+            handle.close()

@@ -1,0 +1,61 @@
+"""Random genome generation.
+
+The paper aligns real chromosomes (Table 1).  We have no genome downloads
+here, so benchmarks run on synthetic chromosomes: an i.i.d. background (with
+controllable GC content) into which :mod:`repro.genome.evolve` plants
+homologous segments.  Random DNA is a good stand-in for the *non-homologous*
+bulk because 19-mer exact matches between two independent random sequences
+are vanishingly rare (|T|*|Q| / 4^19), exactly as between diverged regions of
+real genomes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .sequence import Sequence
+
+__all__ = ["random_codes", "random_sequence", "tandem_repeat"]
+
+
+def _base_probabilities(gc: float) -> np.ndarray:
+    if not 0.0 <= gc <= 1.0:
+        raise ValueError("gc must be in [0, 1]")
+    at = (1.0 - gc) / 2.0
+    return np.array([at, gc / 2.0, gc / 2.0, at])
+
+
+def random_codes(rng: np.random.Generator, length: int, *, gc: float = 0.5) -> np.ndarray:
+    """An i.i.d. random 2-bit code array of ``length`` bases."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    return rng.choice(4, size=length, p=_base_probabilities(gc)).astype(np.uint8)
+
+
+def random_sequence(
+    rng: np.random.Generator,
+    name: str,
+    length: int,
+    *,
+    gc: float = 0.5,
+) -> Sequence:
+    """A named random sequence (see :func:`random_codes`)."""
+    return Sequence(name, random_codes(rng, length, gc=gc))
+
+
+def tandem_repeat(
+    rng: np.random.Generator,
+    unit_length: int,
+    copies: int,
+    *,
+    gc: float = 0.5,
+) -> np.ndarray:
+    """A tandem repeat: ``copies`` concatenations of one random unit.
+
+    Used by tests to exercise the seeder's behaviour on repetitive DNA
+    (many seeds on shifted diagonals).
+    """
+    if unit_length <= 0 or copies <= 0:
+        raise ValueError("unit_length and copies must be positive")
+    unit = random_codes(rng, unit_length, gc=gc)
+    return np.tile(unit, copies)

@@ -1,0 +1,38 @@
+"""GPU performance-model simulator: devices, kernels, streams, calibration."""
+
+from .calibration import (
+    Calibration,
+    DEFAULT_CALIBRATION,
+    DIVERGED_OPS_PER_CELL,
+    OPS_PER_CELL,
+)
+from .device import (
+    ALL_DEVICES,
+    DeviceSpec,
+    QV100_VOLTA,
+    RTX_3080_AMPERE,
+    TITAN_X_PASCAL,
+)
+from .kernel import KernelTiming, TaskCost, occupancy_factor, simulate_kernel
+from .report import render_utilization, utilization_summary
+from .streams import StreamSchedule, simulate_stream_schedule
+
+__all__ = [
+    "ALL_DEVICES",
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "DIVERGED_OPS_PER_CELL",
+    "DeviceSpec",
+    "KernelTiming",
+    "OPS_PER_CELL",
+    "QV100_VOLTA",
+    "RTX_3080_AMPERE",
+    "StreamSchedule",
+    "TITAN_X_PASCAL",
+    "TaskCost",
+    "occupancy_factor",
+    "render_utilization",
+    "utilization_summary",
+    "simulate_kernel",
+    "simulate_stream_schedule",
+]

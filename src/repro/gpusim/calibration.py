@@ -1,0 +1,93 @@
+"""Calibration constants of the GPU performance model.
+
+Everything the simulator cannot derive from device datasheets or from the
+paper's own operation counts lives here, in one place, so EXPERIMENTS.md can
+document it honestly.  The *structure* of the model (what scales with what)
+is fixed by the paper; these constants set absolute magnitudes and were
+tuned once so that the modelled configuration ratios land inside the
+paper's reported bands (Figures 7-9).  They are deliberately NOT free
+per-experiment knobs: every benchmark uses this single set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Calibration", "DEFAULT_CALIBRATION", "OPS_PER_CELL", "DIVERGED_OPS_PER_CELL"]
+
+#: DP work per cell from the recurrences (5 additions + 4 comparisons), §2.2.
+OPS_PER_CELL = 9
+
+#: The same work after SIMD branch-divergence expansion (§6: the 9 ops
+#: expand to 23 under divergence, a derating factor of 2.56).
+DIVERGED_OPS_PER_CELL = 23
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Tunable constants of the performance model."""
+
+    #: Issue cycles per warp-step (one 32-cell strip of one diagonal) in the
+    #: cyclic-buffer kernels.  Covers the 23 diverged ops plus address
+    #: arithmetic, y-drop bookkeeping, register-shuffle exchanges and the
+    #: dependent-instruction stalls of a warp-serial recurrence chain.
+    step_cycles_cyclic: float = 360.0
+    #: Same for the naive (memory-spilling) kernels: fewer shuffles but
+    #: load/store instructions instead.
+    step_cycles_naive: float = 380.0
+    #: Executor extra per-step cycles (traceback packing + shared-memory
+    #: consolidation), added on top of the base step cost.
+    step_cycles_executor_extra: float = 100.0
+
+    #: Score bytes per cell when the DP matrices spill to global memory
+    #: (5 reads + 3 writes x 4 bytes, §2.2).
+    naive_score_bytes_per_cell: float = 32.0
+    #: DRAM traffic amplification of the naive spill pattern: large scan
+    #: footprints thrash the caches and partial cache-line accesses waste
+    #: line bandwidth, so the effective traffic exceeds the useful bytes.
+    naive_traffic_amplification: float = 5.5
+    #: Bytes spilled per strip boundary cell under cyclic buffering
+    #: (3 scores x 4 bytes, §3.2/§6).
+    cyclic_boundary_bytes: float = 12.0
+    #: Packed traceback bytes per executor cell (§3.1.3).
+    traceback_bytes_per_cell: float = 1.0
+    #: Bytes of DP+traceback footprint per allocated cell (3 scores + 1 TB).
+    footprint_bytes_per_cell: float = 13.0
+
+    #: Resident warps per SM needed for full latency hiding; below this the
+    #: achievable throughput degrades linearly.
+    min_warps_full_throughput: float = 10.0
+    #: Fraction of a warp's issue cycles that form its serial dependency
+    #: chain (the recurrence itself is ~10 instructions deep per step; the
+    #: rest of the step's issue slots are independent work that interleaves
+    #: with other warps).
+    critical_fraction: float = 0.12
+    #: Device-memory budget available for per-task DP/traceback allocations
+    #: during a kernel, bytes.  None = the device's full memory.  The scaled
+    #: benchmark suite overrides this downward in proportion to its scaled
+    #: search depths, so allocation-driven occupancy collapse (which the
+    #: paper's executor trimming exists to fix) remains visible
+    #: (see EXPERIMENTS.md).
+    modeled_memory_bytes: float | None = None
+
+    #: Serial traceback-walk cycles per alignment column (one thread of the
+    #: warp walks the path, §3.1.3 "Traceback Parallelism").
+    traceback_walk_cycles_per_base: float = 24.0
+
+    #: Host-side "other" costs (§5.2): per-seed anchor handling, binning
+    #: sort, result readout — microseconds per task.
+    host_us_per_task: float = 0.08
+    #: Fixed host overhead per run (file reads, allocations), us.
+    host_fixed_us: float = 25.0
+
+    #: Effective per-diagonal synchronisation + dispatch cost of the Feng
+    #: et al. single-problem GPU baseline, microseconds.
+    feng_sync_us: float = 0.28
+
+    #: Number of CUDA streams FastZ uses by default.
+    default_streams: int = 32
+    #: Number of inspector kernel chunks (one per stream when streamed).
+    inspector_chunks: int = 16
+
+
+DEFAULT_CALIBRATION = Calibration()

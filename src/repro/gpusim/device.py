@@ -1,0 +1,124 @@
+"""GPU device specifications for the performance-model simulator.
+
+The three devices are the paper's evaluation platforms (§4).  Numbers are
+public datasheet values; the derived quantities used by the roofline
+analysis in the paper's §6 (e.g. RTX 3080: 29.77 TFLOP/s and 760 GB/s →
+39 ops/byte nominal threshold) fall out of these specs, which the tests
+check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "TITAN_X_PASCAL", "QV100_VOLTA", "RTX_3080_AMPERE", "ALL_DEVICES"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """An NVIDIA GPU as seen by the simulator's cost model."""
+
+    name: str
+    arch: str
+    sms: int
+    #: FP32/INT lanes (CUDA cores) per SM.
+    lanes_per_sm: int
+    clock_ghz: float
+    mem_bandwidth_gbs: float
+    mem_bytes: int
+    shared_mem_per_sm: int
+    #: Maximum resident warps per SM (occupancy ceiling).
+    max_warps_per_sm: int
+    #: Warp schedulers per SM: the per-cycle warp-instruction issue limit.
+    #: FastZ's kernels are warp-granular (one seed extension per warp) and
+    #: mostly issue-bound, so throughput scales with schedulers x SMs x
+    #: clock rather than with lane count.
+    warp_schedulers: int = 4
+    #: Grid-wide synchronisation latency (used by the Feng et al. baseline,
+    #: which syncs all SMs after every anti-diagonal), in microseconds.
+    grid_sync_us: float = 1.5
+    #: Kernel launch latency in microseconds.
+    kernel_launch_us: float = 3.0
+    #: Device-side dynamic allocation cost per call, in microseconds (the
+    #: slowness FastZ's inspector-executor design exists to avoid).
+    dynamic_alloc_us: float = 4.0
+    #: Host <-> device transfer bandwidth (PCIe), GB/s.
+    pcie_gbs: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.sms <= 0 or self.lanes_per_sm <= 0:
+            raise ValueError("device must have positive SMs and lanes")
+        if self.lanes_per_sm % 32:
+            raise ValueError("lanes_per_sm must be a multiple of the warp width")
+
+    # -- derived quantities --------------------------------------------------
+    @property
+    def total_lanes(self) -> int:
+        return self.sms * self.lanes_per_sm
+
+    @property
+    def warp_issue_width(self) -> int:
+        """Concurrent warp instructions an SM can issue per cycle."""
+        return self.warp_schedulers
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FP32 throughput in FLOP/s (FMA counts as 2, as datasheets do)."""
+        return 2.0 * self.total_lanes * self.clock_ghz * 1e9
+
+    @property
+    def peak_ops(self) -> float:
+        """Peak single-op (non-FMA) throughput in op/s."""
+        return self.total_lanes * self.clock_ghz * 1e9
+
+    @property
+    def ridge_ops_per_byte(self) -> float:
+        """Nominal roofline threshold, ops/byte (paper §6 uses FLOPs)."""
+        return self.peak_flops / (self.mem_bandwidth_gbs * 1e9)
+
+    def bandwidth_per_sm(self) -> float:
+        """Fair-share global-memory bandwidth per SM, bytes/s."""
+        return self.mem_bandwidth_gbs * 1e9 / self.sms
+
+
+#: Titan X (Pascal): 28 SMs x 128 lanes = 3584 cores, 480 GB/s, 12 GB.
+#: Clock is the base clock (1.417 GHz); the paper's "1 GHz" is a round-down.
+TITAN_X_PASCAL = DeviceSpec(
+    name="Titan X",
+    arch="Pascal",
+    sms=28,
+    lanes_per_sm=128,
+    clock_ghz=1.417,
+    mem_bandwidth_gbs=480.0,
+    mem_bytes=12 * 1024**3,
+    shared_mem_per_sm=96 * 1024,
+    max_warps_per_sm=64,
+)
+
+#: Quadro V100 (Volta): 80 SMs x 64 lanes = 5120 cores, 900 GB/s, 32 GB.
+QV100_VOLTA = DeviceSpec(
+    name="QV100",
+    arch="Volta",
+    sms=80,
+    lanes_per_sm=64,
+    clock_ghz=1.245,
+    mem_bandwidth_gbs=900.0,
+    mem_bytes=32 * 1024**3,
+    shared_mem_per_sm=96 * 1024,
+    max_warps_per_sm=64,
+)
+
+#: RTX 3080 (Ampere): 68 SMs x 128 lanes = 8704 cores @ 1.71 GHz, 760 GB/s, 10 GB.
+RTX_3080_AMPERE = DeviceSpec(
+    name="RTX 3080",
+    arch="Ampere",
+    sms=68,
+    lanes_per_sm=128,
+    clock_ghz=1.71,
+    mem_bandwidth_gbs=760.0,
+    mem_bytes=10 * 1024**3,
+    shared_mem_per_sm=128 * 1024,
+    max_warps_per_sm=48,
+)
+
+ALL_DEVICES = (TITAN_X_PASCAL, QV100_VOLTA, RTX_3080_AMPERE)

@@ -1,0 +1,62 @@
+"""Human-readable reports over simulated kernels.
+
+:func:`render_utilization` draws a text histogram of per-SM busy time for
+one kernel — the visual counterpart of the bulk-synchronous load-imbalance
+argument (§3.3): a kernel that mixes long and short extensions shows a
+few tall bars (the SMs stuck with monsters) over a sea of idle ones, and
+length binning flattens the profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kernel import KernelTiming
+
+__all__ = ["render_utilization", "utilization_summary"]
+
+
+def utilization_summary(timing: KernelTiming) -> dict[str, float]:
+    """Aggregate utilisation statistics of one kernel."""
+    if timing.sm_finish is None or timing.sm_finish.size == 0:
+        return {"mean_busy_fraction": 0.0, "idle_sms": 0.0, "imbalance": 0.0}
+    finish = timing.sm_finish
+    makespan = float(finish.max()) if finish.max() > 0 else 1.0
+    return {
+        "mean_busy_fraction": float(finish.mean() / makespan),
+        "idle_sms": float(np.mean(finish < 0.01 * makespan)),
+        "imbalance": timing.imbalance,
+    }
+
+
+def render_utilization(
+    timing: KernelTiming,
+    *,
+    width: int = 60,
+    max_rows: int = 16,
+) -> str:
+    """Text bar chart of per-SM busy times (downsampled to ``max_rows``)."""
+    if timing.sm_finish is None or timing.sm_finish.size == 0:
+        return "(no per-SM data)"
+    finish = timing.sm_finish
+    makespan = float(finish.max())
+    if makespan <= 0:
+        return "(idle kernel)"
+
+    # Downsample SMs into row groups, keeping each group's max (the
+    # bulk-synchronous bound) and mean.
+    n = finish.size
+    groups = np.array_split(np.arange(n), min(max_rows, n))
+    lines = [
+        f"per-SM busy time (makespan {makespan * 1e3:.3f} ms, "
+        f"imbalance {100 * timing.imbalance:.0f}%)"
+    ]
+    for g in groups:
+        gmax = float(finish[g].max())
+        gmean = float(finish[g].mean())
+        bar_max = int(round(gmax / makespan * width))
+        bar_mean = int(round(gmean / makespan * width))
+        bar = "#" * bar_mean + "-" * max(bar_max - bar_mean, 0)
+        label = f"SM{g[0]:>3}-{g[-1]:<3}" if g.size > 1 else f"SM{g[0]:>3}    "
+        lines.append(f"  {label} |{bar:<{width}}| {gmax * 1e3:7.3f} ms")
+    return "\n".join(lines)

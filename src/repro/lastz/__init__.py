@@ -1,0 +1,45 @@
+"""LASTZ baselines: sequential gapped, ungapped-filter, and multicore."""
+
+from .config import LastzConfig
+from .cpu_model import (
+    CpuSpec,
+    RYZEN_3950X,
+    multicore_seconds,
+    sequential_seconds,
+)
+from .multicore import MulticoreResult, run_multicore_lastz
+from .output import (
+    format_general_row,
+    general_header,
+    write_general,
+    write_maf,
+)
+from .pipeline import (
+    AlignmentIndex,
+    LastzResult,
+    TaskRecord,
+    run_gapped_lastz,
+    select_anchors,
+)
+from .ungapped import UngappedLastzResult, run_ungapped_lastz
+
+__all__ = [
+    "AlignmentIndex",
+    "CpuSpec",
+    "LastzConfig",
+    "LastzResult",
+    "MulticoreResult",
+    "RYZEN_3950X",
+    "TaskRecord",
+    "UngappedLastzResult",
+    "format_general_row",
+    "general_header",
+    "write_general",
+    "write_maf",
+    "multicore_seconds",
+    "run_gapped_lastz",
+    "run_multicore_lastz",
+    "run_ungapped_lastz",
+    "select_anchors",
+    "sequential_seconds",
+]

@@ -1,0 +1,53 @@
+"""Configuration for the LASTZ pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..scoring import ScoringScheme, default_scheme
+
+__all__ = ["LastzConfig"]
+
+
+@dataclass(frozen=True)
+class LastzConfig:
+    """Knobs shared by the sequential, multicore and FastZ pipelines.
+
+    Attributes
+    ----------
+    scheme:
+        Scoring scheme (substitution matrix, gaps, y-drop, thresholds).
+    seed_length:
+        Contiguous seed word length (LASTZ default 19).
+    spaced_pattern:
+        Optional spaced-seed pattern; overrides ``seed_length`` when set.
+    collapse_window:
+        Diagonal thinning window for anchor selection (stage 2).
+    diag_band:
+        Diagonal tolerance of the thinning: seeds within this many
+        diagonals of a kept seed are merged with it (chaining across small
+        indels).  0 = exact-diagonal collapse.
+    max_word_count:
+        Seed-word censoring threshold (repeat suppression).
+    traceback:
+        Whether pipelines reconstruct full edit scripts (needed for final
+        output; can be disabled for pure work-profiling runs).
+    """
+
+    scheme: ScoringScheme = field(default_factory=default_scheme)
+    seed_length: int = 19
+    spaced_pattern: str | None = None
+    collapse_window: int = 500
+    diag_band: int = 0
+    max_word_count: int = 64
+    traceback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.seed_length < 4:
+            raise ValueError("seed_length must be at least 4")
+        if self.collapse_window <= 0:
+            raise ValueError("collapse_window must be positive")
+        if self.diag_band < 0:
+            raise ValueError("diag_band must be non-negative")
+        if self.max_word_count <= 0:
+            raise ValueError("max_word_count must be positive")

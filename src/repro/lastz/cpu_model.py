@@ -1,0 +1,93 @@
+"""CPU cost model for sequential and multicore LASTZ.
+
+The paper's baselines run on an AMD Ryzen 3950x (16 cores, 3.5 GHz, 64 MB
+L3).  We have no such machine; instead, the *work profile* measured by the
+functional pipeline (DP cells per seed extension) is mapped through a
+calibrated cycles-per-cell constant.  Speedups in the paper are time ratios
+against this baseline, so the single constant cancels out of every
+within-machine comparison and only shapes the CPU-vs-GPU ratio; its value
+(and the multicore bandwidth cap) are documented calibration parameters
+(see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CpuSpec", "RYZEN_3950X", "sequential_seconds", "multicore_seconds"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A multicore CPU for the LASTZ baselines."""
+
+    name: str
+    cores: int
+    freq_ghz: float
+    #: Average cycles LASTZ spends per DP cell (calibrated; includes the
+    #: memory-system stalls of the pointer-heavy row loop).
+    cycles_per_cell: float
+    #: Fixed per-seed overhead (anchor handling, bookkeeping) in cycles.
+    anchor_overhead_cycles: float
+    #: SMT throughput factor when running 2 processes per core (the paper's
+    #: multicore config runs 32 processes on 16 cores).
+    smt_factor: float
+    #: Upper bound on multicore speedup imposed by memory bandwidth
+    #: saturation (the paper measures ~20x for 32 processes).
+    bandwidth_speedup_cap: float
+
+    def cell_seconds(self, cells: float) -> float:
+        return cells * self.cycles_per_cell / (self.freq_ghz * 1e9)
+
+
+#: The paper's baseline machine.
+RYZEN_3950X = CpuSpec(
+    name="AMD Ryzen 3950x",
+    cores=16,
+    freq_ghz=3.5,
+    cycles_per_cell=30.0,
+    anchor_overhead_cycles=3000.0,
+    smt_factor=1.30,
+    bandwidth_speedup_cap=20.8,
+)
+
+
+def sequential_seconds(cells_per_task: np.ndarray, cpu: CpuSpec = RYZEN_3950X) -> float:
+    """Modelled wall-clock of sequential LASTZ over a work profile."""
+    cells_per_task = np.asarray(cells_per_task, dtype=np.float64)
+    total = float(cells_per_task.sum())
+    overhead = cells_per_task.shape[0] * cpu.anchor_overhead_cycles
+    return (total * cpu.cycles_per_cell + overhead) / (cpu.freq_ghz * 1e9)
+
+
+def multicore_seconds(
+    cells_per_task: np.ndarray,
+    cpu: CpuSpec = RYZEN_3950X,
+    *,
+    processes: int = 32,
+) -> float:
+    """Modelled wall-clock of the multi-process LASTZ variant.
+
+    Tasks are dealt round-robin to ``processes`` workers (the paper's
+    partitioning); the slowest worker sets the parallel time, and memory
+    bandwidth saturation caps the speedup (:attr:`CpuSpec.bandwidth_speedup_cap`).
+    """
+    if processes <= 0:
+        raise ValueError("processes must be positive")
+    cells_per_task = np.asarray(cells_per_task, dtype=np.float64)
+    seq = sequential_seconds(cells_per_task, cpu)
+    if cells_per_task.size == 0:
+        return 0.0
+
+    # Round-robin partition: worker w gets tasks w, w+P, w+2P, ...
+    loads = np.zeros(processes, dtype=np.float64)
+    for w in range(processes):
+        part = cells_per_task[w::processes]
+        loads[w] = part.sum() * cpu.cycles_per_cell + part.size * cpu.anchor_overhead_cycles
+    # When processes oversubscribe the cores they timeshare: each process
+    # runs at cores*smt/processes core-equivalents.
+    rate = min(1.0, cpu.cores * cpu.smt_factor / processes)
+    parallel = float(loads.max()) / (rate * cpu.freq_ghz * 1e9)
+    return max(parallel, seq / cpu.bandwidth_speedup_cap)

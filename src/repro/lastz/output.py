@@ -1,0 +1,147 @@
+"""Alignment output formats: LASTZ ``--format=general`` TSV and MAF.
+
+LASTZ users consume alignments in a handful of standard encodings; a
+drop-in replacement must speak at least the tabular general format and
+MAF (the multiple-alignment format that downstream tools like multiz
+expect).  Both writers work from :class:`~repro.align.alignment.Alignment`
+objects plus the two sequences.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from ..align.alignment import Alignment
+from ..genome.alphabet import decode
+from ..genome.sequence import Sequence
+
+__all__ = ["general_header", "format_general_row", "write_general", "write_maf"]
+
+_GENERAL_COLUMNS = (
+    "score",
+    "name1",
+    "start1",
+    "end1",
+    "name2",
+    "start2",
+    "end2",
+    "identity",
+    "cigar",
+)
+
+
+def general_header() -> str:
+    """The ``--format=general`` header row."""
+    return "#" + "\t".join(_GENERAL_COLUMNS)
+
+
+def format_general_row(
+    alignment: Alignment, target: Sequence, query: Sequence
+) -> str:
+    """One TSV row of the general format."""
+    if alignment.ops:
+        ident = f"{100 * alignment.identity(target.codes, query.codes):.1f}%"
+        cigar = alignment.cigar()
+    else:
+        ident = cigar = "-"
+    return "\t".join(
+        str(v)
+        for v in (
+            alignment.score,
+            target.name,
+            alignment.target_start,
+            alignment.target_end,
+            query.name,
+            alignment.query_start,
+            alignment.query_end,
+            ident,
+            cigar,
+        )
+    )
+
+
+def _open(path: str | Path | TextIO) -> tuple[TextIO, bool]:
+    if isinstance(path, io.TextIOBase):
+        return path, False
+    return open(path, "w", encoding="ascii"), True
+
+
+def write_general(
+    path: str | Path | TextIO,
+    alignments: Iterable[Alignment],
+    target: Sequence,
+    query: Sequence,
+) -> None:
+    """Write the general TSV format (highest score first)."""
+    handle, own = _open(path)
+    try:
+        handle.write(general_header() + "\n")
+        for a in sorted(alignments, key=lambda a: -a.score):
+            handle.write(format_general_row(a, target, query) + "\n")
+    finally:
+        if own:
+            handle.close()
+
+
+def _gapped_strings(
+    alignment: Alignment, target: Sequence, query: Sequence
+) -> tuple[str, str]:
+    """Render the two gapped alignment rows (with '-' fill)."""
+    t_parts: list[str] = []
+    q_parts: list[str] = []
+    ti, qj = alignment.target_start, alignment.query_start
+    for op, n in alignment.ops:
+        if op == "M":
+            t_parts.append(decode(target.codes[ti : ti + n]))
+            q_parts.append(decode(query.codes[qj : qj + n]))
+            ti += n
+            qj += n
+        elif op == "I":
+            t_parts.append("-" * n)
+            q_parts.append(decode(query.codes[qj : qj + n]))
+            qj += n
+        else:  # D
+            t_parts.append(decode(target.codes[ti : ti + n]))
+            q_parts.append("-" * n)
+            ti += n
+    return "".join(t_parts), "".join(q_parts)
+
+
+def write_maf(
+    path: str | Path | TextIO,
+    alignments: Iterable[Alignment],
+    target: Sequence,
+    query: Sequence,
+    *,
+    program: str = "fastz-repro",
+) -> None:
+    """Write alignments as MAF blocks.
+
+    Requires edit scripts (run the pipeline with traceback enabled).
+    Strand is always '+' — the library models same-strand alignment, like
+    the paper's seed-extension stage.
+    """
+    handle, own = _open(path)
+    try:
+        handle.write(f"##maf version=1 program={program}\n\n")
+        name_w = max(len(target.name), len(query.name))
+        for a in sorted(alignments, key=lambda a: -a.score):
+            if not a.ops:
+                raise ValueError(
+                    "MAF output needs edit scripts; run with traceback enabled"
+                )
+            t_row, q_row = _gapped_strings(a, target, query)
+            handle.write(f"a score={a.score}\n")
+            handle.write(
+                f"s {target.name:<{name_w}} {a.target_start:>10} "
+                f"{a.target_length:>8} + {len(target):>10} {t_row}\n"
+            )
+            handle.write(
+                f"s {query.name:<{name_w}} {a.query_start:>10} "
+                f"{a.query_length:>8} + {len(query):>10} {q_row}\n\n"
+            )
+    finally:
+        if own:
+            handle.close()

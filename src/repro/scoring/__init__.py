@@ -1,0 +1,14 @@
+"""Scoring schemes: substitution matrices, affine gaps, drop thresholds."""
+
+from .files import read_score_file, write_score_file
+from .matrix import HOXD70, NEG_INF, ScoringScheme, default_scheme, unit_scheme
+
+__all__ = [
+    "HOXD70",
+    "NEG_INF",
+    "ScoringScheme",
+    "default_scheme",
+    "read_score_file",
+    "unit_scheme",
+    "write_score_file",
+]

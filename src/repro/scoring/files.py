@@ -1,0 +1,115 @@
+"""LASTZ score-file I/O.
+
+LASTZ accepts substitution matrices from text files of the form::
+
+    # comments and parameters
+    gap_open_penalty = 400
+    gap_extend_penalty = 30
+
+         A     C     G     T
+    A   91  -114   -31  -123
+    C -114   100  -125   -31
+    G  -31  -125   100  -114
+    T -123   -31  -114    91
+
+This module reads and writes that dialect so users can carry their tuned
+LASTZ matrices straight into this library.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from .matrix import ScoringScheme, default_scheme
+
+__all__ = ["read_score_file", "write_score_file"]
+
+_ROW_ORDER = "ACGT"
+_PARAM_KEYS = {
+    "gap_open_penalty": "gap_open",
+    "gap_extend_penalty": "gap_extend",
+    "y_drop": "ydrop",
+    "x_drop": "xdrop",
+    "hsp_threshold": "hsp_threshold",
+    "gapped_threshold": "gapped_threshold",
+}
+
+
+def read_score_file(path: str | Path | TextIO) -> ScoringScheme:
+    """Parse a LASTZ-style score file into a :class:`ScoringScheme`.
+
+    Unspecified parameters fall back to the LASTZ defaults
+    (:func:`repro.scoring.default_scheme`).
+    """
+    own = not isinstance(path, io.TextIOBase)
+    handle: TextIO = open(path, "r", encoding="ascii") if own else path  # type: ignore[arg-type]
+    try:
+        params: dict[str, int] = {}
+        header: list[str] | None = None
+        rows: dict[str, list[int]] = {}
+        for raw in handle:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if "=" in line:
+                key, _, value = line.partition("=")
+                key = key.strip().lower()
+                if key in _PARAM_KEYS:
+                    params[_PARAM_KEYS[key]] = int(value.strip())
+                continue
+            fields = line.split()
+            if header is None:
+                if [f.upper() for f in fields] != list(_ROW_ORDER):
+                    raise ValueError(
+                        f"expected column header 'A C G T', got {line!r}"
+                    )
+                header = fields
+                continue
+            base = fields[0].upper()
+            if base not in _ROW_ORDER or len(fields) != 5:
+                raise ValueError(f"malformed matrix row: {line!r}")
+            rows[base] = [int(v) for v in fields[1:]]
+        if header is None or set(rows) != set(_ROW_ORDER):
+            raise ValueError("score file is missing a complete 4x4 matrix")
+    finally:
+        if own:
+            handle.close()
+
+    matrix = np.array([rows[b] for b in _ROW_ORDER], dtype=np.int32)
+    base = default_scheme(**params)
+    full = np.array(base.substitution, copy=True)
+    full[:4, :4] = matrix
+    return ScoringScheme(
+        substitution=full,
+        gap_open=base.gap_open,
+        gap_extend=base.gap_extend,
+        ydrop=base.ydrop,
+        xdrop=base.xdrop,
+        hsp_threshold=base.hsp_threshold,
+        gapped_threshold=base.gapped_threshold,
+    )
+
+
+def write_score_file(path: str | Path | TextIO, scheme: ScoringScheme) -> None:
+    """Write a scheme in the LASTZ score-file dialect."""
+    own = not isinstance(path, io.TextIOBase)
+    handle: TextIO = open(path, "w", encoding="ascii") if own else path  # type: ignore[arg-type]
+    try:
+        handle.write("# written by fastz-repro\n")
+        handle.write(f"gap_open_penalty = {scheme.gap_open}\n")
+        handle.write(f"gap_extend_penalty = {scheme.gap_extend}\n")
+        handle.write(f"y_drop = {scheme.ydrop}\n")
+        handle.write(f"x_drop = {scheme.xdrop}\n")
+        handle.write(f"hsp_threshold = {scheme.hsp_threshold}\n")
+        handle.write(f"gapped_threshold = {scheme.gapped_threshold}\n\n")
+        handle.write("      " + "  ".join(f"{b:>5}" for b in _ROW_ORDER) + "\n")
+        for i, b in enumerate(_ROW_ORDER):
+            values = "  ".join(f"{int(scheme.substitution[i, j]):>5}" for j in range(4))
+            handle.write(f"{b}  {values}\n")
+    finally:
+        if own:
+            handle.close()

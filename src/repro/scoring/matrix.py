@@ -1,0 +1,176 @@
+"""Substitution matrices and the scoring scheme used by every aligner.
+
+LASTZ's default substitution matrix is HOXD70 (Chiaromonte/Yap/Miller) with
+affine gap penalties of 400 (open) + 30 (extend) and a default y-drop of
+``open + 300 * extend``.  All of those defaults are reproduced here; see
+:func:`default_scheme`.
+
+Scores are kept as ``int32``: the DP kernels rely on integer arithmetic so
+the cyclic-buffer wavefront is bit-exact against the reference matrix
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "HOXD70",
+    "ScoringScheme",
+    "default_scheme",
+    "unit_scheme",
+    "NEG_INF",
+]
+
+#: A safely-additive "minus infinity" for int32 DP cells.
+NEG_INF = np.int32(-(2**30))
+
+#: HOXD70 substitution scores, rows/cols in A, C, G, T order.
+HOXD70 = np.array(
+    [
+        [91, -114, -31, -123],
+        [-114, 100, -125, -31],
+        [-31, -125, 100, -114],
+        [-123, -31, -114, 91],
+    ],
+    dtype=np.int32,
+)
+
+#: Penalty applied to any comparison involving an N base.
+_N_SCORE = np.int32(-100)
+
+
+def _expand_with_n(matrix: np.ndarray, n_score: int) -> np.ndarray:
+    """Return a 5x5 matrix with an N row/column appended."""
+    matrix = np.asarray(matrix, dtype=np.int32)
+    if matrix.shape != (4, 4):
+        raise ValueError("substitution matrix must be 4x4 (ACGT)")
+    full = np.full((5, 5), np.int32(n_score), dtype=np.int32)
+    full[:4, :4] = matrix
+    return full
+
+
+@dataclass(frozen=True)
+class ScoringScheme:
+    """Complete parameterisation of gapped/ungapped extension.
+
+    Attributes
+    ----------
+    substitution:
+        5x5 ``int32`` matrix indexed by 2-bit codes (row: target base,
+        column: query base); index 4 is N.
+    gap_open:
+        Penalty charged when a gap is *opened* (positive number; the first
+        gap base costs ``gap_open + gap_extend``, as in Gotoh/LASTZ).
+    gap_extend:
+        Penalty per gap base (positive number).
+    ydrop:
+        Gapped-extension termination threshold: cells scoring more than
+        ``ydrop`` below the best score seen so far are pruned.
+    xdrop:
+        Ungapped-extension termination threshold (used by the ungapped
+        filtering stage only).
+    hsp_threshold:
+        Minimum ungapped-segment score for a seed to survive ungapped
+        filtering.
+    gapped_threshold:
+        Minimum final alignment score for an alignment to be reported.
+    """
+
+    substitution: np.ndarray = field(repr=False)
+    gap_open: int
+    gap_extend: int
+    ydrop: int
+    xdrop: int
+    hsp_threshold: int
+    gapped_threshold: int
+
+    def __post_init__(self) -> None:
+        sub = np.ascontiguousarray(self.substitution, dtype=np.int32)
+        if sub.shape != (5, 5):
+            raise ValueError("substitution matrix must be 5x5 (ACGTN)")
+        sub.setflags(write=False)
+        object.__setattr__(self, "substitution", sub)
+        for name in ("gap_open", "gap_extend", "ydrop", "xdrop"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.gap_extend == 0:
+            raise ValueError("gap_extend must be positive (y-drop relies on it)")
+
+    # -- convenience -------------------------------------------------------
+    def score_pair(self, a: int, b: int) -> int:
+        """Substitution score of one base pair (codes)."""
+        return int(self.substitution[a, b])
+
+    def match_score(self) -> int:
+        """Best possible per-base score (used for bounds in tests)."""
+        return int(self.substitution[:4, :4].max())
+
+    def worst_mismatch(self) -> int:
+        """Worst substitution score among real bases."""
+        return int(self.substitution[:4, :4].min())
+
+    def gap_first(self) -> int:
+        """Cost of the first base of a gap (open + extend)."""
+        return self.gap_open + self.gap_extend
+
+    def profile_row(self, code: int) -> np.ndarray:
+        """Substitution row for a fixed target base against any query base."""
+        return self.substitution[code]
+
+
+def default_scheme(
+    *,
+    gap_open: int = 400,
+    gap_extend: int = 30,
+    ydrop: int | None = None,
+    xdrop: int | None = None,
+    hsp_threshold: int = 3000,
+    gapped_threshold: int = 3000,
+    n_score: int = int(_N_SCORE),
+) -> ScoringScheme:
+    """LASTZ's default HOXD70 scheme.
+
+    ``ydrop`` defaults to ``gap_open + 300 * gap_extend`` (= 9400) and
+    ``xdrop`` to ten times the A/A match score (= 910), matching LASTZ.
+    """
+    if ydrop is None:
+        ydrop = gap_open + 300 * gap_extend
+    if xdrop is None:
+        xdrop = 10 * int(HOXD70[0, 0])
+    return ScoringScheme(
+        substitution=_expand_with_n(HOXD70, n_score),
+        gap_open=gap_open,
+        gap_extend=gap_extend,
+        ydrop=ydrop,
+        xdrop=xdrop,
+        hsp_threshold=hsp_threshold,
+        gapped_threshold=gapped_threshold,
+    )
+
+
+def unit_scheme(
+    *,
+    match: int = 1,
+    mismatch: int = -1,
+    gap_open: int = 2,
+    gap_extend: int = 1,
+    ydrop: int = 10,
+    xdrop: int = 5,
+    hsp_threshold: int = 5,
+    gapped_threshold: int = 5,
+) -> ScoringScheme:
+    """A tiny scheme for unit tests where scores are easy to hand-verify."""
+    base = np.full((4, 4), np.int32(mismatch), dtype=np.int32)
+    np.fill_diagonal(base, np.int32(match))
+    return ScoringScheme(
+        substitution=_expand_with_n(base, mismatch),
+        gap_open=gap_open,
+        gap_extend=gap_extend,
+        ydrop=ydrop,
+        xdrop=xdrop,
+        hsp_threshold=hsp_threshold,
+        gapped_threshold=gapped_threshold,
+    )

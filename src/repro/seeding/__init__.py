@@ -1,0 +1,21 @@
+"""Seeding: exact-match seed discovery and seed filtering."""
+
+from .filtering import Anchors, collapse_diagonal, ungapped_filter
+from .seeds import (
+    LASTZ_SPACED_SEED,
+    SeedMatches,
+    find_seeds,
+    pack_kmers,
+    pack_spaced,
+)
+
+__all__ = [
+    "Anchors",
+    "LASTZ_SPACED_SEED",
+    "SeedMatches",
+    "collapse_diagonal",
+    "find_seeds",
+    "pack_kmers",
+    "pack_spaced",
+    "ungapped_filter",
+]

@@ -1,0 +1,210 @@
+"""Seed discovery: exact k-mer matches between target and query.
+
+Stage 1 of the WGA pipeline (paper §2): find short exact matches (19 bp by
+default, LASTZ's seed length) to serve as anchor candidates for gapped
+extension.  Both contiguous k-mers and LASTZ-style spaced seeds (a pattern
+of care/don't-care positions, default ``12-of-19``) are supported.
+
+Everything is vectorised: k-mer words are packed into ``uint64`` with a
+Horner scan (k passes over the sequence), and matching is sort +
+``searchsorted`` rather than a Python-dict hash table.  Words that occur too
+often in the target are *censored* (dropped), mirroring LASTZ's treatment of
+high-frequency repeat words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SeedMatches",
+    "LASTZ_SPACED_SEED",
+    "pack_kmers",
+    "pack_spaced",
+    "find_seeds",
+]
+
+#: LASTZ's default 12-of-19 spaced seed pattern (1 = care, 0 = don't care).
+LASTZ_SPACED_SEED = "1110100110010101111"
+
+
+@dataclass(frozen=True)
+class SeedMatches:
+    """Parallel arrays of seed hits: ``target_pos[k]`` pairs ``query_pos[k]``.
+
+    Positions are the start offsets of the matched word; ``span`` is the
+    word footprint in bases (= k for contiguous seeds, pattern length for
+    spaced seeds).
+    """
+
+    target_pos: np.ndarray
+    query_pos: np.ndarray
+    span: int
+
+    def __post_init__(self) -> None:
+        if self.target_pos.shape != self.query_pos.shape:
+            raise ValueError("seed position arrays must have equal shape")
+
+    def __len__(self) -> int:
+        return int(self.target_pos.shape[0])
+
+    def diagonals(self) -> np.ndarray:
+        """Seed diagonals ``target_pos - query_pos`` (used for collapsing)."""
+        return self.target_pos.astype(np.int64) - self.query_pos.astype(np.int64)
+
+
+def _window_has_n(codes: np.ndarray, span: int) -> np.ndarray:
+    """Boolean per window start: does the window contain an N?"""
+    n = codes.shape[0]
+    if n < span:
+        return np.zeros(0, dtype=bool)
+    is_n = (codes >= 4).astype(np.int32)
+    csum = np.concatenate(([0], np.cumsum(is_n)))
+    return (csum[span:] - csum[:-span]) > 0
+
+
+def pack_kmers(codes: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Pack every k-window into a base-4 word.
+
+    Returns ``(words, valid)``: ``words[i]`` encodes ``codes[i:i+k]`` and
+    ``valid[i]`` is False where the window contains an N.
+    """
+    if not 1 <= k <= 31:
+        raise ValueError("k must be in [1, 31] to fit a uint64 word")
+    codes = np.asarray(codes, dtype=np.uint8)
+    n = codes.shape[0]
+    if n < k:
+        return np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=bool)
+    safe = np.where(codes >= 4, 0, codes).astype(np.uint64)
+    words = np.zeros(n - k + 1, dtype=np.uint64)
+    for offset in range(k):
+        words = (words << np.uint64(2)) | safe[offset : n - k + 1 + offset]
+    return words, ~_window_has_n(codes, k)
+
+
+def pack_spaced(codes: np.ndarray, pattern: str) -> tuple[np.ndarray, np.ndarray]:
+    """Pack windows under a spaced-seed pattern (only '1' positions count)."""
+    if not pattern or any(c not in "01" for c in pattern):
+        raise ValueError("pattern must be a non-empty string of 0s and 1s")
+    care = [i for i, c in enumerate(pattern) if c == "1"]
+    if not care:
+        raise ValueError("pattern must have at least one care position")
+    if len(care) > 31:
+        raise ValueError("too many care positions to fit a uint64 word")
+    span = len(pattern)
+    codes = np.asarray(codes, dtype=np.uint8)
+    n = codes.shape[0]
+    if n < span:
+        return np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=bool)
+    safe = np.where(codes >= 4, 0, codes).astype(np.uint64)
+    words = np.zeros(n - span + 1, dtype=np.uint64)
+    for offset in care:
+        words = (words << np.uint64(2)) | safe[offset : n - span + 1 + offset]
+    # N handling: any N inside the *whole span* invalidates the window (a
+    # conservative simplification; LASTZ checks only care positions).
+    return words, ~_window_has_n(codes, span)
+
+
+def _window_masked(mask: np.ndarray, span: int) -> np.ndarray:
+    """Boolean per window start: does the window touch a masked base?"""
+    n = mask.shape[0]
+    if n < span:
+        return np.zeros(0, dtype=bool)
+    csum = np.concatenate(([0], np.cumsum(mask.astype(np.int32))))
+    return (csum[span:] - csum[:-span]) > 0
+
+
+def find_seeds(
+    target: np.ndarray,
+    query: np.ndarray,
+    *,
+    k: int = 19,
+    spaced_pattern: str | None = None,
+    max_word_count: int = 64,
+    target_mask: np.ndarray | None = None,
+    query_mask: np.ndarray | None = None,
+) -> SeedMatches:
+    """All exact word matches between ``target`` and ``query``.
+
+    Parameters
+    ----------
+    k:
+        Contiguous seed length (ignored when ``spaced_pattern`` is given).
+    spaced_pattern:
+        Optional spaced-seed pattern, e.g. :data:`LASTZ_SPACED_SEED`.
+    max_word_count:
+        Censoring threshold: words occurring more than this many times in
+        the target are dropped entirely (repeat suppression).
+    target_mask, query_mask:
+        Optional soft-mask boolean arrays (True = masked, e.g. lowercase
+        repeats in FASTA).  Windows touching a masked base never seed —
+        LASTZ's repeat handling — though extensions may still align
+        *through* masked regions.
+    """
+    target = np.asarray(target, dtype=np.uint8)
+    query = np.asarray(query, dtype=np.uint8)
+    if spaced_pattern is not None:
+        t_words, t_valid = pack_spaced(target, spaced_pattern)
+        q_words, q_valid = pack_spaced(query, spaced_pattern)
+        span = len(spaced_pattern)
+    else:
+        t_words, t_valid = pack_kmers(target, k)
+        q_words, q_valid = pack_kmers(query, k)
+        span = k
+
+    if target_mask is not None:
+        target_mask = np.asarray(target_mask, dtype=bool)
+        if target_mask.shape != target.shape:
+            raise ValueError("target_mask must match the target's length")
+        t_valid = t_valid & ~_window_masked(target_mask, span)
+    if query_mask is not None:
+        query_mask = np.asarray(query_mask, dtype=bool)
+        if query_mask.shape != query.shape:
+            raise ValueError("query_mask must match the query's length")
+        q_valid = q_valid & ~_window_masked(query_mask, span)
+
+    t_pos_all = np.flatnonzero(t_valid)
+    q_pos_all = np.flatnonzero(q_valid)
+    if t_pos_all.size == 0 or q_pos_all.size == 0:
+        return SeedMatches(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), span
+        )
+    t_w = t_words[t_pos_all]
+    q_w = q_words[q_pos_all]
+
+    # Sort target words once; stream query words through searchsorted.
+    order = np.argsort(t_w, kind="stable")
+    t_w_sorted = t_w[order]
+    t_pos_sorted = t_pos_all[order]
+
+    left = np.searchsorted(t_w_sorted, q_w, side="left")
+    right = np.searchsorted(t_w_sorted, q_w, side="right")
+    counts = right - left
+
+    # Censor high-frequency words and non-matches.
+    keep = (counts > 0) & (counts <= max_word_count)
+    if not keep.any():
+        return SeedMatches(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), span
+        )
+    left = left[keep]
+    counts = counts[keep]
+    q_hit_pos = q_pos_all[keep]
+
+    # Expand (query hit, count) pairs into flat index lists.
+    total = int(counts.sum())
+    q_rep = np.repeat(q_hit_pos, counts)
+    # Offsets into t_pos_sorted: left[i] .. left[i]+counts[i]-1 for each hit.
+    starts = np.repeat(left, counts)
+    within = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    t_rep = t_pos_sorted[starts + within]
+
+    # Canonical order: by query position, then target position.
+    order = np.lexsort((t_rep, q_rep))
+    return SeedMatches(
+        target_pos=t_rep[order].astype(np.int64),
+        query_pos=q_rep[order].astype(np.int64),
+        span=span,
+    )

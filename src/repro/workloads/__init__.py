@@ -1,0 +1,31 @@
+"""Benchmark workloads: registry of genome pairs and cached work profiles."""
+
+from .profiles import WorkloadProfile, bench_config, build_profile, clear_cache
+from .registry import (
+    ALL_BENCHMARKS,
+    CROSS_GENUS_BENCHMARKS,
+    GENOMES,
+    SAME_GENUS_BENCHMARKS,
+    SENSITIVITY_BENCHMARK,
+    BenchmarkSpec,
+    Genome,
+    bench_scale,
+    build_benchmark_pair,
+    get_benchmark,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BenchmarkSpec",
+    "CROSS_GENUS_BENCHMARKS",
+    "GENOMES",
+    "Genome",
+    "SAME_GENUS_BENCHMARKS",
+    "SENSITIVITY_BENCHMARK",
+    "WorkloadProfile",
+    "bench_config",
+    "bench_scale",
+    "build_benchmark_pair",
+    "build_profile",
+    "clear_cache",
+]

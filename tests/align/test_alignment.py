@@ -1,0 +1,105 @@
+"""Unit tests for Alignment and edit scripts."""
+
+import pytest
+
+from repro.align import Alignment, merge_ops
+from repro.genome import encode
+from repro.scoring import unit_scheme
+
+
+class TestMergeOps:
+    def test_merge_adjacent(self):
+        assert merge_ops([("M", 2), ("M", 3), ("I", 1)]) == (("M", 5), ("I", 1))
+
+    def test_drop_zero(self):
+        assert merge_ops([("M", 0), ("D", 2)]) == (("D", 2),)
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            merge_ops([("X", 1)])
+
+    def test_negative_length(self):
+        with pytest.raises(ValueError):
+            merge_ops([("M", -1)])
+
+    def test_empty(self):
+        assert merge_ops([]) == ()
+
+
+class TestAlignment:
+    def test_basic_properties(self):
+        a = Alignment(10, 20, 30, 38, score=5, ops=(("M", 8), ("D", 2)))
+        assert a.target_length == 10
+        assert a.query_length == 8
+        assert a.length == 10
+        assert a.cigar() == "8M2D"
+
+    def test_length_without_ops(self):
+        a = Alignment(0, 10, 0, 7, score=1)
+        assert a.length == 10
+
+    def test_span_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Alignment(0, 10, 0, 10, score=0, ops=(("M", 5),))
+
+    def test_interval_order(self):
+        with pytest.raises(ValueError):
+            Alignment(10, 5, 0, 0, score=0)
+
+    def test_ops_merged_on_construction(self):
+        a = Alignment(0, 4, 0, 4, score=0, ops=(("M", 2), ("M", 2)))
+        assert a.ops == (("M", 4),)
+
+
+class TestRescore:
+    def test_match_run(self):
+        scheme = unit_scheme()
+        t = encode("ACGTACGT")
+        a = Alignment(0, 8, 0, 8, score=8, ops=(("M", 8),))
+        assert a.rescore(t, t, scheme) == 8
+
+    def test_with_gap(self):
+        scheme = unit_scheme()  # open 2, extend 1
+        t = encode("ACGTTT")
+        q = encode("ACTT")
+        # Align ACGTTT vs AC--TT: 4 matches, one 2-gap: 4 - (2 + 2) = 0
+        a = Alignment(0, 6, 0, 4, score=0, ops=(("M", 2), ("D", 2), ("M", 2)))
+        assert a.rescore(t, q, scheme) == 0
+
+    def test_requires_ops(self):
+        a = Alignment(0, 1, 0, 1, score=0)
+        with pytest.raises(ValueError):
+            a.rescore(encode("A"), encode("A"), unit_scheme())
+
+
+class TestIdentity:
+    def test_all_match(self):
+        t = encode("ACGT")
+        a = Alignment(0, 4, 0, 4, score=4, ops=(("M", 4),))
+        assert a.identity(t, t) == 1.0
+
+    def test_half_match(self):
+        t = encode("AAAA")
+        q = encode("AATT")
+        a = Alignment(0, 4, 0, 4, score=0, ops=(("M", 4),))
+        assert a.identity(t, q) == 0.5
+
+    def test_no_ops(self):
+        assert Alignment(0, 1, 0, 1, score=0).identity(encode("A"), encode("A")) == 0.0
+
+
+class TestOverlaps:
+    def test_overlapping(self):
+        a = Alignment(0, 10, 0, 10, score=0)
+        b = Alignment(5, 15, 5, 15, score=0)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_disjoint_target(self):
+        a = Alignment(0, 10, 0, 10, score=0)
+        b = Alignment(20, 30, 5, 15, score=0)
+        assert not a.overlaps(b)
+
+    def test_disjoint_query(self):
+        a = Alignment(0, 10, 0, 10, score=0)
+        b = Alignment(5, 15, 50, 60, score=0)
+        assert not a.overlaps(b)

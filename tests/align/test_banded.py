@@ -1,0 +1,92 @@
+"""Unit tests for the banded Smith-Waterman engine (Darwin-WGA contrast)."""
+
+import numpy as np
+import pytest
+
+from repro.align import banded_extend, ydrop_extend
+from repro.genome import encode, mutate, random_codes
+from repro.scoring import default_scheme, unit_scheme
+
+from ..conftest import make_homologous_pair
+
+
+class TestExactnessOnDiagonalInputs:
+    def test_perfect_match_within_band(self, bench_scheme):
+        base = encode("ACGTACGTACGTACGTACGT")
+        banded = banded_extend(base, base.copy(), bench_scheme, bandwidth=8)
+        exact = ydrop_extend(base, base.copy(), bench_scheme)
+        assert banded.score == exact.score
+        assert (banded.end_i, banded.end_j) == (exact.end_i, exact.end_j)
+
+    def test_matches_exact_on_indel_free_homology(self, rng, bench_scheme):
+        for _ in range(10):
+            t, q = make_homologous_pair(rng, divergence=0.06, indel=0.0)
+            banded = banded_extend(t, q, bench_scheme, bandwidth=16)
+            exact = ydrop_extend(t, q, bench_scheme)
+            assert banded.score == exact.score
+
+
+class TestBandMissesOffBandOptima:
+    def test_large_indel_walks_off_band(self, rng, bench_scheme):
+        """The paper's §2.1 criticism: the optimum may lie outside the band."""
+        left = random_codes(rng, 150)
+        right = random_codes(rng, 150)
+        t = np.concatenate([left, right])
+        # Query inserts 25 bases (crossable under the scaled y-drop): the
+        # alignment ends 25 off the main diagonal.
+        q = np.concatenate([left, random_codes(rng, 25), right])
+        exact = ydrop_extend(t, q, bench_scheme)
+        banded = banded_extend(t, q, bench_scheme, bandwidth=8)
+        assert exact.end_j - exact.end_i >= 20  # the optimum is off-diagonal
+        assert banded.score < exact.score
+
+    def test_sensitivity_recovers_with_wider_band(self, rng, bench_scheme):
+        left = random_codes(rng, 150)
+        right = random_codes(rng, 150)
+        t = np.concatenate([left, right])
+        q = np.concatenate([left, random_codes(rng, 20), right])
+        exact = ydrop_extend(t, q, bench_scheme)
+        narrow = banded_extend(t, q, bench_scheme, bandwidth=8)
+        wide = banded_extend(t, q, bench_scheme, bandwidth=128)
+        assert narrow.score < exact.score
+        assert wide.score == exact.score
+
+    def test_never_beats_exact(self, rng, bench_scheme):
+        for _ in range(15):
+            t, q = make_homologous_pair(rng, divergence=0.08, indel=0.02)
+            banded = banded_extend(t, q, bench_scheme, bandwidth=12)
+            exact = ydrop_extend(t, q, bench_scheme)
+            assert banded.score <= exact.score
+
+
+class TestWorkBound:
+    def test_band_caps_row_width(self, rng, bench_scheme):
+        t, q = make_homologous_pair(rng)
+        banded = banded_extend(t, q, bench_scheme, bandwidth=10)
+        assert banded.stats.max_row_width <= 2 * 10 + 2
+
+    def test_band_explores_fewer_cells(self, rng, bench_scheme):
+        t, q = make_homologous_pair(rng)
+        banded = banded_extend(t, q, bench_scheme, bandwidth=10)
+        exact = ydrop_extend(t, q, bench_scheme)
+        assert banded.stats.cells < exact.stats.cells
+
+
+class TestEdgeCases:
+    def test_empty_inputs(self, bench_scheme):
+        res = banded_extend(encode(""), encode(""), bench_scheme)
+        assert res.score == 0 and (res.end_i, res.end_j) == (0, 0)
+
+    def test_zero_bandwidth_is_diagonal_only(self, bench_scheme):
+        base = encode("ACGTACGT")
+        res = banded_extend(base, base.copy(), bench_scheme, bandwidth=0)
+        assert res.score == ydrop_extend(base, base.copy(), bench_scheme).score
+
+    def test_negative_bandwidth_rejected(self, bench_scheme):
+        with pytest.raises(ValueError):
+            banded_extend(encode("A"), encode("A"), bench_scheme, bandwidth=-1)
+
+    def test_unit_scheme_small_case(self):
+        scheme = unit_scheme(ydrop=10**6)
+        res = banded_extend(encode("AAAA"), encode("AAAA"), scheme, bandwidth=2)
+        assert res.score == 4

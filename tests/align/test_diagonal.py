@@ -1,0 +1,102 @@
+"""Unit tests for the anti-diagonal layout transformation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.align import (
+    DiagonalLayout,
+    diagonal_span,
+    from_diagonal,
+    skew_matrix,
+    to_diagonal,
+    unskew_matrix,
+)
+
+
+class TestCoordinateMaps:
+    def test_forward(self):
+        assert to_diagonal(2, 3) == (5, 3)
+
+    def test_inverse(self):
+        assert from_diagonal(5, 3) == (2, 3)
+
+    @given(st.integers(0, 1000), st.integers(0, 1000))
+    def test_bijection(self, i, j):
+        assert from_diagonal(*to_diagonal(i, j)) == (i, j)
+
+    def test_vectorised(self):
+        i = np.array([0, 1, 2])
+        j = np.array([2, 1, 0])
+        d, k = to_diagonal(i, j)
+        assert np.array_equal(d, np.array([2, 2, 2]))
+        ii, jj = from_diagonal(d, k)
+        assert np.array_equal(ii, i) and np.array_equal(jj, j)
+
+
+class TestDiagonalSpan:
+    def test_corner_diagonals(self):
+        assert diagonal_span(0, 3, 2) == (0, 1)
+        assert diagonal_span(5, 3, 2) == (2, 3)
+
+    def test_middle(self):
+        # 4x3 grid (m=3, n=2): diagonal 2 holds (2,0),(1,1),(0,2).
+        assert diagonal_span(2, 3, 2) == (0, 3)
+
+    def test_out_of_range(self):
+        assert diagonal_span(-1, 3, 2) == (0, 0)
+        assert diagonal_span(6, 3, 2) == (0, 0)
+
+    def test_widths_sum_to_cells(self):
+        m, n = 7, 4
+        total = sum(
+            hi - lo for lo, hi in (diagonal_span(d, m, n) for d in range(m + n + 1))
+        )
+        assert total == (m + 1) * (n + 1)
+
+
+class TestLayout:
+    def test_geometry(self):
+        layout = DiagonalLayout(3, 2)
+        assert layout.rows == 6
+        assert layout.row_width == 3
+        assert layout.logical_cells == 12
+        assert layout.padded_cells == 18
+        assert layout.padding_overhead == pytest.approx(0.5)
+
+    def test_square(self):
+        layout = DiagonalLayout(10, 10)
+        assert layout.rows == 21
+        assert layout.row_width == 11
+
+
+class TestSkew:
+    def test_roundtrip_small(self, rng):
+        m, n = 5, 3
+        matrix = rng.integers(0, 100, size=(m + 1, n + 1))
+        skewed = skew_matrix(matrix)
+        back = unskew_matrix(skewed, m, n)
+        assert np.array_equal(back, matrix)
+
+    def test_diagonals_are_rows(self):
+        matrix = np.arange(12).reshape(3, 4)  # m=2, n=3
+        skewed = skew_matrix(matrix, fill=-1)
+        # Diagonal 2 holds (2,0)=8, (1,1)=5, (0,2)=2 in increasing-j order.
+        assert skewed[2].tolist() == [8, 5, 2]
+
+    def test_fill_value(self):
+        skewed = skew_matrix(np.ones((2, 2), dtype=int), fill=-7)
+        assert (skewed == -7).sum() > 0
+
+    def test_unskew_shape_check(self):
+        with pytest.raises(ValueError):
+            unskew_matrix(np.zeros((3, 3)), 5, 5)
+
+    def test_skew_requires_2d(self):
+        with pytest.raises(ValueError):
+            skew_matrix(np.zeros(5))
+
+    @given(st.integers(0, 8), st.integers(0, 8))
+    def test_roundtrip_property(self, m, n):
+        matrix = np.arange((m + 1) * (n + 1)).reshape(m + 1, n + 1)
+        assert np.array_equal(unskew_matrix(skew_matrix(matrix), m, n), matrix)

@@ -1,0 +1,83 @@
+"""Unit tests for two-sided anchor extension."""
+
+import numpy as np
+import pytest
+
+from repro.align import extend_anchor, wavefront_extend, ydrop_extend
+from repro.genome import mutate, random_codes
+from repro.scoring import default_scheme
+
+
+@pytest.fixture()
+def planted(rng):
+    """Target/query with one homologous core and the anchor inside it."""
+    core = random_codes(rng, 200)
+    q_core = mutate(core, rng, divergence=0.05)
+    t = np.concatenate([random_codes(rng, 300), core, random_codes(rng, 300)])
+    q = np.concatenate([random_codes(rng, 250), q_core, random_codes(rng, 250)])
+    anchor_t = 300 + 100
+    anchor_q = 250 + 100
+    return t, q, anchor_t, anchor_q
+
+
+class TestExtendAnchor:
+    def test_spans_cover_core(self, planted, bench_scheme):
+        t, q, at, aq = planted
+        ext = extend_anchor(t, q, at, aq, bench_scheme, ydrop_extend)
+        assert ext.left.end_i >= 95
+        assert ext.right.end_i >= 95
+        assert ext.target_span >= 190
+        assert ext.extent == max(ext.target_span, ext.query_span)
+
+    def test_score_is_sum_of_sides(self, planted, bench_scheme):
+        t, q, at, aq = planted
+        ext = extend_anchor(t, q, at, aq, bench_scheme, ydrop_extend)
+        assert ext.score == ext.left.score + ext.right.score
+
+    def test_engines_agree(self, planted, bench_scheme):
+        t, q, at, aq = planted
+        row = extend_anchor(t, q, at, aq, bench_scheme, ydrop_extend)
+        wave = extend_anchor(t, q, at, aq, bench_scheme, wavefront_extend)
+        assert row.score == wave.score
+        assert (row.left.end_i, row.right.end_i) == (
+            wave.left.end_i,
+            wave.right.end_i,
+        )
+
+    def test_combined_alignment_coordinates(self, planted, bench_scheme):
+        t, q, at, aq = planted
+        ext = extend_anchor(t, q, at, aq, bench_scheme, ydrop_extend, traceback=True)
+        alignment = ext.alignment()
+        assert alignment.target_start == at - ext.left.end_i
+        assert alignment.target_end == at + ext.right.end_i
+        assert alignment.query_start == aq - ext.left.end_j
+        assert alignment.query_end == aq + ext.right.end_j
+
+    def test_combined_alignment_rescores(self, planted, bench_scheme):
+        t, q, at, aq = planted
+        ext = extend_anchor(t, q, at, aq, bench_scheme, ydrop_extend, traceback=True)
+        alignment = ext.alignment()
+        assert alignment.rescore(t, q, bench_scheme) == ext.score
+
+    def test_anchor_at_origin(self, rng, bench_scheme):
+        t = random_codes(rng, 100)
+        q = random_codes(rng, 100)
+        ext = extend_anchor(t, q, 0, 0, bench_scheme, ydrop_extend, traceback=True)
+        assert ext.left.end_i == 0 and ext.left.end_j == 0
+
+    def test_anchor_at_end(self, rng, bench_scheme):
+        t = random_codes(rng, 100)
+        q = random_codes(rng, 100)
+        ext = extend_anchor(t, q, 100, 100, bench_scheme, ydrop_extend)
+        assert ext.right.end_i == 0 and ext.right.end_j == 0
+
+    def test_anchor_out_of_bounds(self, rng, bench_scheme):
+        t = random_codes(rng, 10)
+        with pytest.raises(IndexError):
+            extend_anchor(t, t, 11, 0, bench_scheme, ydrop_extend)
+
+    def test_combine_requires_traceback(self, planted, bench_scheme):
+        t, q, at, aq = planted
+        ext = extend_anchor(t, q, at, aq, bench_scheme, ydrop_extend)
+        with pytest.raises(ValueError):
+            ext.alignment()

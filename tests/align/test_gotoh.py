@@ -1,0 +1,112 @@
+"""Unit tests for the full-matrix Gotoh reference engine."""
+
+import numpy as np
+import pytest
+
+from repro.align import gotoh_extend, gotoh_matrices
+from repro.genome import encode
+from repro.scoring import NEG_INF, unit_scheme
+
+
+@pytest.fixture()
+def scheme():
+    # match 1, mismatch -1, open 2, extend 1, effectively no pruning here.
+    return unit_scheme(ydrop=10**6)
+
+
+class TestHandComputed:
+    def test_perfect_match(self, scheme):
+        r = gotoh_extend(encode("ACGT"), encode("ACGT"), scheme)
+        assert r.score == 4
+        assert (r.end_i, r.end_j) == (4, 4)
+        assert r.alignment.ops == (("M", 4),)
+
+    def test_empty_query(self, scheme):
+        r = gotoh_extend(encode("ACGT"), encode(""), scheme)
+        assert r.score == 0
+        assert (r.end_i, r.end_j) == (0, 0)
+
+    def test_mismatch_tail_not_extended(self, scheme):
+        # Matching prefix then mismatching tail: optimum stops at the prefix.
+        r = gotoh_extend(encode("AAAATTTT"), encode("AAAACCCC"), scheme)
+        assert r.score == 4
+        assert (r.end_i, r.end_j) == (4, 4)
+
+    def test_gap_crossing_pays_off(self):
+        scheme = unit_scheme(match=10, mismatch=-10, gap_open=2, gap_extend=1,
+                             ydrop=10**6)
+        # Query has a 2-base deletion: AAAA|GG|CCCC vs AAAACCCC.
+        r = gotoh_extend(encode("AAAAGGCCCC"), encode("AAAACCCC"), scheme)
+        # 8 matches (80) minus open+2*extend (4) = 76.
+        assert r.score == 76
+        assert r.alignment.ops == (("M", 4), ("D", 2), ("M", 4))
+
+    def test_affine_prefers_one_long_gap(self):
+        scheme = unit_scheme(match=10, mismatch=-30, gap_open=5, gap_extend=1,
+                             ydrop=10**6)
+        # Two separate 1-gaps would cost 2*(5+1)=12; one 2-gap costs 5+2=7.
+        t = encode("AAGGAA")
+        q = encode("AAAA")
+        r = gotoh_extend(t, q, scheme)
+        assert r.score == 40 - 7
+        assert r.alignment.ops == (("M", 2), ("D", 2), ("M", 2))
+
+    def test_leading_gap_allowed(self):
+        scheme = unit_scheme(match=10, mismatch=-10, gap_open=1, gap_extend=1,
+                             ydrop=10**6)
+        # Query starts 1 base into the target.
+        r = gotoh_extend(encode("GAAAA"), encode("AAAA"), scheme)
+        assert r.score == 40 - 2
+        assert r.alignment.ops == (("D", 1), ("M", 4))
+
+
+class TestMatrices:
+    def test_shapes(self, scheme):
+        S, I, D, TB = gotoh_matrices(encode("ACG"), encode("AC"), scheme)
+        assert S.shape == I.shape == D.shape == TB.shape == (4, 3)
+
+    def test_origin(self, scheme):
+        S, I, D, _ = gotoh_matrices(encode("A"), encode("A"), scheme)
+        assert S[0, 0] == 0
+        assert I[0, 0] == NEG_INF
+        assert D[0, 0] == NEG_INF
+
+    def test_first_row_is_insertion_ladder(self, scheme):
+        S, I, _, _ = gotoh_matrices(encode(""), encode("AAAA"), scheme)
+        # I[0, j] = -(open + j*extend) = -(2 + j).
+        assert S[0, 1] == -3
+        assert S[0, 2] == -4
+        assert S[0, 3] == -5
+
+    def test_recurrence_spot_check(self, scheme):
+        t, q = encode("AC"), encode("AC")
+        S, I, D, _ = gotoh_matrices(t, q, scheme)
+        assert S[1, 1] == 1  # match A/A
+        assert S[2, 2] == 2  # match C/C on top
+
+    def test_score_cross_consistency(self, scheme, rng):
+        # S must always equal max of its three inputs.
+        t = rng.integers(0, 4, size=12).astype(np.uint8)
+        q = rng.integers(0, 4, size=9).astype(np.uint8)
+        S, I, D, _ = gotoh_matrices(t, q, scheme)
+        sub = scheme.substitution
+        for i in range(1, 13):
+            for j in range(1, 10):
+                diag = S[i - 1, j - 1] + sub[t[i - 1], q[j - 1]]
+                assert S[i, j] == max(diag, I[i, j], D[i, j])
+
+
+class TestTieBreak:
+    def test_prefers_smallest_antidiagonal(self):
+        scheme = unit_scheme(match=1, mismatch=-1, gap_open=10, gap_extend=10,
+                             ydrop=10**6)
+        # AA vs AATT: score 2 at (2,2); later cells can only tie or worse.
+        r = gotoh_extend(encode("AATT"), encode("AACC"), scheme)
+        assert (r.end_i, r.end_j) == (2, 2)
+
+    def test_alignment_rescores(self, scheme, rng):
+        for _ in range(20):
+            t = rng.integers(0, 4, size=int(rng.integers(1, 25))).astype(np.uint8)
+            q = rng.integers(0, 4, size=int(rng.integers(1, 25))).astype(np.uint8)
+            r = gotoh_extend(t, q, scheme)
+            assert r.alignment.rescore(t, q, scheme) == r.score

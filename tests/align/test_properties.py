@@ -1,0 +1,149 @@
+"""Cross-cutting property-based tests of the alignment machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align import Alignment, merge_ops, walk_traceback
+from repro.align.traceback import (
+    D_EXTEND_BIT,
+    I_EXTEND_BIT,
+    S_DIAG,
+    S_FROM_D,
+    S_FROM_I,
+    S_ORIGIN,
+)
+from repro.align import gotoh_extend, wavefront_extend, ydrop_extend
+from repro.genome import encode
+from repro.scoring import unit_scheme
+
+_ops_strategy = st.lists(
+    st.tuples(st.sampled_from("MID"), st.integers(0, 5)), max_size=12
+)
+
+
+class TestMergeOpsProperties:
+    @given(_ops_strategy)
+    def test_no_adjacent_duplicates(self, ops):
+        merged = merge_ops(ops)
+        for a, b in zip(merged, merged[1:]):
+            assert a[0] != b[0]
+
+    @given(_ops_strategy)
+    def test_totals_preserved(self, ops):
+        merged = merge_ops(ops)
+        for op in "MID":
+            assert sum(n for o, n in ops if o == op) == sum(
+                n for o, n in merged if o == op
+            )
+
+    @given(_ops_strategy)
+    def test_idempotent(self, ops):
+        merged = merge_ops(ops)
+        assert merge_ops(list(merged)) == merged
+
+
+def _tb_from_script(ops):
+    """Build a packed traceback matrix realising a given edit script."""
+    m = sum(n for o, n in ops if o in "MD")
+    n = sum(n for o, n in ops if o in "MI")
+    tb = np.zeros((m + 1, n + 1), dtype=np.uint8)
+    tb[0, 0] = S_ORIGIN
+    i = j = 0
+    for op, length in ops:
+        for k in range(length):
+            if op == "M":
+                i += 1
+                j += 1
+                tb[i, j] = S_DIAG
+            elif op == "I":
+                j += 1
+                tb[i, j] = S_FROM_I | (I_EXTEND_BIT if k > 0 else 0)
+            else:
+                i += 1
+                tb[i, j] = S_FROM_D | (D_EXTEND_BIT if k > 0 else 0)
+    return tb, i, j
+
+
+# A valid local-alignment script: starts and ends with M runs, gaps never
+# adjacent (the affine DP never emits I directly followed by D).
+_script = st.lists(
+    st.tuples(st.sampled_from("ID"), st.integers(1, 4)), max_size=5
+).map(
+    lambda gaps: [
+        piece
+        for gap in gaps
+        for piece in (("M", 2), (gap[0], gap[1]))
+    ]
+    + [("M", 1)]
+)
+
+
+class TestTracebackRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(_script)
+    def test_walk_recovers_script(self, ops):
+        tb, end_i, end_j = _tb_from_script(ops)
+        assert walk_traceback(tb, end_i, end_j) == merge_ops(ops)
+
+
+class TestEngineTriangleEquivalence:
+    """All three engines must agree pairwise on arbitrary inputs."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 3), min_size=1, max_size=20),
+        st.lists(st.integers(0, 3), min_size=1, max_size=20),
+        st.integers(1, 4),
+        st.integers(1, 3),
+    )
+    def test_all_engines_agree(self, t_list, q_list, gap_open, gap_extend):
+        t = np.array(t_list, dtype=np.uint8)
+        q = np.array(q_list, dtype=np.uint8)
+        scheme = unit_scheme(
+            match=3, mismatch=-2, gap_open=gap_open, gap_extend=gap_extend,
+            ydrop=10**6,
+        )
+        g = gotoh_extend(t, q, scheme)
+        w = wavefront_extend(t, q, scheme, prune=False, traceback=True)
+        y = ydrop_extend(t, q, scheme, traceback=True)
+        assert g.score == w.score == y.score
+        assert (g.end_i, g.end_j) == (w.end_i, w.end_j) == (y.end_i, y.end_j)
+        assert g.alignment.ops == w.ops == y.ops
+
+
+class TestNBaseHandling:
+    def test_n_bases_score_as_mismatch(self):
+        scheme = unit_scheme(ydrop=10**6)
+        clean = gotoh_extend(encode("ACGTACGT"), encode("ACGTACGT"), scheme)
+        dirty = gotoh_extend(encode("ACGNACGT"), encode("ACGTACGT"), scheme)
+        assert dirty.score < clean.score
+
+    def test_pipeline_tolerates_n_runs(self, bench_scheme):
+        t = encode("ACGT" * 20 + "N" * 30 + "ACGT" * 20)
+        q = encode("ACGT" * 20 + "N" * 30 + "ACGT" * 20)
+        w = wavefront_extend(t, q, bench_scheme, traceback=True)
+        y = ydrop_extend(t, q, bench_scheme, traceback=True)
+        assert w.score == y.score
+        assert w.score > 0
+
+    def test_alignment_identity_counts_n_as_match_of_itself(self):
+        # identity() compares codes; N==N counts as equal.
+        t = encode("NN")
+        a = Alignment(0, 2, 0, 2, score=0, ops=(("M", 2),))
+        assert a.identity(t, t) == 1.0
+
+
+class TestRescoreProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 3), min_size=1, max_size=25),
+        st.lists(st.integers(0, 3), min_size=1, max_size=25),
+    )
+    def test_traceback_rescores_exactly(self, t_list, q_list):
+        t = np.array(t_list, dtype=np.uint8)
+        q = np.array(q_list, dtype=np.uint8)
+        scheme = unit_scheme(match=2, mismatch=-3, gap_open=3, gap_extend=1,
+                             ydrop=10**6)
+        y = ydrop_extend(t, q, scheme, traceback=True)
+        assert y.alignment().rescore(t, q, scheme) == y.score

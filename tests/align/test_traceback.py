@@ -1,0 +1,97 @@
+"""Unit tests for packed traceback and the traceback walk."""
+
+import numpy as np
+import pytest
+
+from repro.align import pack, walk_traceback
+from repro.align.traceback import (
+    D_EXTEND_BIT,
+    I_EXTEND_BIT,
+    S_DIAG,
+    S_FROM_D,
+    S_FROM_I,
+    S_ORIGIN,
+)
+
+
+class TestPack:
+    def test_choice_bits(self):
+        out = pack(np.array([S_DIAG, S_FROM_I, S_FROM_D, S_ORIGIN]),
+                   np.zeros(4, bool), np.zeros(4, bool))
+        assert out.tolist() == [0, 1, 2, 3]
+
+    def test_extend_bits(self):
+        out = pack(np.array([S_FROM_I]), np.array([True]), np.array([True]))
+        assert int(out[0]) & I_EXTEND_BIT
+        assert int(out[0]) & D_EXTEND_BIT
+
+    def test_choice_masked(self):
+        out = pack(np.array([7]), np.array([False]), np.array([False]))
+        assert int(out[0]) == 3  # only low 2 bits survive
+
+
+def _tb(rows):
+    return np.array(rows, dtype=np.uint8)
+
+
+class TestWalk:
+    def test_pure_diagonal(self):
+        tb = np.full((3, 3), S_DIAG, dtype=np.uint8)
+        tb[0, 0] = S_ORIGIN
+        assert walk_traceback(tb, 2, 2) == (("M", 2),)
+
+    def test_origin_immediately(self):
+        tb = _tb([[S_ORIGIN]])
+        assert walk_traceback(tb, 0, 0) == ()
+
+    def test_insertion_run(self):
+        # Cells (0,1) and (0,2): I, with (0,2) extending.
+        tb = np.zeros((1, 3), dtype=np.uint8)
+        tb[0, 0] = S_ORIGIN
+        tb[0, 1] = S_FROM_I  # opened here
+        tb[0, 2] = S_FROM_I | I_EXTEND_BIT
+        assert walk_traceback(tb, 0, 2) == (("I", 2),)
+
+    def test_deletion_run(self):
+        tb = np.zeros((3, 1), dtype=np.uint8)
+        tb[0, 0] = S_ORIGIN
+        tb[1, 0] = S_FROM_D
+        tb[2, 0] = S_FROM_D | D_EXTEND_BIT
+        assert walk_traceback(tb, 2, 0) == (("D", 2),)
+
+    def test_mixed_path(self):
+        # M, then I, then M: target len 2, query len 3.
+        tb = np.zeros((3, 4), dtype=np.uint8)
+        tb[0, 0] = S_ORIGIN
+        tb[1, 1] = S_DIAG
+        tb[1, 2] = S_FROM_I
+        tb[2, 3] = S_DIAG
+        assert walk_traceback(tb, 2, 3) == (("M", 1), ("I", 1), ("M", 1))
+
+    def test_escape_left_raises(self):
+        # A diagonal move from column 0 is illegal.
+        tb = np.full((2, 2), S_DIAG, dtype=np.uint8)
+        tb[0, 0] = S_ORIGIN
+        tb[1, 0] = S_DIAG
+        with pytest.raises(ValueError):
+            walk_traceback(tb, 1, 0)
+
+    def test_insertion_at_column_zero_raises(self):
+        tb = np.zeros((2, 1), dtype=np.uint8)
+        tb[0, 0] = S_ORIGIN
+        tb[1, 0] = S_FROM_I  # insertion claimed at column 0
+        with pytest.raises(ValueError):
+            walk_traceback(tb, 1, 0)
+
+    def test_end_out_of_bounds(self):
+        tb = np.zeros((2, 2), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            walk_traceback(tb, 5, 0)
+
+    def test_nonterminating_raises(self):
+        # An I-extension loop at (0, 0) can never finish.
+        tb = np.zeros((1, 2), dtype=np.uint8)
+        tb[0, 0] = S_DIAG  # claims a diagonal move from the corner
+        tb[0, 1] = S_DIAG
+        with pytest.raises(ValueError):
+            walk_traceback(tb, 0, 1)

@@ -1,0 +1,94 @@
+"""Unit tests for x-drop ungapped extension."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.align import ungapped_extend, ungapped_extend_one_sided
+from repro.genome import encode, random_codes
+from repro.scoring import unit_scheme
+
+_codes = st.lists(st.integers(0, 3), min_size=0, max_size=60).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+
+
+def _reference_one_sided(t, q, scheme):
+    """Scalar reference: walk until the x-drop, track the best prefix."""
+    best = 0
+    best_len = 0
+    score = 0
+    for k in range(min(len(t), len(q))):
+        score += scheme.score_pair(int(t[k]), int(q[k]))
+        if score < best - scheme.xdrop:
+            break
+        if score > best:
+            best = score
+            best_len = k + 1
+    return best, best_len
+
+
+class TestOneSided:
+    def test_perfect_match(self):
+        scheme = unit_scheme()
+        t = encode("ACGTACGT")
+        score, length = ungapped_extend_one_sided(t, t, scheme)
+        assert score == 8 and length == 8
+
+    def test_stops_at_xdrop(self):
+        scheme = unit_scheme(xdrop=2)
+        t = encode("AAAATTTTTTTTAA")
+        q = encode("AAAACCCCCCCCAA")
+        score, length = ungapped_extend_one_sided(t, q, scheme)
+        assert score == 4 and length == 4
+
+    def test_negative_start_yields_zero(self):
+        scheme = unit_scheme()
+        score, length = ungapped_extend_one_sided(encode("A"), encode("C"), scheme)
+        assert (score, length) == (0, 0)
+
+    def test_empty(self):
+        scheme = unit_scheme()
+        assert ungapped_extend_one_sided(encode(""), encode("A"), scheme) == (0, 0)
+
+    def test_recovers_after_small_dip(self):
+        scheme = unit_scheme(xdrop=5)
+        t = encode("AAAATAAAA")
+        q = encode("AAAACAAAA")
+        score, length = ungapped_extend_one_sided(t, q, scheme)
+        assert score == 7 and length == 9
+
+    @settings(max_examples=150, deadline=None)
+    @given(_codes, _codes)
+    def test_matches_scalar_reference(self, t, q):
+        scheme = unit_scheme(xdrop=3)
+        assert ungapped_extend_one_sided(t, q, scheme) == _reference_one_sided(
+            t, q, scheme
+        )
+
+
+class TestTwoSided:
+    def test_anchor_in_middle(self, rng):
+        scheme = unit_scheme(xdrop=3)
+        core = random_codes(rng, 40)
+        t = np.concatenate([random_codes(rng, 30), core, random_codes(rng, 30)])
+        q = np.concatenate([random_codes(rng, 25), core, random_codes(rng, 25)])
+        hsp = ungapped_extend(t, q, 30 + 20, 25 + 20, scheme)
+        assert hsp.score >= 40 - 6  # nearly the whole core
+        assert hsp.left >= 15 and hsp.right >= 15
+        assert hsp.length == hsp.left + hsp.right
+
+    def test_anchor_at_edges(self):
+        scheme = unit_scheme()
+        t = encode("ACGT")
+        hsp0 = ungapped_extend(t, t, 0, 0, scheme)
+        assert hsp0.left == 0 and hsp0.right == 4
+        hsp4 = ungapped_extend(t, t, 4, 4, scheme)
+        assert hsp4.left == 4 and hsp4.right == 0
+
+    def test_anchor_out_of_bounds(self):
+        scheme = unit_scheme()
+        t = encode("ACGT")
+        import pytest
+
+        with pytest.raises(IndexError):
+            ungapped_extend(t, t, 9, 0, scheme)

@@ -1,0 +1,155 @@
+"""Unit tests for the cyclic-buffer wavefront engine (FastZ kernels)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align import gotoh_extend, wavefront_extend, ydrop_extend
+from repro.align.wavefront import WARP_WIDTH
+from repro.genome import encode, random_codes
+from repro.scoring import default_scheme, unit_scheme
+
+from ..conftest import make_homologous_pair
+
+_codes = st.lists(st.integers(0, 3), min_size=1, max_size=24).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+
+
+class TestAgainstGotoh:
+    @settings(max_examples=120, deadline=None)
+    @given(_codes, _codes)
+    def test_bitwise_equivalence_no_prune(self, t, q):
+        """The cyclic three-diagonal buffers must reproduce the full matrix
+        exactly — scores, end cell, and traceback."""
+        scheme = unit_scheme(ydrop=10**6)
+        g = gotoh_extend(t, q, scheme)
+        w = wavefront_extend(t, q, scheme, prune=False, traceback=True)
+        assert w.score == g.score
+        assert (w.end_i, w.end_j) == (g.end_i, g.end_j)
+        assert w.ops == g.alignment.ops
+
+    def test_hoxd_equivalence(self, rng):
+        scheme = default_scheme(ydrop=10**9)
+        for _ in range(25):
+            t = rng.integers(0, 4, size=int(rng.integers(1, 40))).astype(np.uint8)
+            q = rng.integers(0, 4, size=int(rng.integers(1, 40))).astype(np.uint8)
+            g = gotoh_extend(t, q, scheme)
+            w = wavefront_extend(t, q, scheme, prune=False, traceback=True)
+            assert (w.score, w.end_i, w.end_j) == (g.score, g.end_i, g.end_j)
+            assert w.ops == g.alignment.ops
+
+
+class TestAgainstRowEngine:
+    def test_pruned_agreement_on_homology(self, rng, bench_scheme):
+        """With pruning on, the wavefront finds the same optimum as the
+        row engine on homologous inputs (paper: same or longer; on clean
+        cores they coincide)."""
+        for _ in range(20):
+            t, q = make_homologous_pair(rng)
+            w = wavefront_extend(t, q, bench_scheme)
+            y = ydrop_extend(t, q, bench_scheme)
+            assert (w.score, w.end_i, w.end_j) == (y.score, y.end_i, y.end_j)
+
+    def test_pruned_score_never_below_reference(self, rng, bench_scheme):
+        for _ in range(30):
+            t = random_codes(rng, 300)
+            q = random_codes(rng, 300)
+            w = wavefront_extend(t, q, bench_scheme)
+            y = ydrop_extend(t, q, bench_scheme)
+            assert w.score >= 0 and y.score >= 0
+
+
+class TestEagerTile:
+    def test_hit_inside_tile(self, rng, bench_scheme):
+        base = random_codes(rng, 12)
+        t = np.concatenate([base, random_codes(rng, 500)])
+        q = np.concatenate([base.copy(), random_codes(rng, 500)])
+        w = wavefront_extend(t, q, bench_scheme, eager_tile=16)
+        assert w.eager_hit
+        assert w.ops is not None
+        assert w.end_i <= 16 and w.end_j <= 16
+        assert w.alignment().rescore(t, q, bench_scheme) == w.score
+
+    def test_miss_outside_tile(self, rng, bench_scheme):
+        base = random_codes(rng, 60)
+        t = np.concatenate([base, random_codes(rng, 500)])
+        q = np.concatenate([base.copy(), random_codes(rng, 500)])
+        w = wavefront_extend(t, q, bench_scheme, eager_tile=16)
+        assert not w.eager_hit
+        assert w.ops is None
+        assert w.end_i > 16
+
+    def test_tile_boundary_is_inclusive(self, bench_scheme):
+        # A 16-base perfect match ends exactly at cell (16, 16).
+        base = encode("ACGTACGTACGTACGT")
+        w = wavefront_extend(base, base.copy(), bench_scheme, eager_tile=16)
+        assert (w.end_i, w.end_j) == (16, 16)
+        assert w.eager_hit
+
+    def test_zero_tile_disables(self, rng, bench_scheme):
+        base = random_codes(rng, 8)
+        w = wavefront_extend(base, base.copy(), bench_scheme, eager_tile=0)
+        assert not w.eager_hit
+        assert w.ops is None
+
+    def test_traceback_mode_overrides_tile(self, rng, bench_scheme):
+        base = random_codes(rng, 8)
+        w = wavefront_extend(
+            base, base.copy(), bench_scheme, eager_tile=16, traceback=True
+        )
+        assert w.ops is not None
+        assert not w.eager_hit  # full traceback, not an eager resolution
+
+
+class TestTrimmedRecompute:
+    def test_trimmed_matches_inspection(self, rng, bench_scheme):
+        """Executor semantics: recomputing on [0..end] reproduces the
+        inspector's optimum with a full traceback."""
+        for _ in range(10):
+            t, q = make_homologous_pair(rng)
+            insp = wavefront_extend(t, q, bench_scheme)
+            execu = wavefront_extend(
+                t[: insp.end_i], q[: insp.end_j], bench_scheme, traceback=True
+            )
+            assert (execu.score, execu.end_i, execu.end_j) == (
+                insp.score,
+                insp.end_i,
+                insp.end_j,
+            )
+            assert execu.alignment().rescore(t, q, bench_scheme) == insp.score
+
+
+class TestStats:
+    def test_warp_step_accounting(self, rng, bench_scheme):
+        t, q = make_homologous_pair(rng)
+        w = wavefront_extend(t, q, bench_scheme)
+        s = w.stats
+        assert s.cells >= s.diagonals
+        assert s.warp_steps >= s.diagonals
+        assert s.warp_steps <= s.cells
+        # Strip arithmetic: steps-diagonals == boundary cells by definition.
+        assert s.boundary_cells == s.warp_steps - s.diagonals
+        assert s.max_width >= 1
+        assert s.mean_width == pytest.approx(s.cells / s.diagonals)
+
+    def test_wide_diagonal_spills(self, bench_scheme):
+        # Force widths beyond one warp: a long perfect match keeps a narrow
+        # band, so use no pruning on a big rectangle instead.
+        scheme = unit_scheme(ydrop=10**6)
+        t = np.zeros(3 * WARP_WIDTH, dtype=np.uint8)
+        q = np.zeros(3 * WARP_WIDTH, dtype=np.uint8)
+        w = wavefront_extend(t, q, scheme, prune=False)
+        assert w.stats.max_width > WARP_WIDTH
+        assert w.stats.boundary_cells > 0
+
+    def test_empty_inputs(self, bench_scheme):
+        w = wavefront_extend(encode(""), encode(""), bench_scheme)
+        assert w.score == 0
+        assert w.stats.diagonals == 1
+        assert w.stats.cells == 1
+
+    def test_reversed_views_work(self, rng, bench_scheme):
+        t, q = make_homologous_pair(rng)
+        rev = wavefront_extend(t[::-1], q[::-1], bench_scheme)
+        assert rev.score >= 0  # smoke: negative-stride inputs accepted

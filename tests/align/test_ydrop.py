@@ -1,0 +1,140 @@
+"""Unit tests for the row-wise y-drop engine (LASTZ reference)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align import diag_width_profile, gotoh_extend, ydrop_extend
+from repro.genome import encode, mutate, random_codes
+from repro.scoring import default_scheme, unit_scheme
+
+from ..conftest import make_homologous_pair
+
+_codes = st.lists(st.integers(0, 3), min_size=1, max_size=24).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+
+
+class TestAgainstGotoh:
+    @settings(max_examples=120, deadline=None)
+    @given(_codes, _codes)
+    def test_exact_equivalence_without_pruning(self, t, q):
+        scheme = unit_scheme(ydrop=10**6)
+        g = gotoh_extend(t, q, scheme)
+        y = ydrop_extend(t, q, scheme, traceback=True)
+        assert y.score == g.score
+        assert (y.end_i, y.end_j) == (g.end_i, g.end_j)
+        assert y.ops == g.alignment.ops
+
+    def test_hoxd_equivalence_without_pruning(self, rng):
+        scheme = default_scheme(ydrop=10**9)
+        for _ in range(30):
+            t = rng.integers(0, 4, size=int(rng.integers(1, 40))).astype(np.uint8)
+            q = rng.integers(0, 4, size=int(rng.integers(1, 40))).astype(np.uint8)
+            g = gotoh_extend(t, q, scheme)
+            y = ydrop_extend(t, q, scheme, traceback=True)
+            assert (y.score, y.end_i, y.end_j) == (g.score, g.end_i, g.end_j)
+
+
+class TestPruning:
+    def test_terminates_early_on_random(self, rng, bench_scheme):
+        t = random_codes(rng, 50_000)
+        q = random_codes(rng, 50_000)
+        y = ydrop_extend(t, q, bench_scheme)
+        # Exploration dies long before the end of the sequences.
+        assert y.stats.rows < 5_000
+        assert y.score >= 0
+
+    def test_pruned_score_matches_on_homology(self, rng, bench_scheme):
+        for _ in range(10):
+            t, q = make_homologous_pair(rng)
+            full = ydrop_extend(t, q, default_scheme(gap_extend=60, ydrop=10**8))
+            pruned = ydrop_extend(t, q, bench_scheme)
+            # Pruning may only lose low-scoring outliers, never the optimum
+            # of a clean homologous core.
+            assert pruned.score == full.score
+
+    def test_smaller_ydrop_explores_less(self, rng):
+        t, q = make_homologous_pair(rng)
+        small = ydrop_extend(t, q, default_scheme(gap_extend=60, ydrop=600))
+        big = ydrop_extend(t, q, default_scheme(gap_extend=60, ydrop=4800))
+        assert small.stats.cells < big.stats.cells
+
+    def test_search_space_exceeds_alignment(self, rng, bench_scheme):
+        # The paper's key workload property: y-drop explores far beyond the
+        # optimal cell.
+        base = random_codes(rng, 12)
+        t = np.concatenate([base, random_codes(rng, 2000)])
+        q = np.concatenate([base.copy(), random_codes(rng, 2000)])
+        y = ydrop_extend(t, q, bench_scheme)
+        assert y.end_i <= 30
+        assert y.stats.rows > 3 * max(y.end_i, 1)
+
+
+class TestTraceback:
+    def test_rescore_matches(self, rng, bench_scheme):
+        for _ in range(10):
+            t, q = make_homologous_pair(rng)
+            y = ydrop_extend(t, q, bench_scheme, traceback=True)
+            assert y.alignment().rescore(t, q, bench_scheme) == y.score
+
+    def test_no_traceback_by_default(self, rng, bench_scheme):
+        t, q = make_homologous_pair(rng)
+        y = ydrop_extend(t, q, bench_scheme)
+        assert y.ops is None
+        with pytest.raises(ValueError):
+            y.alignment()
+
+
+class TestStats:
+    def test_empty_query(self, bench_scheme):
+        y = ydrop_extend(encode("ACGT"), encode(""), bench_scheme)
+        assert y.score == 0
+        assert (y.end_i, y.end_j) == (0, 0)
+
+    def test_empty_target(self, bench_scheme):
+        y = ydrop_extend(encode(""), encode("ACGT"), bench_scheme)
+        assert y.score == 0
+        assert y.stats.rows == 1  # row 0 only
+
+    def test_cells_at_least_rows(self, rng, bench_scheme):
+        t, q = make_homologous_pair(rng)
+        y = ydrop_extend(t, q, bench_scheme)
+        assert y.stats.cells >= y.stats.rows
+        assert y.stats.max_row_width >= 1
+        assert y.stats.max_antidiag >= y.end_i + y.end_j
+
+    def test_windows_collection(self, rng, bench_scheme):
+        t, q = make_homologous_pair(rng)
+        y = ydrop_extend(t, q, bench_scheme, collect_windows=True)
+        assert y.windows is not None
+        assert len(y.windows) == y.stats.rows
+        total = sum(r - l for l, r in y.windows)
+        assert total == y.stats.cells
+
+    def test_reversed_views_work(self, rng, bench_scheme):
+        # Left extensions pass reversed (negative-stride) views.
+        t, q = make_homologous_pair(rng)
+        fwd = ydrop_extend(t, q, bench_scheme)
+        rev = ydrop_extend(t[::-1][::-1], q[::-1][::-1], bench_scheme)
+        assert (fwd.score, fwd.end_i, fwd.end_j) == (rev.score, rev.end_i, rev.end_j)
+
+
+class TestDiagWidthProfile:
+    def test_empty(self):
+        assert diag_width_profile(()).shape == (0,)
+
+    def test_single_row(self):
+        widths = diag_width_profile(((0, 3),))
+        assert widths.tolist() == [1, 1, 1]
+
+    def test_two_rows_overlap(self):
+        # Row 0 covers diagonals 0..2; row 1 covers diagonals 1+0..1+2.
+        widths = diag_width_profile(((0, 3), (0, 3)))
+        assert widths.tolist() == [1, 2, 2, 1]
+
+    def test_total_cells_preserved(self, rng, bench_scheme):
+        t, q = make_homologous_pair(rng)
+        y = ydrop_extend(t, q, bench_scheme, collect_windows=True)
+        widths = diag_width_profile(y.windows)
+        assert int(widths.sum()) == y.stats.cells

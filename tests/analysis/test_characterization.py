@@ -1,0 +1,51 @@
+"""Unit tests for the workload characterisation (§1/§2 premises)."""
+
+import pytest
+
+from repro.analysis import characterize, format_characterization
+from repro.core import tasks_to_arrays
+
+from ..core.test_perfmodel import _make_tasks
+
+
+@pytest.fixture(scope="module")
+def char():
+    return characterize(_make_tasks(n_eager=400, n_short=100, n_long=4))
+
+
+class TestPremises:
+    def test_short_alignments_dominate(self, char):
+        # The synthetic suite mirrors the paper's front-loaded CDF.
+        assert char.short_alignment_fraction > 0.7
+
+    def test_search_dwarfs_alignment(self, char):
+        assert char.search_dwarfs_alignment
+        assert char.search_to_alignment_cells > 3.0
+
+    def test_dp_dominates_runtime(self, char):
+        # Paper: >99% of sequential time in the DP.
+        assert char.dp_runtime_fraction > 0.95
+
+    def test_percentiles_ordered(self, char):
+        p50, p90, p99, p100 = char.extent_percentiles
+        assert p50 <= p90 <= p99 <= p100
+
+    def test_search_depth_uniformly_large(self, char):
+        # Even the 10th-percentile search is much deeper than the median
+        # alignment (the paper's "90% of searches explore ~5700bp" shape).
+        p50_extent = char.extent_percentiles[0]
+        assert char.search_depth_p10 > 2 * p50_extent
+
+
+class TestValidation:
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            characterize(tasks_to_arrays([]))
+
+
+class TestFormatting:
+    def test_render(self, char):
+        text = format_characterization(char)
+        assert "97%" in text  # paper reference
+        assert "5700" in text
+        assert ">99%" in text

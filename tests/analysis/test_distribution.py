@@ -1,0 +1,31 @@
+"""Unit tests for the Table-2 distribution analysis."""
+
+from repro.analysis import DistributionRow, format_distribution_table
+
+
+class TestRow:
+    def test_fractions(self):
+        row = DistributionRow("B", (80, 15, 3, 1, 1))
+        assert row.total == 100
+        assert row.eager_fraction == 0.8
+        assert row.bin4_count == 1
+        assert sum(row.fractions()) == 1.0
+
+    def test_empty(self):
+        row = DistributionRow("B", (0, 0, 0, 0, 0))
+        assert row.eager_fraction == 0.0
+
+
+class TestFormatting:
+    def test_sorted_by_bin4(self):
+        rows = [
+            DistributionRow("light", (90, 9, 1, 0, 0)),
+            DistributionRow("heavy", (80, 15, 3, 1, 5)),
+        ]
+        text = format_distribution_table(rows)
+        assert text.index("heavy") < text.index("light")
+
+    def test_contains_counts(self):
+        rows = [DistributionRow("X", (777, 200, 20, 2, 1))]
+        text = format_distribution_table(rows)
+        assert "777" in text and "77.7%" in text

@@ -1,0 +1,71 @@
+"""Unit tests for the experiment text renderers (no profile builds)."""
+
+from repro.analysis import figure7_text, figure8_text, figure9_text, figure11_text, table1_text
+from repro.analysis.experiments import SpeedupRow
+
+
+def _row(name, bin4=0, fz=100.0):
+    row = SpeedupRow(benchmark=name, cpu_seconds=1.0, bin4_count=bin4)
+    row.multicore = 18.0
+    for dev in ("Titan X", "QV100", "RTX 3080"):
+        row.gpu_baseline[dev] = 0.7
+        row.fastz[dev] = fz
+    return row
+
+
+class TestTable1Text:
+    def test_contains_all_species(self):
+        text = table1_text()
+        for species in ("C. elegans", "C. briggsae", "D. melanogaster",
+                        "D. pseudoobscura", "A. albimanus", "A. atroparvus",
+                        "A. gambiae"):
+            assert species in text
+
+    def test_contains_paper_sizes(self):
+        assert "15,072,434" in table1_text()
+
+
+class TestFigure7Text:
+    def test_renders_rows_and_mean(self):
+        text = figure7_text([_row("B1", fz=50.0), _row("B2", fz=150.0)])
+        assert "B1" in text and "B2" in text
+        assert "MEAN" in text
+        assert "100.0x" in text  # mean of 50 and 150
+
+    def test_includes_multicore(self):
+        text = figure7_text([_row("B1")])
+        assert "18.0x" in text
+
+
+class TestFigure11Text:
+    def test_ratio_line(self):
+        text = figure11_text([_row("X1", fz=130.0)], same_genus_mean=100.0)
+        assert "1.30" in text
+        assert "137/111" in text
+
+    def test_without_reference(self):
+        text = figure11_text([_row("X1", fz=130.0)])
+        assert "X1" in text
+
+
+class TestFigure8Text:
+    def test_percentages(self):
+        rows = [("B1", {"inspector": 0.6, "executor": 0.1, "other": 0.3})]
+        text = figure8_text(rows)
+        assert "60.0%" in text and "10.0%" in text and "30.0%" in text
+
+
+class TestFigure9Text:
+    def test_includes_paper_references(self):
+        table = {
+            "RTX 3080": {
+                "insp-exec+binning": 3.0,
+                "+cyclic": 20.0,
+                "+eager": 40.0,
+                "+trim (FastZ)": 110.0,
+                "FastZ-single-stream": 60.0,
+            }
+        }
+        text = figure9_text(table)
+        assert "paper ~111.0x" in text
+        assert "110.0x" in text

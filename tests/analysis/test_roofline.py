@@ -1,0 +1,66 @@
+"""Unit tests for the §6 roofline analysis — pinned to the paper's numbers."""
+
+import pytest
+
+from repro.analysis import (
+    DIVERGENCE_DERATE,
+    classify,
+    derated_ridge,
+    executor_intensity,
+    inspector_intensity,
+    naive_executor_intensity,
+    naive_inspector_intensity,
+    nominal_ridge,
+    roofline_report,
+)
+from repro.gpusim import RTX_3080_AMPERE
+
+
+class TestPaperNumbers:
+    def test_divergence_derate(self):
+        assert DIVERGENCE_DERATE == pytest.approx(2.56, abs=0.01)
+
+    def test_inspector_24_ops_per_byte(self):
+        assert inspector_intensity() == pytest.approx(24.0)
+
+    def test_executor_6_5_ops_per_byte(self):
+        assert executor_intensity() == pytest.approx(6.5, abs=0.1)
+
+    def test_nominal_ridge_39(self):
+        assert nominal_ridge(RTX_3080_AMPERE) == pytest.approx(39.0, rel=0.02)
+
+    def test_derated_ridge_15_2(self):
+        assert derated_ridge(RTX_3080_AMPERE) == pytest.approx(15.2, rel=0.02)
+
+    def test_naive_intensities(self):
+        assert naive_inspector_intensity() == pytest.approx(0.75)
+        assert naive_executor_intensity() == pytest.approx(0.69, abs=0.01)
+
+
+class TestClassification:
+    def test_inspector_compute_bound(self):
+        assert classify(inspector_intensity(), RTX_3080_AMPERE) == "compute"
+
+    def test_executor_memory_bound(self):
+        assert classify(executor_intensity(), RTX_3080_AMPERE) == "memory"
+
+    def test_naive_deeply_memory_bound(self):
+        assert classify(naive_inspector_intensity(), RTX_3080_AMPERE) == "memory"
+
+
+class TestReport:
+    def test_four_points(self):
+        report = roofline_report(RTX_3080_AMPERE)
+        assert [p.phase for p in report] == [
+            "inspector",
+            "executor",
+            "inspector-naive",
+            "executor-naive",
+        ]
+
+    def test_bounds(self):
+        report = {p.phase: p for p in roofline_report(RTX_3080_AMPERE)}
+        assert report["inspector"].bound == "compute"
+        assert report["executor"].bound == "memory"
+        assert report["inspector"].headroom > 1.0
+        assert report["executor-naive"].headroom < 0.1

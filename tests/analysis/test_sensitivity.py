@@ -1,0 +1,57 @@
+"""Unit tests for the sensitivity (Figure 2) analysis."""
+
+import numpy as np
+
+from repro.analysis import SensitivityPoint, SensitivityReport, scatter_arrays
+
+
+def _points(pairs):
+    return [SensitivityPoint(length=l, score=s) for l, s in pairs]
+
+
+class TestReport:
+    def test_high_score_counts(self):
+        report = SensitivityReport(
+            gapped=_points([(100, 500), (200, 1500), (300, 2000)]),
+            ungapped=_points([(100, 500), (150, 1200)]),
+            high_score_threshold=1000,
+        )
+        assert report.gapped_high == 2
+        assert report.ungapped_high == 1
+        assert report.high_score_ratio == 2.0
+
+    def test_ratio_with_zero_ungapped(self):
+        report = SensitivityReport(
+            gapped=_points([(10, 2000)]),
+            ungapped=[],
+            high_score_threshold=1000,
+        )
+        assert report.high_score_ratio == float("inf")
+
+    def test_ratio_both_zero(self):
+        report = SensitivityReport(gapped=[], ungapped=[], high_score_threshold=1000)
+        assert report.high_score_ratio == 1.0
+
+    def test_totals_and_max_lengths(self):
+        report = SensitivityReport(
+            gapped=_points([(100, 1), (900, 2)]),
+            ungapped=_points([(50, 1)]),
+            high_score_threshold=10,
+        )
+        assert report.total_counts() == (2, 1)
+        assert report.max_lengths() == (900, 50)
+
+    def test_empty_max_lengths(self):
+        report = SensitivityReport(gapped=[], ungapped=[], high_score_threshold=1)
+        assert report.max_lengths() == (0, 0)
+
+
+class TestScatterArrays:
+    def test_arrays(self):
+        lengths, scores = scatter_arrays(_points([(1, 10), (2, 20)]))
+        assert np.array_equal(lengths, [1, 2])
+        assert np.array_equal(scores, [10, 20])
+
+    def test_empty(self):
+        lengths, scores = scatter_arrays([])
+        assert lengths.shape == (0,) and scores.shape == (0,)

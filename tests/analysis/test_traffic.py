@@ -1,0 +1,56 @@
+"""Unit tests for the §3.2 memory-traffic analysis."""
+
+import pytest
+
+from repro.analysis import format_traffic_report, traffic_report
+from repro.gpusim import Calibration
+
+from ..core.test_perfmodel import _make_tasks
+
+
+@pytest.fixture(scope="module")
+def report():
+    return traffic_report(_make_tasks())
+
+
+class TestReductions:
+    def test_score_reduction_large(self, report):
+        # Paper: effectively more than 96% (31/32 lanes); our diagonals are
+        # often narrower than a warp, so the reduction is even higher.
+        assert report.score_traffic_reduction > 0.9
+
+    def test_executor_reduction_band(self, report):
+        # Paper: 92% — the remainder is the traceback byte per cell.
+        assert 0.85 < report.executor_bandwidth_reduction < 0.99
+
+    def test_traceback_dominates_remainder(self, report):
+        assert report.traceback_share_after > 0.5
+
+    def test_overall_reduction(self, report):
+        # Paper: "a vast majority (97%)".
+        assert report.overall_access_reduction > 0.9
+
+    def test_bytes_positive(self, report):
+        # Synthetic tasks have narrow diagonals, so boundary spills can be
+        # zero; the ordering is what matters.
+        assert report.naive_score_bytes > report.cyclic_score_bytes >= 0
+        assert report.traceback_bytes > 0
+
+
+class TestCalibrationCoupling:
+    def test_custom_calibration_scales_bytes(self):
+        arrays = _make_tasks(n_eager=10, n_short=5, n_long=0)
+        base = traffic_report(arrays)
+        double = traffic_report(
+            arrays, Calibration(naive_score_bytes_per_cell=64.0)
+        )
+        assert double.naive_score_bytes == pytest.approx(2 * base.naive_score_bytes)
+
+
+class TestFormatting:
+    def test_mentions_paper_numbers(self, report):
+        text = format_traffic_report(report)
+        assert "92%" in text
+        assert "96%" in text
+        assert "97%" in text
+        assert "%" in text.splitlines()[3]

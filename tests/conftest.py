@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.genome import build_pair, mutate, random_codes, SegmentClass
+from repro.scoring import default_scheme, unit_scheme
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def small_scheme():
+    """Tiny hand-checkable scheme."""
+    return unit_scheme()
+
+
+@pytest.fixture()
+def exact_scheme():
+    """Unit scheme with pruning effectively disabled (exact DP)."""
+    return unit_scheme(ydrop=10**6)
+
+
+@pytest.fixture()
+def bench_scheme():
+    """The scaled HOXD70 scheme the benchmark suite uses."""
+    return default_scheme(gap_extend=60, ydrop=2400)
+
+
+@pytest.fixture(scope="session")
+def session_cache_dir(tmp_path_factory):
+    """Isolated profile cache for tests that exercise workloads."""
+    return tmp_path_factory.mktemp("repro_cache")
+
+
+def make_homologous_pair(rng, *, core=120, flank=150, divergence=0.08, indel=0.01):
+    """A (target, query) suffix pair sharing a mutated core then random tails."""
+    base = random_codes(rng, core)
+    q_core = mutate(base, rng, divergence=divergence, indel_rate=indel)
+    target = np.concatenate([base, random_codes(rng, flank)])
+    query = np.concatenate([q_core, random_codes(rng, flank)])
+    return target, query
+
+
+@pytest.fixture()
+def homologous_pair(rng):
+    return make_homologous_pair(rng)
+
+
+@pytest.fixture(scope="session")
+def tiny_genome_pair():
+    """A small synthetic chromosome pair with known planted homology."""
+    return build_pair(
+        "tiny",
+        target_length=40_000,
+        query_length=40_000,
+        classes=[
+            SegmentClass("eager", 60, 19, 21, divergence=0.01),
+            SegmentClass("bin1", 12, 30, 55, divergence=0.07, indel_rate=0.003),
+            SegmentClass("bin2", 2, 90, 200, divergence=0.08, indel_rate=0.002),
+        ],
+        rng=77,
+    )

@@ -1,0 +1,63 @@
+"""Unit tests for alignment-length binning."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.core import assign_bin, assign_bins, bin_histogram, bin_labels
+from repro.core.options import DEFAULT_BIN_EDGES
+
+
+class TestAssignBin:
+    def test_eager_wins(self):
+        assert assign_bin(10_000, eager=True) == 0
+
+    def test_edges_inclusive(self):
+        assert assign_bin(512, eager=False) == 1
+        assert assign_bin(513, eager=False) == 2
+        assert assign_bin(2048, eager=False) == 2
+        assert assign_bin(8192, eager=False) == 3
+        assert assign_bin(32768, eager=False) == 4
+
+    def test_beyond_last_edge_clamped(self):
+        assert assign_bin(100_000, eager=False) == 4
+
+    def test_zero_extent(self):
+        assert assign_bin(0, eager=False) == 1
+
+
+class TestAssignBins:
+    @given(
+        st.lists(st.integers(0, 60_000), min_size=1, max_size=60),
+        st.lists(st.booleans(), min_size=1, max_size=60),
+    )
+    def test_matches_scalar(self, extents, eager):
+        n = min(len(extents), len(eager))
+        extents = np.array(extents[:n])
+        eager_arr = np.array(eager[:n])
+        vec = assign_bins(extents, eager_arr)
+        for k in range(n):
+            assert vec[k] == assign_bin(int(extents[k]), bool(eager_arr[k]))
+
+    def test_dtype(self):
+        out = assign_bins(np.array([1, 600]), np.array([False, False]))
+        assert out.dtype == np.int64
+
+
+class TestHistogram:
+    def test_counts(self):
+        ids = np.array([0, 0, 1, 4, 4, 4])
+        hist = bin_histogram(ids)
+        assert hist.tolist() == [2, 1, 0, 0, 3]
+
+    def test_empty_bins_present(self):
+        hist = bin_histogram(np.array([0]))
+        assert hist.shape == (len(DEFAULT_BIN_EDGES) + 1,)
+
+
+class TestLabels:
+    def test_default(self):
+        labels = bin_labels()
+        assert labels[0] == "eager"
+        assert labels[1] == "<= 512"
+        assert labels[2] == "512-2048"
+        assert len(labels) == 5

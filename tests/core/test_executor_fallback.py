@@ -1,0 +1,79 @@
+"""Tests of the executor's exact-recompute safety net and pipeline paths."""
+
+import numpy as np
+import pytest
+
+from repro.align.wavefront import WavefrontResult, WavefrontStats, wavefront_extend
+from repro.core import run_fastz
+from repro.core.pipeline import _executor_side
+from repro.genome import random_codes
+from repro.workloads.profiles import BENCH_OPTIONS, bench_config
+
+
+def _fake_inspection(real: WavefrontResult, score_delta: int) -> WavefrontResult:
+    return WavefrontResult(
+        score=real.score + score_delta,
+        end_i=real.end_i,
+        end_j=real.end_j,
+        stats=real.stats,
+    )
+
+
+class TestExecutorSide:
+    def test_agreement_no_fallback(self, rng, bench_scheme):
+        base = random_codes(rng, 80)
+        t = np.concatenate([base, random_codes(rng, 200)])
+        q = np.concatenate([base.copy(), random_codes(rng, 200)])
+        insp = wavefront_extend(t, q, bench_scheme)
+        result, fell_back = _executor_side(t, q, insp, bench_scheme)
+        assert not fell_back
+        assert result.score == insp.score
+        assert result.ops is not None
+
+    def test_disagreement_triggers_exact_recompute(self, rng, bench_scheme):
+        """If the trimmed rerun cannot reproduce the claimed optimum, the
+        executor falls back to an exact (unpruned) recompute instead of
+        emitting a wrong alignment."""
+        base = random_codes(rng, 80)
+        t = np.concatenate([base, random_codes(rng, 200)])
+        q = np.concatenate([base.copy(), random_codes(rng, 200)])
+        real = wavefront_extend(t, q, bench_scheme)
+        doctored = _fake_inspection(real, score_delta=+7)  # unreachable score
+        result, fell_back = _executor_side(t, q, doctored, bench_scheme)
+        assert fell_back
+        # The fallback is the exact optimum of the trimmed region.
+        assert result.score == real.score
+        assert result.ops is not None
+        assert result.alignment().rescore(t, q, bench_scheme) == result.score
+
+
+class TestPipelinePaths:
+    def test_run_without_preselected_anchors(self, tiny_genome_pair):
+        config = bench_config()
+        res = run_fastz(
+            tiny_genome_pair.target, tiny_genome_pair.query, config, BENCH_OPTIONS
+        )
+        assert len(res.tasks) > 20
+        assert res.alignments
+
+    def test_keep_extensions(self, tiny_genome_pair):
+        config = bench_config()
+        res = run_fastz(
+            tiny_genome_pair.target,
+            tiny_genome_pair.query,
+            config,
+            BENCH_OPTIONS,
+            keep_extensions=True,
+        )
+        assert len(res.extensions) == len(res.tasks)
+
+    def test_unique_alignments_dedups_duplicates(self, tiny_genome_pair):
+        from dataclasses import replace
+
+        # A tiny collapse window gives several anchors inside one segment,
+        # all finding the same alignment box.
+        config = replace(bench_config(), collapse_window=25, diag_band=10)
+        res = run_fastz(
+            tiny_genome_pair.target, tiny_genome_pair.query, config, BENCH_OPTIONS
+        )
+        assert len(res.unique_alignments()) < len(res.alignments)

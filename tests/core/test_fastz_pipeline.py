@@ -1,0 +1,149 @@
+"""Unit tests for the FastZ inspector-executor pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import FastzOptions, run_fastz
+from repro.lastz import run_gapped_lastz
+from repro.workloads.profiles import BENCH_OPTIONS, bench_config
+
+
+@pytest.fixture(scope="module")
+def runs(tiny_genome_pair):
+    config = bench_config()
+    lastz = run_gapped_lastz(
+        tiny_genome_pair.target, tiny_genome_pair.query, config, work_reduction=False
+    )
+    fastz = run_fastz(
+        tiny_genome_pair.target,
+        tiny_genome_pair.query,
+        config,
+        BENCH_OPTIONS,
+        anchors=lastz.anchors,
+    )
+    return lastz, fastz
+
+
+class TestCorrectnessContract:
+    def test_same_task_count(self, runs):
+        lastz, fastz = runs
+        assert len(fastz.tasks) == len(lastz.tasks)
+
+    def test_scores_never_below_reference(self, runs):
+        """Paper §3.4: FastZ explores the same or a strict superset, so its
+        alignments are identical or occasionally longer/better."""
+        lastz, fastz = runs
+        for ref, fz in zip(lastz.tasks, fastz.tasks):
+            assert (fz.anchor_t, fz.anchor_q) == (ref.anchor_t, ref.anchor_q)
+            assert fz.score >= ref.score
+
+    def test_scores_almost_always_identical(self, runs):
+        lastz, fastz = runs
+        same = sum(
+            1 for ref, fz in zip(lastz.tasks, fastz.tasks) if fz.score == ref.score
+        )
+        assert same / len(fastz.tasks) > 0.99
+
+    def test_alignment_sets_match(self, runs):
+        lastz, fastz = runs
+        fz_boxes = {
+            (a.target_start, a.target_end, a.query_start, a.query_end)
+            for a in fastz.alignments
+        }
+        for a in lastz.alignments:
+            box = (a.target_start, a.target_end, a.query_start, a.query_end)
+            assert box in fz_boxes
+
+    def test_alignments_rescore(self, runs, tiny_genome_pair):
+        _, fastz = runs
+        scheme = bench_config().scheme
+        t = tiny_genome_pair.target.codes
+        q = tiny_genome_pair.query.codes
+        for a in fastz.alignments[:10]:
+            assert a.rescore(t, q, scheme) == a.score
+
+    def test_no_executor_fallbacks(self, runs):
+        _, fastz = runs
+        assert fastz.executor_fallbacks == 0
+
+
+class TestEagerTraceback:
+    def test_eager_majority(self, runs):
+        _, fastz = runs
+        # The tiny pair plants mostly eager-class segments.
+        assert fastz.eager_fraction > 0.5
+
+    def test_eager_tasks_have_no_executor_profile(self, runs):
+        _, fastz = runs
+        for task in fastz.tasks:
+            if task.eager:
+                assert task.exec_left is None and task.exec_right is None
+                assert task.bin_id == 0
+            else:
+                assert task.exec_left is not None and task.exec_right is not None
+                assert task.bin_id >= 1
+
+    def test_eager_spans_fit_tile(self, runs):
+        _, fastz = runs
+        tile = BENCH_OPTIONS.eager_tile
+        for task in fastz.tasks:
+            if task.eager:
+                assert max(task.left_end) <= tile
+                assert max(task.right_end) <= tile
+
+
+class TestVariants:
+    def test_eager_disabled_sends_all_to_executor(self, tiny_genome_pair):
+        config = bench_config()
+        options = FastzOptions(
+            eager_traceback=False, bin_edges=BENCH_OPTIONS.bin_edges
+        )
+        res = run_fastz(tiny_genome_pair.target, tiny_genome_pair.query, config, options)
+        assert res.eager_count == 0
+        assert all(t.exec_left is not None for t in res.tasks)
+
+    def test_untrimmed_executor_matches_trimmed_results(self, tiny_genome_pair):
+        config = bench_config()
+        trimmed = run_fastz(
+            tiny_genome_pair.target, tiny_genome_pair.query, config, BENCH_OPTIONS
+        )
+        from dataclasses import replace
+
+        untrimmed = run_fastz(
+            tiny_genome_pair.target,
+            tiny_genome_pair.query,
+            config,
+            replace(BENCH_OPTIONS, executor_trimming=False),
+        )
+        assert [t.score for t in trimmed.tasks] == [t.score for t in untrimmed.tasks]
+        # Untrimmed executors re-explore the full search space.
+        a = trimmed.arrays
+        b = untrimmed.arrays
+        assert b.exec_cells[~b.eager].sum() > a.exec_cells[~a.eager].sum()
+
+
+class TestProfiles:
+    def test_bin_counts_sum(self, runs):
+        _, fastz = runs
+        assert fastz.bin_counts().sum() == len(fastz.tasks)
+
+    def test_arrays_consistency(self, runs):
+        _, fastz = runs
+        arr = fastz.arrays
+        assert len(arr) == len(fastz.tasks)
+        # Side arrays interleave left/right and sum to the task totals.
+        assert arr.side_insp_cells.reshape(-1, 2).sum(axis=1).tolist() == \
+            arr.insp_cells.tolist()
+        assert arr.side_cols.reshape(-1, 2).sum(axis=1).tolist() == \
+            arr.alignment_cols.tolist()
+
+    def test_trimmed_executor_cheaper_than_inspection(self, runs):
+        _, fastz = runs
+        arr = fastz.arrays
+        assert arr.exec_cells.sum() < arr.insp_cells.sum()
+
+    def test_unique_alignments_dedup(self, runs):
+        _, fastz = runs
+        unique = fastz.unique_alignments()
+        boxes = [(a.target_start, a.target_end, a.query_start, a.query_end) for a in unique]
+        assert len(boxes) == len(set(boxes))

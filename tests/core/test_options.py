@@ -1,0 +1,74 @@
+"""Unit tests for FastZ options and the ablation ladder."""
+
+import pytest
+
+from repro.core import FASTZ_FULL, FastzOptions, ablation_ladder
+from repro.core.options import DEFAULT_BIN_EDGES, SCALED_BIN_EDGES
+
+
+class TestOptions:
+    def test_full_fastz_defaults(self):
+        assert FASTZ_FULL.cyclic_buffers
+        assert FASTZ_FULL.eager_traceback
+        assert FASTZ_FULL.executor_trimming
+        assert FASTZ_FULL.binning
+        assert FASTZ_FULL.streams == 32
+        assert FASTZ_FULL.eager_tile == 16
+
+    def test_paper_bin_edges(self):
+        assert DEFAULT_BIN_EDGES == (512, 2048, 8192, 32768)
+        # 4x ladder.
+        for a, b in zip(DEFAULT_BIN_EDGES, DEFAULT_BIN_EDGES[1:]):
+            assert b == 4 * a
+        for a, b in zip(SCALED_BIN_EDGES, SCALED_BIN_EDGES[1:]):
+            assert b == 4 * a
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FastzOptions(eager_tile=0)
+        with pytest.raises(ValueError):
+            FastzOptions(streams=0)
+        with pytest.raises(ValueError):
+            FastzOptions(bin_edges=(100, 100))
+        with pytest.raises(ValueError):
+            FastzOptions(bin_edges=())
+
+    def test_label(self):
+        assert "cyclic" in FASTZ_FULL.label
+        assert "naive" in FastzOptions(cyclic_buffers=False).label
+
+
+class TestLadder:
+    def test_order_and_length(self):
+        ladder = ablation_ladder()
+        labels = [name for name, _ in ladder]
+        assert labels == [
+            "insp-exec+binning",
+            "+cyclic",
+            "+eager",
+            "+trim (FastZ)",
+            "FastZ-single-stream",
+        ]
+
+    def test_progressive_flags(self):
+        ladder = dict(ablation_ladder())
+        base = ladder["insp-exec+binning"]
+        assert not base.cyclic_buffers and not base.eager_traceback
+        assert not base.executor_trimming and base.binning
+        assert ladder["+cyclic"].cyclic_buffers
+        assert not ladder["+cyclic"].eager_traceback
+        assert ladder["+eager"].eager_traceback
+        assert not ladder["+eager"].executor_trimming
+        fastz = ladder["+trim (FastZ)"]
+        assert fastz.executor_trimming and fastz.streams == 32
+        assert ladder["FastZ-single-stream"].streams == 1
+
+    def test_penultimate_is_full_fastz(self):
+        ladder = dict(ablation_ladder())
+        fastz = ladder["+trim (FastZ)"]
+        assert fastz == FASTZ_FULL
+
+    def test_custom_streams(self):
+        ladder = dict(ablation_ladder(streams=8))
+        assert ladder["+trim (FastZ)"].streams == 8
+        assert ladder["FastZ-single-stream"].streams == 1

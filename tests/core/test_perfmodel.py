@@ -1,0 +1,174 @@
+"""Unit tests for the FastZ performance model."""
+
+import numpy as np
+import pytest
+
+from repro.align.wavefront import WavefrontStats
+from repro.core import (
+    FastzOptions,
+    FastzTask,
+    ablation_times,
+    tasks_to_arrays,
+    time_fastz,
+    time_feng_baseline,
+)
+from repro.gpusim import Calibration, QV100_VOLTA, RTX_3080_AMPERE, TITAN_X_PASCAL
+
+
+def _stats(cells, diagonals, width=20):
+    steps = max(diagonals, cells // 28)
+    return WavefrontStats(
+        diagonals=diagonals,
+        cells=cells,
+        warp_steps=steps,
+        boundary_cells=max(steps - diagonals, 0),
+        max_width=width,
+    )
+
+
+def _make_tasks(n_eager=400, n_short=100, n_long=4):
+    """A Table-2-shaped synthetic workload."""
+    tasks = []
+    for k in range(n_eager):
+        tasks.append(
+            FastzTask(
+                anchor_t=k, anchor_q=k, score=900,
+                insp_left=_stats(4000, 200), insp_right=_stats(4000, 200),
+                left_end=(8, 8), right_end=(9, 9), eager=True,
+                exec_left=None, exec_right=None,
+                cols_left=0, cols_right=0, bin_id=0,
+            )
+        )
+    for k in range(n_short):
+        tasks.append(
+            FastzTask(
+                anchor_t=k, anchor_q=k, score=4000,
+                insp_left=_stats(6000, 240), insp_right=_stats(6000, 240),
+                left_end=(40, 41), right_end=(35, 36), eager=False,
+                exec_left=_stats(900, 80), exec_right=_stats(800, 75),
+                cols_left=41, cols_right=36, bin_id=2,
+            )
+        )
+    for k in range(n_long):
+        tasks.append(
+            FastzTask(
+                anchor_t=k, anchor_q=k, score=90000,
+                insp_left=_stats(60000, 1600, width=40),
+                insp_right=_stats(60000, 1600, width=40),
+                left_end=(700, 710), right_end=(650, 655), eager=False,
+                exec_left=_stats(30000, 1450), exec_right=_stats(28000, 1350),
+                cols_left=712, cols_right=658, bin_id=4,
+            )
+        )
+    return tasks_to_arrays(tasks)
+
+
+@pytest.fixture(scope="module")
+def arrays():
+    return _make_tasks()
+
+
+@pytest.fixture(scope="module")
+def calib():
+    return Calibration(modeled_memory_bytes=16e6)
+
+
+DEV = RTX_3080_AMPERE
+
+
+class TestTimeFastz:
+    def test_breakdown_sums_to_total(self, arrays, calib):
+        t = time_fastz(arrays, DEV, calib=calib)
+        bd = t.breakdown()
+        assert bd["inspector"] + bd["executor"] + bd["other"] == pytest.approx(1.0)
+        assert t.total_seconds > 0
+
+    def test_inspector_dominates(self, arrays, calib):
+        # Figure 8: the inspector is the largest component for FastZ.
+        t = time_fastz(arrays, DEV, calib=calib)
+        bd = t.breakdown()
+        assert bd["inspector"] > bd["executor"]
+
+    def test_transfer_adds_other_time(self, arrays, calib):
+        a = time_fastz(arrays, DEV, calib=calib, transfer_bytes=0)
+        b = time_fastz(arrays, DEV, calib=calib, transfer_bytes=1e9)
+        assert b.other_seconds > a.other_seconds
+        assert b.inspector_seconds == a.inspector_seconds
+
+    def test_no_binning_pays_alloc(self, arrays, calib):
+        from dataclasses import replace
+
+        binned = time_fastz(arrays, DEV, calib=calib)
+        unbinned = time_fastz(
+            arrays, DEV, FastzOptions(binning=False), calib=calib
+        )
+        assert unbinned.executor_seconds > binned.executor_seconds
+
+
+class TestAblationLadder:
+    def test_monotone_improvement(self, arrays, calib):
+        """Each Figure 9 optimisation must help (or at least not hurt)."""
+        for dev in (TITAN_X_PASCAL, QV100_VOLTA, DEV):
+            table = ablation_times(arrays, dev, calib)
+            labels = list(table)
+            totals = [table[l].total_seconds for l in labels]
+            # base > +cyclic > +eager > +trim; single-stream is slower than
+            # full FastZ.
+            assert totals[0] > totals[1] > totals[2] > totals[3]
+            assert totals[4] > totals[3]
+
+    def test_cyclic_removes_memory_boundedness(self, arrays, calib):
+        table = ablation_times(arrays, DEV, calib)
+        base = table["insp-exec+binning"]
+        cyclic = table["+cyclic"]
+        assert base.inspector_seconds / cyclic.inspector_seconds > 2.0
+
+    def test_eager_cuts_executor(self, arrays, calib):
+        table = ablation_times(arrays, DEV, calib)
+        assert (
+            table["+eager"].executor_seconds
+            < table["+cyclic"].executor_seconds
+        )
+
+    def test_trim_cuts_executor(self, arrays, calib):
+        table = ablation_times(arrays, DEV, calib)
+        assert (
+            table["+trim (FastZ)"].executor_seconds
+            < table["+eager"].executor_seconds
+        )
+
+    def test_device_ordering_for_full_fastz(self, arrays, calib):
+        """Figure 7: Pascal < Volta ~< Ampere for the full configuration."""
+        times = {
+            dev.name: time_fastz(arrays, dev, calib=calib).total_seconds
+            for dev in (TITAN_X_PASCAL, QV100_VOLTA, DEV)
+        }
+        assert times["Titan X"] > times["RTX 3080"]
+        assert times["Titan X"] > times["QV100"]
+
+
+class TestFengBaseline:
+    def test_sync_dominated(self, arrays, calib):
+        t = time_feng_baseline(arrays, DEV, calib)
+        sync_floor = arrays.insp_diagonals.sum() * calib.feng_sync_us * 1e-6
+        assert t >= sync_floor
+
+    def test_slower_than_fastz(self, arrays, calib):
+        fastz = time_fastz(arrays, DEV, calib=calib).total_seconds
+        feng = time_feng_baseline(arrays, DEV, calib)
+        assert feng > 10 * fastz
+
+    def test_scales_with_tasks(self, calib):
+        small = _make_tasks(n_eager=50, n_short=10, n_long=1)
+        big = _make_tasks(n_eager=500, n_short=100, n_long=2)
+        assert time_feng_baseline(big, DEV, calib) > time_feng_baseline(
+            small, DEV, calib
+        )
+
+
+class TestEmptyWorkload:
+    def test_empty_arrays(self, calib):
+        arrays = tasks_to_arrays([])
+        t = time_fastz(arrays, DEV, calib=calib)
+        assert t.total_seconds >= 0
+        assert t.executor_seconds == 0.0

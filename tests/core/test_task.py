@@ -1,0 +1,88 @@
+"""Unit tests for task profiles and their array views."""
+
+from repro.align.wavefront import WavefrontStats
+from repro.core import FastzTask, tasks_to_arrays
+
+
+def _stats(cells=100, diagonals=20, steps=25, boundary=5, width=8):
+    return WavefrontStats(
+        diagonals=diagonals,
+        cells=cells,
+        warp_steps=steps,
+        boundary_cells=boundary,
+        max_width=width,
+    )
+
+
+def _task(eager=False, score=500, l_end=(10, 12), r_end=(8, 9), bin_id=1):
+    return FastzTask(
+        anchor_t=1000,
+        anchor_q=2000,
+        score=score,
+        insp_left=_stats(cells=100),
+        insp_right=_stats(cells=200),
+        left_end=l_end,
+        right_end=r_end,
+        eager=eager,
+        exec_left=None if eager else _stats(cells=30),
+        exec_right=None if eager else _stats(cells=40),
+        cols_left=0 if eager else 12,
+        cols_right=0 if eager else 10,
+        bin_id=0 if eager else bin_id,
+    )
+
+
+class TestFastzTask:
+    def test_spans(self):
+        t = _task()
+        assert t.target_span == 18
+        assert t.query_span == 21
+        assert t.extent == 21
+
+    def test_inspector_sums(self):
+        t = _task()
+        assert t.inspector_cells == 300
+        assert t.inspector_steps == 50
+        assert t.inspector_boundary == 10
+        assert t.inspector_diagonals == 40
+
+    def test_executor_sums(self):
+        t = _task()
+        assert t.executor_cells == 70
+        assert t.executor_steps == 50
+
+    def test_eager_task_executor_zero(self):
+        t = _task(eager=True)
+        assert t.executor_cells == 0
+        assert t.executor_steps == 0
+        assert t.executor_boundary == 0
+        assert t.alignment_cols == 0
+
+
+class TestTaskArrays:
+    def test_lengths(self):
+        arrays = tasks_to_arrays([_task(), _task(eager=True), _task()])
+        assert len(arrays) == 3
+        assert arrays.side_insp_cells.shape == (6,)
+
+    def test_side_interleaving(self):
+        arrays = tasks_to_arrays([_task()])
+        assert arrays.side_insp_cells.tolist() == [100, 200]
+        assert arrays.side_exec_cells.tolist() == [30, 40]
+        assert arrays.side_cols.tolist() == [12, 10]
+        assert arrays.side_span.tolist() == [12, 9]
+
+    def test_side_broadcasts(self):
+        arrays = tasks_to_arrays([_task(eager=True), _task()])
+        assert arrays.side_eager.tolist() == [True, True, False, False]
+        assert arrays.side_bin_id.tolist() == [0, 0, 1, 1]
+        assert arrays.side_extent.tolist() == [21, 21, 21, 21]
+
+    def test_rect_is_diag_times_width(self):
+        arrays = tasks_to_arrays([_task()])
+        assert arrays.side_insp_rect.tolist() == [20 * 8, 20 * 8]
+
+    def test_empty_task_list(self):
+        arrays = tasks_to_arrays([])
+        assert len(arrays) == 0
+        assert arrays.side_insp_cells.shape == (0,)

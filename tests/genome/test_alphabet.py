@@ -1,0 +1,96 @@
+"""Unit tests for the DNA alphabet and 2-bit encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.genome import (
+    BASES,
+    N_CODE,
+    complement_codes,
+    decode,
+    encode,
+    reverse_complement,
+)
+from repro.genome.alphabet import is_valid_codes
+
+
+class TestEncode:
+    def test_canonical_bases(self):
+        assert encode("ACGT").tolist() == [0, 1, 2, 3]
+
+    def test_lowercase(self):
+        assert encode("acgt").tolist() == [0, 1, 2, 3]
+
+    def test_n_maps_to_sentinel(self):
+        assert encode("N").tolist() == [int(N_CODE)]
+        assert encode("n").tolist() == [int(N_CODE)]
+
+    def test_unknown_characters_map_to_n(self):
+        assert encode("X-?.").tolist() == [int(N_CODE)] * 4
+
+    def test_empty(self):
+        assert encode("").shape == (0,)
+
+    def test_bytes_input(self):
+        assert encode(b"ACGT").tolist() == [0, 1, 2, 3]
+
+    def test_dtype(self):
+        assert encode("ACGT").dtype == np.uint8
+
+
+class TestDecode:
+    def test_roundtrip_simple(self):
+        assert decode(encode("ACGTN")) == "ACGTN"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            decode(np.array([5], dtype=np.uint8))
+
+    def test_empty(self):
+        assert decode(np.zeros(0, dtype=np.uint8)) == ""
+
+
+class TestComplement:
+    def test_pairs(self):
+        assert decode(complement_codes(encode("ACGTN"))) == "TGCAN"
+
+    def test_reverse_complement(self):
+        assert decode(reverse_complement(encode("AACG"))) == "CGTT"
+
+    def test_reverse_complement_returns_copy(self):
+        codes = encode("ACGT")
+        rc = reverse_complement(codes)
+        assert rc.flags.owndata or rc.base is not codes
+
+
+class TestValidation:
+    def test_valid(self):
+        assert is_valid_codes(encode("ACGTN"))
+
+    def test_invalid_value(self):
+        assert not is_valid_codes(np.array([9], dtype=np.uint8))
+
+    def test_wrong_dtype(self):
+        assert not is_valid_codes(np.array([0, 1], dtype=np.int32))
+
+    def test_empty_is_valid(self):
+        assert is_valid_codes(np.zeros(0, dtype=np.uint8))
+
+
+@given(st.text(alphabet="ACGTN", max_size=200))
+def test_encode_decode_roundtrip(text):
+    assert decode(encode(text)) == text
+
+
+@given(st.text(alphabet="ACGT", max_size=200))
+def test_reverse_complement_involution(text):
+    codes = encode(text)
+    assert np.array_equal(reverse_complement(reverse_complement(codes)), codes)
+
+
+@given(st.text(alphabet="ACGT", max_size=200))
+def test_complement_changes_every_base(text):
+    codes = encode(text)
+    comp = complement_codes(codes)
+    assert not np.any(codes == comp)

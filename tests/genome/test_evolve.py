@@ -1,0 +1,142 @@
+"""Unit tests for the divergence model and homology planting."""
+
+import numpy as np
+import pytest
+
+from repro.genome import GenomePair, PlantedSegment, SegmentClass, build_pair, mutate
+from repro.genome.generator import random_codes
+
+
+class TestMutate:
+    def test_zero_rates_identity(self, rng):
+        base = random_codes(rng, 500)
+        out = mutate(base, rng, divergence=0.0, indel_rate=0.0)
+        assert np.array_equal(out, base)
+        assert out is not base  # copy, not alias
+
+    def test_divergence_rate(self, rng):
+        base = random_codes(rng, 50_000)
+        out = mutate(base, rng, divergence=0.1)
+        frac = np.mean(out != base)
+        assert 0.08 < frac < 0.12
+
+    def test_substitutions_change_base(self, rng):
+        base = random_codes(rng, 10_000)
+        out = mutate(base, rng, divergence=1.0 - 1e-12)
+        # A substitution never silently keeps the same base.
+        assert not np.any(out == base)
+
+    def test_indels_change_length(self, rng):
+        base = random_codes(rng, 5000)
+        lengths = {
+            mutate(base, rng, divergence=0.0, indel_rate=0.02).shape[0]
+            for _ in range(5)
+        }
+        assert lengths != {5000}
+
+    def test_empty_input(self, rng):
+        assert mutate(np.zeros(0, dtype=np.uint8), rng).shape == (0,)
+
+    def test_output_dtype(self, rng):
+        base = random_codes(rng, 100)
+        assert mutate(base, rng, divergence=0.5, indel_rate=0.05).dtype == np.uint8
+
+    def test_mean_indel_length(self, rng):
+        base = random_codes(rng, 200_000)
+        out = mutate(base, rng, divergence=0.0, indel_rate=0.01, mean_indel_len=5.0)
+        # insertions and deletions roughly cancel in expectation, but the
+        # total length change should be modest relative to indel volume.
+        assert abs(out.shape[0] - base.shape[0]) < 200_000 * 0.01 * 5.0
+
+
+class TestSegmentClass:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SegmentClass("x", -1, 10, 20)
+        with pytest.raises(ValueError):
+            SegmentClass("x", 1, 20, 10)
+        with pytest.raises(ValueError):
+            SegmentClass("x", 1, 10, 20, divergence=1.0)
+        with pytest.raises(ValueError):
+            SegmentClass("x", 1, 10, 20, indel_rate=0.7)
+        with pytest.raises(ValueError):
+            SegmentClass("x", 1, 10, 20, mean_indel_len=0.5)
+
+
+class TestBuildPair:
+    @pytest.fixture()
+    def pair(self) -> GenomePair:
+        return build_pair(
+            "p",
+            target_length=20_000,
+            query_length=20_000,
+            classes=[
+                SegmentClass("short", 20, 19, 21, divergence=0.01),
+                SegmentClass("long", 3, 200, 400, divergence=0.05),
+            ],
+            rng=11,
+        )
+
+    def test_lengths(self, pair):
+        assert len(pair.target) == 20_000
+        # Query assembled from gaps + segments; close to requested length.
+        assert abs(len(pair.query) - 20_000) < 2_000
+
+    def test_segment_counts(self, pair):
+        assert len(pair.segments_of("short")) == 20
+        assert len(pair.segments_of("long")) == 3
+
+    def test_segments_nonoverlapping_in_query(self, pair):
+        segs = sorted(pair.segments, key=lambda s: s.query_start)
+        for a, b in zip(segs, segs[1:]):
+            assert a.query_end < b.query_start
+
+    def test_planted_coordinates_are_homologous(self, pair):
+        # The query interval must be a near-copy of the target interval.
+        for seg in pair.segments_of("short"):
+            t = pair.target.codes[seg.target_start : seg.target_end]
+            q = pair.query.codes[seg.query_start : seg.query_end]
+            assert t.shape == q.shape  # no indels in this class
+            identity = np.mean(t == q)
+            assert identity > 0.9
+
+    def test_segment_properties(self):
+        seg = PlantedSegment("c", 10, 30, 100, 125)
+        assert seg.target_length == 20
+        assert seg.query_length == 25
+
+    def test_query_too_small(self):
+        with pytest.raises(ValueError):
+            build_pair(
+                "p",
+                target_length=1000,
+                query_length=50,
+                classes=[SegmentClass("big", 5, 100, 100)],
+                rng=0,
+            )
+
+    def test_segment_longer_than_target(self):
+        with pytest.raises(ValueError):
+            build_pair(
+                "p",
+                target_length=50,
+                query_length=10_000,
+                classes=[SegmentClass("big", 1, 100, 100)],
+                rng=0,
+            )
+
+    def test_deterministic(self):
+        kwargs = dict(
+            target_length=5_000,
+            query_length=5_000,
+            classes=[SegmentClass("s", 5, 19, 21)],
+        )
+        a = build_pair("p", rng=3, **kwargs)
+        b = build_pair("p", rng=3, **kwargs)
+        assert a.target == b.target
+        assert a.query == b.query
+        assert a.segments == b.segments
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ValueError):
+            build_pair("p", target_length=0, query_length=10, classes=[], rng=0)

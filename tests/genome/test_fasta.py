@@ -1,0 +1,72 @@
+"""Unit tests for FASTA I/O."""
+
+import io
+
+import pytest
+
+from repro.genome import Sequence, read_fasta, write_fasta
+from repro.genome.fasta import parse_fasta
+
+
+@pytest.fixture()
+def records():
+    return [
+        Sequence.from_text("chr1", "ACGT" * 30),
+        Sequence.from_text("chr2", "GGCC"),
+        Sequence.from_text("chr3", ""),
+    ]
+
+
+class TestRoundtrip:
+    def test_file_roundtrip(self, tmp_path, records):
+        path = tmp_path / "g.fa"
+        write_fasta(path, records)
+        back = read_fasta(path)
+        assert back == records
+
+    def test_narrow_wrap(self, tmp_path, records):
+        path = tmp_path / "g.fa"
+        write_fasta(path, records, width=7)
+        assert read_fasta(path) == records
+        lines = path.read_text().splitlines()
+        assert all(len(l) <= 7 for l in lines if not l.startswith(">"))
+
+    def test_stream_write(self, records):
+        buf = io.StringIO()
+        write_fasta(buf, records)
+        back = list(parse_fasta(io.StringIO(buf.getvalue())))
+        assert back == records
+
+
+class TestParse:
+    def test_basic(self):
+        text = ">a\nACGT\nACGT\n>b desc ignored\nTTTT\n"
+        recs = list(parse_fasta(io.StringIO(text)))
+        assert [r.name for r in recs] == ["a", "b"]
+        assert recs[0].text() == "ACGTACGT"
+        assert recs[1].text() == "TTTT"
+
+    def test_blank_lines_ignored(self):
+        recs = list(parse_fasta(io.StringIO(">a\n\nAC\n\nGT\n")))
+        assert recs[0].text() == "ACGT"
+
+    def test_data_before_header(self):
+        with pytest.raises(ValueError):
+            list(parse_fasta(io.StringIO("ACGT\n>a\n")))
+
+    def test_empty_header(self):
+        with pytest.raises(ValueError):
+            list(parse_fasta(io.StringIO(">\nACGT\n")))
+
+    def test_empty_stream(self):
+        assert list(parse_fasta(io.StringIO(""))) == []
+
+    def test_lowercase_normalised(self):
+        recs = list(parse_fasta(io.StringIO(">a\nacgt\n")))
+        assert recs[0].text() == "ACGT"
+
+
+class TestWriteValidation:
+    def test_bad_width(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_fasta(tmp_path / "x.fa", [], width=0)

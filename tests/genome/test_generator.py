@@ -1,0 +1,61 @@
+"""Unit tests for random genome generation."""
+
+import numpy as np
+import pytest
+
+from repro.genome import random_codes, random_sequence, tandem_repeat
+
+
+class TestRandomCodes:
+    def test_length(self, rng):
+        assert random_codes(rng, 1000).shape == (1000,)
+
+    def test_empty(self, rng):
+        assert random_codes(rng, 0).shape == (0,)
+
+    def test_negative(self, rng):
+        with pytest.raises(ValueError):
+            random_codes(rng, -1)
+
+    def test_values_in_range(self, rng):
+        codes = random_codes(rng, 5000)
+        assert codes.min() >= 0 and codes.max() <= 3
+
+    def test_gc_bias(self, rng):
+        codes = random_codes(rng, 50_000, gc=0.8)
+        gc = np.mean((codes == 1) | (codes == 2))
+        assert 0.77 < gc < 0.83
+
+    def test_gc_zero(self, rng):
+        codes = random_codes(rng, 1000, gc=0.0)
+        assert not np.any((codes == 1) | (codes == 2))
+
+    def test_gc_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_codes(rng, 10, gc=1.5)
+
+    def test_deterministic(self):
+        a = random_codes(np.random.default_rng(5), 100)
+        b = random_codes(np.random.default_rng(5), 100)
+        assert np.array_equal(a, b)
+
+
+class TestRandomSequence:
+    def test_name_and_length(self, rng):
+        s = random_sequence(rng, "chrX", 500)
+        assert s.name == "chrX"
+        assert len(s) == 500
+
+
+class TestTandemRepeat:
+    def test_structure(self, rng):
+        rep = tandem_repeat(rng, 10, 5)
+        assert rep.shape == (50,)
+        for k in range(5):
+            assert np.array_equal(rep[k * 10 : (k + 1) * 10], rep[:10])
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            tandem_repeat(rng, 0, 5)
+        with pytest.raises(ValueError):
+            tandem_repeat(rng, 5, 0)

@@ -1,0 +1,106 @@
+"""Unit tests for the Sequence container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.genome import Sequence, encode
+
+
+@pytest.fixture()
+def seq():
+    return Sequence.from_text("s", "ACGTACGTNN")
+
+
+class TestConstruction:
+    def test_from_text(self, seq):
+        assert seq.text() == "ACGTACGTNN"
+        assert len(seq) == 10
+
+    def test_codes_are_read_only(self, seq):
+        with pytest.raises(ValueError):
+            seq.codes[0] = 3
+
+    def test_invalid_codes_rejected(self):
+        with pytest.raises(ValueError):
+            Sequence("bad", np.array([7], dtype=np.uint8))
+
+    def test_empty_sequence(self):
+        s = Sequence.from_text("e", "")
+        assert len(s) == 0
+        assert s.text() == ""
+
+
+class TestProtocol:
+    def test_getitem_slice(self, seq):
+        assert seq[0:4].tolist() == [0, 1, 2, 3]
+
+    def test_equality(self):
+        a = Sequence.from_text("x", "ACGT")
+        b = Sequence.from_text("x", "ACGT")
+        c = Sequence.from_text("y", "ACGT")
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_equality_other_type(self, seq):
+        assert seq != "ACGT"
+
+
+class TestSubsequence:
+    def test_basic(self, seq):
+        sub = seq.subsequence(2, 6)
+        assert sub.text() == "GTAC"
+        assert sub.name == "s[2:6]"
+
+    def test_custom_name(self, seq):
+        assert seq.subsequence(0, 2, name="z").name == "z"
+
+    def test_out_of_range(self, seq):
+        with pytest.raises(IndexError):
+            seq.subsequence(5, 100)
+        with pytest.raises(IndexError):
+            seq.subsequence(-1, 3)
+        with pytest.raises(IndexError):
+            seq.subsequence(6, 4)
+
+
+class TestReverseComplement:
+    def test_basic(self):
+        s = Sequence.from_text("s", "AACG")
+        assert s.reverse_complement().text() == "CGTT"
+
+    def test_name(self):
+        s = Sequence.from_text("s", "A")
+        assert s.reverse_complement().name == "s(-)"
+
+
+class TestStats:
+    def test_gc_fraction(self):
+        assert Sequence.from_text("s", "GGCC").gc_fraction() == 1.0
+        assert Sequence.from_text("s", "AATT").gc_fraction() == 0.0
+        assert Sequence.from_text("s", "ACGT").gc_fraction() == 0.5
+
+    def test_gc_ignores_n(self):
+        assert Sequence.from_text("s", "GCNN").gc_fraction() == 1.0
+
+    def test_gc_empty(self):
+        assert Sequence.from_text("s", "").gc_fraction() == 0.0
+        assert Sequence.from_text("s", "NN").gc_fraction() == 0.0
+
+    def test_n_fraction(self):
+        assert Sequence.from_text("s", "ANNN").n_fraction() == 0.75
+        assert Sequence.from_text("s", "").n_fraction() == 0.0
+
+
+@given(st.text(alphabet="ACGT", min_size=1, max_size=100))
+def test_revcomp_involution_on_sequence(text):
+    s = Sequence.from_text("t", text)
+    assert s.reverse_complement().reverse_complement().text() == text
+
+
+@given(st.text(alphabet="ACGTN", max_size=100), st.integers(0, 100), st.integers(0, 100))
+def test_subsequence_matches_python_slice(text, a, b):
+    s = Sequence.from_text("t", text)
+    lo, hi = sorted((min(a, len(text)), min(b, len(text))))
+    assert s.subsequence(lo, hi).text() == text[lo:hi]

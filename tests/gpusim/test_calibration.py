@@ -1,0 +1,53 @@
+"""Unit tests for the calibration constants."""
+
+import dataclasses
+
+from repro.gpusim import Calibration, DEFAULT_CALIBRATION
+from repro.gpusim.calibration import DIVERGED_OPS_PER_CELL, OPS_PER_CELL
+
+
+class TestPaperBookkeeping:
+    def test_nine_ops_per_cell(self):
+        # §2.2: five additions + four comparisons.
+        assert OPS_PER_CELL == 9
+
+    def test_divergence_expansion(self):
+        # §6: the 9 ops expand to 23 under SIMD divergence.
+        assert DIVERGED_OPS_PER_CELL == 23
+
+    def test_naive_score_traffic(self):
+        # §2.2: 5 reads + 3 writes of 4-byte scores.
+        assert DEFAULT_CALIBRATION.naive_score_bytes_per_cell == 32.0
+
+    def test_cyclic_boundary_spill(self):
+        # §3.2/§6: three 4-byte scores from the boundary lane.
+        assert DEFAULT_CALIBRATION.cyclic_boundary_bytes == 12.0
+
+    def test_packed_traceback_byte(self):
+        # §3.1.3: 2+1+1 bits packed into one byte per cell.
+        assert DEFAULT_CALIBRATION.traceback_bytes_per_cell == 1.0
+
+
+class TestStructure:
+    def test_frozen(self):
+        try:
+            DEFAULT_CALIBRATION.step_cycles_cyclic = 1.0
+            assert False, "calibration must be immutable"
+        except dataclasses.FrozenInstanceError:
+            pass
+
+    def test_default_memory_unbounded(self):
+        assert DEFAULT_CALIBRATION.modeled_memory_bytes is None
+
+    def test_override(self):
+        calib = Calibration(modeled_memory_bytes=1e6)
+        assert calib.modeled_memory_bytes == 1e6
+        # Everything else keeps defaults.
+        assert calib.step_cycles_cyclic == DEFAULT_CALIBRATION.step_cycles_cyclic
+
+    def test_executor_costs_more_than_inspector(self):
+        c = DEFAULT_CALIBRATION
+        assert c.step_cycles_executor_extra > 0
+
+    def test_critical_fraction_sane(self):
+        assert 0.0 < DEFAULT_CALIBRATION.critical_fraction < 1.0

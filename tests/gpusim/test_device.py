@@ -1,0 +1,74 @@
+"""Unit tests for GPU device specs."""
+
+import pytest
+
+from repro.gpusim import (
+    ALL_DEVICES,
+    DeviceSpec,
+    QV100_VOLTA,
+    RTX_3080_AMPERE,
+    TITAN_X_PASCAL,
+)
+
+
+class TestPaperSpecs:
+    def test_sm_counts(self):
+        # §3.1.3: 28-way Pascal, 68-way Ampere, 80-way Volta.
+        assert TITAN_X_PASCAL.sms == 28
+        assert RTX_3080_AMPERE.sms == 68
+        assert QV100_VOLTA.sms == 80
+
+    def test_core_counts(self):
+        assert TITAN_X_PASCAL.total_lanes == 3584
+        assert QV100_VOLTA.total_lanes == 5120
+        assert RTX_3080_AMPERE.total_lanes == 8704
+
+    def test_ampere_peak_flops(self):
+        # §6: nominal peak compute of the RTX 3080 is 29.77 TFLOP/s.
+        assert RTX_3080_AMPERE.peak_flops == pytest.approx(29.77e12, rel=0.01)
+
+    def test_ampere_ridge(self):
+        # §6: 29.77 TFLOP/s over 760 GB/s -> 39 ops/byte.
+        assert RTX_3080_AMPERE.ridge_ops_per_byte == pytest.approx(39.0, rel=0.02)
+
+    def test_memory_sizes(self):
+        assert TITAN_X_PASCAL.mem_bytes == 12 * 1024**3
+        assert QV100_VOLTA.mem_bytes == 32 * 1024**3
+        assert RTX_3080_AMPERE.mem_bytes == 10 * 1024**3
+
+    def test_bandwidths(self):
+        assert TITAN_X_PASCAL.mem_bandwidth_gbs == 480.0
+        assert QV100_VOLTA.mem_bandwidth_gbs == 900.0
+        assert RTX_3080_AMPERE.mem_bandwidth_gbs == 760.0
+
+
+class TestDerived:
+    def test_issue_width_is_schedulers(self):
+        for dev in ALL_DEVICES:
+            assert dev.warp_issue_width == dev.warp_schedulers == 4
+
+    def test_bandwidth_per_sm(self):
+        share = RTX_3080_AMPERE.bandwidth_per_sm()
+        assert share == pytest.approx(760e9 / 68)
+
+    def test_peak_ops_half_of_flops(self):
+        for dev in ALL_DEVICES:
+            assert dev.peak_flops == pytest.approx(2 * dev.peak_ops)
+
+
+class TestValidation:
+    def test_positive_sms(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="x", arch="x", sms=0, lanes_per_sm=32, clock_ghz=1.0,
+                mem_bandwidth_gbs=1.0, mem_bytes=1, shared_mem_per_sm=1,
+                max_warps_per_sm=1,
+            )
+
+    def test_lane_multiple_of_warp(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="x", arch="x", sms=1, lanes_per_sm=33, clock_ghz=1.0,
+                mem_bandwidth_gbs=1.0, mem_bytes=1, shared_mem_per_sm=1,
+                max_warps_per_sm=1,
+            )

@@ -1,0 +1,121 @@
+"""Unit tests for the kernel scheduler and occupancy model."""
+
+import pytest
+
+from repro.gpusim import (
+    RTX_3080_AMPERE,
+    TaskCost,
+    occupancy_factor,
+    simulate_kernel,
+)
+
+DEV = RTX_3080_AMPERE
+CLOCK = DEV.clock_ghz * 1e9
+
+
+def _task(compute=1e6, critical=None, bytes_dram=0.0, footprint=0.0, serial=0.0):
+    return TaskCost(
+        compute_cycles=compute,
+        critical_cycles=compute if critical is None else critical,
+        bytes_dram=bytes_dram,
+        footprint_bytes=footprint,
+        serial_cycles=serial,
+    )
+
+
+class TestEmptyAndSingle:
+    def test_empty_kernel_costs_launch(self):
+        t = simulate_kernel([], DEV)
+        assert t.seconds == pytest.approx(DEV.kernel_launch_us * 1e-6)
+        assert t.tasks == 0
+
+    def test_single_compute_task(self):
+        t = simulate_kernel([_task(compute=1e6, critical=1e5)], DEV, include_launch=False)
+        # One warp on one SM: bounded by its compute at issue width 4... but
+        # never below the critical path.
+        expected = max(1e6 / (4 * CLOCK), 1e5 / CLOCK)
+        assert t.seconds == pytest.approx(expected, rel=1e-6)
+
+    def test_critical_path_floor(self):
+        t = simulate_kernel([_task(compute=1e6, critical=9e5)], DEV, include_launch=False)
+        assert t.seconds == pytest.approx(9e5 / CLOCK, rel=1e-6)
+
+    def test_memory_bound_task(self):
+        big = 1e9  # 1 GB through one SM's share
+        t = simulate_kernel(
+            [_task(compute=1.0, critical=1.0, bytes_dram=big)],
+            DEV,
+            include_launch=False,
+        )
+        assert t.seconds == pytest.approx(big / DEV.bandwidth_per_sm(), rel=1e-6)
+
+    def test_serial_tail_added_to_critical(self):
+        t = simulate_kernel(
+            [_task(compute=100.0, critical=100.0, serial=5e6)],
+            DEV,
+            include_launch=False,
+        )
+        assert t.seconds >= 5e6 / CLOCK
+
+
+class TestBalance:
+    def test_uniform_tasks_balance(self):
+        n = DEV.sms * 8
+        tasks = [_task(compute=1e6, critical=1e4) for _ in range(n)]
+        t = simulate_kernel(tasks, DEV, include_launch=False)
+        balanced = 8 * 1e6 / (4 * CLOCK)
+        assert t.seconds == pytest.approx(balanced, rel=0.01)
+        assert t.imbalance < 0.01
+
+    def test_monster_task_sets_makespan(self):
+        tasks = [_task(compute=1e4, critical=1e3) for _ in range(DEV.sms)]
+        tasks.append(_task(compute=1e9, critical=5e8))
+        t = simulate_kernel(tasks, DEV, include_launch=False)
+        assert t.seconds >= 5e8 / CLOCK
+        assert t.imbalance > 0.5
+
+    def test_more_tasks_take_longer(self):
+        few = simulate_kernel([_task() for _ in range(100)], DEV, include_launch=False)
+        many = simulate_kernel([_task() for _ in range(1000)], DEV, include_launch=False)
+        assert many.seconds > few.seconds
+
+
+class TestOccupancy:
+    def test_no_footprint_no_penalty(self):
+        tasks = [_task(footprint=0.0) for _ in range(5000)]
+        assert occupancy_factor(tasks, DEV, 10.0) == 1.0
+
+    def test_small_kernel_not_penalised(self):
+        # Even with big footprints, 4 tasks fit: no penalty.
+        tasks = [_task(footprint=1e6) for _ in range(4)]
+        assert occupancy_factor(tasks, DEV, 10.0, mem_bytes=32e6) == 1.0
+
+    def test_memory_pressure_penalises(self):
+        # 5000 tasks of 1 MB against a 16 MB budget: ~12 resident.
+        tasks = [_task(footprint=1e6) for _ in range(5000)]
+        occ = occupancy_factor(tasks, DEV, 10.0, mem_bytes=16e6)
+        assert occ < 0.1
+
+    def test_penalty_floor(self):
+        tasks = [_task(footprint=1e9) for _ in range(5000)]
+        occ = occupancy_factor(tasks, DEV, 10.0, mem_bytes=1e6)
+        assert occ == pytest.approx(0.02)
+
+    def test_occupancy_slows_kernel(self):
+        tasks = [_task(compute=1e6, critical=1e3, footprint=1e6) for _ in range(5000)]
+        fast = simulate_kernel(tasks, DEV, include_launch=False)
+        slow = simulate_kernel(tasks, DEV, include_launch=False, mem_bytes=16e6)
+        assert slow.seconds > 2 * fast.seconds
+
+    def test_empty_tasks(self):
+        assert occupancy_factor([], DEV, 10.0) == 1.0
+
+
+class TestReporting:
+    def test_fields_populated(self):
+        t = simulate_kernel([_task(bytes_dram=1e6)], DEV)
+        assert t.compute_seconds >= 0
+        assert t.memory_seconds > 0
+        assert t.critical_seconds > 0
+        assert t.launch_seconds > 0
+        assert 0.0 <= t.imbalance <= 1.0

@@ -1,0 +1,54 @@
+"""Unit tests for the per-SM utilisation report."""
+
+import numpy as np
+
+from repro.gpusim import (
+    KernelTiming,
+    RTX_3080_AMPERE,
+    TaskCost,
+    render_utilization,
+    simulate_kernel,
+    utilization_summary,
+)
+
+
+def _kernel(tasks):
+    return simulate_kernel(tasks, RTX_3080_AMPERE, include_launch=False)
+
+
+class TestUtilizationSummary:
+    def test_balanced_kernel(self):
+        tasks = [TaskCost(1e6, 1e4, 0.0) for _ in range(68 * 4)]
+        summary = utilization_summary(_kernel(tasks))
+        assert summary["mean_busy_fraction"] > 0.95
+        assert summary["idle_sms"] == 0.0
+
+    def test_monster_kernel_imbalanced(self):
+        tasks = [TaskCost(1e4, 1e3, 0.0) for _ in range(10)]
+        tasks.append(TaskCost(1e9, 5e8, 0.0))
+        summary = utilization_summary(_kernel(tasks))
+        assert summary["imbalance"] > 0.5
+        assert summary["idle_sms"] > 0.5  # most SMs got nothing
+
+    def test_no_data(self):
+        timing = KernelTiming(0, 0, 0, 0, tasks=0)
+        assert utilization_summary(timing)["mean_busy_fraction"] == 0.0
+
+
+class TestRender:
+    def test_contains_bars(self):
+        tasks = [TaskCost(1e6, 1e4, 0.0) for _ in range(200)]
+        text = render_utilization(_kernel(tasks))
+        assert "per-SM busy time" in text
+        assert "#" in text
+        assert "ms" in text
+
+    def test_row_count_capped(self):
+        tasks = [TaskCost(1e6, 1e4, 0.0) for _ in range(200)]
+        text = render_utilization(_kernel(tasks), max_rows=8)
+        assert len(text.splitlines()) <= 9
+
+    def test_no_data(self):
+        assert "no per-SM data" in render_utilization(
+            KernelTiming(0, 0, 0, 0, tasks=0)
+        )

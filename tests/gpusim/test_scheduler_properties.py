@@ -1,0 +1,68 @@
+"""Property-based tests of the kernel scheduler's invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim import RTX_3080_AMPERE, TaskCost, simulate_kernel
+
+DEV = RTX_3080_AMPERE
+CLOCK = DEV.clock_ghz * 1e9
+
+_task = st.builds(
+    TaskCost,
+    compute_cycles=st.floats(1e3, 1e8),
+    critical_cycles=st.floats(1e2, 1e7),
+    bytes_dram=st.floats(0, 1e8),
+)
+_tasks = st.lists(_task, min_size=1, max_size=80)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_tasks)
+def test_makespan_at_least_balanced_lower_bound(tasks):
+    """No schedule beats perfectly balanced compute and memory."""
+    t = simulate_kernel(tasks, DEV, include_launch=False)
+    compute_lb = sum(x.compute_cycles for x in tasks) / (
+        DEV.sms * DEV.warp_issue_width * CLOCK
+    )
+    memory_lb = sum(x.bytes_dram for x in tasks) / (DEV.mem_bandwidth_gbs * 1e9)
+    assert t.seconds >= compute_lb * (1 - 1e-9)
+    assert t.seconds >= memory_lb * (1 - 1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_tasks)
+def test_makespan_at_least_critical_path(tasks):
+    t = simulate_kernel(tasks, DEV, include_launch=False)
+    worst = max((x.critical_cycles + x.serial_cycles) / CLOCK for x in tasks)
+    assert t.seconds >= worst * (1 - 1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_tasks)
+def test_makespan_at_most_serial_execution(tasks):
+    """Greedy dispatch can never be slower than one SM doing everything."""
+    t = simulate_kernel(tasks, DEV, include_launch=False)
+    serial_compute = sum(x.compute_cycles for x in tasks) / (
+        DEV.warp_issue_width * CLOCK
+    )
+    serial_memory = sum(x.bytes_dram for x in tasks) / DEV.bandwidth_per_sm()
+    worst_crit = max((x.critical_cycles + x.serial_cycles) / CLOCK for x in tasks)
+    assert t.seconds <= serial_compute + serial_memory + worst_crit + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(_tasks)
+def test_adding_a_task_never_speeds_the_kernel(tasks):
+    base = simulate_kernel(tasks, DEV, include_launch=False)
+    extra = tasks + [TaskCost(1e7, 1e6, 1e6)]
+    bigger = simulate_kernel(extra, DEV, include_launch=False)
+    assert bigger.seconds >= base.seconds * (1 - 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_tasks)
+def test_sm_finish_consistent_with_makespan(tasks):
+    t = simulate_kernel(tasks, DEV, include_launch=False)
+    assert t.sm_finish is not None
+    assert t.sm_finish.shape == (DEV.sms,)
+    assert abs(float(t.sm_finish.max()) - t.seconds) < 1e-12

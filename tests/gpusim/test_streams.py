@@ -1,0 +1,71 @@
+"""Unit tests for the CUDA-stream scheduling model."""
+
+import pytest
+
+from repro.gpusim import RTX_3080_AMPERE, TaskCost, simulate_stream_schedule
+
+DEV = RTX_3080_AMPERE
+
+
+def _task(compute=1e6, critical=1e4):
+    return TaskCost(
+        compute_cycles=compute,
+        critical_cycles=critical,
+        bytes_dram=0.0,
+    )
+
+
+def _kernels(n_kernels=8, tasks_per_kernel=50):
+    return [[_task() for _ in range(tasks_per_kernel)] for _ in range(n_kernels)]
+
+
+class TestSingleStream:
+    def test_sum_of_kernels(self):
+        kernels = _kernels()
+        sched = simulate_stream_schedule(kernels, DEV, streams=1)
+        total = sum(k.seconds for k in sched.kernels)
+        assert sched.seconds == pytest.approx(total)
+
+    def test_task_count(self):
+        sched = simulate_stream_schedule(_kernels(3, 10), DEV, streams=1)
+        assert sched.total_tasks == 30
+
+
+class TestMultiStream:
+    def test_never_slower_than_serial(self):
+        kernels = _kernels()
+        serial = simulate_stream_schedule(kernels, DEV, streams=1)
+        overlap = simulate_stream_schedule(kernels, DEV, streams=32)
+        assert overlap.seconds <= serial.seconds
+
+    def test_imbalanced_kernels_benefit(self):
+        # One kernel with a monster task, many light kernels: serial
+        # execution pays the monster's idle time in full.
+        monster = [[TaskCost(5e8, 2e8, 0.0)]]
+        light = [[_task() for _ in range(3500)] for _ in range(16)]
+        kernels = monster + light
+        serial = simulate_stream_schedule(kernels, DEV, streams=1)
+        overlap = simulate_stream_schedule(kernels, DEV, streams=32)
+        assert serial.seconds / overlap.seconds > 1.2
+
+    def test_single_kernel_no_merge_effect(self):
+        kernels = [[_task() for _ in range(100)]]
+        a = simulate_stream_schedule(kernels, DEV, streams=1)
+        b = simulate_stream_schedule(kernels, DEV, streams=32)
+        assert a.seconds == pytest.approx(b.seconds)
+
+    def test_launch_overheads_counted(self):
+        kernels = [[_task()] for _ in range(10)]
+        sched = simulate_stream_schedule(kernels, DEV, streams=32)
+        assert sched.seconds >= 10 * DEV.kernel_launch_us * 1e-6
+
+
+class TestValidation:
+    def test_positive_streams(self):
+        with pytest.raises(ValueError):
+            simulate_stream_schedule([], DEV, streams=0)
+
+    def test_empty_kernel_list(self):
+        sched = simulate_stream_schedule([], DEV, streams=4)
+        assert sched.seconds == 0.0
+        assert sched.total_tasks == 0

@@ -1,0 +1,59 @@
+"""Integration: the pipelines under LASTZ's *unscaled* default parameters.
+
+Most of the suite runs the scaled scheme (y-drop 2400, extend 60) for
+speed.  This module runs a small workload under the true LASTZ defaults
+(HOXD70, gap 400+30, y-drop 9400) to guard the default code path users
+get out of the box.
+"""
+
+import pytest
+
+from repro.core import run_fastz
+from repro.genome import SegmentClass, build_pair
+from repro.lastz import LastzConfig, run_gapped_lastz
+from repro.scoring import default_scheme
+
+
+@pytest.fixture(scope="module")
+def runs():
+    pair = build_pair(
+        "defaults",
+        target_length=15_000,
+        query_length=15_000,
+        classes=[
+            SegmentClass("short", 6, 19, 21, divergence=0.01),
+            SegmentClass("mid", 3, 80, 200, divergence=0.06, indel_rate=0.004),
+        ],
+        rng=55,
+    )
+    config = LastzConfig(scheme=default_scheme(), diag_band=150)
+    lastz = run_gapped_lastz(pair.target, pair.query, config)
+    fastz = run_fastz(pair.target, pair.query, config, anchors=lastz.anchors)
+    return pair, config, lastz, fastz
+
+
+class TestDefaultScheme:
+    def test_defaults_are_lastz(self):
+        scheme = default_scheme()
+        assert (scheme.gap_open, scheme.gap_extend, scheme.ydrop) == (400, 30, 9400)
+
+    def test_pipelines_agree(self, runs):
+        _, _, lastz, fastz = runs
+        skipped = {(t.anchor_t, t.anchor_q) for t in lastz.tasks if t.skipped}
+        by_anchor = {(t.anchor_t, t.anchor_q): t for t in fastz.tasks}
+        for ref in lastz.tasks:
+            if (ref.anchor_t, ref.anchor_q) in skipped:
+                continue
+            assert by_anchor[(ref.anchor_t, ref.anchor_q)].score >= ref.score
+
+    def test_alignments_found_and_rescore(self, runs):
+        pair, config, lastz, fastz = runs
+        assert len(lastz.alignments) >= 3
+        for a in fastz.alignments:
+            assert a.rescore(pair.target.codes, pair.query.codes, config.scheme) == a.score
+
+    def test_deep_search_space(self, runs):
+        """Under the real y-drop the search dwarfs even mid alignments."""
+        _, _, _, fastz = runs
+        arr = fastz.arrays
+        assert arr.insp_cells.sum() > 10 * arr.exec_cells.sum()

@@ -1,0 +1,131 @@
+"""Integration tests: the whole stack on one small benchmark.
+
+These exercise seed discovery -> anchors -> reference LASTZ -> FastZ ->
+performance models -> experiment assembly, end to end, at a reduced scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import distribution_row
+from repro.core import time_fastz, time_feng_baseline, ablation_times
+from repro.gpusim import ALL_DEVICES, RTX_3080_AMPERE
+from repro.lastz import multicore_seconds, sequential_seconds
+from repro.workloads import build_profile, get_benchmark
+from repro.workloads.profiles import BENCH_OPTIONS, bench_calibration
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(monkeypatch, session_cache_dir):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(session_cache_dir))
+
+
+@pytest.fixture(scope="module")
+def profile(session_cache_dir):
+    mp = pytest.MonkeyPatch()
+    mp.setenv("REPRO_CACHE_DIR", str(session_cache_dir))
+    try:
+        yield build_profile(get_benchmark("C1_4,4"), scale=0.15)
+    finally:
+        mp.undo()
+
+
+class TestWorkloadShape:
+    def test_eager_majority(self, profile):
+        assert profile.fastz.eager_fraction > 0.6
+
+    def test_bin_tail_ordering(self, profile):
+        row = distribution_row(profile.name, profile.fastz)
+        counts = row.counts
+        assert counts[0] > counts[1]  # eager > bin1
+        assert counts[1] > counts[3] + counts[4]  # bin1 > deep tail
+
+    def test_search_space_dwarfs_alignments(self, profile):
+        arr = profile.arrays
+        # The paper's premise: total explored cells >> optimal-region cells.
+        assert arr.insp_cells.sum() > 5 * arr.exec_cells.sum()
+
+    def test_fastz_no_fallbacks(self, profile):
+        assert profile.fastz.executor_fallbacks == 0
+
+
+class TestCorrectness:
+    def test_fastz_matches_reference_scores(self, profile):
+        ref_scores = np.array([t.score for t in profile.lastz.tasks])
+        fz_scores = np.array([t.score for t in profile.fastz.tasks])
+        skipped = np.array([t.skipped for t in profile.lastz.tasks])
+        # Non-skipped anchors must agree (or FastZ be better) task by task.
+        assert np.all(fz_scores[~skipped] >= ref_scores[~skipped])
+        same = np.mean(fz_scores[~skipped] == ref_scores[~skipped])
+        assert same > 0.99
+
+
+class TestPerformanceShape:
+    """The paper's headline comparisons, as shape assertions."""
+
+    def test_gpu_baseline_is_slower_than_lastz(self, profile):
+        calib = bench_calibration()
+        cpu = sequential_seconds(profile.cpu_cells)
+        for dev in ALL_DEVICES:
+            feng = time_feng_baseline(profile.arrays, dev, calib)
+            assert feng > cpu, f"{dev.name}: Feng baseline should lose to the CPU"
+
+    def test_multicore_speedup_band(self, profile):
+        cpu = sequential_seconds(profile.cpu_cells)
+        speedup = cpu / multicore_seconds(profile.cpu_cells)
+        assert 5.0 < speedup <= 21.0  # paper: ~20x
+
+    def test_fastz_speedup_band(self, profile):
+        calib = bench_calibration()
+        cpu = sequential_seconds(profile.cpu_cells)
+        # Wide sanity bands: at this tiny test scale launch overheads and
+        # critical paths weigh more than at benchmark scale.
+        for dev, band in [
+            ("Titan X", (8, 150)),
+            ("QV100", (12, 250)),
+            ("RTX 3080", (15, 300)),
+        ]:
+            spec = next(d for d in ALL_DEVICES if d.name == dev)
+            t = time_fastz(
+                profile.arrays,
+                spec,
+                BENCH_OPTIONS,
+                calib,
+                transfer_bytes=profile.transfer_bytes,
+            )
+            speedup = cpu / t.total_seconds
+            assert band[0] < speedup < band[1], (dev, speedup)
+
+    def test_fastz_beats_multicore_everywhere(self, profile):
+        calib = bench_calibration()
+        cpu = sequential_seconds(profile.cpu_cells)
+        mc = cpu / multicore_seconds(profile.cpu_cells)
+        for dev in ALL_DEVICES:
+            t = time_fastz(profile.arrays, dev, BENCH_OPTIONS, calib)
+            assert cpu / t.total_seconds > mc
+
+    def test_ablation_ladder_monotone(self, profile):
+        calib = bench_calibration()
+        table = ablation_times(
+            profile.arrays,
+            RTX_3080_AMPERE,
+            calib,
+            bin_edges=BENCH_OPTIONS.bin_edges,
+            transfer_bytes=profile.transfer_bytes,
+        )
+        totals = [t.total_seconds for t in table.values()]
+        assert totals[0] > totals[1] > totals[2] > totals[3]
+        assert totals[4] > totals[3]  # single stream hurts
+
+    def test_breakdown_inspector_heavy(self, profile):
+        calib = bench_calibration()
+        t = time_fastz(
+            profile.arrays,
+            RTX_3080_AMPERE,
+            BENCH_OPTIONS,
+            calib,
+            transfer_bytes=profile.transfer_bytes,
+        )
+        bd = t.breakdown()
+        assert bd["inspector"] > bd["executor"]
+        assert bd["inspector"] > 0.3

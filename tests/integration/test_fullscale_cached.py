@@ -1,0 +1,98 @@
+"""Reproduction regression tests over the full-scale cached profiles.
+
+These assert the paper's cross-benchmark *shapes* (the things Figures 7/8
+and Table 2 argue) using the scale-1.0 profiles the benchmark harness
+builds.  Building those profiles takes minutes, so the tests run only when
+the benchmark cache is already populated (``pytest benchmarks/`` first);
+otherwise they skip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import time_fastz
+from repro.gpusim import RTX_3080_AMPERE
+from repro.lastz import sequential_seconds
+from repro.workloads import SAME_GENUS_BENCHMARKS
+from repro.workloads.profiles import (
+    BENCH_OPTIONS,
+    _cache_dir,
+    _cache_key,
+    bench_calibration,
+    build_profile,
+)
+
+
+def _cached_profiles():
+    directory = _cache_dir()
+    if directory is None or not directory.exists():
+        return None
+    profiles = []
+    for spec in SAME_GENUS_BENCHMARKS:
+        key = _cache_key(spec, 1.0)
+        path = directory / f"profile-{spec.name.replace('/', '_')}-{key}.pkl"
+        if not path.exists():
+            return None
+        profiles.append(build_profile(spec, scale=1.0))
+    return profiles
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    loaded = _cached_profiles()
+    if loaded is None:
+        pytest.skip("full-scale profile cache not built (run pytest benchmarks/)")
+    return loaded
+
+
+class TestCrossBenchmarkShapes:
+    def test_eager_fractions_in_paper_band(self, profiles):
+        for p in profiles:
+            assert 0.70 < p.fastz.eager_fraction < 0.82, p.name
+
+    def test_bin4_ordering_matches_table2(self, profiles):
+        counts = {p.name: int(p.fastz.bin_counts()[-1]) for p in profiles}
+        assert counts["C1_5,5"] == max(counts.values())
+        assert counts["D1_2R,2"] == 0
+
+    def test_speedup_anticorrelates_with_bin4(self, profiles):
+        """Figure 7's trend: more long alignments, lower speedup."""
+        calib = bench_calibration()
+        bin4 = []
+        speedups = []
+        for p in profiles:
+            cpu = sequential_seconds(p.cpu_cells)
+            t = time_fastz(
+                p.arrays,
+                RTX_3080_AMPERE,
+                BENCH_OPTIONS,
+                calib,
+                transfer_bytes=p.transfer_bytes,
+            )
+            bin4.append(int(p.fastz.bin_counts()[-1]))
+            speedups.append(cpu / t.total_seconds)
+        bin4 = np.array(bin4, dtype=float)
+        speedups = np.array(speedups)
+        # The no-tail benchmark must beat the heaviest-tail benchmark.
+        assert speedups[bin4.argmin()] > speedups[bin4.argmax()]
+        corr = np.corrcoef(bin4, speedups)[0, 1]
+        assert corr < 0.0
+
+    def test_ampere_mean_in_paper_band(self, profiles):
+        calib = bench_calibration()
+        speedups = []
+        for p in profiles:
+            cpu = sequential_seconds(p.cpu_cells)
+            t = time_fastz(
+                p.arrays,
+                RTX_3080_AMPERE,
+                BENCH_OPTIONS,
+                calib,
+                transfer_bytes=p.transfer_bytes,
+            )
+            speedups.append(cpu / t.total_seconds)
+        mean = float(np.mean(speedups))
+        assert 70.0 < mean < 160.0  # paper: 111x
+
+    def test_no_fallbacks_anywhere(self, profiles):
+        assert all(p.fastz.executor_fallbacks == 0 for p in profiles)

@@ -1,0 +1,88 @@
+"""Unit tests for the CPU cost model."""
+
+import numpy as np
+import pytest
+
+from repro.lastz import CpuSpec, RYZEN_3950X, multicore_seconds, sequential_seconds
+
+
+@pytest.fixture()
+def cpu():
+    return RYZEN_3950X
+
+
+class TestSequential:
+    def test_linear_in_cells(self, cpu):
+        a = sequential_seconds(np.array([1000] * 10), cpu)
+        b = sequential_seconds(np.array([2000] * 10), cpu)
+        assert b > a
+        # Dominated by cells: roughly doubles.
+        assert 1.5 < b / a < 2.1
+
+    def test_empty_profile(self, cpu):
+        assert sequential_seconds(np.zeros(0), cpu) == 0.0
+
+    def test_anchor_overhead_counts(self, cpu):
+        zero_cells = sequential_seconds(np.zeros(100), cpu)
+        assert zero_cells > 0.0
+
+    def test_paper_machine(self, cpu):
+        assert cpu.cores == 16
+        assert cpu.freq_ghz == 3.5
+
+
+class TestMulticore:
+    def test_faster_than_sequential(self, cpu):
+        cells = np.full(3200, 10_000)
+        seq = sequential_seconds(cells, cpu)
+        par = multicore_seconds(cells, cpu, processes=32)
+        assert par < seq
+
+    def test_speedup_near_paper_on_uniform_load(self, cpu):
+        cells = np.full(32_000, 10_000)
+        seq = sequential_seconds(cells, cpu)
+        par = multicore_seconds(cells, cpu, processes=32)
+        speedup = seq / par
+        # The paper reports ~20x for 32 processes on this machine.
+        assert 15.0 < speedup <= cpu.bandwidth_speedup_cap + 0.5
+
+    def test_bandwidth_cap_respected(self, cpu):
+        cells = np.full(100_000, 1_000)
+        seq = sequential_seconds(cells, cpu)
+        par = multicore_seconds(cells, cpu, processes=256)
+        assert seq / par <= cpu.bandwidth_speedup_cap + 1e-9
+
+    def test_skew_hurts(self, cpu):
+        uniform = np.full(3200, 10_000)
+        skewed = uniform.copy()
+        skewed[0] = 10_000 * 3200  # one monster task
+        su = sequential_seconds(uniform, cpu) / multicore_seconds(uniform, cpu)
+        ss = sequential_seconds(skewed, cpu) / multicore_seconds(skewed, cpu)
+        assert ss < su
+
+    def test_single_process_matches_sequential(self, cpu):
+        cells = np.full(100, 5_000)
+        assert multicore_seconds(cells, cpu, processes=1) == pytest.approx(
+            sequential_seconds(cells, cpu), rel=1e-9
+        )
+
+    def test_validation(self, cpu):
+        with pytest.raises(ValueError):
+            multicore_seconds(np.zeros(1), cpu, processes=0)
+
+    def test_empty(self, cpu):
+        assert multicore_seconds(np.zeros(0), cpu) == 0.0
+
+
+class TestCustomSpec:
+    def test_cell_seconds(self):
+        spec = CpuSpec(
+            name="x",
+            cores=4,
+            freq_ghz=2.0,
+            cycles_per_cell=10.0,
+            anchor_overhead_cycles=0.0,
+            smt_factor=1.0,
+            bandwidth_speedup_cap=4.0,
+        )
+        assert spec.cell_seconds(2e9) == pytest.approx(10.0)

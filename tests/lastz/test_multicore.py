@@ -1,0 +1,122 @@
+"""Unit tests for the multicore LASTZ variant."""
+
+import numpy as np
+import pytest
+
+from repro.lastz import run_gapped_lastz, run_multicore_lastz
+from repro.workloads.profiles import bench_config
+
+
+@pytest.fixture(scope="module")
+def runs(tiny_genome_pair):
+    config = bench_config()
+    seq = run_gapped_lastz(tiny_genome_pair.target, tiny_genome_pair.query, config)
+    multi = run_multicore_lastz(
+        tiny_genome_pair.target,
+        tiny_genome_pair.query,
+        config,
+        anchors=seq.anchors,
+        processes=8,
+    )
+    return seq, multi
+
+
+class TestFunctional:
+    def test_worker_count(self, runs):
+        _, multi = runs
+        assert multi.processes == 8
+        assert len(multi.worker_results) == 8
+
+    def test_all_anchors_processed(self, runs):
+        seq, multi = runs
+        total = sum(len(r.tasks) for r in multi.worker_results)
+        assert total == len(seq.tasks)
+
+    def test_finds_same_alignment_regions(self, runs):
+        """Partitioning must not lose alignments (it may duplicate them:
+        cross-partition work reduction is lost)."""
+        seq, multi = runs
+        multi_alignments = multi.alignments
+        for a in seq.alignments:
+            assert any(a.overlaps(m) for m in multi_alignments)
+
+    def test_loses_cross_partition_reduction(self, runs):
+        seq, multi = runs
+        # Without cross-partition skipping, total work can only grow.
+        assert multi.total_cells >= seq.total_cells
+
+    def test_worker_loads(self, runs):
+        _, multi = runs
+        loads = multi.worker_loads()
+        assert loads.shape == (8,)
+        assert loads.sum() == multi.total_cells
+
+
+class TestModel:
+    def test_modelled_speedup_positive(self, runs):
+        seq, multi = runs
+        speedup = multi.modelled_speedup(seq.cells_per_task)
+        assert speedup > 1.0
+
+    def test_modelled_seconds_scale_with_processes(self, tiny_genome_pair):
+        config = bench_config()
+        seq = run_gapped_lastz(
+            tiny_genome_pair.target, tiny_genome_pair.query, config
+        )
+        few = run_multicore_lastz(
+            tiny_genome_pair.target,
+            tiny_genome_pair.query,
+            config,
+            anchors=seq.anchors,
+            processes=2,
+        )
+        many = run_multicore_lastz(
+            tiny_genome_pair.target,
+            tiny_genome_pair.query,
+            config,
+            anchors=seq.anchors,
+            processes=16,
+        )
+        assert many.modelled_seconds() < few.modelled_seconds()
+
+    def test_validation(self, tiny_genome_pair):
+        with pytest.raises(ValueError):
+            run_multicore_lastz(
+                tiny_genome_pair.target,
+                tiny_genome_pair.query,
+                bench_config(),
+                processes=0,
+            )
+
+    def test_cells_per_task_concatenation(self, runs):
+        _, multi = runs
+        cells = multi.cells_per_task
+        assert cells.dtype == np.int64
+        assert cells.sum() == multi.total_cells
+
+
+class TestOsProcesses:
+    def test_real_processes_match_inprocess(self, tiny_genome_pair, runs):
+        """ProcessPoolExecutor execution must produce identical results."""
+        seq, inproc = runs
+        config = bench_config()
+        osproc = run_multicore_lastz(
+            tiny_genome_pair.target,
+            tiny_genome_pair.query,
+            config,
+            anchors=seq.anchors,
+            processes=4,
+            use_os_processes=True,
+        )
+        key = lambda a: (a.target_start, a.target_end, a.query_start, a.score)
+        expected = run_multicore_lastz(
+            tiny_genome_pair.target,
+            tiny_genome_pair.query,
+            config,
+            anchors=seq.anchors,
+            processes=4,
+        )
+        assert sorted(map(key, osproc.alignments)) == sorted(
+            map(key, expected.alignments)
+        )
+        assert osproc.total_cells == expected.total_cells

@@ -1,0 +1,106 @@
+"""Unit tests for alignment output formats (general TSV, MAF)."""
+
+import io
+
+import pytest
+
+from repro.align import Alignment
+from repro.genome import Sequence
+from repro.lastz import (
+    format_general_row,
+    general_header,
+    write_general,
+    write_maf,
+)
+
+
+@pytest.fixture()
+def pair():
+    target = Sequence.from_text("tgt", "ACGTACGTAC")
+    query = Sequence.from_text("qry", "ACGTTACGTAC")
+    return target, query
+
+
+@pytest.fixture()
+def alignment():
+    # tgt[0:10] vs qry[0:11]: 4M 1I 6M (query has an extra T at offset 4).
+    return Alignment(0, 10, 0, 11, score=500, ops=(("M", 4), ("I", 1), ("M", 6)))
+
+
+class TestGeneral:
+    def test_header(self):
+        assert general_header().startswith("#score\tname1")
+
+    def test_row_fields(self, pair, alignment):
+        target, query = pair
+        row = format_general_row(alignment, target, query).split("\t")
+        assert row[0] == "500"
+        assert row[1] == "tgt" and row[4] == "qry"
+        assert row[2:4] == ["0", "10"]
+        assert row[5:7] == ["0", "11"]
+        assert row[7] == "100.0%"
+        assert row[8] == "4M1I6M"
+
+    def test_row_without_ops(self, pair):
+        target, query = pair
+        a = Alignment(0, 10, 0, 10, score=7)
+        row = format_general_row(a, target, query).split("\t")
+        assert row[7] == "-" and row[8] == "-"
+
+    def test_write_sorted_by_score(self, pair, alignment):
+        target, query = pair
+        low = Alignment(0, 2, 0, 2, score=10, ops=(("M", 2),))
+        buf = io.StringIO()
+        write_general(buf, [low, alignment], target, query)
+        lines = buf.getvalue().splitlines()
+        assert lines[0].startswith("#")
+        assert lines[1].split("\t")[0] == "500"
+        assert lines[2].split("\t")[0] == "10"
+
+
+class TestMaf:
+    def test_block_structure(self, pair, alignment):
+        target, query = pair
+        buf = io.StringIO()
+        write_maf(buf, [alignment], target, query)
+        text = buf.getvalue()
+        assert text.startswith("##maf version=1")
+        assert "a score=500" in text
+        s_lines = [l for l in text.splitlines() if l.startswith("s ")]
+        assert len(s_lines) == 2
+
+    def test_gapped_rows_align(self, pair, alignment):
+        target, query = pair
+        buf = io.StringIO()
+        write_maf(buf, [alignment], target, query)
+        s_lines = [l for l in buf.getvalue().splitlines() if l.startswith("s ")]
+        t_row = s_lines[0].split()[-1]
+        q_row = s_lines[1].split()[-1]
+        assert len(t_row) == len(q_row) == alignment.length
+        # The insertion appears as a dash in the target row.
+        assert "-" in t_row and "-" not in q_row
+        assert t_row == "ACGT-ACGTAC"
+        assert q_row == "ACGTTACGTAC"
+
+    def test_sizes_and_src_lengths(self, pair, alignment):
+        target, query = pair
+        buf = io.StringIO()
+        write_maf(buf, [alignment], target, query)
+        s_lines = [l for l in buf.getvalue().splitlines() if l.startswith("s ")]
+        t_fields = s_lines[0].split()
+        assert t_fields[2] == "0"  # start
+        assert t_fields[3] == "10"  # aligned size
+        assert t_fields[4] == "+"
+        assert t_fields[5] == "10"  # source length
+
+    def test_requires_ops(self, pair):
+        target, query = pair
+        buf = io.StringIO()
+        with pytest.raises(ValueError):
+            write_maf(buf, [Alignment(0, 1, 0, 1, score=1)], target, query)
+
+    def test_file_output(self, tmp_path, pair, alignment):
+        target, query = pair
+        path = tmp_path / "out.maf"
+        write_maf(path, [alignment], target, query)
+        assert path.read_text().startswith("##maf")

@@ -1,0 +1,151 @@
+"""Unit tests for the sequential gapped LASTZ pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.align import Alignment
+from repro.lastz import LastzConfig, run_gapped_lastz, select_anchors
+from repro.lastz.pipeline import AlignmentIndex
+from repro.scoring import default_scheme
+from repro.workloads.profiles import bench_config
+
+
+@pytest.fixture(scope="module")
+def tiny_result(tiny_genome_pair):
+    return run_gapped_lastz(
+        tiny_genome_pair.target, tiny_genome_pair.query, bench_config()
+    )
+
+
+class TestAlignmentIndex:
+    def test_contains_inside(self):
+        idx = AlignmentIndex()
+        idx.add(Alignment(100, 200, 150, 250, score=10))
+        assert idx.contains(150, 200)
+        assert len(idx) == 1
+
+    def test_outside(self):
+        idx = AlignmentIndex()
+        idx.add(Alignment(100, 200, 150, 250, score=10))
+        assert not idx.contains(300, 350)
+        assert not idx.contains(150, 500)  # right target, wrong query
+
+    def test_boundaries_half_open(self):
+        idx = AlignmentIndex()
+        idx.add(Alignment(100, 200, 100, 200, score=10))
+        assert idx.contains(100, 100)
+        assert not idx.contains(200, 200)
+
+    def test_wide_diagonal_range(self):
+        idx = AlignmentIndex(bucket=64)
+        # An alignment whose diagonal spans many buckets.
+        idx.add(Alignment(0, 1000, 0, 2000, score=10))
+        assert idx.contains(500, 1500)
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            AlignmentIndex(bucket=0)
+
+
+class TestSelectAnchors:
+    def test_finds_planted_segments(self, tiny_genome_pair):
+        anchors = select_anchors(
+            tiny_genome_pair.target, tiny_genome_pair.query, bench_config()
+        )
+        # Most of the 74 planted segments should yield an anchor.
+        assert 40 <= len(anchors) <= 120
+
+
+class TestPipeline:
+    def test_produces_alignments(self, tiny_result):
+        assert len(tiny_result.alignments) > 0
+
+    def test_all_reported_clear_threshold(self, tiny_result):
+        threshold = bench_config().scheme.gapped_threshold
+        assert all(a.score >= threshold for a in tiny_result.alignments)
+
+    def test_tasks_cover_all_anchors(self, tiny_result):
+        assert len(tiny_result.tasks) == len(tiny_result.anchors)
+
+    def test_anchors_in_scan_order(self, tiny_result):
+        q = tiny_result.anchors.query_pos
+        assert np.all(np.diff(q) >= 0)
+
+    def test_cells_counted(self, tiny_result):
+        assert tiny_result.total_cells > 0
+        active = [t for t in tiny_result.tasks if not t.skipped]
+        assert all(t.cells > 0 for t in active)
+
+    def test_skipped_tasks_have_no_cells(self, tiny_result):
+        assert all(t.cells == 0 for t in tiny_result.tasks if t.skipped)
+
+    def test_alignments_land_on_planted_segments(
+        self, tiny_genome_pair, tiny_result
+    ):
+        # Every strong alignment should overlap a planted bin2 segment.
+        bin2 = tiny_genome_pair.segments_of("bin2")
+        for seg in bin2:
+            hit = any(
+                a.target_start < seg.target_end
+                and seg.target_start < a.target_end
+                and a.query_start < seg.query_end
+                and seg.query_start < a.query_end
+                for a in tiny_result.alignments
+            )
+            assert hit, f"planted segment {seg} not recovered"
+
+    def test_work_reduction_skips(self, tiny_genome_pair):
+        config = bench_config()
+        # Narrow the collapse window so long segments yield several anchors,
+        # making the sequential skip observable.
+        from dataclasses import replace
+
+        config = replace(config, collapse_window=40, diag_band=20)
+        with_wr = run_gapped_lastz(
+            tiny_genome_pair.target, tiny_genome_pair.query, config
+        )
+        without_wr = run_gapped_lastz(
+            tiny_genome_pair.target,
+            tiny_genome_pair.query,
+            config,
+            work_reduction=False,
+        )
+        assert with_wr.skipped_count > 0
+        assert without_wr.skipped_count == 0
+        assert with_wr.total_cells < without_wr.total_cells
+
+    def test_traceback_mode_produces_edit_scripts(self, tiny_genome_pair):
+        from dataclasses import replace
+
+        config = replace(bench_config(), traceback=True)
+        res = run_gapped_lastz(tiny_genome_pair.target, tiny_genome_pair.query, config)
+        assert all(a.ops for a in res.alignments)
+        t = tiny_genome_pair.target.codes
+        q = tiny_genome_pair.query.codes
+        for a in res.alignments[:5]:
+            assert a.rescore(t, q, config.scheme) == a.score
+
+    def test_scores_and_lengths_accessors(self, tiny_result):
+        assert tiny_result.scores().shape[0] == len(tiny_result.alignments)
+        assert tiny_result.lengths().min() > 0
+
+
+class TestConfigValidation:
+    def test_bad_seed_length(self):
+        with pytest.raises(ValueError):
+            LastzConfig(seed_length=2)
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            LastzConfig(collapse_window=0)
+
+    def test_bad_band(self):
+        with pytest.raises(ValueError):
+            LastzConfig(diag_band=-2)
+
+    def test_bad_word_count(self):
+        with pytest.raises(ValueError):
+            LastzConfig(max_word_count=0)
+
+    def test_default_scheme_attached(self):
+        assert LastzConfig().scheme.gap_open == default_scheme().gap_open

@@ -1,0 +1,70 @@
+"""Unit tests for the ungapped-filtering pipeline (Figure 2 mechanism)."""
+
+import pytest
+
+from repro.genome import SegmentClass, build_pair
+from repro.lastz import run_gapped_lastz, run_ungapped_lastz
+from repro.workloads.profiles import bench_config
+
+
+@pytest.fixture(scope="module")
+def gappy_pair():
+    """Pair with clean homology AND gap-interrupted homology."""
+    return build_pair(
+        "gappy",
+        target_length=50_000,
+        query_length=50_000,
+        classes=[
+            SegmentClass("clean", 10, 120, 260, divergence=0.05),
+            SegmentClass(
+                "gappy",
+                10,
+                200,
+                500,
+                divergence=0.09,
+                indel_rate=0.03,
+                mean_indel_len=8.0,
+            ),
+        ],
+        rng=404,
+    )
+
+
+@pytest.fixture(scope="module")
+def runs(gappy_pair):
+    config = bench_config()
+    gapped = run_gapped_lastz(gappy_pair.target, gappy_pair.query, config)
+    ungapped = run_ungapped_lastz(
+        gappy_pair.target, gappy_pair.query, config, anchors=gapped.anchors
+    )
+    return gapped, ungapped
+
+
+class TestUngappedFiltering:
+    def test_filter_drops_anchors(self, runs):
+        _, ungapped = runs
+        assert 0 < ungapped.survivors < ungapped.candidates
+        assert 0.0 < ungapped.filter_rate < 1.0
+
+    def test_hsp_scores_shape(self, runs):
+        _, ungapped = runs
+        assert ungapped.hsp_scores.shape[0] == ungapped.candidates
+
+    def test_gapped_finds_at_least_as_many(self, runs):
+        gapped, ungapped = runs
+        assert len(gapped.alignments) >= len(ungapped.alignments)
+
+    def test_gapped_finds_strictly_more_on_gappy_homology(self, runs):
+        gapped, ungapped = runs
+        assert len(gapped.alignments) > len(ungapped.alignments)
+
+    def test_ungapped_alignments_subset_of_gapped_regions(self, runs):
+        gapped, ungapped = runs
+        for ua in ungapped.alignments:
+            assert any(ua.overlaps(ga) for ga in gapped.alignments)
+
+    def test_gapped_top_score_at_least_ungapped(self, runs):
+        gapped, ungapped = runs
+        g_best = max((a.score for a in gapped.alignments), default=0)
+        u_best = max((a.score for a in ungapped.alignments), default=0)
+        assert g_best >= u_best

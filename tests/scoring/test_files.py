@@ -1,0 +1,87 @@
+"""Unit tests for LASTZ score-file I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.scoring import (
+    HOXD70,
+    default_scheme,
+    read_score_file,
+    unit_scheme,
+    write_score_file,
+)
+
+_SAMPLE = """
+# a comment line
+gap_open_penalty = 350
+gap_extend_penalty = 25
+y_drop = 5000
+
+     A     C     G     T
+A   91  -114   -31  -123
+C -114   100  -125   -31
+G  -31  -125   100  -114
+T -123   -31  -114    91
+"""
+
+
+class TestRead:
+    def test_matrix_values(self):
+        scheme = read_score_file(io.StringIO(_SAMPLE))
+        assert np.array_equal(scheme.substitution[:4, :4], HOXD70)
+
+    def test_parameters(self):
+        scheme = read_score_file(io.StringIO(_SAMPLE))
+        assert scheme.gap_open == 350
+        assert scheme.gap_extend == 25
+        assert scheme.ydrop == 5000
+
+    def test_unspecified_params_default(self):
+        scheme = read_score_file(io.StringIO(_SAMPLE))
+        assert scheme.hsp_threshold == 3000  # LASTZ default
+
+    def test_inline_comments_stripped(self):
+        text = _SAMPLE.replace("= 350", "= 350   # tuned")
+        assert read_score_file(io.StringIO(text)).gap_open == 350
+
+    def test_missing_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            read_score_file(io.StringIO("gap_open_penalty = 1\n"))
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            read_score_file(io.StringIO("A C G\nA 1 2 3\n"))
+
+    def test_malformed_row_rejected(self):
+        text = "A C G T\nA 1 2 3\n"
+        with pytest.raises(ValueError):
+            read_score_file(io.StringIO(text))
+
+
+class TestRoundtrip:
+    def test_default_scheme(self):
+        buf = io.StringIO()
+        write_score_file(buf, default_scheme())
+        buf.seek(0)
+        back = read_score_file(buf)
+        original = default_scheme()
+        assert np.array_equal(back.substitution[:4, :4], original.substitution[:4, :4])
+        assert back.gap_open == original.gap_open
+        assert back.ydrop == original.ydrop
+        assert back.hsp_threshold == original.hsp_threshold
+
+    def test_unit_scheme(self):
+        buf = io.StringIO()
+        write_score_file(buf, unit_scheme())
+        buf.seek(0)
+        back = read_score_file(buf)
+        assert back.score_pair(0, 0) == 1
+        assert back.gap_open == 2
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "scores.txt"
+        write_score_file(path, default_scheme(ydrop=1234))
+        back = read_score_file(path)
+        assert back.ydrop == 1234

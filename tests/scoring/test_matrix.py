@@ -1,0 +1,104 @@
+"""Unit tests for scoring schemes."""
+
+import numpy as np
+import pytest
+
+from repro.scoring import HOXD70, NEG_INF, ScoringScheme, default_scheme, unit_scheme
+
+
+class TestHoxd70:
+    def test_symmetric(self):
+        assert np.array_equal(HOXD70, HOXD70.T)
+
+    def test_paper_values(self):
+        # A/A = 91, C/C = G/G = 100, transitions are mild, transversions harsh.
+        assert HOXD70[0, 0] == 91
+        assert HOXD70[1, 1] == 100
+        assert HOXD70[0, 2] == -31  # A<->G transition
+        assert HOXD70[0, 3] == -123  # A<->T transversion
+
+
+class TestDefaultScheme:
+    def test_lastz_defaults(self):
+        s = default_scheme()
+        assert s.gap_open == 400
+        assert s.gap_extend == 30
+        assert s.ydrop == 400 + 300 * 30  # 9400
+        assert s.xdrop == 910
+        assert s.hsp_threshold == 3000
+        assert s.gapped_threshold == 3000
+
+    def test_overrides(self):
+        s = default_scheme(gap_extend=60, ydrop=2400)
+        assert s.gap_extend == 60
+        assert s.ydrop == 2400
+
+    def test_matrix_has_n(self):
+        s = default_scheme()
+        assert s.substitution.shape == (5, 5)
+        assert s.substitution[4, 0] < 0
+        assert s.substitution[0, 4] < 0
+
+    def test_matrix_read_only(self):
+        s = default_scheme()
+        with pytest.raises(ValueError):
+            s.substitution[0, 0] = 1
+
+
+class TestUnitScheme:
+    def test_values(self):
+        s = unit_scheme()
+        assert s.score_pair(0, 0) == 1
+        assert s.score_pair(0, 1) == -1
+        assert s.gap_first() == 3
+
+    def test_match_and_worst(self):
+        s = unit_scheme(match=5, mismatch=-7)
+        assert s.match_score() == 5
+        assert s.worst_mismatch() == -7
+
+
+class TestValidation:
+    def test_shape(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(
+                substitution=np.zeros((4, 4), dtype=np.int32),
+                gap_open=1,
+                gap_extend=1,
+                ydrop=1,
+                xdrop=1,
+                hsp_threshold=0,
+                gapped_threshold=0,
+            )
+
+    def test_negative_penalty(self):
+        with pytest.raises(ValueError):
+            unit_scheme(gap_open=-1)
+
+    def test_zero_extend(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(
+                substitution=np.zeros((5, 5), dtype=np.int32),
+                gap_open=1,
+                gap_extend=0,
+                ydrop=1,
+                xdrop=1,
+                hsp_threshold=0,
+                gapped_threshold=0,
+            )
+
+
+class TestHelpers:
+    def test_profile_row(self):
+        s = unit_scheme()
+        row = s.profile_row(0)
+        assert row[0] == 1
+        assert row[1] == -1
+
+    def test_neg_inf_is_safely_additive(self):
+        # NEG_INF must survive repeated subtraction without wrapping.
+        v = np.int64(NEG_INF)
+        for _ in range(10000):
+            v -= 500
+        assert v < NEG_INF
+        assert v > np.iinfo(np.int64).min // 2

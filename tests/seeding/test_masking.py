@@ -1,0 +1,78 @@
+"""Unit tests for soft-mask handling in seeding."""
+
+import numpy as np
+import pytest
+
+from repro.genome import encode_with_mask, random_codes
+from repro.seeding import find_seeds
+
+
+class TestEncodeWithMask:
+    def test_lowercase_marked(self):
+        codes, mask = encode_with_mask("ACgtA")
+        assert codes.tolist() == [0, 1, 2, 3, 0]
+        assert mask.tolist() == [False, False, True, True, False]
+
+    def test_n_lowercase(self):
+        codes, mask = encode_with_mask("nN")
+        assert codes.tolist() == [4, 4]
+        assert mask.tolist() == [True, False]
+
+    def test_empty(self):
+        codes, mask = encode_with_mask("")
+        assert codes.shape == (0,) and mask.shape == (0,)
+
+
+class TestMaskedSeeding:
+    @pytest.fixture()
+    def planted(self, rng):
+        word = random_codes(rng, 19)
+        t = np.concatenate([random_codes(rng, 50), word, random_codes(rng, 50)])
+        q = np.concatenate([random_codes(rng, 30), word, random_codes(rng, 70)])
+        return t, q
+
+    def test_unmasked_baseline(self, planted):
+        t, q = planted
+        seeds = find_seeds(t, q, k=19)
+        assert (50, 30) in set(zip(seeds.target_pos.tolist(), seeds.query_pos.tolist()))
+
+    def test_target_mask_suppresses_seed(self, planted):
+        t, q = planted
+        t_mask = np.zeros(t.shape[0], dtype=bool)
+        t_mask[55] = True  # one masked base inside the word
+        seeds = find_seeds(t, q, k=19, target_mask=t_mask)
+        assert (50, 30) not in set(
+            zip(seeds.target_pos.tolist(), seeds.query_pos.tolist())
+        )
+
+    def test_query_mask_suppresses_seed(self, planted):
+        t, q = planted
+        q_mask = np.zeros(q.shape[0], dtype=bool)
+        q_mask[30:49] = True
+        seeds = find_seeds(t, q, k=19, query_mask=q_mask)
+        assert len(seeds) == 0
+
+    def test_mask_outside_word_is_harmless(self, planted):
+        t, q = planted
+        t_mask = np.zeros(t.shape[0], dtype=bool)
+        t_mask[:40] = True  # masked region ends before the word
+        seeds = find_seeds(t, q, k=19, target_mask=t_mask)
+        assert (50, 30) in set(zip(seeds.target_pos.tolist(), seeds.query_pos.tolist()))
+
+    def test_mask_shape_validated(self, planted):
+        t, q = planted
+        with pytest.raises(ValueError):
+            find_seeds(t, q, k=19, target_mask=np.zeros(3, dtype=bool))
+        with pytest.raises(ValueError):
+            find_seeds(t, q, k=19, query_mask=np.zeros(3, dtype=bool))
+
+    def test_fasta_lowercase_roundtrip(self):
+        # End to end: lowercase FASTA text -> mask -> no seeds from repeats.
+        text_t = "ACGT" * 5 + "acgtacgtacgtacgtacg" + "TGCA" * 5
+        text_q = "GGTT" * 5 + "ACGTACGTACGTACGTACG" + "AACC" * 5
+        codes_t, mask_t = encode_with_mask(text_t)
+        codes_q, mask_q = encode_with_mask(text_q)
+        unmasked = find_seeds(codes_t, codes_q, k=19)
+        masked = find_seeds(codes_t, codes_q, k=19, target_mask=mask_t)
+        assert len(unmasked) > 0
+        assert len(masked) < len(unmasked)

@@ -1,0 +1,116 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.genome import SegmentClass, build_pair, write_fasta
+
+
+@pytest.fixture(scope="module")
+def fasta_pair(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli")
+    pair = build_pair(
+        "cli",
+        target_length=30_000,
+        query_length=30_000,
+        classes=[SegmentClass("seg", 25, 80, 300, divergence=0.05)],
+        rng=9,
+    )
+    t_path = tmp / "t.fa"
+    q_path = tmp / "q.fa"
+    write_fasta(t_path, [pair.target])
+    write_fasta(q_path, [pair.query])
+    return str(t_path), str(q_path)
+
+
+_FAST = ["--gap-extend", "60", "--ydrop", "2400"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_align_defaults(self):
+        args = build_parser().parse_args(["align", "a.fa", "b.fa"])
+        assert args.engine == "lastz"
+        assert args.gap_open == 400
+
+
+class TestAlign:
+    def test_lastz_engine(self, fasta_pair, capsys):
+        t, q = fasta_pair
+        assert main(["align", t, q, *_FAST]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if not l.startswith("#")]
+        assert len(lines) > 5
+        fields = lines[0].split("\t")
+        assert len(fields) == 9
+        assert int(fields[0]) >= 3000  # score column clears the threshold
+        assert fields[8].endswith("M") or "I" in fields[8]  # cigar
+
+    def test_fastz_engine_matches_lastz(self, fasta_pair, capsys):
+        t, q = fasta_pair
+        main(["align", t, q, *_FAST])
+        lastz_out = {
+            l.split("\t")[0:7][0]
+            for l in capsys.readouterr().out.splitlines()
+            if not l.startswith("#")
+        }
+        main(["align", t, q, "--engine", "fastz", *_FAST])
+        fastz_out = {
+            l.split("\t")[0:7][0]
+            for l in capsys.readouterr().out.splitlines()
+            if not l.startswith("#")
+        }
+        assert lastz_out <= fastz_out
+
+    def test_ungapped_engine(self, fasta_pair, capsys):
+        t, q = fasta_pair
+        assert main(["align", t, q, "--engine", "ungapped", *_FAST]) == 0
+        assert capsys.readouterr().out.startswith("#score")
+
+    def test_no_cigar(self, fasta_pair, capsys):
+        t, q = fasta_pair
+        main(["align", t, q, "--no-cigar", *_FAST])
+        lines = [
+            l for l in capsys.readouterr().out.splitlines() if not l.startswith("#")
+        ]
+        assert all(l.split("\t")[8] == "-" for l in lines)
+
+
+class TestSynth:
+    def test_writes_fasta(self, tmp_path, capsys):
+        t_out = tmp_path / "t.fa"
+        q_out = tmp_path / "q.fa"
+        rc = main(
+            [
+                "synth",
+                "--target-out", str(t_out),
+                "--query-out", str(q_out),
+                "--length", "5000",
+                "--segments", "5",
+            ]
+        )
+        assert rc == 0
+        assert t_out.exists() and q_out.exists()
+        assert t_out.read_text().startswith(">synth.target")
+
+
+class TestAlignFormats:
+    def test_maf_output(self, fasta_pair, capsys):
+        t, q = fasta_pair
+        assert main(["align", t, q, "--format", "maf", *_FAST]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("##maf version=1")
+        assert "a score=" in out
+
+    def test_maf_requires_cigar(self, fasta_pair, capsys):
+        t, q = fasta_pair
+        assert main(["align", t, q, "--format", "maf", "--no-cigar", *_FAST]) == 2
+
+    def test_output_file(self, fasta_pair, tmp_path, capsys):
+        t, q = fasta_pair
+        out_path = tmp_path / "out.tsv"
+        assert main(["align", t, q, "--output", str(out_path), *_FAST]) == 0
+        assert out_path.read_text().startswith("#score")

@@ -1,0 +1,47 @@
+"""Integration: cross-genus (dissimilar) workloads have the Figure-10 shape."""
+
+import pytest
+
+from repro.workloads import CROSS_GENUS_BENCHMARKS, SAME_GENUS_BENCHMARKS, build_profile
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(monkeypatch, session_cache_dir):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(session_cache_dir))
+
+
+@pytest.fixture(scope="module")
+def pair_of_profiles(session_cache_dir):
+    mp = pytest.MonkeyPatch()
+    mp.setenv("REPRO_CACHE_DIR", str(session_cache_dir))
+    try:
+        cross = build_profile(CROSS_GENUS_BENCHMARKS[0], scale=0.1)
+        same = build_profile(SAME_GENUS_BENCHMARKS[0], scale=0.1)
+        yield cross, same
+    finally:
+        mp.undo()
+
+
+class TestDissimilarShape:
+    def test_no_deep_bins(self, pair_of_profiles):
+        cross, _ = pair_of_profiles
+        counts = cross.fastz.bin_counts()
+        # Figure 10: "no alignment falls in the two largest size bins".
+        assert counts[3] == 0 and counts[4] == 0
+
+    def test_same_genus_has_deep_bins(self, pair_of_profiles):
+        _, same = pair_of_profiles
+        counts = same.fastz.bin_counts()
+        assert counts[3] + counts[4] > 0
+
+    def test_more_eager_than_same_genus(self, pair_of_profiles):
+        cross, same = pair_of_profiles
+        # Dissimilar genomes: fewer/shorter high-scoring alignments, so a
+        # larger share resolves in the inspector (the Figure-11 mechanism).
+        assert cross.fastz.eager_fraction >= same.fastz.eager_fraction - 0.02
+
+    def test_less_executor_work(self, pair_of_profiles):
+        cross, same = pair_of_profiles
+        cross_ratio = cross.arrays.exec_cells.sum() / cross.arrays.insp_cells.sum()
+        same_ratio = same.arrays.exec_cells.sum() / same.arrays.insp_cells.sum()
+        assert cross_ratio < same_ratio

@@ -1,0 +1,72 @@
+"""Unit tests for workload profile building and caching."""
+
+import pytest
+
+from repro.workloads import build_profile, get_benchmark
+from repro.workloads.profiles import BENCH_OPTIONS, bench_calibration, bench_config
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(monkeypatch, session_cache_dir):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(session_cache_dir))
+
+
+SPEC = get_benchmark("D1_2R,2")  # lightest benchmark (no bins 3/4)
+SCALE = 0.05
+
+
+class TestBuildProfile:
+    def test_profile_contents(self):
+        p = build_profile(SPEC, scale=SCALE)
+        assert p.name == SPEC.name
+        assert p.n_anchors > 20
+        assert p.cpu_cells.shape[0] == p.n_anchors
+        assert p.transfer_bytes > 0
+        assert len(p.arrays) == p.n_anchors
+
+    def test_disk_cache_roundtrip(self, session_cache_dir):
+        p1 = build_profile(SPEC, scale=SCALE)
+        # Drop the in-memory cache, force a disk read.
+        from repro.workloads import profiles
+
+        profiles._MEMORY_CACHE.clear()
+        p2 = build_profile(SPEC, scale=SCALE)
+        assert p2.n_anchors == p1.n_anchors
+        assert (p2.cpu_cells == p1.cpu_cells).all()
+        assert any(session_cache_dir.glob("profile-*.pkl"))
+
+    def test_memory_cache_identity(self):
+        p1 = build_profile(SPEC, scale=SCALE)
+        p2 = build_profile(SPEC, scale=SCALE)
+        assert p1 is p2
+
+    def test_no_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        p = build_profile(SPEC, scale=SCALE, use_cache=False)
+        assert p.n_anchors > 0
+
+
+class TestBenchDefaults:
+    def test_bench_config_scaling(self):
+        config = bench_config()
+        assert config.scheme.ydrop == 2400
+        assert config.scheme.gap_extend == 60
+        assert config.diag_band > 0
+        assert config.traceback is False
+
+    def test_bench_options(self):
+        assert BENCH_OPTIONS.bin_edges == (64, 256, 1024, 4096)
+        assert BENCH_OPTIONS.eager_traceback
+
+    def test_bench_calibration(self):
+        calib = bench_calibration()
+        assert calib.modeled_memory_bytes is not None
+
+
+class TestProfileShape:
+    def test_distribution_is_table2_like(self):
+        p = build_profile(SPEC, scale=SCALE)
+        counts = p.fastz.bin_counts()
+        # Eager dominates; D1 has no bin-3/4 tail at this scale.
+        assert counts[0] > counts[1] > counts[2]
+        assert p.fastz.eager_fraction > 0.5

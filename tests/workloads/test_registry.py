@@ -1,0 +1,123 @@
+"""Unit tests for the benchmark registry."""
+
+import pytest
+
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    CROSS_GENUS_BENCHMARKS,
+    GENOMES,
+    SAME_GENUS_BENCHMARKS,
+    SENSITIVITY_BENCHMARK,
+    bench_scale,
+    build_benchmark_pair,
+    get_benchmark,
+)
+
+
+class TestGenomeTable:
+    def test_fifteen_chromosomes(self):
+        assert len(GENOMES) == 15
+
+    def test_paper_sizes(self):
+        assert GENOMES["Ce1"].real_basepairs == 15_072_434
+        assert GENOMES["Dp2"].real_basepairs == 30_794_189
+        assert GENOMES["AgaX"].real_basepairs == 24_393_108
+
+    def test_scaled_sizes(self):
+        for g in GENOMES.values():
+            assert g.scaled_basepairs == g.real_basepairs // 50
+
+    def test_species_coverage(self):
+        species = {g.species for g in GENOMES.values()}
+        assert len(species) == 7  # two nematodes, two flies, three mosquitoes
+
+
+class TestBenchmarkList:
+    def test_nine_same_genus(self):
+        assert len(SAME_GENUS_BENCHMARKS) == 9
+        names = [b.name for b in SAME_GENUS_BENCHMARKS]
+        for j in range(1, 6):
+            assert f"C1_{j},{j}" in names
+        assert "D1_2R,2" in names
+        assert sum(1 for n in names if n.startswith("A")) == 3
+
+    def test_six_cross_genus(self):
+        assert len(CROSS_GENUS_BENCHMARKS) == 6
+        assert all(b.cross_genus for b in CROSS_GENUS_BENCHMARKS)
+
+    def test_cross_genus_has_no_top_bins(self):
+        # Figure 10: "no alignment falls in the two largest size bins".
+        for b in CROSS_GENUS_BENCHMARKS:
+            assert b.bin3_lengths == ()
+            assert b.bin4_lengths == ()
+
+    def test_bin4_ordering_matches_table2(self):
+        # C1_55 heaviest tail; D1 none.
+        by_name = {b.name: b for b in SAME_GENUS_BENCHMARKS}
+        assert len(by_name["C1_5,5"].bin4_lengths) >= 2
+        assert by_name["D1_2R,2"].bin4_lengths == ()
+
+    def test_lookup(self):
+        assert get_benchmark("C1_1,1").target == "Ce1"
+        with pytest.raises(KeyError):
+            get_benchmark("nope")
+
+    def test_sensitivity_has_gappy_class(self):
+        assert SENSITIVITY_BENCHMARK.gappy_count > 0
+        names = [c.name for c in SENSITIVITY_BENCHMARK.classes()]
+        assert "gappy" in names
+
+
+class TestClasses:
+    def test_eager_dominates(self):
+        for b in ALL_BENCHMARKS:
+            classes = {c.name: c for c in b.classes()}
+            assert classes["eager"].count > 10 * classes["bin1"].count
+
+    def test_scale_shrinks_counts(self):
+        b = get_benchmark("C1_1,1")
+        full = {c.name: c.count for c in b.classes(1.0)}
+        half = {c.name: c.count for c in b.classes(0.5)}
+        assert half["eager"] == round(full["eager"] * 0.5)
+        # bin3/4 singletons stay present at any scale.
+        assert half["bin3-0"] == 1
+
+    def test_segment_lengths_fit_scaled_bins(self):
+        from repro.core.options import SCALED_BIN_EDGES
+
+        for b in SAME_GENUS_BENCHMARKS:
+            for c in b.classes():
+                if c.name.startswith("bin4"):
+                    assert SCALED_BIN_EDGES[2] < c.max_len <= SCALED_BIN_EDGES[3]
+                if c.name.startswith("bin3"):
+                    assert SCALED_BIN_EDGES[1] < c.max_len <= SCALED_BIN_EDGES[2]
+
+
+class TestBuildPair:
+    def test_small_scale_build(self):
+        pair = build_benchmark_pair(get_benchmark("D1_2R,2"), scale=0.05)
+        assert len(pair.target) > 10_000
+        assert len(pair.query) > 10_000
+        assert len(pair.segments) > 30
+
+    def test_deterministic(self):
+        spec = get_benchmark("A1_X,X")
+        a = build_benchmark_pair(spec, scale=0.05)
+        b = build_benchmark_pair(spec, scale=0.05)
+        assert a.target == b.target and a.query == b.query
+
+
+class TestBenchScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 1.0
+        assert bench_scale(0.5) == 0.5
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.25")
+        assert bench_scale() == 0.25
+
+    def test_invalid_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "-1")
+        with pytest.raises(ValueError):
+            bench_scale()
