@@ -1,13 +1,25 @@
 """Micro-benchmarks of the DP engines themselves (implementation health).
 
-Not a paper figure: these time this library's three extension engines on a
-fixed homologous extension so regressions in the hot loops are visible.
+Not a paper figure: these time this library's extension engines on fixed
+homologous extensions so regressions in the hot loops are visible, and
+compare the scalar per-anchor loop against the lockstep struct-of-arrays
+batch engine on a full >=500-anchor pipeline run (the host-side analogue
+of the paper's inter-task parallelism).  The engine comparison appends a
+trajectory point to ``bench_results/BENCH_engines.json``.
 """
+
+import json
+import time
 
 import numpy as np
 import pytest
 
-from repro.align import gotoh_extend, wavefront_extend, ydrop_extend
+from repro.align import (
+    batch_wavefront_extend,
+    gotoh_extend,
+    wavefront_extend,
+    ydrop_extend,
+)
 from repro.genome import mutate, random_codes
 from repro.scoring import default_scheme
 
@@ -56,3 +68,110 @@ def test_engines_agree(workload):
     w = wavefront_extend(target, query, scheme)
     y = ydrop_extend(target, query, scheme)
     assert (w.score, w.end_i, w.end_j) == (y.score, y.end_i, y.end_j)
+
+
+# ---------------------------------------------------------------------------
+# Scalar vs batched engine on a full pipeline workload
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def suffix_batch():
+    """A few hundred independent extension problems for the batch engine."""
+    rng = np.random.default_rng(7)
+    scheme = default_scheme(gap_extend=60, ydrop=2400)
+    pairs = []
+    for _ in range(256):
+        core = random_codes(rng, int(rng.integers(20, 200)))
+        q_core = mutate(core, rng, divergence=0.08, indel_rate=0.01)
+        pairs.append(
+            (
+                np.concatenate([core, random_codes(rng, 300)]),
+                np.concatenate([q_core, random_codes(rng, 300)]),
+            )
+        )
+    return pairs, scheme
+
+
+def test_batch_wavefront_engine(benchmark, suffix_batch):
+    pairs, scheme = suffix_batch
+    results = benchmark(batch_wavefront_extend, pairs, scheme, eager_tile=16)
+    benchmark.extra_info["tasks"] = len(results)
+    assert len(results) == len(pairs)
+
+
+def test_scalar_vs_batched_pipeline(emit, results_dir):
+    """Acceptance gate: the batched engine must beat the per-anchor loop by
+    >=3x on a >=500-anchor workload while staying bit-identical.
+
+    Appends the measurement as a trajectory point to BENCH_engines.json so
+    engine regressions are visible across sessions.
+    """
+    from dataclasses import replace
+
+    from repro.core import run_fastz
+    from repro.lastz import run_gapped_lastz
+    from repro.workloads import build_benchmark_pair, get_benchmark
+    from repro.workloads.profiles import BENCH_OPTIONS, bench_config
+
+    spec = get_benchmark("D1_2R,2")
+    pair = build_benchmark_pair(spec, 1.0)
+    config = bench_config()
+    anchors = run_gapped_lastz(pair.target, pair.query, config).anchors
+
+    def timed(options, workers=None):
+        start = time.perf_counter()
+        result = run_fastz(
+            pair.target, pair.query, config, options, anchors=anchors, workers=workers
+        )
+        return time.perf_counter() - start, result
+
+    t_scalar, scalar = timed(replace(BENCH_OPTIONS, engine="scalar"))
+    t_batched, batched = timed(replace(BENCH_OPTIONS, engine="batched"))
+    t_pool, pooled = timed(replace(BENCH_OPTIONS, engine="batched"), workers=2)
+
+    n = len(scalar.tasks)
+    assert n >= 500, f"workload too small for the acceptance gate ({n} anchors)"
+    for ref, alt in ((batched, "batched"), (pooled, "batched+pool")):
+        assert ref.tasks == scalar.tasks, f"{alt}: task profiles diverged"
+        assert [
+            (a.target_start, a.target_end, a.query_start, a.query_end, a.score)
+            for a in ref.alignments
+        ] == [
+            (a.target_start, a.target_end, a.query_start, a.query_end, a.score)
+            for a in scalar.alignments
+        ], f"{alt}: alignments diverged"
+
+    speedup = t_scalar / t_batched
+    point = {
+        "benchmark": spec.name,
+        "n_tasks": n,
+        "scalar_seconds": round(t_scalar, 4),
+        "batched_seconds": round(t_batched, 4),
+        "pool_seconds": round(t_pool, 4),
+        "speedup": round(speedup, 2),
+        "pool_speedup": round(t_scalar / t_pool, 2),
+        "batch_size": BENCH_OPTIONS.batch_size,
+    }
+    trajectory_path = results_dir / "BENCH_engines.json"
+    trajectory = (
+        json.loads(trajectory_path.read_text()) if trajectory_path.exists() else []
+    )
+    trajectory.append(point)
+    trajectory_path.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    emit(
+        "bench_engines",
+        "\n".join(
+            [
+                f"engine comparison on {spec.name} @ scale 1.0 ({n} anchors)",
+                f"  scalar per-anchor loop: {t_scalar * 1e3:9.1f} ms",
+                f"  batched lockstep:       {t_batched * 1e3:9.1f} ms  "
+                f"({speedup:.1f}x)",
+                f"  batched + pool(2):      {t_pool * 1e3:9.1f} ms  "
+                f"({t_scalar / t_pool:.1f}x)",
+                "  results bit-identical across engines",
+            ]
+        ),
+    )
+    assert speedup >= 3.0, f"batched engine only {speedup:.2f}x vs scalar"

@@ -2,6 +2,7 @@
 
 from .alignment import Alignment, merge_ops
 from .banded import banded_extend
+from .batch import batch_wavefront_extend
 from .diagonal import (
     DiagonalLayout,
     diagonal_span,
@@ -32,6 +33,7 @@ from .ydrop import (
 __all__ = [
     "Alignment",
     "banded_extend",
+    "batch_wavefront_extend",
     "AnchorExtension",
     "combine_alignment",
     "extend_anchor",

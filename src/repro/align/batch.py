@@ -1,0 +1,389 @@
+"""Batched struct-of-arrays wavefront engine: inter-task lockstep parallelism.
+
+:func:`repro.align.wavefront.wavefront_extend` advances ONE extension's
+anti-diagonals at a time; running it over a whole anchor set from Python is
+the CPU analogue of launching one GPU kernel per seed — exactly the
+per-problem regime the paper's inter-task parallelism exists to kill
+(§3.1, §3.3).  This module is the batch analogue of the paper's kernels: N
+extension tasks are packed into struct-of-arrays state and every iteration
+advances the *next anti-diagonal of every live task* with one set of masked
+2-D numpy operations, the way one bulk-synchronous kernel launch advances
+every alignment in a bin by one wavefront step.
+
+Layout
+------
+All per-task score state is stacked row-wise:
+
+* cyclic three-diagonal buffers ``S/I/D`` become ``(N, cap)`` slabs indexed
+  by the absolute row coordinate ``i`` (same bijection as the scalar
+  engine's buffers), rotated by reference swap each step;
+* per-task active windows live in ``lo``/``hi`` vectors; each step computes
+  only the union column range ``[min(lo), max(hi)]`` and masks each row to
+  its own window — the tighter the batch's length distribution, the less
+  masked-out waste, which is the measurable CPU analogue of §3.3's
+  length-binned load balance;
+* sequence codes are staged into padded ``(N, L)`` slabs grown on demand,
+  so the diagonal-parent substitution lookup is two contiguous slices plus
+  one fancy-index into the 5x5 matrix — no per-task gathers;
+* finished tasks are retired (their :class:`WavefrontResult` is emitted)
+  and the batch is compacted so dead rows stop consuming bandwidth.
+
+The engine reproduces the scalar engine *bit-identically*: same scores,
+same optimal cells (same tie-breaks — the masked out-of-window cells are
+held at exactly ``NEG_INF``, matching the scalar buffers' scrubbed edges),
+same eager-tile hits and packed traceback bytes, and the same
+:class:`WavefrontStats` accounting.  ``tests/align/test_batch.py`` holds
+the property-style equivalence suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..scoring import NEG_INF, ScoringScheme
+from .traceback import S_DIAG, S_FROM_D, S_FROM_I, S_ORIGIN, walk_traceback
+from .wavefront import WARP_WIDTH, DiagTraceback, WavefrontResult, WavefrontStats
+
+__all__ = ["batch_wavefront_extend"]
+
+_NEG = np.int64(NEG_INF)
+
+
+def _grow_slab(slab: np.ndarray, cap: int) -> np.ndarray:
+    out = np.full((slab.shape[0], cap), _NEG, dtype=np.int64)
+    out[:, : slab.shape[1]] = slab
+    return out
+
+
+def _grow_codes(slab: np.ndarray, seqs: list[np.ndarray], length: int) -> np.ndarray:
+    """Extend the padded code slab to ``length`` columns, zero-padded."""
+    out = np.zeros((slab.shape[0], length), dtype=np.uint8)
+    have = slab.shape[1]
+    out[:, :have] = slab
+    for row, seq in enumerate(seqs):
+        stop = min(int(seq.shape[0]), length)
+        if stop > have:
+            out[row, have:stop] = seq[have:stop]
+    return out
+
+
+def batch_wavefront_extend(
+    pairs: list[tuple[np.ndarray, np.ndarray]],
+    scheme: ScoringScheme,
+    *,
+    eager_tile: int = 0,
+    traceback: bool = False,
+    prune: bool = True,
+    batch_size: int | None = None,
+) -> list[WavefrontResult]:
+    """Extend N ``(target, query)`` suffix pairs in lockstep.
+
+    Drop-in batch equivalent of calling
+    :func:`~repro.align.wavefront.wavefront_extend` once per pair with the
+    same keyword arguments; results come back in input order and are
+    bit-identical to the per-task calls.
+
+    ``batch_size`` caps how many tasks share one lockstep slab (bounding
+    slab memory); ``None`` runs everything as a single batch.
+    """
+    results: list[WavefrontResult | None] = [None] * len(pairs)
+    if not pairs:
+        return []
+    if batch_size is not None and batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    step = int(batch_size) if batch_size else len(pairs)
+    for start in range(0, len(pairs), step):
+        _extend_lockstep(
+            pairs[start : start + step],
+            scheme,
+            eager_tile,
+            traceback,
+            prune,
+            results,
+            start,
+        )
+    return results  # type: ignore[return-value]
+
+
+def _extend_lockstep(
+    pairs: list[tuple[np.ndarray, np.ndarray]],
+    scheme: ScoringScheme,
+    eager_tile: int,
+    traceback: bool,
+    prune: bool,
+    results: list,
+    base_index: int,
+) -> None:
+    targets = [np.asarray(t, dtype=np.uint8) for t, _ in pairs]
+    queries = [np.asarray(q, dtype=np.uint8) for _, q in pairs]
+    rows = len(pairs)
+
+    oe = int(scheme.gap_open + scheme.gap_extend)
+    e = int(scheme.gap_extend)
+    ydrop = int(scheme.ydrop) if prune else None
+    sub = scheme.substitution
+    tile = int(eager_tile) if not traceback else 0
+
+    idx = np.arange(rows, dtype=np.int64)
+    m = np.fromiter((t.shape[0] for t in targets), dtype=np.int64, count=rows)
+    n = np.fromiter((q.shape[0] for q in queries), dtype=np.int64, count=rows)
+
+    cap = 128
+    S_pp = np.full((rows, cap), _NEG, dtype=np.int64)
+    S_p = np.full((rows, cap), _NEG, dtype=np.int64)
+    S_c = np.full((rows, cap), _NEG, dtype=np.int64)
+    I_p = np.full((rows, cap), _NEG, dtype=np.int64)
+    I_c = np.full((rows, cap), _NEG, dtype=np.int64)
+    D_p = np.full((rows, cap), _NEG, dtype=np.int64)
+    D_c = np.full((rows, cap), _NEG, dtype=np.int64)
+    S_p[:, 0] = 0  # diagonal 0: the origin
+
+    t_len = q_len = 64
+    Tpad = _grow_codes(np.zeros((rows, 0), dtype=np.uint8), targets, t_len)
+    Qpad = _grow_codes(np.zeros((rows, 0), dtype=np.uint8), queries, q_len)
+
+    lo_prev = np.zeros(rows, dtype=np.int64)
+    hi_prev = np.zeros(rows, dtype=np.int64)
+    best = np.zeros(rows, dtype=np.int64)
+    best_i = np.zeros(rows, dtype=np.int64)
+    best_j = np.zeros(rows, dtype=np.int64)
+
+    diagonals = np.ones(rows, dtype=np.int64)
+    cells = np.ones(rows, dtype=np.int64)
+    warp_steps = np.ones(rows, dtype=np.int64)
+    boundary_cells = np.zeros(rows, dtype=np.int64)
+    max_width = np.ones(rows, dtype=np.int64)
+
+    tile_tb: np.ndarray | None = None
+    if tile > 0:
+        tile_tb = np.zeros((rows, tile + 1, tile + 1), dtype=np.uint8)
+        tile_tb[:, 0, 0] = S_ORIGIN
+    full_tbs: list[DiagTraceback] | None = None
+    if traceback:
+        full_tbs = []
+        for row in range(rows):
+            tb = DiagTraceback((int(m[row]) + 1, int(n[row]) + 1))
+            tb.append_diag(0, np.array([S_ORIGIN], dtype=np.uint8))
+            full_tbs.append(tb)
+
+    def finalize(row: int) -> None:
+        stats = WavefrontStats(
+            diagonals=int(diagonals[row]),
+            cells=int(cells[row]),
+            warp_steps=int(warp_steps[row]),
+            boundary_cells=int(boundary_cells[row]),
+            max_width=int(max_width[row]),
+        )
+        bi, bj = int(best_i[row]), int(best_j[row])
+        ops = None
+        eager_hit = False
+        if full_tbs is not None:
+            ops = walk_traceback(full_tbs[row], bi, bj)
+        elif tile_tb is not None and bi <= tile and bj <= tile:
+            ops = walk_traceback(tile_tb[row], bi, bj)
+            eager_hit = True
+        results[base_index + int(idx[row])] = WavefrontResult(
+            score=int(best[row]),
+            end_i=bi,
+            end_j=bj,
+            stats=stats,
+            ops=ops,
+            eager_hit=eager_hit,
+        )
+
+    d = 0
+    while rows:
+        d += 1
+        lo = np.maximum(np.maximum(lo_prev, d - n), 0)
+        hi = np.minimum(np.minimum(hi_prev + 1, d), m)
+
+        # --- retire tasks whose window closed (the scalar break) ------------
+        closed = lo > hi
+        if closed.any():
+            for row in np.flatnonzero(closed):
+                finalize(int(row))
+            keep = np.flatnonzero(~closed)
+            rows = keep.shape[0]
+            if rows == 0:
+                break
+            idx, m, n = idx[keep], m[keep], n[keep]
+            lo, hi, lo_prev, hi_prev = lo[keep], hi[keep], lo_prev[keep], hi_prev[keep]
+            best, best_i, best_j = best[keep], best_i[keep], best_j[keep]
+            diagonals, cells = diagonals[keep], cells[keep]
+            warp_steps, boundary_cells = warp_steps[keep], boundary_cells[keep]
+            max_width = max_width[keep]
+            S_pp, S_p, S_c = S_pp[keep], S_p[keep], S_c[keep]
+            I_p, I_c, D_p, D_c = I_p[keep], I_c[keep], D_p[keep], D_c[keep]
+            Tpad, Qpad = Tpad[keep], Qpad[keep]
+            targets = [targets[i] for i in keep]
+            queries = [queries[i] for i in keep]
+            if tile_tb is not None:
+                tile_tb = tile_tb[keep]
+            if full_tbs is not None:
+                full_tbs = [full_tbs[i] for i in keep]
+
+        L = int(lo.min())
+        H = int(hi.max())
+        width = hi - lo + 1
+
+        if H + 3 > cap:
+            cap = max(H + 3, 2 * cap)
+            S_pp, S_p, S_c = _grow_slab(S_pp, cap), _grow_slab(S_p, cap), _grow_slab(S_c, cap)
+            I_p, I_c = _grow_slab(I_p, cap), _grow_slab(I_c, cap)
+            D_p, D_c = _grow_slab(D_p, cap), _grow_slab(D_c, cap)
+        if H > t_len:
+            t_len = max(2 * t_len, H + 64)
+            Tpad = _grow_codes(Tpad, targets, t_len)
+        if d >= q_len:
+            q_len = max(2 * q_len, d + 64)
+            Qpad = _grow_codes(Qpad, queries, q_len)
+
+        cols = np.arange(L, H + 1, dtype=np.int64)
+        in_win = (cols >= lo[:, None]) & (cols <= hi[:, None])
+        W = H - L + 1
+
+        # Scrub the recycled buffer's union-window edges (windows move by at
+        # most one column per step; interior columns are overwritten below).
+        if L >= 1:
+            S_c[:, L - 1] = I_c[:, L - 1] = D_c[:, L - 1] = _NEG
+        S_c[:, H + 1] = I_c[:, H + 1] = D_c[:, H + 1] = _NEG
+
+        Sp = S_p[:, L : H + 1]
+        Ip = I_p[:, L : H + 1]
+
+        # --- I(i, j): from diagonal d-1, same index -------------------------
+        Icur = np.maximum(Ip - e, Sp - oe)
+        top = hi == d  # cell (d, 0) has no insertion parent
+        if top.any():
+            tr = np.flatnonzero(top)
+            Icur[tr, hi[tr] - L] = _NEG
+
+        # --- D(i, j): from diagonal d-1, index i-1 --------------------------
+        if L >= 1:
+            Dcur = np.maximum(D_p[:, L - 1 : H] - e, S_p[:, L - 1 : H] - oe)
+        else:
+            Dcur = np.empty_like(Icur)
+            Dcur[:, 0] = _NEG  # cell (0, d) has no deletion parent
+            np.maximum(D_p[:, 0:H] - e, S_p[:, 0:H] - oe, out=Dcur[:, 1:])
+
+        # --- S = max(I, D, diag) --------------------------------------------
+        Scur = np.maximum(Icur, Dcur)
+        diag_valid = in_win & (cols >= 1) & (cols <= d - 1)
+        if L >= 1:
+            spp = S_pp[:, L - 1 : H]
+            tg = Tpad[:, L - 1 : H]
+        else:
+            spp = np.empty_like(Scur)
+            spp[:, 0] = _NEG
+            spp[:, 1:] = S_pp[:, 0:H]
+            tg = np.zeros((rows, W), dtype=np.uint8)
+            tg[:, 1:] = Tpad[:, 0:H]
+        if H == d:
+            qg = np.zeros((rows, W), dtype=np.uint8)
+            if W > 1:
+                qg[:, :-1] = Qpad[:, d - H : d - L][:, ::-1]
+        else:
+            qg = Qpad[:, d - H - 1 : d - L][:, ::-1]
+        diag_cand = spp + sub[tg, qg]
+        Scur = np.where(diag_valid, np.maximum(Scur, diag_cand), Scur)
+
+        # --- traceback recording --------------------------------------------
+        record_tile = tile_tb is not None and d <= 2 * tile
+        if full_tbs is not None or record_tile:
+            i_from_i = (Ip - e) > (Sp - oe)
+            if L >= 1:
+                d_from_d = (D_p[:, L - 1 : H] - e) > (S_p[:, L - 1 : H] - oe)
+            else:
+                d_from_d = np.zeros((rows, W), dtype=bool)
+                d_from_d[:, 1:] = (D_p[:, 0:H] - e) > (S_p[:, 0:H] - oe)
+            s_choice = np.full((rows, W), S_FROM_D, dtype=np.uint8)
+            s_choice[Scur == Icur] = S_FROM_I
+            s_choice[diag_valid & (Scur == diag_cand)] = S_DIAG
+            packed = s_choice | (i_from_i.astype(np.uint8) << 2)
+            packed |= d_from_d.astype(np.uint8) << 3
+            if full_tbs is not None:
+                off = (lo - L).tolist()
+                w_list = width.tolist()
+                for row, tb in enumerate(full_tbs):
+                    start = off[row]
+                    tb.append_diag(
+                        int(lo[row]), packed[row, start : start + w_list[row]].copy()
+                    )
+            else:
+                t_mask = in_win & (cols[None, :] <= tile) & (cols[None, :] >= d - tile)
+                rr, pp = np.nonzero(t_mask)
+                if rr.shape[0]:
+                    ii = pp + L
+                    tile_tb[rr, ii, d - ii] = packed[rr, pp]
+
+        # Hold masked-out cells at exactly NEG_INF: the batch-slab invariant
+        # that mirrors the scalar engine's scrubbed buffer edges.
+        Icur = np.where(in_win, Icur, _NEG)
+        Dcur = np.where(in_win, Dcur, _NEG)
+        Scur = np.where(in_win, Scur, _NEG)
+
+        # --- prune window edges against completed-diagonal best -------------
+        if ydrop is not None:
+            alive = in_win & (Scur >= (best - ydrop)[:, None])
+            has_alive = alive.any(axis=1)
+            first = alive.argmax(axis=1)
+            last = W - 1 - alive[:, ::-1].argmax(axis=1)
+            lo_next = L + first
+            hi_next = L + last
+            if has_alive.any():
+                keep_cells = (cols >= lo_next[:, None]) & (cols <= hi_next[:, None])
+                Icur = np.where(keep_cells, Icur, _NEG)
+                Dcur = np.where(keep_cells, Dcur, _NEG)
+                Scur = np.where(keep_cells, Scur, _NEG)
+        else:
+            has_alive = np.ones(rows, dtype=bool)
+            lo_next, hi_next = lo, hi
+
+        S_c[:, L : H + 1] = Scur
+        I_c[:, L : H + 1] = Icur
+        D_c[:, L : H + 1] = Dcur
+
+        # --- best-cell tracking (ties: smallest i+j, then smallest i) -------
+        w_idx = Scur.argmax(axis=1)
+        d_best = np.take_along_axis(Scur, w_idx[:, None], axis=1)[:, 0]
+        improved = has_alive & (d_best > best)
+        if improved.any():
+            best = np.where(improved, d_best, best)
+            best_i = np.where(improved, L + w_idx, best_i)
+            best_j = np.where(improved, d - best_i, best_j)
+
+        diagonals += 1
+        cells += width
+        strips = -(-width // WARP_WIDTH)
+        warp_steps += strips
+        boundary_cells += strips - 1
+        np.maximum(max_width, width, out=max_width)
+
+        S_pp, S_p, S_c = S_p, S_c, S_pp
+        I_p, I_c = I_c, I_p
+        D_p, D_c = D_c, D_p
+        lo_prev, hi_prev = lo_next, hi_next
+
+        # --- retire tasks whose whole window fell below threshold -----------
+        if not has_alive.all():
+            for row in np.flatnonzero(~has_alive):
+                finalize(int(row))
+            keep = np.flatnonzero(has_alive)
+            rows = keep.shape[0]
+            if rows == 0:
+                break
+            idx, m, n = idx[keep], m[keep], n[keep]
+            lo_prev, hi_prev = lo_prev[keep], hi_prev[keep]
+            best, best_i, best_j = best[keep], best_i[keep], best_j[keep]
+            diagonals, cells = diagonals[keep], cells[keep]
+            warp_steps, boundary_cells = warp_steps[keep], boundary_cells[keep]
+            max_width = max_width[keep]
+            S_pp, S_p, S_c = S_pp[keep], S_p[keep], S_c[keep]
+            I_p, I_c, D_p, D_c = I_p[keep], I_c[keep], D_p[keep], D_c[keep]
+            Tpad, Qpad = Tpad[keep], Qpad[keep]
+            targets = [targets[i] for i in keep]
+            queries = [queries[i] for i in keep]
+            if tile_tb is not None:
+                tile_tb = tile_tb[keep]
+            if full_tbs is not None:
+                full_tbs = [full_tbs[i] for i in keep]

@@ -53,9 +53,22 @@ def build_parser() -> argparse.ArgumentParser:
     align.add_argument("query", help="query FASTA (first record used)")
     align.add_argument(
         "--engine",
-        choices=("lastz", "fastz", "ungapped"),
+        choices=("lastz", "fastz", "fastz-batched", "ungapped"),
         default="lastz",
-        help="pipeline variant (default: sequential gapped LASTZ)",
+        help="pipeline variant (default: sequential gapped LASTZ; "
+        "fastz-batched runs the lockstep struct-of-arrays engine)",
+    )
+    align.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="extensions per lockstep batch (fastz-batched only)",
+    )
+    align.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard anchors across a multiprocessing pool (fastz engines)",
     )
     align.add_argument("--gap-open", type=int, default=400)
     align.add_argument("--gap-extend", type=int, default=30)
@@ -88,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="modelled speedup report for a benchmark")
     bench.add_argument("--benchmark", default="C1_1,1")
     bench.add_argument("--scale", type=float, default=0.25)
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="multiprocessing pool size for uncached profile builds",
+    )
     return parser
 
 
@@ -109,8 +128,17 @@ def _align_command(args: argparse.Namespace) -> int:
         traceback=not args.no_cigar,
     )
 
-    if args.engine == "fastz":
-        alignments = run_fastz(target, query, config).unique_alignments()
+    if args.engine in ("fastz", "fastz-batched"):
+        from .core import FastzOptions
+
+        options = FastzOptions(
+            engine="batched" if args.engine == "fastz-batched" else "scalar",
+            batch_size=args.batch_size,
+        )
+        result = run_fastz(
+            target, query, config, options, workers=args.workers or None
+        )
+        alignments = result.unique_alignments()
     elif args.engine == "ungapped":
         alignments = run_ungapped_lastz(target, query, config).alignments
     else:
@@ -167,7 +195,11 @@ def _bench_command(args: argparse.Namespace) -> int:
     from .workloads import build_profile, get_benchmark
     from .workloads.profiles import BENCH_OPTIONS, bench_calibration
 
-    profile = build_profile(get_benchmark(args.benchmark), scale=args.scale)
+    profile = build_profile(
+        get_benchmark(args.benchmark),
+        scale=args.scale,
+        workers=args.workers or None,
+    )
     calib = bench_calibration()
     cpu = sequential_seconds(profile.cpu_cells)
     print(f"{args.benchmark} @ scale {args.scale}: {profile.n_anchors} anchors")

@@ -49,12 +49,26 @@ class FastzOptions:
     bin_edges: tuple[int, ...] = DEFAULT_BIN_EDGES
     #: Number of CUDA streams (1 disables cross-kernel overlap).
     streams: int = 32
+    #: Host DP engine driving the functional pipeline: ``"scalar"`` runs
+    #: one extension at a time (the original per-anchor Python loop),
+    #: ``"batched"`` advances whole struct-of-arrays batches of extensions
+    #: in lockstep (:mod:`repro.align.batch`) — bit-identical results,
+    #: much faster profile builds.
+    engine: str = "scalar"
+    #: Max extensions sharing one lockstep batch under the batched engine
+    #: (bounds slab memory; executor batches are additionally composed
+    #: per length bin so short and long tasks never share a batch).
+    batch_size: int = 256
 
     def __post_init__(self) -> None:
         if self.eager_tile <= 0:
             raise ValueError("eager_tile must be positive")
         if self.streams <= 0:
             raise ValueError("streams must be positive")
+        if self.engine not in ("scalar", "batched"):
+            raise ValueError("engine must be 'scalar' or 'batched'")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
         if not self.bin_edges or any(
             b <= a for a, b in zip(self.bin_edges, self.bin_edges[1:])
         ):

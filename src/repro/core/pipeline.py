@@ -10,6 +10,19 @@ The pipeline produces the same alignments as sequential LASTZ, or
 occasionally longer ones (the wavefront's conservative pruning explores a
 superset; paper §3.4), and records a :class:`~repro.core.task.FastzTask`
 profile per anchor for the performance model.
+
+Two host engines drive the extensions (``FastzOptions.engine``):
+
+* ``"scalar"`` — the original per-anchor loop over
+  :func:`~repro.align.wavefront.wavefront_extend`;
+* ``"batched"`` — the struct-of-arrays lockstep engine
+  (:mod:`repro.align.batch`): the inspector advances all anchors' wavefronts
+  together, and executor tasks are composed into per-length-bin batches
+  (§3.3's inter-task parallelism) before being advanced in lockstep.
+
+Both engines produce bit-identical results; ``run_fastz(..., workers=N)``
+additionally shards the anchor set across a ``multiprocessing`` pool for
+big profile builds.
 """
 
 from __future__ import annotations
@@ -20,13 +33,15 @@ from functools import cached_property
 import numpy as np
 
 from ..align.alignment import Alignment
+from ..align.batch import batch_wavefront_extend
 from ..align.extend import combine_alignment
 from ..align.wavefront import WavefrontResult, wavefront_extend
 from ..genome.sequence import Sequence
 from ..lastz.config import LastzConfig
 from ..lastz.pipeline import select_anchors
+from ..scoring import ScoringScheme
 from ..seeding import Anchors
-from .binning import assign_bin, bin_histogram
+from .binning import assign_bin, assign_bins, bin_histogram
 from .options import FASTZ_FULL, FastzOptions
 from .task import FastzTask, TaskArrays, tasks_to_arrays
 
@@ -100,6 +115,203 @@ def _executor_side(
     return exact, True
 
 
+#: Per-anchor extension record: (inspector left/right, final left/right,
+#: executor-fallback count).  Produced identically by both engines.
+_AnchorExtension = tuple[WavefrontResult, WavefrontResult, WavefrontResult, WavefrontResult, int]
+
+
+def _extend_anchors_scalar(
+    t_codes: np.ndarray,
+    q_codes: np.ndarray,
+    scheme: ScoringScheme,
+    options: FastzOptions,
+    tile: int,
+    t_pos: list[int],
+    q_pos: list[int],
+) -> list[_AnchorExtension]:
+    """The original per-anchor loop: one wavefront at a time."""
+    out: list[_AnchorExtension] = []
+    for t, q in zip(t_pos, q_pos):
+        right_suffix_t = t_codes[t:]
+        right_suffix_q = q_codes[q:]
+        left_suffix_t = t_codes[:t][::-1]
+        left_suffix_q = q_codes[:q][::-1]
+
+        # --- inspector ------------------------------------------------------
+        insp_r = wavefront_extend(right_suffix_t, right_suffix_q, scheme, eager_tile=tile)
+        insp_l = wavefront_extend(left_suffix_t, left_suffix_q, scheme, eager_tile=tile)
+        eager = insp_l.eager_hit and insp_r.eager_hit
+
+        # --- executor (or not) ----------------------------------------------
+        fb = 0
+        if eager:
+            final_l, final_r = insp_l, insp_r
+        elif options.executor_trimming:
+            final_r, fb_r = _executor_side(right_suffix_t, right_suffix_q, insp_r, scheme)
+            final_l, fb_l = _executor_side(left_suffix_t, left_suffix_q, insp_l, scheme)
+            fb = int(fb_r) + int(fb_l)
+        else:
+            # Untrimmed executor: recompute the full search space with
+            # traceback (the V1/V2 ablation behaviour).
+            final_r = wavefront_extend(right_suffix_t, right_suffix_q, scheme, traceback=True)
+            final_l = wavefront_extend(left_suffix_t, left_suffix_q, scheme, traceback=True)
+        out.append((insp_l, insp_r, final_l, final_r, fb))
+    return out
+
+
+def _extend_anchors_batched(
+    t_codes: np.ndarray,
+    q_codes: np.ndarray,
+    scheme: ScoringScheme,
+    options: FastzOptions,
+    tile: int,
+    t_pos: list[int],
+    q_pos: list[int],
+) -> list[_AnchorExtension]:
+    """Lockstep inter-task extension: batched inspector, bin-aware executor.
+
+    The inspector advances every anchor's left and right wavefronts in
+    struct-of-arrays batches of ``options.batch_size``.  Executor tasks are
+    then grouped by the inspector-measured alignment-length bin
+    (:func:`~repro.core.binning.assign_bins`) so short and long extensions
+    never share a lockstep batch — the load-balance argument of §3.3 —
+    and each bin is advanced in lockstep with full packed traceback.
+    """
+    n_anchors = len(t_pos)
+    suffixes: list[tuple[np.ndarray, np.ndarray]] = []
+    for t, q in zip(t_pos, q_pos):
+        suffixes.append((t_codes[t:], q_codes[q:]))  # right at 2k
+        suffixes.append((t_codes[:t][::-1], q_codes[:q][::-1]))  # left at 2k+1
+    insp = batch_wavefront_extend(
+        suffixes, scheme, eager_tile=tile, batch_size=options.batch_size
+    )
+    insp_r = insp[0::2]
+    insp_l = insp[1::2]
+
+    eager = np.fromiter(
+        (insp_l[k].eager_hit and insp_r[k].eager_hit for k in range(n_anchors)),
+        dtype=bool,
+        count=n_anchors,
+    )
+    pending = np.flatnonzero(~eager)
+
+    # --- bin-aware executor batch composition (§3.3) ------------------------
+    # Extent is known after the inspector; group executor jobs per bin so a
+    # lockstep batch never mixes short and long alignments.
+    finals: dict[tuple[int, int], WavefrontResult] = {}
+    if pending.shape[0]:
+        extents = np.fromiter(
+            (
+                max(
+                    insp_l[k].end_i + insp_r[k].end_i,
+                    insp_l[k].end_j + insp_r[k].end_j,
+                )
+                for k in pending
+            ),
+            dtype=np.int64,
+            count=pending.shape[0],
+        )
+        if options.binning:
+            bins = assign_bins(
+                extents, np.zeros(pending.shape[0], dtype=bool), options.bin_edges
+            )
+        else:
+            bins = np.zeros(pending.shape[0], dtype=np.int64)
+        for bin_id in np.unique(bins):
+            jobs: list[tuple[int, int]] = []  # (anchor index, side: 0=right 1=left)
+            job_pairs: list[tuple[np.ndarray, np.ndarray]] = []
+            for k in pending[bins == bin_id]:
+                for side in (0, 1):
+                    ins = (insp_r, insp_l)[side][k]
+                    t_suffix, q_suffix = suffixes[2 * k + side]
+                    if options.executor_trimming:
+                        t_suffix = t_suffix[: ins.end_i]
+                        q_suffix = q_suffix[: ins.end_j]
+                    jobs.append((int(k), side))
+                    job_pairs.append((t_suffix, q_suffix))
+            ran = batch_wavefront_extend(
+                job_pairs, scheme, traceback=True, batch_size=options.batch_size
+            )
+            for (k, side), result in zip(jobs, ran):
+                finals[(k, side)] = result
+
+    out: list[_AnchorExtension] = []
+    for k in range(n_anchors):
+        if eager[k]:
+            out.append((insp_l[k], insp_r[k], insp_l[k], insp_r[k], 0))
+            continue
+        fb = 0
+        sides: list[WavefrontResult] = []
+        for side in (0, 1):
+            ins = (insp_r, insp_l)[side][k]
+            result = finals[(k, side)]
+            if options.executor_trimming and (
+                result.score,
+                result.end_i,
+                result.end_j,
+            ) != (ins.score, ins.end_i, ins.end_j):
+                # Trimmed rerun disagreed with the inspector: exact fallback,
+                # exactly as the scalar executor does.
+                t_suffix, q_suffix = suffixes[2 * k + side]
+                result = wavefront_extend(
+                    t_suffix[: ins.end_i],
+                    q_suffix[: ins.end_j],
+                    scheme,
+                    traceback=True,
+                    prune=False,
+                )
+                fb += 1
+            sides.append(result)
+        out.append((insp_l[k], insp_r[k], sides[1], sides[0], fb))
+    return out
+
+
+def _extend_chunk(args) -> list[_AnchorExtension]:
+    """Top-level pool worker: extend one contiguous anchor chunk."""
+    t_codes, q_codes, scheme, options, tile, t_pos, q_pos = args
+    extend = (
+        _extend_anchors_batched if options.engine == "batched" else _extend_anchors_scalar
+    )
+    return extend(t_codes, q_codes, scheme, options, tile, t_pos, q_pos)
+
+
+def _extend_anchors_pool(
+    t_codes: np.ndarray,
+    q_codes: np.ndarray,
+    scheme: ScoringScheme,
+    options: FastzOptions,
+    tile: int,
+    t_pos: list[int],
+    q_pos: list[int],
+    workers: int,
+) -> list[_AnchorExtension]:
+    """Shard the anchor set across a multiprocessing pool.
+
+    Each worker runs the configured engine over a contiguous anchor chunk;
+    chunk results concatenate back in anchor order, so the merged output is
+    identical to a single-process run.
+    """
+    import multiprocessing
+
+    n_anchors = len(t_pos)
+    chunk = -(-n_anchors // workers)
+    payloads = [
+        (
+            t_codes,
+            q_codes,
+            scheme,
+            options,
+            tile,
+            t_pos[start : start + chunk],
+            q_pos[start : start + chunk],
+        )
+        for start in range(0, n_anchors, chunk)
+    ]
+    with multiprocessing.Pool(processes=min(workers, len(payloads))) as pool:
+        parts = pool.map(_extend_chunk, payloads)
+    return [record for part in parts for record in part]
+
+
 def run_fastz(
     target: Sequence | np.ndarray,
     query: Sequence | np.ndarray,
@@ -108,6 +320,7 @@ def run_fastz(
     *,
     anchors: Anchors | None = None,
     keep_extensions: bool = False,
+    workers: int | None = None,
 ) -> FastzResult:
     """Run the FastZ pipeline over all anchors (no sequential skipping).
 
@@ -116,6 +329,11 @@ def run_fastz(
     the executor recompute the full search space (as the ablation variants
     of Figure 9 do).  The performance model can also replay a full-FastZ
     profile under any variant without re-running this pipeline.
+
+    ``options.engine`` selects the host DP engine (``"scalar"`` loop or
+    ``"batched"`` lockstep batches); ``workers`` > 1 additionally shards
+    the anchor set across a multiprocessing pool.  Both knobs change only
+    wall-clock, never results.
     """
     config = config or LastzConfig()
     t_codes = np.asarray(target.codes if isinstance(target, Sequence) else target)
@@ -133,32 +351,30 @@ def run_fastz(
     extensions: list = []
     fallbacks = 0
 
-    for t, q in zip(anchors.target_pos.tolist(), anchors.query_pos.tolist()):
-        right_suffix_t = t_codes[t:]
-        right_suffix_q = q_codes[q:]
-        left_suffix_t = t_codes[:t][::-1]
-        left_suffix_q = q_codes[:q][::-1]
+    t_pos = anchors.target_pos.tolist()
+    q_pos = anchors.query_pos.tolist()
+    if workers and workers > 1 and len(t_pos) > 1:
+        per_anchor = _extend_anchors_pool(
+            t_codes, q_codes, scheme, options, tile, t_pos, q_pos, int(workers)
+        )
+    elif options.engine == "batched":
+        per_anchor = _extend_anchors_batched(
+            t_codes, q_codes, scheme, options, tile, t_pos, q_pos
+        )
+    else:
+        per_anchor = _extend_anchors_scalar(
+            t_codes, q_codes, scheme, options, tile, t_pos, q_pos
+        )
 
-        # --- inspector ------------------------------------------------------
-        insp_r = wavefront_extend(right_suffix_t, right_suffix_q, scheme, eager_tile=tile)
-        insp_l = wavefront_extend(left_suffix_t, left_suffix_q, scheme, eager_tile=tile)
+    for (t, q), (insp_l, insp_r, final_l, final_r, fb) in zip(
+        zip(t_pos, q_pos), per_anchor
+    ):
         eager = insp_l.eager_hit and insp_r.eager_hit
         score = insp_l.score + insp_r.score
-
-        # --- executor (or not) ----------------------------------------------
+        fallbacks += fb
         if eager:
-            final_l, final_r = insp_l, insp_r
             exec_l = exec_r = None
-        elif options.executor_trimming:
-            final_r, fb_r = _executor_side(right_suffix_t, right_suffix_q, insp_r, scheme)
-            final_l, fb_l = _executor_side(left_suffix_t, left_suffix_q, insp_l, scheme)
-            fallbacks += int(fb_r) + int(fb_l)
-            exec_l, exec_r = final_l.stats, final_r.stats
         else:
-            # Untrimmed executor: recompute the full search space with
-            # traceback (the V1/V2 ablation behaviour).
-            final_r = wavefront_extend(right_suffix_t, right_suffix_q, scheme, traceback=True)
-            final_l = wavefront_extend(left_suffix_t, left_suffix_q, scheme, traceback=True)
             exec_l, exec_r = final_l.stats, final_r.stats
 
         cols_l = sum(n for _, n in (final_l.ops or ()))

@@ -41,9 +41,17 @@ __all__ = [
 #: Bump when profile-affecting code changes, to invalidate stale caches.
 _CACHE_VERSION = 7
 
+#: Bump when the *pickle schema* of cached objects changes (new/renamed
+#: fields on profiles, tasks, options, results...).  Old pickles then miss
+#: the key and are rebuilt instead of being unpickled into garbage — or
+#: crashing tier-1 with ``AttributeError`` mid-load.
+_CACHE_FORMAT = 2
+
 #: FastZ options used by the scaled benchmark suite: full FastZ with the
-#: suite's scaled bin edges.
-BENCH_OPTIONS = FastzOptions(bin_edges=SCALED_BIN_EDGES)
+#: suite's scaled bin edges, extended by the lockstep batched engine (the
+#: results are bit-identical to the scalar engine; profile builds are just
+#: several times faster).
+BENCH_OPTIONS = FastzOptions(bin_edges=SCALED_BIN_EDGES, engine="batched")
 
 #: Calibration for the scaled suite.  The only override is the modeled
 #: device-memory budget for per-task DP allocations: the suite's search
@@ -113,8 +121,34 @@ def _cache_dir() -> Path | None:
 
 
 def _cache_key(spec: BenchmarkSpec, scale: float) -> str:
-    payload = repr((_CACHE_VERSION, spec, scale, bench_config(), BENCH_OPTIONS)).encode()
+    payload = repr(
+        (_CACHE_VERSION, _CACHE_FORMAT, spec, scale, bench_config(), BENCH_OPTIONS)
+    ).encode()
     return hashlib.sha256(payload).hexdigest()[:24]
+
+
+def _load_cached(path: Path):
+    """Unpickle a cache file, or return ``None`` after deleting it if corrupt.
+
+    Truncated writes, stale schemas and plain disk corruption all surface
+    here (``UnpicklingError``/``EOFError``/``AttributeError``); a corrupt
+    cache entry must degrade to a recompute-and-rewrite, never crash the
+    caller.
+    """
+    try:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as exc:
+        import warnings
+
+        warnings.warn(
+            f"discarding corrupt profile cache {path.name}: {exc!r}", stacklevel=2
+        )
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
 
 
 def clear_cache() -> None:
@@ -127,13 +161,27 @@ def clear_cache() -> None:
                 path.unlink()
 
 
+def _pool_workers() -> int | None:
+    """Pool size for uncached profile builds (``REPRO_POOL_WORKERS``)."""
+    raw = os.environ.get("REPRO_POOL_WORKERS")
+    if not raw:
+        return None
+    value = int(raw)
+    return value if value > 1 else None
+
+
 def _profile_from_pair(
-    spec: BenchmarkSpec, pair: GenomePair, scale: float
+    spec: BenchmarkSpec, pair: GenomePair, scale: float, workers: int | None = None
 ) -> WorkloadProfile:
     config = bench_config()
     lastz = run_gapped_lastz(pair.target, pair.query, config)
     fastz = run_fastz(
-        pair.target, pair.query, config, BENCH_OPTIONS, anchors=lastz.anchors
+        pair.target,
+        pair.query,
+        config,
+        BENCH_OPTIONS,
+        anchors=lastz.anchors,
+        workers=workers if workers is not None else _pool_workers(),
     )
     transfer = (
         len(pair.target)
@@ -174,10 +222,10 @@ def build_sensitivity_run(
         else None
     )
     if path is not None and path.exists():
-        with open(path, "rb") as handle:
-            pairres = pickle.load(handle)
-        _MEMORY_CACHE[key] = pairres
-        return pairres
+        pairres = _load_cached(path)
+        if pairres is not None:
+            _MEMORY_CACHE[key] = pairres
+            return pairres
 
     pair = build_benchmark_pair(spec, scale)
     config = bench_config()
@@ -200,8 +248,15 @@ def build_profile(
     *,
     scale: float = 1.0,
     use_cache: bool = True,
+    workers: int | None = None,
 ) -> WorkloadProfile:
-    """Build (or fetch) the work profile of one benchmark."""
+    """Build (or fetch) the work profile of one benchmark.
+
+    Corrupt or stale cache entries are deleted and transparently rebuilt
+    (then rewritten).  ``workers`` shards the FastZ extension pass across a
+    multiprocessing pool for uncached builds (default: the
+    ``REPRO_POOL_WORKERS`` environment variable, else single-process).
+    """
     key = _cache_key(spec, scale)
     if use_cache and key in _MEMORY_CACHE:
         return _MEMORY_CACHE[key]
@@ -209,13 +264,13 @@ def build_profile(
     directory = _cache_dir() if use_cache else None
     path = directory / f"profile-{spec.name.replace('/', '_')}-{key}.pkl" if directory else None
     if path is not None and path.exists():
-        with open(path, "rb") as handle:
-            profile = pickle.load(handle)
-        _MEMORY_CACHE[key] = profile
-        return profile
+        profile = _load_cached(path)
+        if profile is not None:
+            _MEMORY_CACHE[key] = profile
+            return profile
 
     pair = build_benchmark_pair(spec, scale)
-    profile = _profile_from_pair(spec, pair, scale)
+    profile = _profile_from_pair(spec, pair, scale, workers)
     if use_cache:
         _MEMORY_CACHE[key] = profile
         if path is not None:

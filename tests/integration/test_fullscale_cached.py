@@ -10,6 +10,8 @@ otherwise they skip.
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.core import time_fastz
 from repro.gpusim import RTX_3080_AMPERE
 from repro.lastz import sequential_seconds

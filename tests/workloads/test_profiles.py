@@ -46,6 +46,67 @@ class TestBuildProfile:
         assert p.n_anchors > 0
 
 
+class TestCorruptCacheRecovery:
+    """Corrupt pickles must be discarded and rebuilt, never crash callers."""
+
+    def _cache_path(self, session_cache_dir):
+        from repro.workloads import profiles
+
+        key = profiles._cache_key(SPEC, SCALE)
+        return session_cache_dir / f"profile-{SPEC.name.replace('/', '_')}-{key}.pkl"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            pytest.param(b"\x04not a pickle at all", id="garbage-bytes"),
+            pytest.param(b"", id="truncated-empty"),
+            pytest.param(
+                b"\x80\x05\x95\x10\x00\x00\x00\x00\x00\x00\x00", id="truncated-header"
+            ),
+        ],
+    )
+    def test_corrupt_pickle_recovers(self, session_cache_dir, payload):
+        from repro.workloads import profiles
+
+        good = build_profile(SPEC, scale=SCALE)
+        path = self._cache_path(session_cache_dir)
+        assert path.exists()
+        path.write_bytes(payload)
+        profiles._MEMORY_CACHE.clear()
+        with pytest.warns(UserWarning, match="corrupt profile cache"):
+            rebuilt = build_profile(SPEC, scale=SCALE)
+        assert rebuilt.n_anchors == good.n_anchors
+        # The recompute rewrote a loadable cache entry.
+        profiles._MEMORY_CACHE.clear()
+        reloaded = build_profile(SPEC, scale=SCALE)
+        assert reloaded.n_anchors == good.n_anchors
+
+    def test_stale_schema_pickle_recovers(self, session_cache_dir):
+        """An AttributeError during unpickling (renamed class/field) is
+        treated exactly like corruption."""
+        from repro.workloads import profiles
+
+        build_profile(SPEC, scale=SCALE)
+        path = self._cache_path(session_cache_dir)
+        # A pickle whose GLOBAL opcode references a class that no longer
+        # exists — what a schema rename leaves behind.
+        stale = b"crepro.workloads.profiles\nNoSuchProfileClass\n."
+        path.write_bytes(stale)
+        profiles._MEMORY_CACHE.clear()
+        with pytest.warns(UserWarning, match="corrupt profile cache"):
+            rebuilt = build_profile(SPEC, scale=SCALE)
+        assert rebuilt.n_anchors > 0
+        assert path.read_bytes() != stale
+
+    def test_cache_format_in_key(self, monkeypatch):
+        """Bumping the format version changes every cache key."""
+        from repro.workloads import profiles
+
+        before = profiles._cache_key(SPEC, SCALE)
+        monkeypatch.setattr(profiles, "_CACHE_FORMAT", profiles._CACHE_FORMAT + 1)
+        assert profiles._cache_key(SPEC, SCALE) != before
+
+
 class TestBenchDefaults:
     def test_bench_config_scaling(self):
         config = bench_config()
