@@ -1,0 +1,149 @@
+"""Offered-load sweep of the alignment service (implementation health).
+
+Not a paper figure: this measures what the serving layer itself buys.
+A fleet of small, mixed-length alignment requests is thrown at
+:class:`repro.service.AlignmentService` under two dispatch policies:
+
+* **naive** — ``max_batch=1``: every request runs the pipeline alone,
+  exactly the pre-service one-``run_fastz``-per-caller path;
+* **batched** — ``max_batch=64``: concurrent requests are fused into
+  bin-aware lockstep batches over the struct-of-arrays engine.
+
+Throughput is requests/second with all requests offered up front (the
+queue is the concurrency).  The cache experiment times the same request
+cold and then hot.  Results append a trajectory point to
+``bench_results/BENCH_service.json``; the gates this repo tracks are
+**batched >= 2x naive at >= 64 concurrent requests** and **cache hits
+>= 10x faster than cold runs**.
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_service.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.genome import SegmentClass, build_pair
+from repro.lastz.config import LastzConfig
+from repro.scoring import default_scheme
+from repro.service import AlignmentService
+
+RESULTS = Path(__file__).resolve().parent.parent / "bench_results"
+
+#: Concurrency levels of the sweep (the acceptance gate reads the last).
+OFFERED_LOADS = (16, 64)
+
+CONFIG = LastzConfig(scheme=default_scheme(gap_extend=60, ydrop=2400))
+
+
+def build_requests(n: int):
+    """``n`` small requests over mixed sequence lengths (2.5-8 kb)."""
+    requests = []
+    for i in range(n):
+        length = 2_500 + (i % 12) * 500
+        pair = build_pair(
+            f"load{i}",
+            target_length=length,
+            query_length=length,
+            classes=[SegmentClass("s", 3, 60, 200, divergence=0.05)],
+            rng=1_000 + i,
+        )
+        requests.append((pair.target, pair.query))
+    return requests
+
+
+def run_offered_load(requests, *, max_batch: int, max_wait_ms: float) -> dict:
+    """Offer every request at once; measure wall-clock to full completion."""
+    with AlignmentService(
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+        max_queue=len(requests) + 1,
+        cache_entries=0,  # throughput run must not be flattered by caching
+        config=CONFIG,
+    ) as service:
+        start = time.perf_counter()
+        futures = [service.submit(t, q) for t, q in requests]
+        for future in futures:
+            future.result(timeout=600)
+        elapsed = time.perf_counter() - start
+        stats = service.stats()
+    return {
+        "seconds": round(elapsed, 4),
+        "requests_per_second": round(len(requests) / elapsed, 2),
+        "mean_batch_size": round(stats.mean_batch_size, 2),
+        "p50_ms": round(stats.latency_p50_ms, 1),
+        "p95_ms": round(stats.latency_p95_ms, 1),
+    }
+
+
+def run_cache_experiment() -> dict:
+    """Cold-vs-hot latency of one repeated request."""
+    target, query = build_requests(1)[0]
+    with AlignmentService(config=CONFIG) as service:
+        cold_start = time.perf_counter()
+        service.align(target, query, timeout_s=600)
+        cold = time.perf_counter() - cold_start
+        hot_start = time.perf_counter()
+        service.align(target, query, timeout_s=600)
+        hot = time.perf_counter() - hot_start
+        hits = service.stats().cache.hits
+    assert hits == 1, "second align must be a cache hit"
+    return {
+        "cold_ms": round(cold * 1e3, 3),
+        "hit_ms": round(hot * 1e3, 3),
+        "speedup": round(cold / hot, 1),
+    }
+
+
+def main() -> dict:
+    sweep = []
+    for load in OFFERED_LOADS:
+        requests = build_requests(load)
+        naive = run_offered_load(requests, max_batch=1, max_wait_ms=0.0)
+        batched = run_offered_load(requests, max_batch=64, max_wait_ms=5.0)
+        speedup = round(naive["seconds"] / batched["seconds"], 2)
+        sweep.append(
+            {
+                "concurrent_requests": load,
+                "naive": naive,
+                "batched": batched,
+                "speedup": speedup,
+            }
+        )
+        print(
+            f"load {load:>3}: naive {naive['seconds']:.2f}s "
+            f"({naive['requests_per_second']}/s)  "
+            f"batched {batched['seconds']:.2f}s "
+            f"({batched['requests_per_second']}/s, "
+            f"mean batch {batched['mean_batch_size']})  -> {speedup}x"
+        )
+
+    cache = run_cache_experiment()
+    print(
+        f"cache: cold {cache['cold_ms']:.1f}ms  hit {cache['hit_ms']:.3f}ms  "
+        f"-> {cache['speedup']}x"
+    )
+
+    entry = {"sweep": sweep, "cache": cache}
+    RESULTS.mkdir(exist_ok=True)
+    out = RESULTS / "BENCH_service.json"
+    history = json.loads(out.read_text()) if out.exists() else []
+    history.append(entry)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    top = sweep[-1]
+    assert top["speedup"] >= 2.0, (
+        f"batched dispatch only {top['speedup']}x naive at "
+        f"{top['concurrent_requests']} concurrent requests (gate: >= 2x)"
+    )
+    assert cache["speedup"] >= 10.0, (
+        f"cache hit only {cache['speedup']}x faster than cold (gate: >= 10x)"
+    )
+    return entry
+
+
+if __name__ == "__main__":
+    main()

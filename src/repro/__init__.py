@@ -59,12 +59,20 @@ from .scoring import (
     unit_scheme,
     write_score_file,
 )
+from .service import (
+    AlignmentService,
+    ServiceOverloaded,
+    ServiceStats,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ALL_DEVICES",
     "Alignment",
+    "AlignmentService",
+    "ServiceOverloaded",
+    "ServiceStats",
     "DeviceSpec",
     "FASTZ_FULL",
     "FastzOptions",

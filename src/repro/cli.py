@@ -1,6 +1,6 @@
 """Command-line interface: a LASTZ-style front end over the library.
 
-Three subcommands:
+Four subcommands:
 
 ``align``
     Align two FASTA files (target, query) with the gapped pipeline —
@@ -16,6 +16,10 @@ Three subcommands:
 ``bench``
     Build (or load) one registry benchmark's work profile and print the
     modelled speedup report for it.
+
+``serve``
+    Run the concurrent alignment service (:mod:`repro.service`) behind a
+    JSON/HTTP endpoint: ``POST /align``, ``GET /stats``, ``GET /healthz``.
 
 Run ``python -m repro.cli <subcommand> --help`` for the options.
 """
@@ -45,6 +49,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="fastz-repro",
         description="FastZ reproduction: gapped whole-genome alignment.",
+    )
+    from . import __version__
+
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -106,6 +117,47 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="multiprocessing pool size for uncached profile builds",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="JSON/HTTP alignment service with micro-batching"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="requests fused into one lockstep dispatch (1 = no batching)",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="how long an under-full batch waits for stragglers",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="queued-request bound; beyond it submissions get HTTP 503",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=128,
+        help="LRU result-cache capacity (0 disables caching)",
+    )
+    serve.add_argument("--gap-open", type=int, default=400)
+    serve.add_argument("--gap-extend", type=int, default=30)
+    serve.add_argument("--ydrop", type=int, default=None)
+    serve.add_argument("--hsp-threshold", type=int, default=3000)
+    serve.add_argument("--gapped-threshold", type=int, default=3000)
+    serve.add_argument("--seed-length", type=int, default=19)
+    serve.add_argument("--collapse-window", type=int, default=500)
+    serve.add_argument("--diag-band", type=int, default=150)
+    serve.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request"
     )
     return parser
 
@@ -222,12 +274,58 @@ def _bench_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_command(args: argparse.Namespace) -> int:
+    from .service import AlignmentService, make_server
+
+    scheme = default_scheme(
+        gap_open=args.gap_open,
+        gap_extend=args.gap_extend,
+        ydrop=args.ydrop,
+        hsp_threshold=args.hsp_threshold,
+        gapped_threshold=args.gapped_threshold,
+    )
+    config = LastzConfig(
+        scheme=scheme,
+        seed_length=args.seed_length,
+        collapse_window=args.collapse_window,
+        diag_band=args.diag_band,
+    )
+    service = AlignmentService(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+        cache_entries=args.cache_entries,
+        config=config,
+    )
+    server = make_server(
+        service, args.host, args.port, quiet=not args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"serving alignments on http://{host}:{port} "
+        f"(max_batch={args.max_batch}, max_wait={args.max_wait_ms}ms, "
+        f"queue={args.max_queue}, cache={args.cache_entries})",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("draining and shutting down...", file=sys.stderr)
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.shutdown(drain=True)
+    return 0
+
+
 def main(argv: Seq[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "align":
         return _align_command(args)
     if args.command == "synth":
         return _synth_command(args)
+    if args.command == "serve":
+        return _serve_command(args)
     return _bench_command(args)
 
 

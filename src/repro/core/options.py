@@ -73,6 +73,8 @@ class FastzOptions:
             b <= a for a, b in zip(self.bin_edges, self.bin_edges[1:])
         ):
             raise ValueError("bin_edges must be strictly increasing and non-empty")
+        if self.bin_edges[0] <= 0:
+            raise ValueError("bin_edges must be positive")
 
     @property
     def label(self) -> str:

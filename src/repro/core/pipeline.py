@@ -45,7 +45,13 @@ from .binning import assign_bin, assign_bins, bin_histogram
 from .options import FASTZ_FULL, FastzOptions
 from .task import FastzTask, TaskArrays, tasks_to_arrays
 
-__all__ = ["FastzResult", "run_fastz"]
+__all__ = [
+    "FastzResult",
+    "PreparedRequest",
+    "finish_fastz",
+    "prepare_fastz",
+    "run_fastz",
+]
 
 
 @dataclass
@@ -159,16 +165,38 @@ def _extend_anchors_scalar(
     return out
 
 
-def _extend_anchors_batched(
+def _anchor_suffixes(
     t_codes: np.ndarray,
     q_codes: np.ndarray,
+    t_pos: list[int],
+    q_pos: list[int],
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """The two one-sided extension problems of each anchor, interleaved.
+
+    Anchor ``k``'s right extension is at index ``2k``, its (reversed) left
+    extension at ``2k + 1`` — the layout :func:`extend_suffixes_batched`
+    expects.
+    """
+    suffixes: list[tuple[np.ndarray, np.ndarray]] = []
+    for t, q in zip(t_pos, q_pos):
+        suffixes.append((t_codes[t:], q_codes[q:]))  # right at 2k
+        suffixes.append((t_codes[:t][::-1], q_codes[:q][::-1]))  # left at 2k+1
+    return suffixes
+
+
+def extend_suffixes_batched(
+    suffixes: list[tuple[np.ndarray, np.ndarray]],
     scheme: ScoringScheme,
     options: FastzOptions,
     tile: int,
-    t_pos: list[int],
-    q_pos: list[int],
 ) -> list[_AnchorExtension]:
     """Lockstep inter-task extension: batched inspector, bin-aware executor.
+
+    ``suffixes`` is the interleaved right/left layout of
+    :func:`_anchor_suffixes` and may concatenate the anchors of *several*
+    alignment requests — the extension problems are independent, so the
+    alignment service fuses concurrent requests into one call and the
+    per-anchor records come back bit-identical to per-request runs.
 
     The inspector advances every anchor's left and right wavefronts in
     struct-of-arrays batches of ``options.batch_size``.  Executor tasks are
@@ -177,11 +205,7 @@ def _extend_anchors_batched(
     never share a lockstep batch — the load-balance argument of §3.3 —
     and each bin is advanced in lockstep with full packed traceback.
     """
-    n_anchors = len(t_pos)
-    suffixes: list[tuple[np.ndarray, np.ndarray]] = []
-    for t, q in zip(t_pos, q_pos):
-        suffixes.append((t_codes[t:], q_codes[q:]))  # right at 2k
-        suffixes.append((t_codes[:t][::-1], q_codes[:q][::-1]))  # left at 2k+1
+    n_anchors = len(suffixes) // 2
     insp = batch_wavefront_extend(
         suffixes, scheme, eager_tile=tile, batch_size=options.batch_size
     )
@@ -266,6 +290,21 @@ def _extend_anchors_batched(
     return out
 
 
+def _extend_anchors_batched(
+    t_codes: np.ndarray,
+    q_codes: np.ndarray,
+    scheme: ScoringScheme,
+    options: FastzOptions,
+    tile: int,
+    t_pos: list[int],
+    q_pos: list[int],
+) -> list[_AnchorExtension]:
+    """Batched extension of one request's anchors (see the suffix variant)."""
+    return extend_suffixes_batched(
+        _anchor_suffixes(t_codes, q_codes, t_pos, q_pos), scheme, options, tile
+    )
+
+
 def _extend_chunk(args) -> list[_AnchorExtension]:
     """Top-level pool worker: extend one contiguous anchor chunk."""
     t_codes, q_codes, scheme, options, tile, t_pos, q_pos = args
@@ -312,62 +351,82 @@ def _extend_anchors_pool(
     return [record for part in parts for record in part]
 
 
-def run_fastz(
+@dataclass
+class PreparedRequest:
+    """One alignment request after anchor selection, ready for extension.
+
+    The per-request half of the pipeline that is independent of every other
+    request: sequence codes, the sorted anchor set and the extension
+    parameters.  ``run_fastz`` builds one, extends it and finishes it in a
+    single call; the alignment service prepares many requests, fuses their
+    :meth:`suffixes` into shared lockstep batches, and finishes each with
+    :func:`finish_fastz` — with results bit-identical to per-request runs.
+    """
+
+    t_codes: np.ndarray
+    q_codes: np.ndarray
+    scheme: ScoringScheme
+    options: FastzOptions
+    anchors: Anchors
+    tile: int
+    t_pos: list[int]
+    q_pos: list[int]
+
+    @property
+    def n_anchors(self) -> int:
+        return len(self.t_pos)
+
+    def suffixes(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Interleaved right/left extension problems of every anchor."""
+        return _anchor_suffixes(self.t_codes, self.q_codes, self.t_pos, self.q_pos)
+
+
+def prepare_fastz(
     target: Sequence | np.ndarray,
     query: Sequence | np.ndarray,
     config: LastzConfig | None = None,
     options: FastzOptions = FASTZ_FULL,
     *,
     anchors: Anchors | None = None,
-    keep_extensions: bool = False,
-    workers: int | None = None,
-) -> FastzResult:
-    """Run the FastZ pipeline over all anchors (no sequential skipping).
-
-    ``options`` controls the *functional* behaviour: disabling eager
-    traceback sends every task to the executor; disabling trimming makes
-    the executor recompute the full search space (as the ablation variants
-    of Figure 9 do).  The performance model can also replay a full-FastZ
-    profile under any variant without re-running this pipeline.
-
-    ``options.engine`` selects the host DP engine (``"scalar"`` loop or
-    ``"batched"`` lockstep batches); ``workers`` > 1 additionally shards
-    the anchor set across a multiprocessing pool.  Both knobs change only
-    wall-clock, never results.
-    """
+) -> PreparedRequest:
+    """Stage a request: encode, select anchors, sort, fix the eager tile."""
     config = config or LastzConfig()
     t_codes = np.asarray(target.codes if isinstance(target, Sequence) else target)
     q_codes = np.asarray(query.codes if isinstance(query, Sequence) else query)
-    scheme = config.scheme
 
     if anchors is None:
         anchors = select_anchors(t_codes, q_codes, config)
     order = np.lexsort((anchors.target_pos, anchors.query_pos))
     anchors = anchors.take(order)
 
-    tile = options.eager_tile if options.eager_traceback else 0
+    return PreparedRequest(
+        t_codes=t_codes,
+        q_codes=q_codes,
+        scheme=config.scheme,
+        options=options,
+        anchors=anchors,
+        tile=options.eager_tile if options.eager_traceback else 0,
+        t_pos=anchors.target_pos.tolist(),
+        q_pos=anchors.query_pos.tolist(),
+    )
+
+
+def finish_fastz(
+    prepared: PreparedRequest,
+    per_anchor: list[_AnchorExtension],
+    *,
+    keep_extensions: bool = False,
+) -> FastzResult:
+    """Fold per-anchor extension records into a :class:`FastzResult`."""
+    scheme = prepared.scheme
+    options = prepared.options
     alignments: list[Alignment] = []
     tasks: list[FastzTask] = []
     extensions: list = []
     fallbacks = 0
 
-    t_pos = anchors.target_pos.tolist()
-    q_pos = anchors.query_pos.tolist()
-    if workers and workers > 1 and len(t_pos) > 1:
-        per_anchor = _extend_anchors_pool(
-            t_codes, q_codes, scheme, options, tile, t_pos, q_pos, int(workers)
-        )
-    elif options.engine == "batched":
-        per_anchor = _extend_anchors_batched(
-            t_codes, q_codes, scheme, options, tile, t_pos, q_pos
-        )
-    else:
-        per_anchor = _extend_anchors_scalar(
-            t_codes, q_codes, scheme, options, tile, t_pos, q_pos
-        )
-
     for (t, q), (insp_l, insp_r, final_l, final_r, fb) in zip(
-        zip(t_pos, q_pos), per_anchor
+        zip(prepared.t_pos, prepared.q_pos), per_anchor
     ):
         eager = insp_l.eager_hit and insp_r.eager_hit
         score = insp_l.score + insp_r.score
@@ -413,8 +472,52 @@ def run_fastz(
     return FastzResult(
         alignments=alignments,
         tasks=tasks,
-        anchors=anchors,
+        anchors=prepared.anchors,
         options=options,
         executor_fallbacks=fallbacks,
         extensions=extensions,
     )
+
+
+def run_fastz(
+    target: Sequence | np.ndarray,
+    query: Sequence | np.ndarray,
+    config: LastzConfig | None = None,
+    options: FastzOptions = FASTZ_FULL,
+    *,
+    anchors: Anchors | None = None,
+    keep_extensions: bool = False,
+    workers: int | None = None,
+) -> FastzResult:
+    """Run the FastZ pipeline over all anchors (no sequential skipping).
+
+    ``options`` controls the *functional* behaviour: disabling eager
+    traceback sends every task to the executor; disabling trimming makes
+    the executor recompute the full search space (as the ablation variants
+    of Figure 9 do).  The performance model can also replay a full-FastZ
+    profile under any variant without re-running this pipeline.
+
+    ``options.engine`` selects the host DP engine (``"scalar"`` loop or
+    ``"batched"`` lockstep batches); ``workers`` > 1 additionally shards
+    the anchor set across a multiprocessing pool.  Both knobs change only
+    wall-clock, never results.
+    """
+    prepared = prepare_fastz(target, query, config, options, anchors=anchors)
+    t_codes, q_codes = prepared.t_codes, prepared.q_codes
+    scheme, tile = prepared.scheme, prepared.tile
+    t_pos, q_pos = prepared.t_pos, prepared.q_pos
+
+    if workers and workers > 1 and len(t_pos) > 1:
+        per_anchor = _extend_anchors_pool(
+            t_codes, q_codes, scheme, options, tile, t_pos, q_pos, int(workers)
+        )
+    elif options.engine == "batched":
+        per_anchor = _extend_anchors_batched(
+            t_codes, q_codes, scheme, options, tile, t_pos, q_pos
+        )
+    else:
+        per_anchor = _extend_anchors_scalar(
+            t_codes, q_codes, scheme, options, tile, t_pos, q_pos
+        )
+
+    return finish_fastz(prepared, per_anchor, keep_extensions=keep_extensions)

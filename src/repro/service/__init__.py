@@ -1,0 +1,37 @@
+"""Concurrent alignment serving: micro-batching, caching, backpressure.
+
+The serving layer the ROADMAP's "heavy traffic" north star asks for:
+:class:`AlignmentService` accepts many concurrent alignment requests,
+fuses them into bin-aware lockstep batches over the struct-of-arrays
+engine (:mod:`repro.align.batch`), caches results in a keyed LRU, and
+degrades predictably under load (bounded queue, deadlines, drain-aware
+shutdown).  ``repro serve`` exposes it over JSON/HTTP
+(:mod:`repro.service.http`).
+"""
+
+from .batcher import BatchPolicy, DeadlineExceeded
+from .cache import CacheStats, ResultCache
+from .http import ServiceHTTPServer, make_server
+from .request import AlignmentRequest
+from .service import (
+    AlignmentService,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+)
+from .stats import ServiceStats
+
+__all__ = [
+    "AlignmentRequest",
+    "AlignmentService",
+    "BatchPolicy",
+    "CacheStats",
+    "DeadlineExceeded",
+    "ResultCache",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "ServiceOverloaded",
+    "ServiceStats",
+    "make_server",
+]

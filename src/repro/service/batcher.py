@@ -1,0 +1,240 @@
+"""Dynamic micro-batching: drain, fuse, extend, resolve.
+
+The dispatcher is one daemon thread looping over a bounded request queue:
+
+1. **Drain** — block for the first pending request, then keep collecting
+   until either ``max_batch`` requests are in hand or ``max_wait_ms`` has
+   elapsed since the first one (the classic latency/throughput dial of
+   dynamic batching servers).
+2. **Fuse** — group the batch by
+   :attr:`~repro.service.request.AlignmentRequest.fuse_key` (scoring
+   scheme + options); within a group, prepare each request (anchor
+   selection) and concatenate every anchor's left/right extension
+   problems into one suffix list.
+3. **Extend** — run the fused list through
+   :func:`~repro.core.pipeline.extend_suffixes_batched`: the shared
+   struct-of-arrays inspector plus the bin-aware executor, so short and
+   long extensions from *different requests* still never share a lockstep
+   batch.
+4. **Resolve** — split the per-anchor records back per request, fold each
+   into a :class:`~repro.core.pipeline.FastzResult` and resolve its
+   future.  Results are bit-identical to a direct ``run_fastz`` call
+   because every extension task is independent of its batch-mates.
+
+A poisoned request (bad codes, hostile anchors...) must only fail its own
+future: preparation failures are caught per request, and if the *fused*
+extension itself raises, the group is retried one request at a time so the
+exception lands on the culprit alone.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from ..core.pipeline import extend_suffixes_batched, finish_fastz, prepare_fastz
+from .cache import ResultCache
+from .request import AlignmentRequest
+from .stats import StatsRecorder
+
+__all__ = ["BatchPolicy", "DeadlineExceeded", "Dispatcher", "Pending"]
+
+
+class DeadlineExceeded(Exception):
+    """The request's deadline passed before it could be dispatched."""
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """The dispatcher's latency/throughput dial."""
+
+    #: Most requests fused into one dispatch (1 = no cross-request batching).
+    max_batch: int = 32
+    #: How long the dispatcher holds an under-full batch open for stragglers.
+    max_wait_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+
+
+@dataclass
+class Pending:
+    """One queued request with its resolution future and timing."""
+
+    request: AlignmentRequest
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.monotonic)
+    #: Absolute ``time.monotonic()`` deadline, or None.
+    deadline: float | None = None
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+
+#: Queue marker: no further requests will arrive, exit after the queue
+#: contents in front of it are handled.
+_SENTINEL = object()
+
+
+class Dispatcher:
+    """The dispatcher thread body plus its control flags."""
+
+    def __init__(
+        self,
+        requests: "queue.Queue",
+        policy: BatchPolicy,
+        cache: ResultCache,
+        recorder: StatsRecorder,
+    ) -> None:
+        self._queue = requests
+        self._policy = policy
+        self._cache = cache
+        self._recorder = recorder
+        #: When set, drained requests are cancelled instead of executed.
+        self.abort = threading.Event()
+        self.thread = threading.Thread(
+            target=self._run, name="repro-align-dispatcher", daemon=True
+        )
+
+    def start(self) -> None:
+        self.thread.start()
+
+    def signal_shutdown(self) -> None:
+        """Enqueue the sentinel; everything ahead of it still executes."""
+        self._queue.put(_SENTINEL)
+
+    # -- thread body ---------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                return
+            batch, saw_sentinel = self._collect(item)
+            try:
+                self._dispatch(batch)
+            except BaseException:  # pragma: no cover - last-resort guard
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.cancel()
+                raise
+            if saw_sentinel:
+                return
+
+    def _collect(self, first) -> tuple[list[Pending], bool]:
+        """Drain up to ``max_batch`` requests within the ``max_wait`` window."""
+        batch = [first]
+        horizon = time.monotonic() + self._policy.max_wait_ms / 1e3
+        while len(batch) < self._policy.max_batch:
+            remaining = horizon - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is _SENTINEL:
+                return batch, True
+            batch.append(item)
+        return batch, False
+
+    def _dispatch(self, batch: list[Pending]) -> None:
+        """Weed out dead requests, then execute the live ones fused."""
+        live: list[Pending] = []
+        for pending in batch:
+            if self.abort.is_set():
+                if pending.future.cancel():
+                    self._recorder.record_cancelled()
+                continue
+            if pending.expired:
+                self._recorder.record_timed_out()
+                if pending.future.set_running_or_notify_cancel():
+                    pending.future.set_exception(
+                        DeadlineExceeded("request deadline passed while queued")
+                    )
+                continue
+            if pending.future.set_running_or_notify_cancel():
+                live.append(pending)
+            else:
+                self._recorder.record_cancelled()
+        if live:
+            self._recorder.record_batch(len(live))
+            self._execute(live)
+
+    # -- fused execution -----------------------------------------------------
+
+    def _execute(self, batch: list[Pending]) -> None:
+        groups: dict[object, list[Pending]] = {}
+        for pending in batch:
+            groups.setdefault(pending.request.fuse_key, []).append(pending)
+        for group in groups.values():
+            self._execute_group(group)
+
+    def _execute_group(self, group: list[Pending]) -> None:
+        prepared = []
+        for pending in group:
+            request = pending.request
+            try:
+                prepared.append(
+                    (
+                        pending,
+                        prepare_fastz(
+                            request.target,
+                            request.query,
+                            request.config,
+                            request.options,
+                            anchors=request.anchors,
+                        ),
+                    )
+                )
+            except Exception as exc:
+                self._fail(pending, exc)
+        if not prepared:
+            return
+
+        scheme = prepared[0][1].scheme
+        options = prepared[0][1].options
+        tile = prepared[0][1].tile
+        suffixes = []
+        for _, prep in prepared:
+            suffixes.extend(prep.suffixes())
+        try:
+            fused = extend_suffixes_batched(suffixes, scheme, options, tile)
+        except Exception:
+            # A poisoned request broke the fused batch.  Re-run one request
+            # at a time so the exception resolves only the culprit's future.
+            for pending, prep in prepared:
+                try:
+                    per_anchor = extend_suffixes_batched(
+                        prep.suffixes(), scheme, options, tile
+                    )
+                    self._resolve(pending, prep, per_anchor)
+                except Exception as exc:
+                    self._fail(pending, exc)
+            return
+
+        offset = 0
+        for pending, prep in prepared:
+            per_anchor = fused[offset : offset + prep.n_anchors]
+            offset += prep.n_anchors
+            try:
+                self._resolve(pending, prep, per_anchor)
+            except Exception as exc:
+                self._fail(pending, exc)
+
+    def _resolve(self, pending: Pending, prep, per_anchor) -> None:
+        result = finish_fastz(prep, per_anchor)
+        self._cache.put(pending.request.cache_key, result)
+        self._recorder.record_completed(time.monotonic() - pending.enqueued_at)
+        pending.future.set_result(result)
+
+    def _fail(self, pending: Pending, exc: Exception) -> None:
+        self._recorder.record_failed()
+        pending.future.set_exception(exc)

@@ -1,0 +1,87 @@
+"""Bounded, thread-safe LRU cache of alignment results.
+
+Keys are :attr:`~repro.service.request.AlignmentRequest.cache_key` digests;
+values are whole :class:`~repro.core.pipeline.FastzResult` objects (treated
+as immutable once published).  The cache counts hits, misses and evictions
+for the :class:`~repro.service.stats.ServiceStats` snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class ResultCache:
+    """LRU with an entry-count cap; ``capacity=0`` disables caching."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str):
+        """Return the cached value, refreshing recency, or ``None``."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: str, value) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )

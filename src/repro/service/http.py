@@ -1,0 +1,151 @@
+"""JSON-over-HTTP front end for the alignment service (stdlib only).
+
+A thin :mod:`http.server` layer so ``repro serve`` needs no third-party
+web framework:
+
+* ``POST /align`` — body ``{"target": "ACGT...", "query": "ACGT...",
+  "timeout_s": 5.0?}``; responds with the scored alignments.
+* ``GET /stats`` — the :class:`~repro.service.stats.ServiceStats`
+  snapshot as JSON.
+* ``GET /healthz`` — liveness probe.
+
+The server is threading (one handler thread per connection), so
+concurrent clients naturally pile requests into the service queue and
+get micro-batched together.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import CancelledError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..genome.alphabet import encode
+from .batcher import DeadlineExceeded
+from .service import AlignmentService, ServiceClosed, ServiceOverloaded
+
+__all__ = ["ServiceHTTPServer", "make_server"]
+
+#: Refuse request bodies beyond this (a chromosome pair in text is fine,
+#: an accidental multi-GB POST is not).
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def _alignment_payload(result) -> dict:
+    return {
+        "count": len(result.alignments),
+        "anchors": len(result.tasks),
+        "eager_fraction": round(result.eager_fraction, 4),
+        "alignments": [
+            {
+                "score": a.score,
+                "target_start": a.target_start,
+                "target_end": a.target_end,
+                "query_start": a.query_start,
+                "query_end": a.query_end,
+                "cigar": a.cigar(),
+            }
+            for a in result.unique_alignments()
+        ],
+    }
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`AlignmentService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: AlignmentService, *, quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # noqa: D102 - stdlib hook
+        if not self.server.quiet:
+            super().log_message(fmt, *args)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            self._reply(200, {"status": "ok"})
+        elif self.path == "/stats":
+            self._reply(200, self.server.service.stats().as_dict())
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/align":
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return
+        if length <= 0 or length > _MAX_BODY_BYTES:
+            self._error(400, f"body must be 1..{_MAX_BODY_BYTES} bytes")
+            return
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._error(400, "body is not valid JSON")
+            return
+        if not isinstance(payload, dict):
+            self._error(400, "body must be a JSON object")
+            return
+        target = payload.get("target")
+        query = payload.get("query")
+        if not isinstance(target, str) or not isinstance(query, str):
+            self._error(400, "'target' and 'query' must be DNA strings")
+            return
+        timeout_s = payload.get("timeout_s")
+        if timeout_s is not None and not isinstance(timeout_s, (int, float)):
+            self._error(400, "'timeout_s' must be a number")
+            return
+
+        service = self.server.service
+        try:
+            result = service.align(
+                encode(target), encode(query), timeout_s=timeout_s
+            )
+        except ServiceOverloaded as exc:
+            self._error(503, str(exc))
+        except ServiceClosed as exc:
+            self._error(503, str(exc))
+        except (DeadlineExceeded, TimeoutError) as exc:
+            self._error(504, str(exc) or "request deadline exceeded")
+        except CancelledError:
+            self._error(503, "request cancelled during shutdown")
+        except Exception as exc:
+            self._error(500, f"{type(exc).__name__}: {exc}")
+        else:
+            self._reply(200, _alignment_payload(result))
+
+
+def make_server(
+    service: AlignmentService,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    *,
+    quiet: bool = True,
+) -> ServiceHTTPServer:
+    """Bind (but do not start) the JSON endpoint for ``service``."""
+    return ServiceHTTPServer((host, port), service, quiet=quiet)

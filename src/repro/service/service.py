@@ -1,0 +1,213 @@
+"""The :class:`AlignmentService` façade: futures over a bounded queue.
+
+Callers submit alignment jobs and get back
+:class:`concurrent.futures.Future` objects; a single dispatcher thread
+(:mod:`repro.service.batcher`) fuses queued jobs into bin-aware lockstep
+batches over the struct-of-arrays engine.  The service adds the
+production-shaped edges around that core:
+
+* **result cache** — submissions are checked against a keyed LRU before
+  queueing; a hit resolves the future immediately without touching the
+  dispatcher (:mod:`repro.service.cache`);
+* **backpressure** — the queue is bounded; a full queue rejects the
+  submission with :class:`ServiceOverloaded` instead of buffering
+  unboundedly;
+* **deadlines** — a per-request ``timeout_s`` expires requests that are
+  still queued when it elapses
+  (:class:`~repro.service.batcher.DeadlineExceeded`);
+* **graceful shutdown** — ``shutdown(drain=True)`` refuses new work,
+  finishes everything queued, and joins the dispatcher;
+  ``drain=False`` cancels queued requests instead;
+* **isolation** — a poisoned request resolves only its own future.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+
+import numpy as np
+
+from ..core.options import FastzOptions
+from ..core.pipeline import FastzResult
+from ..genome.sequence import Sequence
+from ..lastz.config import LastzConfig
+from ..seeding import Anchors
+from .batcher import BatchPolicy, DeadlineExceeded, Dispatcher, Pending
+from .cache import ResultCache
+from .request import AlignmentRequest
+from .stats import ServiceStats, StatsRecorder
+
+__all__ = [
+    "AlignmentService",
+    "DeadlineExceeded",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceOverloaded",
+]
+
+#: Service-default engine: lockstep batches, the whole point of fusing.
+_DEFAULT_OPTIONS = FastzOptions(engine="batched")
+
+
+class ServiceError(Exception):
+    """Base class for service-level submission failures."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The bounded request queue is full; retry later (backpressure)."""
+
+
+class ServiceClosed(ServiceError):
+    """The service is shutting down and no longer accepts submissions."""
+
+
+class AlignmentService:
+    """Concurrent alignment front end over the FastZ pipeline.
+
+    Parameters
+    ----------
+    max_batch, max_wait_ms:
+        The micro-batching policy: how many requests one dispatch may
+        fuse, and how long an under-full batch waits for stragglers.
+    max_queue:
+        Bound on queued (undispatched) requests; submissions beyond it
+        raise :class:`ServiceOverloaded`.
+    cache_entries:
+        LRU result-cache capacity (0 disables caching).
+    config, options:
+        Defaults applied to submissions that do not bring their own.
+
+    Usable as a context manager; exit drains and shuts down.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 256,
+        cache_entries: int = 128,
+        config: LastzConfig | None = None,
+        options: FastzOptions = _DEFAULT_OPTIONS,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        self.policy = BatchPolicy(max_batch=max_batch, max_wait_ms=max_wait_ms)
+        self.default_config = config or LastzConfig()
+        self.default_options = options
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._cache = ResultCache(cache_entries)
+        self._recorder = StatsRecorder()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._dispatcher = Dispatcher(
+            self._queue, self.policy, self._cache, self._recorder
+        )
+        self._dispatcher.start()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        target: Sequence | np.ndarray,
+        query: Sequence | np.ndarray,
+        config: LastzConfig | None = None,
+        options: FastzOptions | None = None,
+        *,
+        anchors: Anchors | None = None,
+        timeout_s: float | None = None,
+    ) -> Future:
+        """Enqueue one alignment job; returns a future of ``FastzResult``.
+
+        Raises :class:`ServiceOverloaded` when the queue is full and
+        :class:`ServiceClosed` after shutdown began.  ``timeout_s`` bounds
+        how long the request may sit in the queue before it is expired
+        with :class:`DeadlineExceeded`.
+        """
+        request = AlignmentRequest(
+            target=target,
+            query=query,
+            config=config or self.default_config,
+            options=options or self.default_options,
+            anchors=anchors,
+        )
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is shut down")
+            cached = self._cache.get(request.cache_key)
+            if cached is not None:
+                future: Future = Future()
+                self._recorder.record_submitted()
+                self._recorder.record_completed(0.0)
+                future.set_result(cached)
+                return future
+            pending = Pending(request=request)
+            if timeout_s is not None:
+                pending.deadline = pending.enqueued_at + timeout_s
+            try:
+                self._queue.put_nowait(pending)
+            except queue.Full:
+                self._recorder.record_rejected()
+                raise ServiceOverloaded(
+                    f"request queue full ({self._queue.maxsize} pending)"
+                ) from None
+            self._recorder.record_submitted()
+            return pending.future
+
+    def align(
+        self,
+        target: Sequence | np.ndarray,
+        query: Sequence | np.ndarray,
+        config: LastzConfig | None = None,
+        options: FastzOptions | None = None,
+        *,
+        anchors: Anchors | None = None,
+        timeout_s: float | None = None,
+    ) -> FastzResult:
+        """Blocking convenience wrapper: submit and wait for the result."""
+        return self.submit(
+            target,
+            query,
+            config,
+            options,
+            anchors=anchors,
+            timeout_s=timeout_s,
+        ).result(timeout=timeout_s)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """A consistent snapshot of queue depth, latency and cache health."""
+        return self._recorder.snapshot(
+            queue_depth=self._queue.qsize(), cache=self._cache.stats
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def shutdown(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting work and stop the dispatcher.
+
+        ``drain=True`` completes every already-queued request first;
+        ``drain=False`` cancels queued requests (their futures raise
+        ``CancelledError``).  Idempotent.
+        """
+        with self._lock:
+            already = self._closed
+            self._closed = True
+        if not already:
+            if not drain:
+                self._dispatcher.abort.set()
+            self._dispatcher.signal_shutdown()
+        self._dispatcher.thread.join(timeout)
+
+    def __enter__(self) -> "AlignmentService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)

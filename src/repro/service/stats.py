@@ -1,0 +1,143 @@
+"""Service observability: counters, latency percentiles, batch histogram.
+
+The recorder is the single mutation point (every touch holds one lock and
+does O(1) work, so it is cheap enough for the submit path); the snapshot
+is an immutable :class:`ServiceStats` for callers, the ``/stats`` HTTP
+endpoint and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+from .cache import CacheStats
+
+__all__ = ["ServiceStats", "StatsRecorder"]
+
+#: Completed-request latencies kept for the percentile window.
+_LATENCY_WINDOW = 4096
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an unsorted sample (0 when empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One consistent snapshot of the service's health."""
+
+    queue_depth: int
+    submitted: int
+    completed: int
+    failed: int
+    rejected: int
+    timed_out: int
+    cancelled: int
+    #: Dispatch-batch sizes -> number of batches of that size.
+    batch_histogram: dict[int, int]
+    latency_p50_ms: float
+    latency_p95_ms: float
+    cache: CacheStats = field(repr=False)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate
+
+    @property
+    def mean_batch_size(self) -> float:
+        n = sum(self.batch_histogram.values())
+        if not n:
+            return 0.0
+        return sum(size * count for size, count in self.batch_histogram.items()) / n
+
+    def as_dict(self) -> dict:
+        """JSON-ready rendering (used by the HTTP ``/stats`` endpoint)."""
+        return {
+            "queue_depth": self.queue_depth,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "timed_out": self.timed_out,
+            "cancelled": self.cancelled,
+            "batch_histogram": {str(k): v for k, v in sorted(self.batch_histogram.items())},
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "latency_p50_ms": round(self.latency_p50_ms, 3),
+            "latency_p95_ms": round(self.latency_p95_ms, 3),
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "size": self.cache.size,
+                "capacity": self.cache.capacity,
+                "hit_rate": round(self.cache.hit_rate, 4),
+            },
+        }
+
+
+class StatsRecorder:
+    """Thread-safe accumulation of service events."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+        self._timed_out = 0
+        self._cancelled = 0
+        self._batches: Counter[int] = Counter()
+        self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+
+    def record_submitted(self) -> None:
+        with self._lock:
+            self._submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def record_timed_out(self) -> None:
+        with self._lock:
+            self._timed_out += 1
+
+    def record_cancelled(self) -> None:
+        with self._lock:
+            self._cancelled += 1
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self._batches[size] += 1
+
+    def record_completed(self, latency_seconds: float) -> None:
+        with self._lock:
+            self._completed += 1
+            self._latencies.append(latency_seconds)
+
+    def record_failed(self) -> None:
+        with self._lock:
+            self._failed += 1
+
+    def snapshot(self, *, queue_depth: int, cache: CacheStats) -> ServiceStats:
+        with self._lock:
+            latencies = list(self._latencies)
+            return ServiceStats(
+                queue_depth=queue_depth,
+                submitted=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+                rejected=self._rejected,
+                timed_out=self._timed_out,
+                cancelled=self._cancelled,
+                batch_histogram=dict(self._batches),
+                latency_p50_ms=_percentile(latencies, 0.50) * 1e3,
+                latency_p95_ms=_percentile(latencies, 0.95) * 1e3,
+                cache=cache,
+            )

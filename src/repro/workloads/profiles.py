@@ -7,6 +7,13 @@ means running the actual DP engines over the synthetic pair, which is the
 expensive part — so profiles are cached both in-process and on disk
 (``REPRO_CACHE_DIR``, default ``.repro_cache/`` under the working
 directory; set ``REPRO_NO_CACHE=1`` to disable).
+
+The on-disk cache is self-limiting: ``REPRO_CACHE_MAX_MB`` caps its total
+size (unset = unlimited), evicting oldest-first after each write, and a
+``CACHE_VERSION`` stamp file records which ``_CACHE_VERSION``/
+``_CACHE_FORMAT`` wrote the directory — when a version bump changes the
+stamp, every cached pickle is purged eagerly instead of lingering forever
+under now-unreachable keys.
 """
 
 from __future__ import annotations
@@ -114,10 +121,104 @@ class WorkloadProfile:
         return len(self.fastz.tasks)
 
 
+#: Glob patterns of every cached-object family under the cache dir.
+_CACHE_PATTERNS = ("profile-*.pkl", "sens-*.pkl")
+
+#: Name of the version stamp file inside the cache directory.
+_STAMP_NAME = "CACHE_VERSION"
+
+#: Cache directories already stale-checked this process.
+_STALE_CHECKED: set[Path] = set()
+
+
+def _expected_stamp() -> str:
+    return f"{_CACHE_VERSION}.{_CACHE_FORMAT}"
+
+
+def _cache_files(directory: Path) -> list[Path]:
+    return [p for pattern in _CACHE_PATTERNS for p in directory.glob(pattern)]
+
+
+def _evict_stale(directory: Path) -> None:
+    """Purge cache files written under an older version stamp.
+
+    A missing stamp is treated as current (pre-stamp caches shipped with
+    the repo are valid); it is then written so the *next* version bump
+    purges eagerly rather than leaving unreachable pickles behind.
+    """
+    stamp = directory / _STAMP_NAME
+    try:
+        recorded = stamp.read_text().strip()
+    except OSError:
+        recorded = None
+    if recorded == _expected_stamp():
+        return
+    if recorded is not None:
+        for path in _cache_files(directory):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+    try:
+        stamp.write_text(_expected_stamp() + "\n")
+    except OSError:
+        pass
+
+
+def _cache_max_bytes() -> int | None:
+    """The ``REPRO_CACHE_MAX_MB`` budget in bytes (None = unlimited)."""
+    raw = os.environ.get("REPRO_CACHE_MAX_MB")
+    if not raw:
+        return None
+    try:
+        megabytes = float(raw)
+    except ValueError:
+        return None
+    return int(megabytes * 2**20) if megabytes > 0 else None
+
+
+def _enforce_cache_cap(directory: Path) -> None:
+    """Evict oldest-first until the cache fits ``REPRO_CACHE_MAX_MB``."""
+    limit = _cache_max_bytes()
+    if limit is None:
+        return
+    entries = []
+    for path in _cache_files(directory):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime, stat.st_size, path))
+    total = sum(size for _, size, _ in entries)
+    for _, size, path in sorted(entries):
+        if total <= limit:
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        total -= size
+
+
+def _write_cache(path: Path, obj) -> None:
+    """Persist one cache entry, then re-apply the size cap."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    stamp = path.parent / _STAMP_NAME
+    if not stamp.exists():
+        _evict_stale(path.parent)
+    with open(path, "wb") as handle:
+        pickle.dump(obj, handle)
+    _enforce_cache_cap(path.parent)
+
+
 def _cache_dir() -> Path | None:
     if os.environ.get("REPRO_NO_CACHE"):
         return None
-    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+    directory = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+    if directory not in _STALE_CHECKED and directory.is_dir():
+        _STALE_CHECKED.add(directory)
+        _evict_stale(directory)
+    return directory
 
 
 def _cache_key(spec: BenchmarkSpec, scale: float) -> str:
@@ -152,13 +253,14 @@ def _load_cached(path: Path):
 
 
 def clear_cache() -> None:
-    """Drop in-process and on-disk profile caches."""
+    """Drop in-process and on-disk profile caches (stamp included)."""
     _MEMORY_CACHE.clear()
     directory = _cache_dir()
     if directory and directory.exists():
-        for pattern in ("profile-*.pkl", "sens-*.pkl"):
-            for path in directory.glob(pattern):
-                path.unlink()
+        for path in _cache_files(directory):
+            path.unlink()
+        (directory / _STAMP_NAME).unlink(missing_ok=True)
+        _STALE_CHECKED.discard(directory)
 
 
 def _pool_workers() -> int | None:
@@ -237,9 +339,7 @@ def build_sensitivity_run(
     if use_cache:
         _MEMORY_CACHE[key] = pairres
         if path is not None:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            with open(path, "wb") as handle:
-                pickle.dump(pairres, handle)
+            _write_cache(path, pairres)
     return pairres
 
 
@@ -274,7 +374,5 @@ def build_profile(
     if use_cache:
         _MEMORY_CACHE[key] = profile
         if path is not None:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            with open(path, "wb") as handle:
-                pickle.dump(profile, handle)
+            _write_cache(path, profile)
     return profile

@@ -33,6 +33,34 @@ class TestOptions:
         with pytest.raises(ValueError):
             FastzOptions(bin_edges=())
 
+    @pytest.mark.parametrize("tile", [0, -1, -16])
+    def test_rejects_non_positive_eager_tile(self, tile):
+        with pytest.raises(ValueError, match="eager_tile"):
+            FastzOptions(eager_tile=tile)
+
+    @pytest.mark.parametrize(
+        "edges",
+        [(2048, 512), (512, 2048, 1024), (512, 512, 2048), (), (0, 512), (-4, 16)],
+    )
+    def test_rejects_bad_bin_edges(self, edges):
+        with pytest.raises(ValueError, match="bin_edges"):
+            FastzOptions(bin_edges=edges)
+
+    @pytest.mark.parametrize("engine", ["", "gpu", "Batched", "vectorised"])
+    def test_rejects_unknown_engine(self, engine):
+        with pytest.raises(ValueError, match="engine"):
+            FastzOptions(engine=engine)
+
+    @pytest.mark.parametrize("batch_size", [0, -1, -256])
+    def test_rejects_non_positive_batch_size(self, batch_size):
+        with pytest.raises(ValueError, match="batch_size"):
+            FastzOptions(batch_size=batch_size)
+
+    def test_valid_variants_accepted(self):
+        assert FastzOptions(engine="scalar").engine == "scalar"
+        assert FastzOptions(engine="batched", batch_size=1).batch_size == 1
+        assert FastzOptions(bin_edges=(7,)).bin_edges == (7,)
+
     def test_label(self):
         assert "cyclic" in FASTZ_FULL.label
         assert "naive" in FastzOptions(cyclic_buffers=False).label

@@ -1,0 +1,102 @@
+"""Unit tests for the LRU result cache and request digests."""
+
+import numpy as np
+import pytest
+
+from repro.core.options import FastzOptions
+from repro.lastz.config import LastzConfig
+from repro.scoring import default_scheme
+from repro.service import AlignmentRequest, ResultCache
+
+
+class TestResultCache:
+    def test_hit_miss_counters(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": "b" is now least recent
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)
+
+    def test_clear(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1)
+        cache.clear()
+        assert cache.get("a") is None
+
+
+def _request(target, query, **kwargs):
+    config = kwargs.pop("config", LastzConfig(scheme=default_scheme()))
+    options = kwargs.pop("options", FastzOptions(engine="batched"))
+    return AlignmentRequest(
+        target=target, query=query, config=config, options=options, **kwargs
+    )
+
+
+class TestRequestKeys:
+    def setup_method(self):
+        rng = np.random.default_rng(5)
+        self.t = rng.integers(0, 4, 500, dtype=np.uint8)
+        self.q = rng.integers(0, 4, 500, dtype=np.uint8)
+
+    def test_cache_key_deterministic(self):
+        assert (
+            _request(self.t, self.q).cache_key == _request(self.t, self.q).cache_key
+        )
+
+    def test_cache_key_sees_sequences(self):
+        other = self.t.copy()
+        other[0] = (other[0] + 1) % 4
+        assert _request(self.t, self.q).cache_key != _request(other, self.q).cache_key
+        assert _request(self.t, self.q).cache_key != _request(self.q, self.t).cache_key
+
+    def test_cache_key_sees_substitution_matrix(self):
+        # ScoringScheme hides the matrix from repr; the digest must not.
+        base = default_scheme()
+        tweaked = np.array(base.substitution)
+        tweaked[0, 0] += 1
+        from dataclasses import replace
+
+        other = replace(base, substitution=tweaked)
+        k1 = _request(self.t, self.q, config=LastzConfig(scheme=base)).cache_key
+        k2 = _request(self.t, self.q, config=LastzConfig(scheme=other)).cache_key
+        assert k1 != k2
+
+    def test_cache_key_sees_options(self):
+        k1 = _request(self.t, self.q, options=FastzOptions()).cache_key
+        k2 = _request(self.t, self.q, options=FastzOptions(eager_traceback=False)).cache_key
+        assert k1 != k2
+
+    def test_fuse_key_groups_compatible_requests(self):
+        assert _request(self.t, self.q).fuse_key == _request(self.q, self.t).fuse_key
+        fast = LastzConfig(scheme=default_scheme(gap_extend=60, ydrop=2400))
+        assert (
+            _request(self.t, self.q).fuse_key
+            != _request(self.t, self.q, config=fast).fuse_key
+        )
+
+    def test_rejects_matrix_codes(self):
+        with pytest.raises(ValueError):
+            _request(self.t.reshape(20, 25), self.q)

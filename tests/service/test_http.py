@@ -1,0 +1,111 @@
+"""End-to-end tests of the JSON/HTTP endpoint (stdlib client only)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.genome import SegmentClass, build_pair
+from repro.lastz.config import LastzConfig
+from repro.scoring import default_scheme
+from repro.service import AlignmentService, make_server
+
+CONFIG = LastzConfig(scheme=default_scheme(gap_extend=60, ydrop=2400))
+
+
+@pytest.fixture(scope="module")
+def endpoint():
+    service = AlignmentService(max_wait_ms=1.0, config=CONFIG)
+    server = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", service
+    server.shutdown()
+    server.server_close()
+    service.shutdown(timeout=60)
+
+
+def _post(url, payload, timeout=300):
+    data = json.dumps(payload).encode()
+    request = urllib.request.Request(
+        f"{url}/align", data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get(url, path, timeout=30):
+    with urllib.request.urlopen(f"{url}{path}", timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestRoutes:
+    def test_healthz(self, endpoint):
+        url, _ = endpoint
+        status, payload = _get(url, "/healthz")
+        assert status == 200 and payload == {"status": "ok"}
+
+    def test_align_roundtrip(self, endpoint):
+        url, _ = endpoint
+        pair = build_pair(
+            "http",
+            target_length=12_000,
+            query_length=12_000,
+            classes=[SegmentClass("s", 6, 80, 250, divergence=0.05)],
+            rng=11,
+        )
+        status, payload = _post(
+            url, {"target": pair.target.text(), "query": pair.query.text()}
+        )
+        assert status == 200
+        assert payload["count"] >= 1
+        first = payload["alignments"][0]
+        assert first["score"] >= CONFIG.scheme.gapped_threshold
+        assert first["target_end"] > first["target_start"]
+        assert first["cigar"]
+
+    def test_stats_endpoint(self, endpoint):
+        url, _ = endpoint
+        status, payload = _get(url, "/stats")
+        assert status == 200
+        assert payload["submitted"] >= 1
+        assert "cache" in payload
+
+    def test_unknown_path_404(self, endpoint):
+        url, _ = endpoint
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(url, "/nope")
+        assert excinfo.value.code == 404
+
+
+class TestBadRequests:
+    def test_invalid_json_400(self, endpoint):
+        url, _ = endpoint
+        request = urllib.request.Request(
+            f"{url}/align", data=b"not json", headers={"Content-Type": "text/plain"}
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_missing_fields_400(self, endpoint):
+        url, _ = endpoint
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(url, {"target": "ACGT"})
+        assert excinfo.value.code == 400
+
+    def test_bad_timeout_type_400(self, endpoint):
+        url, _ = endpoint
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(url, {"target": "ACGT", "query": "ACGT", "timeout_s": "soon"})
+        assert excinfo.value.code == 400
+
+    def test_empty_body_400(self, endpoint):
+        url, _ = endpoint
+        request = urllib.request.Request(f"{url}/align", data=b"")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400

@@ -1,0 +1,281 @@
+"""Service-level tests: equivalence under concurrency, robustness, stats.
+
+The load-bearing property is the first class: whatever micro-batch
+composition the dispatcher happens to pick, every caller gets a result
+bit-identical to running ``run_fastz`` alone on their request.
+"""
+
+import threading
+import time
+from concurrent.futures import CancelledError
+
+import numpy as np
+import pytest
+
+from repro import run_fastz
+from repro.core.options import FastzOptions
+from repro.genome import SegmentClass, build_pair
+from repro.lastz.config import LastzConfig
+from repro.scoring import default_scheme
+from repro.seeding import Anchors
+from repro.service import (
+    AlignmentService,
+    DeadlineExceeded,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from repro.service import batcher as batcher_module
+
+CONFIG = LastzConfig(scheme=default_scheme(gap_extend=60, ydrop=2400))
+OPTIONS = FastzOptions(engine="batched")
+
+#: Target length marking the gate request for dispatcher-blocking tests.
+_GATE_LEN = 101
+
+
+def _pair(i: int, length: int):
+    return build_pair(
+        f"svc{i}",
+        target_length=length,
+        query_length=length,
+        classes=[SegmentClass("s", 4, 60, 220, divergence=0.05)],
+        rng=100 + i,
+    )
+
+
+@pytest.fixture
+def gated_dispatcher(monkeypatch):
+    """Block the dispatcher inside its first prepare until released.
+
+    Submitting a target of length ``_GATE_LEN`` parks the dispatcher
+    thread, letting tests fill the queue deterministically; ``release()``
+    lets it continue.
+    """
+    gate = threading.Event()
+    real_prepare = batcher_module.prepare_fastz
+
+    def gated(target, query, *args, **kwargs):
+        if len(target) == _GATE_LEN:
+            gate.wait(timeout=30)
+        return real_prepare(target, query, *args, **kwargs)
+
+    monkeypatch.setattr(batcher_module, "prepare_fastz", gated)
+    rng = np.random.default_rng(0)
+    marker = rng.integers(0, 4, _GATE_LEN, dtype=np.uint8)
+    return gate, marker
+
+
+def _submit_gate(service, marker):
+    """Enqueue the gate request and wait until the dispatcher holds it."""
+    future = service.submit(marker, marker)
+    deadline = time.monotonic() + 10
+    while service.stats().queue_depth > 0:
+        if time.monotonic() > deadline:  # pragma: no cover
+            pytest.fail("dispatcher never picked up the gate request")
+        time.sleep(0.005)
+    return future
+
+
+class TestEquivalence:
+    def test_concurrent_results_bit_identical(self):
+        """>= 8 in-flight requests over mixed lengths == sequential runs."""
+        pairs = [_pair(i, 4_000 + 1_700 * i) for i in range(9)]
+        with AlignmentService(
+            max_batch=16, max_wait_ms=20.0, config=CONFIG, options=OPTIONS
+        ) as service:
+            futures = [service.submit(p.target, p.query) for p in pairs]
+            results = [f.result(timeout=300) for f in futures]
+            stats = service.stats()
+
+        # The dispatcher really fused requests (not one-at-a-time).
+        assert max(stats.batch_histogram) >= 2
+        for pair, served in zip(pairs, results):
+            direct = run_fastz(pair.target, pair.query, CONFIG, OPTIONS)
+            assert served.alignments == direct.alignments
+            assert served.tasks == direct.tasks
+            assert served.executor_fallbacks == direct.executor_fallbacks
+            assert np.array_equal(
+                served.anchors.target_pos, direct.anchors.target_pos
+            )
+
+    def test_matches_scalar_engine_too(self):
+        pair = _pair(50, 9_000)
+        scalar = run_fastz(pair.target, pair.query, CONFIG, FastzOptions())
+        with AlignmentService(config=CONFIG, options=OPTIONS) as service:
+            served = service.align(pair.target, pair.query, timeout_s=300)
+        assert served.alignments == scalar.alignments
+
+    def test_explicit_anchors_respected(self):
+        pair = _pair(51, 6_000)
+        direct = run_fastz(pair.target, pair.query, CONFIG, OPTIONS)
+        with AlignmentService(config=CONFIG, options=OPTIONS) as service:
+            served = service.align(
+                pair.target, pair.query, anchors=direct.anchors, timeout_s=300
+            )
+        assert served.alignments == direct.alignments
+
+
+class TestCachingBehaviour:
+    def test_repeat_submission_hits_cache(self):
+        pair = _pair(60, 6_000)
+        with AlignmentService(config=CONFIG, options=OPTIONS) as service:
+            first = service.align(pair.target, pair.query, timeout_s=300)
+            again = service.align(pair.target, pair.query, timeout_s=300)
+            stats = service.stats()
+        assert again is first
+        assert stats.cache.hits == 1
+        assert stats.cache_hit_rate > 0
+
+    def test_cache_disabled(self):
+        pair = _pair(61, 5_000)
+        with AlignmentService(
+            cache_entries=0, config=CONFIG, options=OPTIONS
+        ) as service:
+            first = service.align(pair.target, pair.query, timeout_s=300)
+            again = service.align(pair.target, pair.query, timeout_s=300)
+        assert again is not first
+        assert again.alignments == first.alignments
+
+
+class TestRobustness:
+    def test_queue_full_rejection(self, gated_dispatcher):
+        gate, marker = gated_dispatcher
+        rng = np.random.default_rng(1)
+        seqs = [rng.integers(0, 4, 300, dtype=np.uint8) for _ in range(4)]
+        service = AlignmentService(
+            max_batch=1, max_wait_ms=0.0, max_queue=2, config=CONFIG
+        )
+        try:
+            gate_future = _submit_gate(service, marker)
+            service.submit(seqs[0], seqs[1])
+            service.submit(seqs[1], seqs[2])
+            with pytest.raises(ServiceOverloaded):
+                service.submit(seqs[2], seqs[3])
+            assert service.stats().rejected == 1
+            gate.set()
+            assert gate_future.result(timeout=60) is not None
+        finally:
+            gate.set()
+            service.shutdown(timeout=60)
+
+    def test_per_request_timeout(self, gated_dispatcher):
+        gate, marker = gated_dispatcher
+        rng = np.random.default_rng(2)
+        seq = rng.integers(0, 4, 300, dtype=np.uint8)
+        service = AlignmentService(max_batch=4, max_wait_ms=0.0, config=CONFIG)
+        try:
+            _submit_gate(service, marker)
+            doomed = service.submit(seq, seq, timeout_s=0.01)
+            time.sleep(0.05)
+            gate.set()
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=60)
+            assert service.stats().timed_out == 1
+        finally:
+            gate.set()
+            service.shutdown(timeout=60)
+
+    def test_poisoned_request_fails_alone(self, gated_dispatcher):
+        """One request with hostile codes must not take down its batch."""
+        gate, marker = gated_dispatcher
+        pairs = [_pair(70 + i, 4_000) for i in range(3)]
+        rng = np.random.default_rng(3)
+        poison = rng.integers(0, 4, 2_000, dtype=np.uint8)
+        poison[500:600] = 99  # invalid codes: detonates inside extension
+        poison_anchors = Anchors(np.array([550]), np.array([550]))
+
+        service = AlignmentService(max_batch=8, max_wait_ms=50.0, config=CONFIG)
+        try:
+            _submit_gate(service, marker)
+            good = [service.submit(p.target, p.query) for p in pairs]
+            bad = service.submit(poison, poison, anchors=poison_anchors)
+            gate.set()
+            with pytest.raises(Exception) as excinfo:
+                bad.result(timeout=300)
+            assert not isinstance(
+                excinfo.value, (ServiceOverloaded, DeadlineExceeded)
+            )
+            for pair, future in zip(pairs, good):
+                served = future.result(timeout=300)
+                direct = run_fastz(pair.target, pair.query, CONFIG, OPTIONS)
+                assert served.alignments == direct.alignments
+            assert service.stats().failed == 1
+            # The dispatcher survived: it still serves fresh work.
+            after = _pair(99, 4_000)
+            assert service.align(after.target, after.query, timeout_s=300)
+        finally:
+            gate.set()
+            service.shutdown(timeout=60)
+
+    def test_shutdown_drains_queued_work(self, gated_dispatcher):
+        gate, marker = gated_dispatcher
+        pairs = [_pair(80 + i, 4_000) for i in range(3)]
+        service = AlignmentService(max_batch=2, max_wait_ms=0.0, config=CONFIG)
+        _submit_gate(service, marker)
+        futures = [service.submit(p.target, p.query) for p in pairs]
+
+        closer = threading.Thread(target=service.shutdown, kwargs={"drain": True})
+        closer.start()
+        time.sleep(0.05)
+        gate.set()
+        closer.join(timeout=300)
+        assert not closer.is_alive()
+        for pair, future in zip(pairs, futures):
+            assert future.result(timeout=1).alignments == run_fastz(
+                pair.target, pair.query, CONFIG, OPTIONS
+            ).alignments
+
+    def test_shutdown_without_drain_cancels(self, gated_dispatcher):
+        gate, marker = gated_dispatcher
+        rng = np.random.default_rng(4)
+        seq = rng.integers(0, 4, 300, dtype=np.uint8)
+        service = AlignmentService(max_batch=1, max_wait_ms=0.0, config=CONFIG)
+        _submit_gate(service, marker)
+        doomed = service.submit(seq, seq)
+
+        closer = threading.Thread(target=service.shutdown, kwargs={"drain": False})
+        closer.start()
+        time.sleep(0.05)
+        gate.set()
+        closer.join(timeout=60)
+        assert not closer.is_alive()
+        with pytest.raises(CancelledError):
+            doomed.result(timeout=1)
+        assert service.stats().cancelled >= 1
+
+    def test_submit_after_shutdown_rejected(self):
+        service = AlignmentService(config=CONFIG)
+        service.shutdown()
+        rng = np.random.default_rng(5)
+        seq = rng.integers(0, 4, 100, dtype=np.uint8)
+        with pytest.raises(ServiceClosed):
+            service.submit(seq, seq)
+        service.shutdown()  # idempotent
+
+
+class TestStats:
+    def test_snapshot_counters(self):
+        pairs = [_pair(90 + i, 4_000) for i in range(3)]
+        with AlignmentService(
+            max_batch=8, max_wait_ms=10.0, config=CONFIG
+        ) as service:
+            futures = [service.submit(p.target, p.query) for p in pairs]
+            for future in futures:
+                future.result(timeout=300)
+            stats = service.stats()
+        assert stats.submitted == 3
+        assert stats.completed == 3
+        assert stats.failed == 0
+        assert sum(s * c for s, c in stats.batch_histogram.items()) == 3
+        assert stats.latency_p95_ms >= stats.latency_p50_ms > 0
+        payload = stats.as_dict()
+        assert payload["completed"] == 3
+        assert "cache" in payload and "batch_histogram" in payload
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            AlignmentService(max_batch=0)
+        with pytest.raises(ValueError):
+            AlignmentService(max_wait_ms=-1.0)
+        with pytest.raises(ValueError):
+            AlignmentService(max_queue=0)

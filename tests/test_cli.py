@@ -114,3 +114,31 @@ class TestAlignFormats:
         out_path = tmp_path / "out.tsv"
         assert main(["align", t, q, "--output", str(out_path), *_FAST]) == 0
         assert out_path.read_text().startswith("#score")
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8642
+        assert args.max_batch == 32
+        assert args.max_queue == 256
+        assert args.cache_entries == 128
+
+    def test_serve_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--max-batch", "1", "--max-wait-ms", "0"]
+        )
+        assert args.port == 9000
+        assert args.max_batch == 1
+        assert args.max_wait_ms == 0.0

@@ -131,3 +131,101 @@ class TestProfileShape:
         # Eager dominates; D1 has no bin-3/4 tail at this scale.
         assert counts[0] > counts[1] > counts[2]
         assert p.fastz.eager_fraction > 0.5
+
+
+class TestCacheSizeCap:
+    """REPRO_CACHE_MAX_MB bounds the on-disk cache, oldest-first."""
+
+    def _fill(self, directory, sizes_kb):
+        import os
+        import time as time_module
+
+        paths = []
+        for idx, size in enumerate(sizes_kb):
+            path = directory / f"profile-fake{idx}-{'0' * 24}.pkl"
+            path.write_bytes(b"x" * (size * 1024))
+            # Strictly increasing mtimes so "oldest" is unambiguous.
+            stamp = time_module.time() - 1000 + idx
+            os.utime(path, (stamp, stamp))
+            paths.append(path)
+        return paths
+
+    def test_unset_means_unlimited(self, tmp_path, monkeypatch):
+        from repro.workloads import profiles
+
+        monkeypatch.delenv("REPRO_CACHE_MAX_MB", raising=False)
+        paths = self._fill(tmp_path, [512, 512, 512])
+        profiles._enforce_cache_cap(tmp_path)
+        assert all(p.exists() for p in paths)
+
+    def test_oldest_evicted_first(self, tmp_path, monkeypatch):
+        from repro.workloads import profiles
+
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "1")  # 1 MiB budget
+        paths = self._fill(tmp_path, [512, 512, 512, 256])
+        profiles._enforce_cache_cap(tmp_path)
+        assert not paths[0].exists() and not paths[1].exists()
+        assert paths[2].exists() and paths[3].exists()
+
+    def test_write_cache_applies_cap(self, tmp_path, monkeypatch):
+        from repro.workloads import profiles
+
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "1")
+        old = self._fill(tmp_path, [900])
+        profiles._write_cache(tmp_path / "profile-new-000.pkl", b"y" * (400 * 1024))
+        assert not old[0].exists()
+        assert (tmp_path / "profile-new-000.pkl").exists()
+
+    def test_bad_env_value_ignored(self, tmp_path, monkeypatch):
+        from repro.workloads import profiles
+
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "lots")
+        paths = self._fill(tmp_path, [2048])
+        profiles._enforce_cache_cap(tmp_path)
+        assert paths[0].exists()
+
+
+class TestStaleVersionEviction:
+    """A version-stamp mismatch purges the whole cache directory eagerly."""
+
+    def test_stale_stamp_purges(self, tmp_path):
+        from repro.workloads import profiles
+
+        (tmp_path / "profile-old-000.pkl").write_bytes(b"stale")
+        (tmp_path / "sens-old-000.pkl").write_bytes(b"stale")
+        (tmp_path / profiles._STAMP_NAME).write_text("0.0\n")
+        profiles._evict_stale(tmp_path)
+        assert not (tmp_path / "profile-old-000.pkl").exists()
+        assert not (tmp_path / "sens-old-000.pkl").exists()
+        assert (
+            tmp_path / profiles._STAMP_NAME
+        ).read_text().strip() == profiles._expected_stamp()
+
+    def test_missing_stamp_preserves_files(self, tmp_path):
+        """Pre-stamp caches (the shipped one) must survive and get stamped."""
+        from repro.workloads import profiles
+
+        (tmp_path / "profile-keep-000.pkl").write_bytes(b"current")
+        profiles._evict_stale(tmp_path)
+        assert (tmp_path / "profile-keep-000.pkl").exists()
+        assert (tmp_path / profiles._STAMP_NAME).exists()
+
+    def test_current_stamp_is_noop(self, tmp_path):
+        from repro.workloads import profiles
+
+        (tmp_path / "profile-keep-000.pkl").write_bytes(b"current")
+        (tmp_path / profiles._STAMP_NAME).write_text(
+            profiles._expected_stamp() + "\n"
+        )
+        profiles._evict_stale(tmp_path)
+        assert (tmp_path / "profile-keep-000.pkl").exists()
+
+    def test_cache_dir_checks_once(self, tmp_path, monkeypatch):
+        from repro.workloads import profiles
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        (tmp_path / "profile-old-000.pkl").write_bytes(b"stale")
+        (tmp_path / profiles._STAMP_NAME).write_text("0.0\n")
+        monkeypatch.setattr(profiles, "_STALE_CHECKED", set())
+        assert profiles._cache_dir() == tmp_path
+        assert not (tmp_path / "profile-old-000.pkl").exists()
