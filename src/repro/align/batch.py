@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..scoring import NEG_INF, ScoringScheme
 from .traceback import S_DIAG, S_FROM_D, S_FROM_I, S_ORIGIN, walk_traceback
 from .wavefront import WARP_WIDTH, DiagTraceback, WavefrontResult, WavefrontStats
@@ -117,6 +118,13 @@ def _extend_lockstep(
     targets = [np.asarray(t, dtype=np.uint8) for t, _ in pairs]
     queries = [np.asarray(q, dtype=np.uint8) for _, q in pairs]
     rows = len(pairs)
+    obs.counter(
+        "repro_batch_lockstep_batches_total",
+        "Struct-of-arrays lockstep batches advanced.",
+    ).inc()
+    obs.counter(
+        "repro_batch_tasks_total", "Extension tasks packed into lockstep batches."
+    ).inc(rows)
 
     oe = int(scheme.gap_open + scheme.gap_extend)
     e = int(scheme.gap_extend)

@@ -19,7 +19,14 @@ Four subcommands:
 
 ``serve``
     Run the concurrent alignment service (:mod:`repro.service`) behind a
-    JSON/HTTP endpoint: ``POST /align``, ``GET /stats``, ``GET /healthz``.
+    JSON/HTTP endpoint: ``POST /align``, ``GET /stats``, ``GET /metrics``,
+    ``GET /healthz``.
+
+``trace``
+    Align one FASTA pair with observability enabled (:mod:`repro.obs`)
+    and print the span tree of the run — seeding, inspector, per-bin
+    executor dispatches, traceback — plus the paper-relevant ratios
+    (eager fraction, per-bin task counts, memory traffic elided).
 
 Run ``python -m repro.cli <subcommand> --help`` for the options.
 """
@@ -43,6 +50,35 @@ from .lastz import (
 from .scoring import default_scheme
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_scoring_args(parser: argparse.ArgumentParser) -> None:
+    """Scoring/seeding options shared by ``align``, ``serve`` and ``trace``."""
+    parser.add_argument("--gap-open", type=int, default=400)
+    parser.add_argument("--gap-extend", type=int, default=30)
+    parser.add_argument("--ydrop", type=int, default=None)
+    parser.add_argument("--hsp-threshold", type=int, default=3000)
+    parser.add_argument("--gapped-threshold", type=int, default=3000)
+    parser.add_argument("--seed-length", type=int, default=19)
+    parser.add_argument("--collapse-window", type=int, default=500)
+    parser.add_argument("--diag-band", type=int, default=150)
+
+
+def _config_from_args(args: argparse.Namespace, **extra) -> LastzConfig:
+    scheme = default_scheme(
+        gap_open=args.gap_open,
+        gap_extend=args.gap_extend,
+        ydrop=args.ydrop,
+        hsp_threshold=args.hsp_threshold,
+        gapped_threshold=args.gapped_threshold,
+    )
+    return LastzConfig(
+        scheme=scheme,
+        seed_length=args.seed_length,
+        collapse_window=args.collapse_window,
+        diag_band=args.diag_band,
+        **extra,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,14 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="shard anchors across a multiprocessing pool (fastz engines)",
     )
-    align.add_argument("--gap-open", type=int, default=400)
-    align.add_argument("--gap-extend", type=int, default=30)
-    align.add_argument("--ydrop", type=int, default=None)
-    align.add_argument("--hsp-threshold", type=int, default=3000)
-    align.add_argument("--gapped-threshold", type=int, default=3000)
-    align.add_argument("--seed-length", type=int, default=19)
-    align.add_argument("--collapse-window", type=int, default=500)
-    align.add_argument("--diag-band", type=int, default=150)
+    _add_scoring_args(align)
     align.add_argument("--no-cigar", action="store_true", help="skip tracebacks")
     align.add_argument(
         "--format",
@@ -148,37 +177,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=128,
         help="LRU result-cache capacity (0 disables caching)",
     )
-    serve.add_argument("--gap-open", type=int, default=400)
-    serve.add_argument("--gap-extend", type=int, default=30)
-    serve.add_argument("--ydrop", type=int, default=None)
-    serve.add_argument("--hsp-threshold", type=int, default=3000)
-    serve.add_argument("--gapped-threshold", type=int, default=3000)
-    serve.add_argument("--seed-length", type=int, default=19)
-    serve.add_argument("--collapse-window", type=int, default=500)
-    serve.add_argument("--diag-band", type=int, default=150)
+    _add_scoring_args(serve)
     serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
     )
+
+    trace = sub.add_parser(
+        "trace",
+        help="align one FASTA pair and print the instrumented span tree",
+    )
+    trace.add_argument("target", help="target FASTA (first record used)")
+    trace.add_argument("query", help="query FASTA (first record used)")
+    trace.add_argument(
+        "--engine",
+        choices=("scalar", "batched"),
+        default="batched",
+        help="extension engine to trace (default: batched)",
+    )
+    trace.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="extensions per lockstep batch (batched engine)",
+    )
+    trace.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the Prometheus text rendering of the run's counters",
+    )
+    _add_scoring_args(trace)
     return parser
 
 
 def _align_command(args: argparse.Namespace) -> int:
     target = read_fasta(args.target)[0]
     query = read_fasta(args.query)[0]
-    scheme = default_scheme(
-        gap_open=args.gap_open,
-        gap_extend=args.gap_extend,
-        ydrop=args.ydrop,
-        hsp_threshold=args.hsp_threshold,
-        gapped_threshold=args.gapped_threshold,
-    )
-    config = LastzConfig(
-        scheme=scheme,
-        seed_length=args.seed_length,
-        collapse_window=args.collapse_window,
-        diag_band=args.diag_band,
-        traceback=not args.no_cigar,
-    )
+    config = _config_from_args(args, traceback=not args.no_cigar)
 
     if args.engine in ("fastz", "fastz-batched"):
         from .core import FastzOptions
@@ -277,19 +311,7 @@ def _bench_command(args: argparse.Namespace) -> int:
 def _serve_command(args: argparse.Namespace) -> int:
     from .service import AlignmentService, make_server
 
-    scheme = default_scheme(
-        gap_open=args.gap_open,
-        gap_extend=args.gap_extend,
-        ydrop=args.ydrop,
-        hsp_threshold=args.hsp_threshold,
-        gapped_threshold=args.gapped_threshold,
-    )
-    config = LastzConfig(
-        scheme=scheme,
-        seed_length=args.seed_length,
-        collapse_window=args.collapse_window,
-        diag_band=args.diag_band,
-    )
+    config = _config_from_args(args)
     service = AlignmentService(
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
@@ -318,6 +340,49 @@ def _serve_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_command(args: argparse.Namespace) -> int:
+    from . import obs
+    from .analysis.traffic import traffic_report
+    from .core import FastzOptions
+    from .obs.tracing import render_span_tree
+
+    target = read_fasta(args.target)[0]
+    query = read_fasta(args.query)[0]
+    config = _config_from_args(args)
+    options = FastzOptions(engine=args.engine, batch_size=args.batch_size)
+
+    registry, tracer = obs.enable()
+    try:
+        result = run_fastz(target, query, config, options)
+        root = tracer.last_root("fastz.run")
+    finally:
+        obs.disable()
+
+    if root is None:  # pragma: no cover - instrumentation always spans run
+        print("error: no trace captured for the run", file=sys.stderr)
+        return 1
+    print(render_span_tree(root))
+
+    bins = result.bin_counts().tolist()
+    report = traffic_report(result.arrays)
+    print(f"anchors:            {len(result.tasks)}")
+    print(f"alignments:         {len(result.unique_alignments())}")
+    print(
+        f"eager fraction:     {result.eager_fraction:.4f} "
+        f"({result.eager_count}/{len(result.tasks)} anchor tasks)"
+    )
+    print(f"bins [eager,1-4]:   {bins}")
+    print(
+        f"traffic elided:     score {100 * report.score_traffic_reduction:.1f}%, "
+        f"overall {100 * report.overall_access_reduction:.1f}% "
+        "(paper: >96% / ~97%)"
+    )
+    if args.metrics:
+        print()
+        print(registry.render(), end="")
+    return 0
+
+
 def main(argv: Seq[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "align":
@@ -326,6 +391,8 @@ def main(argv: Seq[str] | None = None) -> int:
         return _synth_command(args)
     if args.command == "serve":
         return _serve_command(args)
+    if args.command == "trace":
+        return _trace_command(args)
     return _bench_command(args)
 
 

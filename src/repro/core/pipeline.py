@@ -32,6 +32,7 @@ from functools import cached_property
 
 import numpy as np
 
+from .. import obs
 from ..align.alignment import Alignment
 from ..align.batch import batch_wavefront_extend
 from ..align.extend import combine_alignment
@@ -137,31 +138,33 @@ def _extend_anchors_scalar(
 ) -> list[_AnchorExtension]:
     """The original per-anchor loop: one wavefront at a time."""
     out: list[_AnchorExtension] = []
-    for t, q in zip(t_pos, q_pos):
-        right_suffix_t = t_codes[t:]
-        right_suffix_q = q_codes[q:]
-        left_suffix_t = t_codes[:t][::-1]
-        left_suffix_q = q_codes[:q][::-1]
+    with obs.span("fastz.extend", engine="scalar", anchors=len(t_pos)) as sp:
+        for t, q in zip(t_pos, q_pos):
+            right_suffix_t = t_codes[t:]
+            right_suffix_q = q_codes[q:]
+            left_suffix_t = t_codes[:t][::-1]
+            left_suffix_q = q_codes[:q][::-1]
 
-        # --- inspector ------------------------------------------------------
-        insp_r = wavefront_extend(right_suffix_t, right_suffix_q, scheme, eager_tile=tile)
-        insp_l = wavefront_extend(left_suffix_t, left_suffix_q, scheme, eager_tile=tile)
-        eager = insp_l.eager_hit and insp_r.eager_hit
+            # --- inspector --------------------------------------------------
+            insp_r = wavefront_extend(right_suffix_t, right_suffix_q, scheme, eager_tile=tile)
+            insp_l = wavefront_extend(left_suffix_t, left_suffix_q, scheme, eager_tile=tile)
+            eager = insp_l.eager_hit and insp_r.eager_hit
 
-        # --- executor (or not) ----------------------------------------------
-        fb = 0
-        if eager:
-            final_l, final_r = insp_l, insp_r
-        elif options.executor_trimming:
-            final_r, fb_r = _executor_side(right_suffix_t, right_suffix_q, insp_r, scheme)
-            final_l, fb_l = _executor_side(left_suffix_t, left_suffix_q, insp_l, scheme)
-            fb = int(fb_r) + int(fb_l)
-        else:
-            # Untrimmed executor: recompute the full search space with
-            # traceback (the V1/V2 ablation behaviour).
-            final_r = wavefront_extend(right_suffix_t, right_suffix_q, scheme, traceback=True)
-            final_l = wavefront_extend(left_suffix_t, left_suffix_q, scheme, traceback=True)
-        out.append((insp_l, insp_r, final_l, final_r, fb))
+            # --- executor (or not) ------------------------------------------
+            fb = 0
+            if eager:
+                final_l, final_r = insp_l, insp_r
+            elif options.executor_trimming:
+                final_r, fb_r = _executor_side(right_suffix_t, right_suffix_q, insp_r, scheme)
+                final_l, fb_l = _executor_side(left_suffix_t, left_suffix_q, insp_l, scheme)
+                fb = int(fb_r) + int(fb_l)
+            else:
+                # Untrimmed executor: recompute the full search space with
+                # traceback (the V1/V2 ablation behaviour).
+                final_r = wavefront_extend(right_suffix_t, right_suffix_q, scheme, traceback=True)
+                final_l = wavefront_extend(left_suffix_t, left_suffix_q, scheme, traceback=True)
+            out.append((insp_l, insp_r, final_l, final_r, fb))
+        sp.set(eager=sum(1 for r in out if r[0].eager_hit and r[1].eager_hit))
     return out
 
 
@@ -205,10 +208,24 @@ def extend_suffixes_batched(
     never share a lockstep batch — the load-balance argument of §3.3 —
     and each bin is advanced in lockstep with full packed traceback.
     """
+    with obs.span(
+        "fastz.extend", engine="batched", anchors=len(suffixes) // 2
+    ) as sp:
+        return _extend_suffixes_batched_impl(suffixes, scheme, options, tile, sp)
+
+
+def _extend_suffixes_batched_impl(
+    suffixes: list[tuple[np.ndarray, np.ndarray]],
+    scheme: ScoringScheme,
+    options: FastzOptions,
+    tile: int,
+    sp,
+) -> list[_AnchorExtension]:
     n_anchors = len(suffixes) // 2
-    insp = batch_wavefront_extend(
-        suffixes, scheme, eager_tile=tile, batch_size=options.batch_size
-    )
+    with obs.span("fastz.inspector", tasks=len(suffixes)):
+        insp = batch_wavefront_extend(
+            suffixes, scheme, eager_tile=tile, batch_size=options.batch_size
+        )
     insp_r = insp[0::2]
     insp_l = insp[1::2]
 
@@ -218,6 +235,15 @@ def extend_suffixes_batched(
         count=n_anchors,
     )
     pending = np.flatnonzero(~eager)
+    n_eager = int(eager.sum())
+    sp.set(eager=n_eager, executor_anchors=int(pending.shape[0]))
+    obs.counter(
+        "repro_pipeline_anchors_total", "Anchors extended by the pipeline."
+    ).inc(n_anchors)
+    obs.counter(
+        "repro_pipeline_eager_total",
+        "Anchors fully resolved by the inspector's eager tile.",
+    ).inc(n_eager)
 
     # --- bin-aware executor batch composition (§3.3) ------------------------
     # Extent is known after the inspector; group executor jobs per bin so a
@@ -253,9 +279,16 @@ def extend_suffixes_batched(
                         q_suffix = q_suffix[: ins.end_j]
                     jobs.append((int(k), side))
                     job_pairs.append((t_suffix, q_suffix))
-            ran = batch_wavefront_extend(
-                job_pairs, scheme, traceback=True, batch_size=options.batch_size
-            )
+            with obs.span(
+                "fastz.executor", bin=int(bin_id), tasks=len(job_pairs)
+            ):
+                ran = batch_wavefront_extend(
+                    job_pairs, scheme, traceback=True, batch_size=options.batch_size
+                )
+            obs.counter(
+                "repro_pipeline_executor_tasks_total",
+                "Executor extension tasks dispatched, by length bin.",
+            ).labels(bin=int(bin_id)).inc(len(job_pairs))
             for (k, side), result in zip(jobs, ran):
                 finals[(k, side)] = result
 
@@ -286,6 +319,11 @@ def extend_suffixes_batched(
                 )
                 fb += 1
             sides.append(result)
+        if fb:
+            obs.counter(
+                "repro_pipeline_executor_fallbacks_total",
+                "Trimmed executor reruns that disagreed with the inspector.",
+            ).inc(fb)
         out.append((insp_l[k], insp_r[k], sides[1], sides[0], fb))
     return out
 
@@ -391,13 +429,18 @@ def prepare_fastz(
 ) -> PreparedRequest:
     """Stage a request: encode, select anchors, sort, fix the eager tile."""
     config = config or LastzConfig()
-    t_codes = np.asarray(target.codes if isinstance(target, Sequence) else target)
-    q_codes = np.asarray(query.codes if isinstance(query, Sequence) else query)
+    with obs.span("fastz.prepare") as sp:
+        t_codes = np.asarray(target.codes if isinstance(target, Sequence) else target)
+        q_codes = np.asarray(query.codes if isinstance(query, Sequence) else query)
 
-    if anchors is None:
-        anchors = select_anchors(t_codes, q_codes, config)
-    order = np.lexsort((anchors.target_pos, anchors.query_pos))
-    anchors = anchors.take(order)
+        if anchors is None:
+            with obs.span(
+                "fastz.seeding", target_bp=len(t_codes), query_bp=len(q_codes)
+            ):
+                anchors = select_anchors(t_codes, q_codes, config)
+        order = np.lexsort((anchors.target_pos, anchors.query_pos))
+        anchors = anchors.take(order)
+        sp.set(anchors=len(anchors.target_pos))
 
     return PreparedRequest(
         t_codes=t_codes,
@@ -418,6 +461,21 @@ def finish_fastz(
     keep_extensions: bool = False,
 ) -> FastzResult:
     """Fold per-anchor extension records into a :class:`FastzResult`."""
+    with obs.span("fastz.finish", anchors=prepared.n_anchors) as sp:
+        result = _finish_fastz_impl(prepared, per_anchor, keep_extensions)
+        sp.set(
+            alignments=len(result.alignments),
+            eager=result.eager_count,
+            fallbacks=result.executor_fallbacks,
+        )
+        return result
+
+
+def _finish_fastz_impl(
+    prepared: PreparedRequest,
+    per_anchor: list[_AnchorExtension],
+    keep_extensions: bool,
+) -> FastzResult:
     scheme = prepared.scheme
     options = prepared.options
     alignments: list[Alignment] = []
@@ -502,22 +560,29 @@ def run_fastz(
     the anchor set across a multiprocessing pool.  Both knobs change only
     wall-clock, never results.
     """
-    prepared = prepare_fastz(target, query, config, options, anchors=anchors)
-    t_codes, q_codes = prepared.t_codes, prepared.q_codes
-    scheme, tile = prepared.scheme, prepared.tile
-    t_pos, q_pos = prepared.t_pos, prepared.q_pos
+    with obs.span("fastz.run", engine=options.engine) as sp:
+        prepared = prepare_fastz(target, query, config, options, anchors=anchors)
+        t_codes, q_codes = prepared.t_codes, prepared.q_codes
+        scheme, tile = prepared.scheme, prepared.tile
+        t_pos, q_pos = prepared.t_pos, prepared.q_pos
 
-    if workers and workers > 1 and len(t_pos) > 1:
-        per_anchor = _extend_anchors_pool(
-            t_codes, q_codes, scheme, options, tile, t_pos, q_pos, int(workers)
-        )
-    elif options.engine == "batched":
-        per_anchor = _extend_anchors_batched(
-            t_codes, q_codes, scheme, options, tile, t_pos, q_pos
-        )
-    else:
-        per_anchor = _extend_anchors_scalar(
-            t_codes, q_codes, scheme, options, tile, t_pos, q_pos
-        )
+        if workers and workers > 1 and len(t_pos) > 1:
+            per_anchor = _extend_anchors_pool(
+                t_codes, q_codes, scheme, options, tile, t_pos, q_pos, int(workers)
+            )
+        elif options.engine == "batched":
+            per_anchor = _extend_anchors_batched(
+                t_codes, q_codes, scheme, options, tile, t_pos, q_pos
+            )
+        else:
+            per_anchor = _extend_anchors_scalar(
+                t_codes, q_codes, scheme, options, tile, t_pos, q_pos
+            )
 
-    return finish_fastz(prepared, per_anchor, keep_extensions=keep_extensions)
+        result = finish_fastz(prepared, per_anchor, keep_extensions=keep_extensions)
+        sp.set(
+            anchors=prepared.n_anchors,
+            alignments=len(result.alignments),
+            eager_fraction=result.eager_fraction,
+        )
+        return result

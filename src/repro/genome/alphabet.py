@@ -45,18 +45,45 @@ _DECODE_LUT = np.frombuffer((BASES + "N").encode("ascii"), dtype=np.uint8)
 # complement: A<->T (0<->3), C<->G (1<->2), N->N
 _COMPLEMENT_LUT = np.array([3, 2, 1, 0, 4], dtype=np.uint8)
 
+# Bytes legal under strict encoding: ACGT/acgt plus the explicit unknowns
+# N/n.  Everything else (digits, punctuation, IUPAC ambiguity codes...) is
+# rejected rather than silently collapsed to N.
+_STRICT_OK = np.zeros(256, dtype=bool)
+for _c in "ACGTNacgtn":
+    _STRICT_OK[ord(_c)] = True
 
-def encode(text: str | bytes) -> np.ndarray:
+
+def encode(text: str | bytes, *, strict: bool = False) -> np.ndarray:
     """Encode an ASCII nucleotide string into a 2-bit code array.
 
     Unknown characters (anything outside ``ACGTacgt``) become :data:`N_CODE`.
+    With ``strict=True``, any character outside ``ACGTNacgtn`` (including
+    non-ASCII input) raises :class:`ValueError` instead — the LUT never
+    fails on its own, so callers that must not align junk-as-N (e.g. the
+    HTTP front end) opt into validation here.
 
     >>> encode("ACGTn").tolist()
     [0, 1, 2, 3, 4]
     """
     if isinstance(text, str):
-        text = text.encode("ascii", errors="replace")
+        if strict:
+            try:
+                text = text.encode("ascii")
+            except UnicodeEncodeError as exc:
+                raise ValueError(
+                    f"sequence contains non-ASCII character at position {exc.start}"
+                ) from None
+        else:
+            text = text.encode("ascii", errors="replace")
     raw = np.frombuffer(text, dtype=np.uint8)
+    if strict:
+        bad = np.flatnonzero(~_STRICT_OK[raw])
+        if bad.size:
+            pos = int(bad[0])
+            raise ValueError(
+                f"sequence contains invalid character {chr(raw[pos])!r} "
+                f"at position {pos} (expected ACGTN)"
+            )
     return _ENCODE_LUT[raw]
 
 

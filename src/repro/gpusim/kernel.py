@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from .device import DeviceSpec
 
 __all__ = ["TaskCost", "KernelTiming", "simulate_kernel", "occupancy_factor"]
@@ -146,6 +147,15 @@ def simulate_kernel(
     finish = np.maximum(np.maximum(compute_t, memory_t), sm_critical)
     makespan = float(finish.max())
     busy_mean = float(finish.mean())
+    obs.counter(
+        "repro_gpusim_kernels_total", "Simulated kernel launches."
+    ).labels(device=device.name).inc()
+    obs.counter(
+        "repro_gpusim_kernel_tasks_total", "Warp tasks across simulated kernels."
+    ).labels(device=device.name).inc(len(tasks))
+    obs.histogram(
+        "repro_gpusim_kernel_seconds", "Simulated kernel makespans."
+    ).labels(device=device.name).observe(makespan + launch)
     return KernelTiming(
         seconds=makespan + launch,
         compute_seconds=float(compute_t.max()),

@@ -1,0 +1,363 @@
+"""Lock-cheap metrics: counters, gauges and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` owns a flat namespace of metric *families*;
+a family optionally fans out into labelled children (``family.labels(
+bin="2")``).  Every mutation is one dict lookup plus one locked ``+=`` on
+the child, so instruments are cheap enough for the submit path and the
+per-batch pipeline hooks.
+
+The registry renders itself in the Prometheus text exposition format
+(``render``), which is what the service's ``GET /metrics`` endpoint
+serves.  A :class:`NullRegistry` (the library-wide default — see
+:mod:`repro.obs`) returns shared no-op instruments so instrumented code
+pays only a method call when observability is disabled.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram boundaries (seconds): micro-benchmarks to full runs.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample rendering: integral floats print as integers."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Family:
+    """Common family plumbing: name, help text, labelled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not name or not set(name) <= _NAME_OK or name[0].isdigit():
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._children: dict[tuple[tuple[str, str], ...], object] = {}
+
+    def _make_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, **labels: object):
+        """The child for one label combination (created on first use)."""
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._make_child())
+        return child
+
+    def samples(self) -> list[tuple[tuple[tuple[str, str], ...], object]]:
+        with self._lock:
+            return list(self._children.items())
+
+
+class _CounterChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Counter(_Family):
+    """Monotonically increasing count, optionally labelled."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def value(self, **labels: object) -> float:
+        return self.labels(**labels).value
+
+    def render(self) -> list[str]:
+        return [
+            f"{self.name}{_format_labels(key)} {_format_value(child.value)}"
+            for key, child in self.samples()
+        ]
+
+
+class _GaugeChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge(_Family):
+    """A value that can go up and down (queue depth, cache size...)."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().dec(amount)
+
+    def value(self, **labels: object) -> float:
+        return self.labels(**labels).value
+
+    def render(self) -> list[str]:
+        return [
+            f"{self.name}{_format_labels(key)} {_format_value(child.value)}"
+            for key, child in self.samples()
+        ]
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot: +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        slot = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[slot] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ending at +Inf."""
+        with self._lock:
+            counts = list(self._counts)
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self._bounds, counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + counts[-1]))
+        return out
+
+
+class Histogram(_Family):
+    """Fixed-boundary distribution (Prometheus cumulative buckets)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError("buckets must be strictly increasing and non-empty")
+        self.buckets = bounds
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def count(self, **labels: object) -> int:
+        return self.labels(**labels).count
+
+    def sum(self, **labels: object) -> float:
+        return self.labels(**labels).sum
+
+    def render(self) -> list[str]:
+        lines: list[str] = []
+        for key, child in self.samples():
+            for bound, running in child.bucket_counts():
+                le = "+Inf" if bound == float("inf") else _format_value(bound)
+                extra = 'le="%s"' % le
+                lines.append(
+                    f"{self.name}_bucket{_format_labels(key, extra)} {running}"
+                )
+            lines.append(
+                f"{self.name}_sum{_format_labels(key)} {_format_value(child.sum)}"
+            )
+            lines.append(f"{self.name}_count{_format_labels(key)} {child.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """A namespace of metric families with Prometheus text rendering."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    def _get(self, name: str, factory, kind: str) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = factory()
+                    self._families[name] = family
+        if family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {family.kind}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, lambda: Counter(name, help), "counter")
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, lambda: Gauge(name, help), "gauge")
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get(name, lambda: Histogram(name, help, buckets), "histogram")
+
+    def families(self) -> list[_Family]:
+        with self._lock:
+            return sorted(self._families.values(), key=lambda f: f.name)
+
+    def render(self) -> str:
+        """Prometheus text exposition of every family with samples."""
+        lines: list[str] = []
+        for family in self.families():
+            body = family.render()
+            if not body:
+                continue
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            lines.extend(body)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram child and family."""
+
+    __slots__ = ()
+
+    def labels(self, **labels: object) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def value(self, **labels: object) -> float:
+        return 0.0
+
+    def count(self, **labels: object) -> int:
+        return 0
+
+    def sum(self, **labels: object) -> float:
+        return 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """Disabled registry: every instrument is a shared no-op singleton."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS):
+        return _NULL_INSTRUMENT
+
+    def families(self) -> list:
+        return []
+
+    def render(self) -> str:
+        return ""

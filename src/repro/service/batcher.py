@@ -35,6 +35,7 @@ import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..core.pipeline import extend_suffixes_batched, finish_fastz, prepare_fastz
 from .cache import ResultCache
 from .request import AlignmentRequest
@@ -72,6 +73,10 @@ class Pending:
     enqueued_at: float = field(default_factory=time.monotonic)
     #: Absolute ``time.monotonic()`` deadline, or None.
     deadline: float | None = None
+    #: Set by ``AlignmentService.align`` when the caller's result wait
+    #: timed out after dispatch began: the work still runs (and is
+    #: cached), but it is recorded ``abandoned`` instead of ``completed``.
+    abandoned: bool = False
 
     @property
     def expired(self) -> bool:
@@ -147,6 +152,7 @@ class Dispatcher:
 
     def _dispatch(self, batch: list[Pending]) -> None:
         """Weed out dead requests, then execute the live ones fused."""
+        now = time.monotonic()
         live: list[Pending] = []
         for pending in batch:
             if self.abort.is_set():
@@ -161,12 +167,14 @@ class Dispatcher:
                     )
                 continue
             if pending.future.set_running_or_notify_cancel():
+                self._recorder.record_queue_wait(now - pending.enqueued_at)
                 live.append(pending)
             else:
                 self._recorder.record_cancelled()
         if live:
             self._recorder.record_batch(len(live))
-            self._execute(live)
+            with obs.span("service.dispatch", requests=len(live)):
+                self._execute(live)
 
     # -- fused execution -----------------------------------------------------
 
@@ -179,23 +187,28 @@ class Dispatcher:
 
     def _execute_group(self, group: list[Pending]) -> None:
         prepared = []
-        for pending in group:
-            request = pending.request
-            try:
-                prepared.append(
-                    (
-                        pending,
-                        prepare_fastz(
-                            request.target,
-                            request.query,
-                            request.config,
-                            request.options,
-                            anchors=request.anchors,
-                        ),
+        with obs.span("service.fuse", requests=len(group)) as fuse_span:
+            for pending in group:
+                request = pending.request
+                try:
+                    prepared.append(
+                        (
+                            pending,
+                            prepare_fastz(
+                                request.target,
+                                request.query,
+                                request.config,
+                                request.options,
+                                anchors=request.anchors,
+                            ),
+                        )
                     )
-                )
-            except Exception as exc:
-                self._fail(pending, exc)
+                except Exception as exc:
+                    self._fail(pending, exc)
+            fuse_span.set(
+                prepared=len(prepared),
+                anchors=sum(prep.n_anchors for _, prep in prepared),
+            )
         if not prepared:
             return
 
@@ -206,7 +219,8 @@ class Dispatcher:
         for _, prep in prepared:
             suffixes.extend(prep.suffixes())
         try:
-            fused = extend_suffixes_batched(suffixes, scheme, options, tile)
+            with obs.span("service.extend", tasks=len(suffixes)):
+                fused = extend_suffixes_batched(suffixes, scheme, options, tile)
         except Exception:
             # A poisoned request broke the fused batch.  Re-run one request
             # at a time so the exception resolves only the culprit's future.
@@ -230,8 +244,16 @@ class Dispatcher:
                 self._fail(pending, exc)
 
     def _resolve(self, pending: Pending, prep, per_anchor) -> None:
-        result = finish_fastz(prep, per_anchor)
-        self._cache.put(pending.request.cache_key, result)
+        with obs.span("service.resolve", anchors=prep.n_anchors):
+            result = finish_fastz(prep, per_anchor)
+            self._cache.put(pending.request.cache_key, result)
+        if pending.abandoned:
+            # The caller's result wait timed out after dispatch began: the
+            # result is still cached, but nobody is waiting on it.
+            self._recorder.record_abandoned()
+            if not pending.future.done():
+                pending.future.set_result(result)
+            return
         self._recorder.record_completed(time.monotonic() - pending.enqueued_at)
         pending.future.set_result(result)
 

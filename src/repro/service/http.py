@@ -7,6 +7,8 @@ web framework:
   "timeout_s": 5.0?}``; responds with the scored alignments.
 * ``GET /stats`` — the :class:`~repro.service.stats.ServiceStats`
   snapshot as JSON.
+* ``GET /metrics`` — the same counters (plus queue-wait/latency
+  histograms) in Prometheus text exposition format.
 * ``GET /healthz`` — liveness probe.
 
 The server is threading (one handler thread per connection), so
@@ -71,9 +73,11 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
     def _reply(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode()
+        self._reply_raw(status, json.dumps(payload).encode(), "application/json")
+
+    def _reply_raw(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -88,6 +92,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(200, {"status": "ok"})
         elif self.path == "/stats":
             self._reply(200, self.server.service.stats().as_dict())
+        elif self.path == "/metrics":
+            self._reply_raw(
+                200,
+                self.server.service.metrics_text().encode(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
         else:
             self._error(404, f"unknown path {self.path!r}")
 
@@ -117,14 +127,32 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, "'target' and 'query' must be DNA strings")
             return
         timeout_s = payload.get("timeout_s")
-        if timeout_s is not None and not isinstance(timeout_s, (int, float)):
+        # bool is a subclass of int, so isinstance alone would accept
+        # ``"timeout_s": true`` and treat it as a 1-second deadline.
+        if timeout_s is not None and (
+            isinstance(timeout_s, bool) or not isinstance(timeout_s, (int, float))
+        ):
             self._error(400, "'timeout_s' must be a number")
+            return
+
+        # Validate before dispatch: the encoding LUT maps junk to N, so a
+        # malformed body would otherwise be aligned-as-N (or, for other
+        # input bugs, surface as a 500 from deep inside the pipeline).
+        try:
+            target_codes = encode(target, strict=True)
+        except ValueError as exc:
+            self._error(400, f"'target' is not a DNA sequence: {exc}")
+            return
+        try:
+            query_codes = encode(query, strict=True)
+        except ValueError as exc:
+            self._error(400, f"'query' is not a DNA sequence: {exc}")
             return
 
         service = self.server.service
         try:
             result = service.align(
-                encode(target), encode(query), timeout_s=timeout_s
+                target_codes, query_codes, timeout_s=timeout_s
             )
         except ServiceOverloaded as exc:
             self._error(503, str(exc))

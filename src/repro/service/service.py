@@ -25,10 +25,13 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 
 import numpy as np
 
+from .. import obs
 from ..core.options import FastzOptions
 from ..core.pipeline import FastzResult
 from ..genome.sequence import Sequence
@@ -126,6 +129,26 @@ class AlignmentService:
         how long the request may sit in the queue before it is expired
         with :class:`DeadlineExceeded`.
         """
+        return self._submit(
+            target, query, config, options, anchors=anchors, timeout_s=timeout_s
+        )[0]
+
+    def _submit(
+        self,
+        target: Sequence | np.ndarray,
+        query: Sequence | np.ndarray,
+        config: LastzConfig | None = None,
+        options: FastzOptions | None = None,
+        *,
+        anchors: Anchors | None = None,
+        timeout_s: float | None = None,
+    ) -> tuple[Future, Pending | None]:
+        """Submission core: returns the future plus its queue entry.
+
+        The :class:`Pending` is ``None`` on a cache hit (nothing was
+        queued); :meth:`align` uses it to mark work abandoned when the
+        caller's result wait times out.
+        """
         request = AlignmentRequest(
             target=target,
             query=query,
@@ -138,11 +161,14 @@ class AlignmentService:
                 raise ServiceClosed("service is shut down")
             cached = self._cache.get(request.cache_key)
             if cached is not None:
+                # Cache hits bypass the dispatcher entirely: count them as
+                # their own event instead of a 0-latency completion, which
+                # would collapse the latency percentiles under hot caches.
                 future: Future = Future()
                 self._recorder.record_submitted()
-                self._recorder.record_completed(0.0)
+                self._recorder.record_cache_hit()
                 future.set_result(cached)
-                return future
+                return future, None
             pending = Pending(request=request)
             if timeout_s is not None:
                 pending.deadline = pending.enqueued_at + timeout_s
@@ -154,7 +180,7 @@ class AlignmentService:
                     f"request queue full ({self._queue.maxsize} pending)"
                 ) from None
             self._recorder.record_submitted()
-            return pending.future
+            return pending.future, pending
 
     def align(
         self,
@@ -166,15 +192,34 @@ class AlignmentService:
         anchors: Anchors | None = None,
         timeout_s: float | None = None,
     ) -> FastzResult:
-        """Blocking convenience wrapper: submit and wait for the result."""
-        return self.submit(
+        """Blocking convenience wrapper: submit and wait for the result.
+
+        ``timeout_s`` is one budget for the whole call: time already
+        spent queueing is deducted from the result wait (it used to be
+        spent twice — once as the queue deadline, once as the ``result``
+        timeout).  If the wait times out, still-queued work is cancelled
+        and already-running work is marked abandoned so it is not counted
+        ``completed`` when it eventually finishes.
+        """
+        start = time.monotonic()
+        future, pending = self._submit(
             target,
             query,
             config,
             options,
             anchors=anchors,
             timeout_s=timeout_s,
-        ).result(timeout=timeout_s)
+        )
+        if timeout_s is None:
+            return future.result()
+        remaining = timeout_s - (time.monotonic() - start)
+        try:
+            return future.result(timeout=max(0.0, remaining))
+        except FutureTimeoutError:
+            if pending is not None:
+                pending.abandoned = True
+                future.cancel()
+            raise
 
     # -- introspection -------------------------------------------------------
 
@@ -183,6 +228,32 @@ class AlignmentService:
         return self._recorder.snapshot(
             queue_depth=self._queue.qsize(), cache=self._cache.stats
         )
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition for the ``GET /metrics`` endpoint.
+
+        Renders the recorder's registry (the same counters ``/stats``
+        reads) plus, when process-wide observability is enabled, the
+        global :mod:`repro.obs` registry (pipeline/gpusim families).
+        """
+        registry = self._recorder.registry
+        registry.gauge(
+            "repro_service_queue_depth", "Requests currently queued."
+        ).set(self._queue.qsize())
+        cache = self._cache.stats
+        cache_gauge = registry.gauge(
+            "repro_service_cache", "Result-cache state by field."
+        )
+        cache_gauge.labels(field="hits").set(cache.hits)
+        cache_gauge.labels(field="misses").set(cache.misses)
+        cache_gauge.labels(field="evictions").set(cache.evictions)
+        cache_gauge.labels(field="size").set(cache.size)
+        cache_gauge.labels(field="capacity").set(cache.capacity)
+        text = registry.render()
+        global_registry = obs.get_registry()
+        if global_registry.enabled and global_registry is not registry:
+            text += global_registry.render()
+        return text
 
     @property
     def closed(self) -> bool:

@@ -1,17 +1,22 @@
-"""Service observability: counters, latency percentiles, batch histogram.
+"""Service observability: registry-backed counters, latency percentiles.
 
-The recorder is the single mutation point (every touch holds one lock and
-does O(1) work, so it is cheap enough for the submit path); the snapshot
-is an immutable :class:`ServiceStats` for callers, the ``/stats`` HTTP
-endpoint and the benchmark harness.
+Every service event lands in a :class:`~repro.obs.metrics.MetricsRegistry`
+owned by the recorder (always live, independent of the process-wide
+:mod:`repro.obs` default), so ``GET /stats`` and the Prometheus
+``GET /metrics`` endpoint read the *same* counters and cannot disagree.
+The recorder keeps one extra structure the registry cannot express: a
+bounded window of raw completed-request latencies for exact nearest-rank
+percentiles.  The snapshot is an immutable :class:`ServiceStats`.
 """
 
 from __future__ import annotations
 
+import math
 import threading
-from collections import Counter, deque
+from collections import deque
 from dataclasses import dataclass, field
 
+from ..obs.metrics import MetricsRegistry
 from .cache import CacheStats
 
 __all__ = ["ServiceStats", "StatsRecorder"]
@@ -19,14 +24,37 @@ __all__ = ["ServiceStats", "StatsRecorder"]
 #: Completed-request latencies kept for the percentile window.
 _LATENCY_WINDOW = 4096
 
+#: Request-latency and queue-wait histogram boundaries (seconds).
+_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Terminal request outcomes tracked by the events counter.
+_EVENT_KINDS = (
+    "submitted",
+    "completed",
+    "failed",
+    "rejected",
+    "timed_out",
+    "cancelled",
+    "abandoned",
+    "cache_hit",
+)
+
 
 def _percentile(values: list[float], q: float) -> float:
-    """Nearest-rank percentile of an unsorted sample (0 when empty)."""
+    """Nearest-rank percentile of an unsorted sample (0 when empty).
+
+    Uses the deterministic ceiling rank ``ceil(q * n)`` (1-indexed), the
+    textbook nearest-rank definition — unlike ``round()``, whose
+    banker's rounding makes p50 of an even-length sample drift up a rank.
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
-    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
-    return ordered[rank]
+    rank = math.ceil(q * len(ordered))
+    return ordered[min(max(rank, 1), len(ordered)) - 1]
 
 
 @dataclass(frozen=True)
@@ -40,6 +68,11 @@ class ServiceStats:
     rejected: int
     timed_out: int
     cancelled: int
+    #: Requests whose caller stopped waiting but whose work still ran.
+    abandoned: int
+    #: Submissions answered from the result cache (no dispatch, and no
+    #: entry in the latency window — hits would collapse p50 toward 0).
+    cache_hits: int
     #: Dispatch-batch sizes -> number of batches of that size.
     batch_histogram: dict[int, int]
     latency_p50_ms: float
@@ -67,6 +100,8 @@ class ServiceStats:
             "rejected": self.rejected,
             "timed_out": self.timed_out,
             "cancelled": self.cancelled,
+            "abandoned": self.abandoned,
+            "cache_hits": self.cache_hits,
             "batch_histogram": {str(k): v for k, v in sorted(self.batch_histogram.items())},
             "mean_batch_size": round(self.mean_batch_size, 2),
             "latency_p50_ms": round(self.latency_p50_ms, 3),
@@ -83,61 +118,102 @@ class ServiceStats:
 
 
 class StatsRecorder:
-    """Thread-safe accumulation of service events."""
+    """Thread-safe accumulation of service events over a metrics registry.
 
-    def __init__(self) -> None:
+    The registry is the single source of truth for counts; ``/metrics``
+    renders it directly.  ``registry`` may be shared (e.g. with the
+    process-wide :mod:`repro.obs` one) — metric names are namespaced
+    under ``repro_service_``.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._events = self.registry.counter(
+            "repro_service_events_total", "Service request events by kind."
+        )
+        self._batches = self.registry.counter(
+            "repro_service_batches_total", "Dispatched micro-batches by size."
+        )
+        self._latency = self.registry.histogram(
+            "repro_service_request_latency_seconds",
+            "Submit-to-result latency of dispatched requests.",
+            buckets=_LATENCY_BUCKETS,
+        )
+        self._queue_wait = self.registry.histogram(
+            "repro_service_queue_wait_seconds",
+            "Time requests spent queued before the dispatcher picked them up.",
+            buckets=_LATENCY_BUCKETS,
+        )
+        self._queue_depth = self.registry.gauge(
+            "repro_service_queue_depth", "Requests currently queued."
+        )
         self._lock = threading.Lock()
-        self._submitted = 0
-        self._completed = 0
-        self._failed = 0
-        self._rejected = 0
-        self._timed_out = 0
-        self._cancelled = 0
-        self._batches: Counter[int] = Counter()
         self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
 
+    # -- event recording -----------------------------------------------------
+
     def record_submitted(self) -> None:
-        with self._lock:
-            self._submitted += 1
+        self._events.labels(kind="submitted").inc()
 
     def record_rejected(self) -> None:
-        with self._lock:
-            self._rejected += 1
+        self._events.labels(kind="rejected").inc()
 
     def record_timed_out(self) -> None:
-        with self._lock:
-            self._timed_out += 1
+        self._events.labels(kind="timed_out").inc()
 
     def record_cancelled(self) -> None:
-        with self._lock:
-            self._cancelled += 1
+        self._events.labels(kind="cancelled").inc()
+
+    def record_abandoned(self) -> None:
+        self._events.labels(kind="abandoned").inc()
+
+    def record_cache_hit(self) -> None:
+        self._events.labels(kind="cache_hit").inc()
 
     def record_batch(self, size: int) -> None:
-        with self._lock:
-            self._batches[size] += 1
+        self._batches.labels(size=size).inc()
+
+    def record_queue_wait(self, seconds: float) -> None:
+        self._queue_wait.observe(seconds)
 
     def record_completed(self, latency_seconds: float) -> None:
+        self._events.labels(kind="completed").inc()
+        self._latency.observe(latency_seconds)
         with self._lock:
-            self._completed += 1
             self._latencies.append(latency_seconds)
 
     def record_failed(self) -> None:
-        with self._lock:
-            self._failed += 1
+        self._events.labels(kind="failed").inc()
+
+    # -- snapshots -----------------------------------------------------------
+
+    def batch_histogram(self) -> dict[int, int]:
+        """Exact dispatch-size counts rebuilt from the labelled counter."""
+        out: dict[int, int] = {}
+        for labels, child in self._batches.samples():
+            size = int(dict(labels)["size"])
+            count = int(child.value)
+            if count:
+                out[size] = count
+        return out
 
     def snapshot(self, *, queue_depth: int, cache: CacheStats) -> ServiceStats:
+        self._queue_depth.set(queue_depth)
         with self._lock:
             latencies = list(self._latencies)
-            return ServiceStats(
-                queue_depth=queue_depth,
-                submitted=self._submitted,
-                completed=self._completed,
-                failed=self._failed,
-                rejected=self._rejected,
-                timed_out=self._timed_out,
-                cancelled=self._cancelled,
-                batch_histogram=dict(self._batches),
-                latency_p50_ms=_percentile(latencies, 0.50) * 1e3,
-                latency_p95_ms=_percentile(latencies, 0.95) * 1e3,
-                cache=cache,
-            )
+        counts = {kind: int(self._events.value(kind=kind)) for kind in _EVENT_KINDS}
+        return ServiceStats(
+            queue_depth=queue_depth,
+            submitted=counts["submitted"],
+            completed=counts["completed"],
+            failed=counts["failed"],
+            rejected=counts["rejected"],
+            timed_out=counts["timed_out"],
+            cancelled=counts["cancelled"],
+            abandoned=counts["abandoned"],
+            cache_hits=counts["cache_hit"],
+            batch_histogram=self.batch_histogram(),
+            latency_p50_ms=_percentile(latencies, 0.50) * 1e3,
+            latency_p95_ms=_percentile(latencies, 0.95) * 1e3,
+            cache=cache,
+        )

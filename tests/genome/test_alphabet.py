@@ -39,6 +39,33 @@ class TestEncode:
         assert encode("ACGT").dtype == np.uint8
 
 
+class TestStrictEncode:
+    def test_accepts_full_alphabet(self):
+        assert encode("ACGTNacgtn", strict=True).tolist() == [
+            0, 1, 2, 3, 4, 0, 1, 2, 3, 4,
+        ]
+
+    def test_rejects_junk_with_position(self):
+        with pytest.raises(ValueError, match="position 4"):
+            encode("ACGT1", strict=True)
+
+    def test_rejects_iupac_ambiguity_codes(self):
+        # Lenient mode maps these to N; strict mode must not guess.
+        with pytest.raises(ValueError):
+            encode("ACGTR", strict=True)
+
+    def test_rejects_non_ascii(self):
+        with pytest.raises(ValueError, match="non-ASCII"):
+            encode("ACGTé", strict=True)
+
+    def test_rejects_bad_bytes(self):
+        with pytest.raises(ValueError):
+            encode(b"AC-GT", strict=True)
+
+    def test_empty_ok(self):
+        assert encode("", strict=True).shape == (0,)
+
+
 class TestDecode:
     def test_roundtrip_simple(self):
         assert decode(encode("ACGTN")) == "ACGTN"

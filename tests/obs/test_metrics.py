@@ -1,0 +1,131 @@
+"""Unit tests for the metrics registry and its Prometheus rendering."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total", "help text")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labelled_children_are_independent(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_bins_total")
+        c.labels(bin=1).inc(4)
+        c.labels(bin=2).inc()
+        assert c.value(bin=1) == 4
+        assert c.value(bin=2) == 1
+        assert c.value(bin=3) == 0
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("repro_mono_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_memoized_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("repro_x_total") is reg.counter("repro_x_total")
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("repro_x_total")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("bad name!")
+
+    def test_thread_safety(self):
+        c = MetricsRegistry().counter("repro_threads_total")
+
+        def work():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 80_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("repro_depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value() == 7
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_lat_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        child = h.labels()
+        assert child.count == 5
+        assert child.sum == pytest.approx(56.05)
+        cumulative = dict(child.bucket_counts())
+        assert cumulative[0.1] == 1
+        assert cumulative[1.0] == 3
+        assert cumulative[10.0] == 4
+        assert cumulative[float("inf")] == 5
+
+    def test_boundary_is_inclusive(self):
+        """Prometheus semantics: le is <=, so an exact boundary hit counts."""
+        h = MetricsRegistry().histogram("repro_edge_seconds", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert dict(h.labels().bucket_counts())[1.0] == 1
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("repro_bad_seconds", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("repro_empty_seconds", buckets=())
+
+
+class TestRender:
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_requests_total", "Requests.").labels(kind="ok").inc(3)
+        reg.gauge("repro_depth", "Queue depth.").set(2)
+        h = reg.histogram("repro_lat_seconds", "Latency.", buckets=(0.5, 1.0))
+        h.observe(0.25)
+        text = reg.render()
+        assert "# HELP repro_requests_total Requests." in text
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'repro_requests_total{kind="ok"} 3' in text
+        assert "repro_depth 2" in text
+        assert 'repro_lat_seconds_bucket{le="0.5"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_lat_seconds_sum 0.25" in text
+        assert "repro_lat_seconds_count 1" in text
+
+    def test_families_without_samples_are_omitted(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_untouched_total", "never incremented")
+        assert reg.render() == ""
+
+
+class TestNullRegistry:
+    def test_everything_is_a_noop(self):
+        reg = NullRegistry()
+        c = reg.counter("repro_x_total")
+        c.inc()
+        c.labels(bin=1).inc(5)
+        reg.gauge("repro_g").set(9)
+        reg.histogram("repro_h_seconds").observe(1.0)
+        assert c.value() == 0.0
+        assert reg.render() == ""
+        assert not reg.enabled

@@ -1,0 +1,132 @@
+"""Unit tests for span tracing: nesting, timing, rendering, null path."""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import NullTracer, Tracer, render_span_tree
+
+
+@pytest.fixture(autouse=True)
+def reset_global_obs():
+    yield
+    obs.disable()
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                with tracer.span("a1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert [c.name for c in root.children[0].children] == ["a1"]
+        assert tracer.last_root() is root
+        assert tracer.last_root("root") is root
+        assert tracer.last_root("missing") is None
+
+    def test_wall_time_measured(self):
+        tracer = Tracer()
+        with tracer.span("sleepy") as sp:
+            time.sleep(0.02)
+        assert sp.wall_s >= 0.015
+        assert sp.cpu_s >= 0.0
+
+    def test_attributes_at_open_and_set(self):
+        tracer = Tracer()
+        with tracer.span("stage", tasks=8) as sp:
+            sp.set(eager=5, fraction=0.625)
+        assert sp.attributes == {"tasks": 8, "eager": 5, "fraction": 0.625}
+
+    def test_exception_annotates_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom") as sp:
+                raise RuntimeError("nope")
+        assert sp.attributes["error"] == "RuntimeError"
+        assert tracer.last_root() is sp
+
+    def test_find_descendants(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            for b in (1, 1, 2):
+                with tracer.span("executor", bin=b):
+                    pass
+        found = root.find("executor")
+        assert len(found) == 3
+        assert [s.attributes["bin"] for s in found] == [1, 1, 2]
+
+    def test_threads_get_separate_trees(self):
+        tracer = Tracer()
+
+        def work(name):
+            with tracer.span(name):
+                with tracer.span(name + ".child"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = {r.name for r in tracer.roots}
+        assert roots == {"t0", "t1", "t2", "t3"}
+        assert all(len(r.children) == 1 for r in tracer.roots)
+
+    def test_root_retention_bounded(self):
+        tracer = Tracer(keep_roots=2)
+        for i in range(5):
+            with tracer.span(f"r{i}"):
+                pass
+        assert [r.name for r in tracer.roots] == ["r3", "r4"]
+
+
+class TestRender:
+    def test_tree_rendering(self):
+        tracer = Tracer()
+        with tracer.span("fastz.run", engine="batched") as root:
+            with tracer.span("fastz.inspector", tasks=10):
+                pass
+            with tracer.span("fastz.executor", bin=1, tasks=4):
+                pass
+        text = render_span_tree(root)
+        lines = text.splitlines()
+        assert lines[0].startswith("fastz.run")
+        assert "[engine=batched]" in lines[0]
+        assert "├─ fastz.inspector" in text
+        assert "└─ fastz.executor" in text
+        assert "[bin=1 tasks=4]" in text
+        assert "wall=" in lines[1] and "cpu=" in lines[1]
+
+
+class TestGlobalState:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        assert isinstance(obs.get_tracer(), NullTracer)
+        sp = obs.span("anything", x=1)
+        with sp:
+            sp.set(y=2)
+        assert obs.get_tracer().last_root() is None
+
+    def test_enable_then_disable(self):
+        registry, tracer = obs.enable()
+        assert obs.enabled()
+        with obs.span("visible"):
+            obs.counter("repro_seen_total").inc()
+        assert tracer.last_root("visible") is not None
+        assert registry.counter("repro_seen_total").value() == 1
+        obs.disable()
+        assert not obs.enabled()
+        with obs.span("invisible"):
+            pass
+        assert tracer.last_root("invisible") is None
+
+    def test_enable_is_idempotent(self):
+        reg1, tr1 = obs.enable()
+        reg2, tr2 = obs.enable()
+        assert reg1 is reg2 and tr1 is tr2

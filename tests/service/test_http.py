@@ -42,6 +42,11 @@ def _get(url, path, timeout=30):
         return response.status, json.loads(response.read())
 
 
+def _get_text(url, path, timeout=30):
+    with urllib.request.urlopen(f"{url}{path}", timeout=timeout) as response:
+        return response.status, response.read().decode()
+
+
 class TestRoutes:
     def test_healthz(self, endpoint):
         url, _ = endpoint
@@ -74,6 +79,26 @@ class TestRoutes:
         assert payload["submitted"] >= 1
         assert "cache" in payload
 
+    def test_metrics_endpoint_agrees_with_stats(self, endpoint):
+        url, _ = endpoint
+        _, stats = _get(url, "/stats")
+        status, text = _get_text(url, "/metrics")
+        assert status == 200
+        assert "# TYPE repro_service_events_total counter" in text
+        # Both endpoints read the same registry, so the counts agree.
+        assert (
+            f'repro_service_events_total{{kind="submitted"}} {stats["submitted"]}'
+            in text
+        )
+        if stats["completed"]:
+            assert (
+                f'repro_service_events_total{{kind="completed"}} {stats["completed"]}'
+                in text
+            )
+        assert "repro_service_request_latency_seconds_bucket" in text
+        assert "repro_service_queue_depth" in text
+        assert 'repro_service_cache{field="hits"}' in text
+
     def test_unknown_path_404(self, endpoint):
         url, _ = endpoint
         with pytest.raises(urllib.error.HTTPError) as excinfo:
@@ -101,6 +126,37 @@ class TestBadRequests:
         url, _ = endpoint
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _post(url, {"target": "ACGT", "query": "ACGT", "timeout_s": "soon"})
+        assert excinfo.value.code == 400
+
+    def test_boolean_timeout_400(self, endpoint):
+        # bool passes isinstance(x, int); it must still be rejected rather
+        # than silently interpreted as a 1-second (or 0-second) deadline.
+        url, _ = endpoint
+        for value in (True, False):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(url, {"target": "ACGT", "query": "ACGT", "timeout_s": value})
+            assert excinfo.value.code == 400
+
+    def test_non_dna_sequence_400(self, endpoint):
+        # The encoding LUT maps junk to N, so without strict validation
+        # this body was accepted (aligned as all-N) instead of rejected.
+        url, _ = endpoint
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(url, {"target": "ACGT123!", "query": "ACGT"})
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert "target" in body["error"]
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(url, {"target": "ACGT", "query": "ACGU"})
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert "query" in body["error"]
+
+    def test_non_ascii_sequence_400(self, endpoint):
+        url, _ = endpoint
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(url, {"target": "ACGTé", "query": "ACGT"})
         assert excinfo.value.code == 400
 
     def test_empty_body_400(self, endpoint):

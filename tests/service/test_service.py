@@ -125,6 +125,11 @@ class TestCachingBehaviour:
         assert again is first
         assert stats.cache.hits == 1
         assert stats.cache_hit_rate > 0
+        # The hit is its own event: only the dispatched request counts
+        # ``completed``, so a hot cache cannot drag p50 toward zero.
+        assert stats.cache_hits == 1
+        assert stats.completed == 1
+        assert stats.latency_p50_ms > 0
 
     def test_cache_disabled(self):
         pair = _pair(61, 5_000)
@@ -171,6 +176,62 @@ class TestRobustness:
             with pytest.raises(DeadlineExceeded):
                 doomed.result(timeout=60)
             assert service.stats().timed_out == 1
+        finally:
+            gate.set()
+            service.shutdown(timeout=60)
+
+    def test_align_timeout_is_one_budget(self, gated_dispatcher):
+        """``align(timeout_s=T)`` raises within ~T and the work it walked
+        away from is recorded ``abandoned``, never ``completed``.
+
+        The gate request itself is aligned, so the dispatcher is already
+        executing (not merely queueing) when the caller's wait expires:
+        the old code would let the work finish and count it completed.
+        """
+        gate, marker = gated_dispatcher
+        service = AlignmentService(max_batch=4, max_wait_ms=0.0, config=CONFIG)
+        try:
+            start = time.monotonic()
+            with pytest.raises(TimeoutError):
+                service.align(marker, marker, timeout_s=0.4)
+            elapsed = time.monotonic() - start
+            # One budget for queue wait + result wait, not timeout_s twice.
+            assert elapsed < 0.4 * 2
+            gate.set()
+            deadline = time.monotonic() + 30
+            while service.stats().abandoned < 1:
+                if time.monotonic() > deadline:  # pragma: no cover
+                    pytest.fail("abandoned work never resolved")
+                time.sleep(0.01)
+            stats = service.stats()
+            assert stats.abandoned == 1
+            assert stats.completed == 0
+        finally:
+            gate.set()
+            service.shutdown(timeout=60)
+
+    def test_align_timeout_cancels_queued_work(self, gated_dispatcher):
+        """A request still queued when ``align`` gives up never executes."""
+        gate, marker = gated_dispatcher
+        rng = np.random.default_rng(6)
+        seq = rng.integers(0, 4, 300, dtype=np.uint8)
+        service = AlignmentService(max_batch=1, max_wait_ms=0.0, config=CONFIG)
+        try:
+            gate_future = _submit_gate(service, marker)
+            with pytest.raises(TimeoutError):
+                service.align(seq, seq, timeout_s=0.2)
+            gate.set()
+            assert gate_future.result(timeout=60) is not None
+            deadline = time.monotonic() + 30
+            while True:
+                stats = service.stats()
+                if stats.cancelled + stats.timed_out >= 1:
+                    break
+                if time.monotonic() > deadline:  # pragma: no cover
+                    pytest.fail("queued request neither cancelled nor expired")
+                time.sleep(0.01)
+            # Only the gate request completed; the walked-away one did not.
+            assert stats.completed == 1
         finally:
             gate.set()
             service.shutdown(timeout=60)

@@ -1,0 +1,94 @@
+"""Unit tests for the stats layer: percentile pins, recorder, registry.
+
+The percentile pins are regression tests for the banker's-rounding bug:
+``round(q * (n - 1))`` drifted p50 of an even-length sample up a rank
+(p50 of [1, 2, 3, 4] came out 3, not 2).  The recorder tests pin the
+counter/registry agreement that ``/stats`` vs ``/metrics`` relies on.
+"""
+
+from repro.service.cache import CacheStats
+from repro.service.stats import StatsRecorder, _percentile
+
+_CACHE = CacheStats(hits=0, misses=0, evictions=0, size=0, capacity=0)
+
+
+class TestPercentile:
+    def test_empty_sample_is_zero(self):
+        assert _percentile([], 0.50) == 0.0
+        assert _percentile([], 0.95) == 0.0
+
+    def test_single_sample(self):
+        assert _percentile([7.5], 0.50) == 7.5
+        assert _percentile([7.5], 0.95) == 7.5
+
+    def test_even_length_pins(self):
+        # Nearest-rank: p50 of 4 samples is the 2nd order statistic.  The
+        # old round()-based rank gave 3.0 here (banker's rounding).
+        sample = [4.0, 1.0, 3.0, 2.0]
+        assert _percentile(sample, 0.50) == 2.0
+        assert _percentile(sample, 0.95) == 4.0
+        assert _percentile([1.0, 2.0], 0.50) == 1.0
+        assert _percentile([1.0, 2.0], 0.95) == 2.0
+
+    def test_odd_length_median(self):
+        assert _percentile([3.0, 1.0, 2.0], 0.50) == 2.0
+
+    def test_hundred_sample_pins(self):
+        sample = [float(i) for i in range(1, 101)]
+        assert _percentile(sample, 0.50) == 50.0
+        assert _percentile(sample, 0.95) == 95.0
+        assert _percentile(sample, 1.00) == 100.0
+
+    def test_input_not_mutated(self):
+        sample = [3.0, 1.0, 2.0]
+        _percentile(sample, 0.50)
+        assert sample == [3.0, 1.0, 2.0]
+
+
+class TestStatsRecorder:
+    def test_counts_flow_into_snapshot(self):
+        rec = StatsRecorder()
+        for _ in range(3):
+            rec.record_submitted()
+        rec.record_completed(0.010)
+        rec.record_completed(0.030)
+        rec.record_cache_hit()
+        rec.record_abandoned()
+        rec.record_batch(2)
+        stats = rec.snapshot(queue_depth=1, cache=_CACHE)
+        assert stats.submitted == 3
+        assert stats.completed == 2
+        assert stats.cache_hits == 1
+        assert stats.abandoned == 1
+        assert stats.batch_histogram == {2: 1}
+        assert stats.latency_p50_ms == 10.0
+        assert stats.latency_p95_ms == 30.0
+
+    def test_cache_hits_do_not_touch_latency_window(self):
+        rec = StatsRecorder()
+        rec.record_completed(0.100)
+        for _ in range(10):
+            rec.record_cache_hit()
+        stats = rec.snapshot(queue_depth=0, cache=_CACHE)
+        # Hot caches must not collapse the percentiles toward zero.
+        assert stats.latency_p50_ms == 100.0
+        assert stats.cache_hits == 10
+        assert stats.completed == 1
+
+    def test_registry_agrees_with_snapshot(self):
+        rec = StatsRecorder()
+        rec.record_submitted()
+        rec.record_completed(0.020)
+        rec.record_failed()
+        stats = rec.snapshot(queue_depth=0, cache=_CACHE)
+        text = rec.registry.render()
+        assert 'repro_service_events_total{kind="submitted"} 1' in text
+        assert 'repro_service_events_total{kind="completed"} 1' in text
+        assert 'repro_service_events_total{kind="failed"} 1' in text
+        assert stats.submitted == 1 and stats.completed == 1 and stats.failed == 1
+
+    def test_as_dict_includes_new_fields(self):
+        rec = StatsRecorder()
+        payload = rec.snapshot(queue_depth=0, cache=_CACHE).as_dict()
+        assert payload["abandoned"] == 0
+        assert payload["cache_hits"] == 0

@@ -126,6 +126,59 @@ class TestVersion:
         assert repro.__version__ in capsys.readouterr().out
 
 
+class TestTrace:
+    def test_span_tree_matches_direct_run(self, fasta_pair, capsys):
+        """The printed trace agrees with a direct ``run_fastz`` result."""
+        from repro import run_fastz
+        from repro.core import FastzOptions
+        from repro.genome import read_fasta
+        from repro.lastz import LastzConfig
+        from repro.scoring import default_scheme
+
+        t, q = fasta_pair
+        assert main(["trace", t, q, *_FAST]) == 0
+        out = capsys.readouterr().out
+
+        config = LastzConfig(scheme=default_scheme(gap_extend=60, ydrop=2400))
+        direct = run_fastz(
+            read_fasta(t)[0],
+            read_fasta(q)[0],
+            config,
+            FastzOptions(engine="batched"),
+        )
+
+        assert out.startswith("fastz.run")
+        for name in ("fastz.prepare", "fastz.seeding", "fastz.extend",
+                     "fastz.inspector", "fastz.finish"):
+            assert name in out
+        assert (
+            f"eager fraction:     {direct.eager_fraction:.4f} "
+            f"({direct.eager_count}/{len(direct.tasks)} anchor tasks)" in out
+        )
+        assert f"bins [eager,1-4]:   {direct.bin_counts().tolist()}" in out
+        # Per-bin executor spans account for every non-eager task.
+        import re
+
+        executor_tasks = sum(
+            int(m) for m in re.findall(r"fastz\.executor.*?tasks=(\d+)", out)
+        )
+        assert executor_tasks == 2 * (len(direct.tasks) - direct.eager_count)
+
+    def test_trace_leaves_obs_disabled(self, fasta_pair, capsys):
+        from repro import obs
+
+        t, q = fasta_pair
+        assert main(["trace", t, q, *_FAST]) == 0
+        capsys.readouterr()
+        assert not obs.enabled()
+
+    def test_trace_metrics_flag(self, fasta_pair, capsys):
+        t, q = fasta_pair
+        assert main(["trace", t, q, "--metrics", *_FAST]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_pipeline_anchors_total counter" in out
+
+
 class TestServeParser:
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve"])
