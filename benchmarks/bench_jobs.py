@@ -1,0 +1,155 @@
+"""Worker-count sweep of the whole-genome job runner (implementation health).
+
+Not a paper figure: this measures what the segmented job layer itself
+costs and buys.  One synthetic chromosome pair is aligned three ways:
+
+* **single-pass** — plain ``run_fastz``, the pre-jobs baseline;
+* **chunked** — ``run_wga`` at 1/2/4/8 workers over the same pair,
+  verifying byte-identity against the single-pass alignments each time;
+* **resume** — a completed job re-run from its journal, measuring the
+  pure replay-and-skip overhead.
+
+Results append a trajectory point to ``bench_results/BENCH_jobs.json``
+(including ``cpu_count`` — worker scaling is only meaningful with cores
+to scale onto; on a single-core box the sweep measures pure orchestration
+overhead).  The gates this repo tracks are **byte-identical output at
+every worker count** and **resume overhead under 10% of the single-pass
+time** (it is typically well under 1%).
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_jobs.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.pipeline import run_fastz
+from repro.genome import SegmentClass, build_pair
+from repro.jobs import JobOptions, run_wga
+from repro.jobs.merge import sort_canonical
+from repro.lastz.config import LastzConfig
+from repro.scoring import default_scheme
+
+RESULTS = Path(__file__).resolve().parent.parent / "bench_results"
+
+WORKER_COUNTS = (1, 2, 4, 8)
+LENGTH = 120_000
+CHUNK_SIZE = 16_384
+OVERLAP = 3_072
+
+CONFIG = LastzConfig(
+    scheme=default_scheme(gap_extend=60, ydrop=2400), diag_band=150
+)
+
+
+def build_workload():
+    return build_pair(
+        "bench-jobs",
+        target_length=LENGTH,
+        query_length=LENGTH,
+        classes=[
+            SegmentClass("mid", 40, 80, 300, divergence=0.06, indel_rate=0.004),
+            SegmentClass("long", 4, 400, 900, divergence=0.08, indel_rate=0.003),
+        ],
+        rng=42,
+    )
+
+
+def job_options(workers: int) -> JobOptions:
+    return JobOptions(
+        chunk_size=CHUNK_SIZE, overlap=OVERLAP, workers=workers, fsync=False
+    )
+
+
+def main() -> dict:
+    pair = build_workload()
+
+    start = time.perf_counter()
+    reference = sort_canonical(
+        run_fastz(pair.target, pair.query, CONFIG).unique_alignments()
+    )
+    single_pass_s = time.perf_counter() - start
+    print(
+        f"single-pass: {single_pass_s:.2f}s "
+        f"({len(reference)} alignments, {LENGTH:,} bp x {LENGTH:,} bp)"
+    )
+
+    sweep = []
+    resume = None
+    for workers in WORKER_COUNTS:
+        with tempfile.TemporaryDirectory() as job_dir:
+            start = time.perf_counter()
+            report = run_wga(
+                pair.target, pair.query, CONFIG,
+                job=job_options(workers), job_dir=job_dir,
+            )
+            elapsed = time.perf_counter() - start
+            assert report.alignments == reference, (
+                f"workers={workers} diverged from single-pass output"
+            )
+            sweep.append(
+                {
+                    "workers": workers,
+                    "seconds": round(elapsed, 3),
+                    "vs_single_pass": round(single_pass_s / elapsed, 2),
+                    "chunk_tasks": report.n_extend_tasks,
+                    "window_fallbacks": report.window_fallbacks,
+                }
+            )
+            print(
+                f"workers {workers}: {elapsed:.2f}s "
+                f"({single_pass_s / elapsed:.2f}x single-pass, "
+                f"{report.n_extend_tasks} chunk tasks, "
+                f"{report.window_fallbacks} fallbacks) output identical"
+            )
+
+            if workers == WORKER_COUNTS[-1]:
+                start = time.perf_counter()
+                resumed = run_wga(
+                    pair.target, pair.query, CONFIG,
+                    job=job_options(workers), job_dir=job_dir,
+                )
+                resume_s = time.perf_counter() - start
+                assert resumed.resumed and resumed.alignments == reference
+                assert resumed.seed_skipped == resumed.n_seed_tasks
+                assert resumed.extend_skipped == resumed.n_extend_tasks
+                resume = {
+                    "seconds": round(resume_s, 4),
+                    "fraction_of_single_pass": round(resume_s / single_pass_s, 4),
+                }
+                print(
+                    f"resume: {resume_s:.3f}s "
+                    f"({100 * resume_s / single_pass_s:.1f}% of single-pass)"
+                )
+
+    entry = {
+        "genome_bp": LENGTH,
+        "chunk_size": CHUNK_SIZE,
+        "overlap": OVERLAP,
+        "cpu_count": os.cpu_count(),
+        "alignments": len(reference),
+        "single_pass_seconds": round(single_pass_s, 3),
+        "sweep": sweep,
+        "resume": resume,
+    }
+    RESULTS.mkdir(exist_ok=True)
+    out = RESULTS / "BENCH_jobs.json"
+    history = json.loads(out.read_text()) if out.exists() else []
+    history.append(entry)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    assert resume is not None
+    assert resume["fraction_of_single_pass"] < 0.10, (
+        f"resume overhead {100 * resume['fraction_of_single_pass']:.1f}% of "
+        "single-pass (gate: < 10%)"
+    )
+    return entry
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,14 @@ Four subcommands:
     executor dispatches, traceback — plus the paper-relevant ratios
     (eager fraction, per-bin task counts, memory traffic elided).
 
+``wga``
+    Durable whole-genome alignment job (:mod:`repro.jobs`): the pair is
+    segmented into overlapping chunks, chunk tasks run on a fault-tolerant
+    worker pool, and every completed chunk is journaled under ``--job-dir``
+    — re-running the same command resumes where the last run stopped.
+    Output is byte-identical to ``align --engine fastz`` at any worker
+    count.
+
 Run ``python -m repro.cli <subcommand> --help`` for the options.
 """
 
@@ -206,6 +214,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the Prometheus text rendering of the run's counters",
     )
     _add_scoring_args(trace)
+
+    wga = sub.add_parser(
+        "wga",
+        help="segmented, checkpointed whole-genome alignment job",
+    )
+    wga.add_argument("target", help="target FASTA (first record used)")
+    wga.add_argument("query", help="query FASTA (first record used)")
+    wga.add_argument(
+        "--job-dir",
+        required=True,
+        help="durable state directory (journal lives here; rerun to resume)",
+    )
+    wga.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = run chunks inline in this process)",
+    )
+    wga.add_argument(
+        "--chunk-size",
+        type=int,
+        default=32_768,
+        help="core tile size per sequence, in bases",
+    )
+    wga.add_argument(
+        "--overlap",
+        type=int,
+        default=4_096,
+        help="window slack past each core (covers the y-drop horizon; "
+        "the seam guard keeps results exact regardless)",
+    )
+    wga.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts per chunk task before it is quarantined",
+    )
+    wga.add_argument(
+        "--engine",
+        choices=("scalar", "batched"),
+        default="scalar",
+        help="extension engine inside each chunk task",
+    )
+    wga.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="extensions per lockstep batch (batched engine)",
+    )
+    wga.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard any existing journal instead of resuming from it",
+    )
+    wga.add_argument(
+        "--quiet", action="store_true", help="suppress per-chunk progress lines"
+    )
+    _add_scoring_args(wga)
+    wga.add_argument(
+        "--format",
+        choices=("general", "maf"),
+        default="general",
+        help="output format",
+    )
+    wga.add_argument("--output", default=None, help="write to a file instead of stdout")
     return parser
 
 
@@ -383,6 +456,66 @@ def _trace_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _wga_command(args: argparse.Namespace) -> int:
+    from .core import FastzOptions
+    from .jobs import JobOptions, run_wga
+    from .lastz.output import write_general, write_maf
+
+    target = read_fasta(args.target)[0]
+    query = read_fasta(args.query)[0]
+    config = _config_from_args(args)
+    options = FastzOptions(engine=args.engine, batch_size=args.batch_size)
+    say = (lambda _msg: None) if args.quiet else (
+        lambda msg: print(f"# {msg}", file=sys.stderr)
+    )
+
+    report = run_wga(
+        target,
+        query,
+        config,
+        options,
+        job=JobOptions(
+            chunk_size=args.chunk_size,
+            overlap=args.overlap,
+            workers=args.workers,
+            max_attempts=args.max_attempts,
+        ),
+        job_dir=args.job_dir,
+        fresh=args.fresh,
+        log=say,
+    )
+
+    sink = open(args.output, "w", encoding="ascii") if args.output else sys.stdout
+    try:
+        if args.format == "maf":
+            write_maf(sink, report.alignments, target, query)
+        else:
+            write_general(sink, report.alignments, target, query)
+    finally:
+        if args.output:
+            sink.close()
+
+    status = "complete" if report.complete else (
+        f"complete with {len(report.quarantined)} quarantined chunk(s)"
+    )
+    print(
+        f"# wga {status}: {len(report.alignments)} alignments, "
+        f"{report.n_anchors} anchors, {report.retries} retries, "
+        f"{report.worker_deaths} worker deaths, {report.elapsed_s:.2f}s"
+        + (" (resumed)" if report.resumed else ""),
+        file=sys.stderr,
+    )
+    for gap in report.quarantined:
+        print(
+            f"# wga gap: {gap.phase} task {gap.task_id} failed "
+            f"{gap.attempts} attempts ({gap.error})",
+            file=sys.stderr,
+        )
+    # Quarantined chunks are a *reported* gap, not a failure: the journal
+    # keeps their tasks pending, so a rerun retries exactly those chunks.
+    return 0
+
+
 def main(argv: Seq[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "align":
@@ -393,6 +526,8 @@ def main(argv: Seq[str] | None = None) -> int:
         return _serve_command(args)
     if args.command == "trace":
         return _trace_command(args)
+    if args.command == "wga":
+        return _wga_command(args)
     return _bench_command(args)
 
 

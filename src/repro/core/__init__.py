@@ -1,7 +1,12 @@
 """FastZ core: inspector-executor pipeline, binning, performance model."""
 
 from .binning import assign_bin, assign_bins, bin_histogram, bin_labels
-from .multigpu import MultiGpuTiming, partition_arrays, time_fastz_multi_gpu
+from .multigpu import (
+    MultiGpuTiming,
+    greedy_partition,
+    partition_arrays,
+    time_fastz_multi_gpu,
+)
 from .options import FASTZ_FULL, FastzOptions, ablation_ladder
 from .perfmodel import (
     FastzTiming,
@@ -9,7 +14,7 @@ from .perfmodel import (
     time_fastz,
     time_feng_baseline,
 )
-from .pipeline import FastzResult, run_fastz
+from .pipeline import ChunkResult, FastzResult, run_fastz, run_fastz_chunk
 from .task import FastzTask, TaskArrays, tasks_to_arrays
 
 __all__ = [
@@ -18,7 +23,9 @@ __all__ = [
     "FastzResult",
     "FastzTask",
     "FastzTiming",
+    "ChunkResult",
     "MultiGpuTiming",
+    "greedy_partition",
     "partition_arrays",
     "time_fastz_multi_gpu",
     "TaskArrays",
@@ -29,6 +36,7 @@ __all__ = [
     "bin_histogram",
     "bin_labels",
     "run_fastz",
+    "run_fastz_chunk",
     "tasks_to_arrays",
     "time_fastz",
     "time_feng_baseline",

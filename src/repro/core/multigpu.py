@@ -23,7 +23,12 @@ from .options import FASTZ_FULL, FastzOptions
 from .perfmodel import FastzTiming, time_fastz
 from .task import TaskArrays
 
-__all__ = ["MultiGpuTiming", "partition_arrays", "time_fastz_multi_gpu"]
+__all__ = [
+    "MultiGpuTiming",
+    "greedy_partition",
+    "partition_arrays",
+    "time_fastz_multi_gpu",
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +69,38 @@ def partition_arrays(arrays: TaskArrays, n_parts: int) -> list[TaskArrays]:
         raise ValueError("n_parts must be positive")
     n = len(arrays)
     return [_take(arrays, np.arange(p, n, n_parts)) for p in range(n_parts)]
+
+
+def greedy_partition(weights, n_parts: int) -> list[list[int]]:
+    """Weight-balanced partition: longest-processing-time-first greedy.
+
+    Items (by index into ``weights``) are assigned heaviest-first to the
+    currently lightest part — the classic LPT heuristic, guaranteed within
+    4/3 of the optimal makespan.  This is the load-balance step SaLoBa
+    identifies as dominant for segmented GPU alignment: the whole-genome
+    job scheduler weights chunk-pair tasks by anchor count and uses the
+    resulting order (and the per-part plan, for its progress estimate) so
+    one repeat-dense chunk pair cannot serialise the tail of a run.
+
+    Deterministic: ties broken by part index, then by item index.
+    Returns ``n_parts`` lists of item indices (some possibly empty).
+    """
+    if n_parts <= 0:
+        raise ValueError("n_parts must be positive")
+    w = np.asarray(list(weights), dtype=np.float64)
+    if w.ndim != 1:
+        raise ValueError("weights must be one-dimensional")
+    if w.size and w.min() < 0:
+        raise ValueError("weights must be non-negative")
+    parts: list[list[int]] = [[] for _ in range(n_parts)]
+    loads = np.zeros(n_parts, dtype=np.float64)
+    # Stable heaviest-first order: equal weights keep their input order.
+    order = np.argsort(-w, kind="stable")
+    for idx in order:
+        p = int(np.argmin(loads))  # argmin takes the first minimum: ties by part
+        parts[p].append(int(idx))
+        loads[p] += w[idx]
+    return parts
 
 
 def time_fastz_multi_gpu(

@@ -47,11 +47,13 @@ from .options import FASTZ_FULL, FastzOptions
 from .task import FastzTask, TaskArrays, tasks_to_arrays
 
 __all__ = [
+    "ChunkResult",
     "FastzResult",
     "PreparedRequest",
     "finish_fastz",
     "prepare_fastz",
     "run_fastz",
+    "run_fastz_chunk",
 ]
 
 
@@ -127,6 +129,57 @@ def _executor_side(
 _AnchorExtension = tuple[WavefrontResult, WavefrontResult, WavefrontResult, WavefrontResult, int]
 
 
+def _extend_one_suffix_pair(
+    right: tuple[np.ndarray, np.ndarray],
+    left: tuple[np.ndarray, np.ndarray],
+    scheme: ScoringScheme,
+    options: FastzOptions,
+    tile: int,
+) -> _AnchorExtension:
+    """Inspector + executor for one anchor's two one-sided problems."""
+    right_suffix_t, right_suffix_q = right
+    left_suffix_t, left_suffix_q = left
+
+    # --- inspector --------------------------------------------------
+    insp_r = wavefront_extend(right_suffix_t, right_suffix_q, scheme, eager_tile=tile)
+    insp_l = wavefront_extend(left_suffix_t, left_suffix_q, scheme, eager_tile=tile)
+    eager = insp_l.eager_hit and insp_r.eager_hit
+
+    # --- executor (or not) ------------------------------------------
+    fb = 0
+    if eager:
+        final_l, final_r = insp_l, insp_r
+    elif options.executor_trimming:
+        final_r, fb_r = _executor_side(right_suffix_t, right_suffix_q, insp_r, scheme)
+        final_l, fb_l = _executor_side(left_suffix_t, left_suffix_q, insp_l, scheme)
+        fb = int(fb_r) + int(fb_l)
+    else:
+        # Untrimmed executor: recompute the full search space with
+        # traceback (the V1/V2 ablation behaviour).
+        final_r = wavefront_extend(right_suffix_t, right_suffix_q, scheme, traceback=True)
+        final_l = wavefront_extend(left_suffix_t, left_suffix_q, scheme, traceback=True)
+    return (insp_l, insp_r, final_l, final_r, fb)
+
+
+def _extend_suffixes_scalar(
+    suffixes: list[tuple[np.ndarray, np.ndarray]],
+    scheme: ScoringScheme,
+    options: FastzOptions,
+    tile: int,
+) -> list[_AnchorExtension]:
+    """The original per-anchor loop over interleaved right/left suffixes."""
+    out: list[_AnchorExtension] = []
+    with obs.span("fastz.extend", engine="scalar", anchors=len(suffixes) // 2) as sp:
+        for k in range(len(suffixes) // 2):
+            out.append(
+                _extend_one_suffix_pair(
+                    suffixes[2 * k], suffixes[2 * k + 1], scheme, options, tile
+                )
+            )
+        sp.set(eager=sum(1 for r in out if r[0].eager_hit and r[1].eager_hit))
+    return out
+
+
 def _extend_anchors_scalar(
     t_codes: np.ndarray,
     q_codes: np.ndarray,
@@ -136,36 +189,10 @@ def _extend_anchors_scalar(
     t_pos: list[int],
     q_pos: list[int],
 ) -> list[_AnchorExtension]:
-    """The original per-anchor loop: one wavefront at a time."""
-    out: list[_AnchorExtension] = []
-    with obs.span("fastz.extend", engine="scalar", anchors=len(t_pos)) as sp:
-        for t, q in zip(t_pos, q_pos):
-            right_suffix_t = t_codes[t:]
-            right_suffix_q = q_codes[q:]
-            left_suffix_t = t_codes[:t][::-1]
-            left_suffix_q = q_codes[:q][::-1]
-
-            # --- inspector --------------------------------------------------
-            insp_r = wavefront_extend(right_suffix_t, right_suffix_q, scheme, eager_tile=tile)
-            insp_l = wavefront_extend(left_suffix_t, left_suffix_q, scheme, eager_tile=tile)
-            eager = insp_l.eager_hit and insp_r.eager_hit
-
-            # --- executor (or not) ------------------------------------------
-            fb = 0
-            if eager:
-                final_l, final_r = insp_l, insp_r
-            elif options.executor_trimming:
-                final_r, fb_r = _executor_side(right_suffix_t, right_suffix_q, insp_r, scheme)
-                final_l, fb_l = _executor_side(left_suffix_t, left_suffix_q, insp_l, scheme)
-                fb = int(fb_r) + int(fb_l)
-            else:
-                # Untrimmed executor: recompute the full search space with
-                # traceback (the V1/V2 ablation behaviour).
-                final_r = wavefront_extend(right_suffix_t, right_suffix_q, scheme, traceback=True)
-                final_l = wavefront_extend(left_suffix_t, left_suffix_q, scheme, traceback=True)
-            out.append((insp_l, insp_r, final_l, final_r, fb))
-        sp.set(eager=sum(1 for r in out if r[0].eager_hit and r[1].eager_hit))
-    return out
+    """Scalar extension of one request's anchors (full-sequence suffixes)."""
+    return _extend_suffixes_scalar(
+        _anchor_suffixes(t_codes, q_codes, t_pos, q_pos), scheme, options, tile
+    )
 
 
 def _anchor_suffixes(
@@ -586,3 +613,164 @@ def run_fastz(
             eager_fraction=result.eager_fraction,
         )
         return result
+
+
+# ---------------------------------------------------------------------------
+# Chunk-scoped entry (the whole-genome job runner, :mod:`repro.jobs`)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ChunkResult:
+    """Extension of one chunk-pair task's anchors, window-bounded.
+
+    ``records`` carries ``(anchor_t, anchor_q, alignment)`` triples — the
+    source anchor rides along so the merge stage can deduplicate overlap
+    regions in global anchor order, exactly reproducing
+    :meth:`FastzResult.unique_alignments` on an unsegmented run.
+    """
+
+    records: list[tuple[int, int, Alignment]]
+    n_anchors: int
+    eager_count: int
+    #: Anchors whose window-bounded wavefront touched the window edge and
+    #: were re-extended against the full sequences (seam guard).
+    window_fallbacks: int
+    executor_fallbacks: int
+
+
+def _confined(result: WavefrontResult, t_len: int, q_len: int, t_cut: bool, q_cut: bool) -> bool:
+    """Did a window-bounded extension provably match the full-suffix run?
+
+    The wavefront advances one anti-diagonal per step from the origin, so
+    after ``stats.diagonals`` steps every visited cell has ``i, j <=
+    diagonals - 1``.  The band-evolution recurrence only senses a sequence
+    boundary at anti-diagonals *beyond* that dimension; as long as the
+    deepest processed anti-diagonal stays within every *truncated*
+    dimension, the windowed run is step-for-step identical to the
+    full-suffix run (pruning, best-cell tie-breaks, traceback — all of
+    it).  Dimensions that were not truncated clamp identically in both
+    runs and need no check.
+    """
+    deepest = result.stats.diagonals - 1
+    return (not t_cut or deepest <= t_len) and (not q_cut or deepest <= q_len)
+
+
+def run_fastz_chunk(
+    target: Sequence | np.ndarray,
+    query: Sequence | np.ndarray,
+    config: LastzConfig | None = None,
+    options: FastzOptions = FASTZ_FULL,
+    *,
+    anchors: Anchors,
+    t_window: tuple[int, int] | None = None,
+    q_window: tuple[int, int] | None = None,
+) -> ChunkResult:
+    """Extend pre-selected anchors inside a sequence window (one job chunk).
+
+    The whole-genome runner hands each worker a chunk-pair task: the
+    anchors owned by the chunk pair plus target/query windows extending
+    ``overlap`` bases beyond the chunk cores.  Extension suffixes are
+    clipped to the window, so a worker only ever touches ``chunk + 2 *
+    overlap`` bases per side — the SegAlign memory story — while the seam
+    guard keeps the result *unconditionally* equal to an unsegmented run:
+    any extension whose wavefront could have sensed the window edge
+    (:func:`_confined`) is transparently re-run against the full
+    sequences and counted in ``window_fallbacks``.
+    """
+    config = config or LastzConfig()
+    scheme = config.scheme
+    t_codes = np.asarray(target.codes if isinstance(target, Sequence) else target)
+    q_codes = np.asarray(query.codes if isinstance(query, Sequence) else query)
+    t_lo, t_hi = t_window if t_window is not None else (0, len(t_codes))
+    q_lo, q_hi = q_window if q_window is not None else (0, len(q_codes))
+    if not (0 <= t_lo <= t_hi <= len(t_codes)):
+        raise ValueError(f"target window [{t_lo}, {t_hi}) out of range")
+    if not (0 <= q_lo <= q_hi <= len(q_codes)):
+        raise ValueError(f"query window [{q_lo}, {q_hi}) out of range")
+
+    order = np.lexsort((anchors.target_pos, anchors.query_pos))
+    anchors = anchors.take(order)
+    t_pos = anchors.target_pos.tolist()
+    q_pos = anchors.query_pos.tolist()
+    for t, q in zip(t_pos, q_pos):
+        if not (t_lo <= t <= t_hi and q_lo <= q <= q_hi):
+            raise ValueError(f"anchor ({t}, {q}) outside its chunk window")
+    tile = options.eager_tile if options.eager_traceback else 0
+
+    with obs.span(
+        "fastz.chunk", anchors=len(t_pos), engine=options.engine
+    ) as sp:
+        # Window-clipped right/left suffixes, interleaved like _anchor_suffixes.
+        suffixes: list[tuple[np.ndarray, np.ndarray]] = []
+        for t, q in zip(t_pos, q_pos):
+            suffixes.append((t_codes[t:t_hi], q_codes[q:q_hi]))
+            suffixes.append((t_codes[t_lo:t][::-1], q_codes[q_lo:q][::-1]))
+
+        if options.engine == "batched":
+            per_anchor = extend_suffixes_batched(suffixes, scheme, options, tile)
+        else:
+            per_anchor = _extend_suffixes_scalar(suffixes, scheme, options, tile)
+
+        # --- seam guard ----------------------------------------------------
+        t_cut_hi = t_hi < len(t_codes)
+        q_cut_hi = q_hi < len(q_codes)
+        t_cut_lo = t_lo > 0
+        q_cut_lo = q_lo > 0
+        window_fallbacks = 0
+        for k, (t, q) in enumerate(zip(t_pos, q_pos)):
+            insp_l, insp_r, final_l, final_r, _fb = per_anchor[k]
+            # The executor's input is derived from the inspector (trimmed to
+            # its optimum), so once the inspector is confined the executor
+            # matches too — except in the untrimmed-ablation mode, where the
+            # executor reruns the raw window suffix and needs its own check.
+            checks = [
+                (insp_r, t_hi - t, q_hi - q, t_cut_hi, q_cut_hi),
+                (insp_l, t - t_lo, q - q_lo, t_cut_lo, q_cut_lo),
+            ]
+            if not options.executor_trimming:
+                checks.append((final_r, t_hi - t, q_hi - q, t_cut_hi, q_cut_hi))
+                checks.append((final_l, t - t_lo, q - q_lo, t_cut_lo, q_cut_lo))
+            if all(_confined(r, tl, ql, tc, qc) for r, tl, ql, tc, qc in checks):
+                continue
+            window_fallbacks += 1
+            per_anchor[k] = _extend_one_suffix_pair(
+                (t_codes[t:], q_codes[q:]),
+                (t_codes[:t][::-1], q_codes[:q][::-1]),
+                scheme,
+                options,
+                tile,
+            )
+        if window_fallbacks:
+            obs.counter(
+                "repro_jobs_window_fallbacks_total",
+                "Chunk extensions re-run unbounded because the window-clipped "
+                "wavefront reached the overlap edge.",
+            ).inc(window_fallbacks)
+
+        # --- fold into alignment records ----------------------------------
+        records: list[tuple[int, int, Alignment]] = []
+        eager_count = 0
+        executor_fallbacks = 0
+        for (t, q), (insp_l, insp_r, final_l, final_r, fb) in zip(
+            zip(t_pos, q_pos), per_anchor
+        ):
+            executor_fallbacks += fb
+            if insp_l.eager_hit and insp_r.eager_hit:
+                eager_count += 1
+            score = insp_l.score + insp_r.score
+            if score >= scheme.gapped_threshold:
+                records.append((t, q, combine_alignment(t, q, final_l, final_r, score)))
+
+        sp.set(
+            alignments=len(records),
+            eager=eager_count,
+            window_fallbacks=window_fallbacks,
+        )
+        return ChunkResult(
+            records=records,
+            n_anchors=len(t_pos),
+            eager_count=eager_count,
+            window_fallbacks=window_fallbacks,
+            executor_fallbacks=executor_fallbacks,
+        )

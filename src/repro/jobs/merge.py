@@ -1,0 +1,95 @@
+"""Deterministic merging of chunk-pair alignment results.
+
+Chunk windows overlap, and an anchor's extension is free to run past its
+chunk's core, so the same genomic alignment can be discovered by anchors
+owned by different chunk pairs.  The merge reproduces exactly what an
+unsegmented :meth:`~repro.core.pipeline.FastzResult.unique_alignments`
+pass would keep:
+
+1. every record carries its source anchor ``(query_pos, target_pos)``;
+   records are sorted in global anchor order — the pipeline's
+   ``lexsort((target_pos, query_pos))``, query-major — regardless of
+   which chunk produced them or in what order chunks finished;
+2. duplicates are dropped by (target, query) interval, keeping the
+   first in anchor order.
+
+The result is then put in canonical output order — (target, query,
+strand) coordinates — so two runs with different worker counts, chunk
+geometries or resume histories serialise byte-identically.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from ..align.alignment import Alignment
+
+__all__ = [
+    "canonical_order",
+    "dedupe_records",
+    "ops_from_cigar",
+    "sort_canonical",
+]
+
+_CIGAR_RUN = re.compile(r"(\d+)([MID])")
+
+
+def ops_from_cigar(cigar: str) -> tuple[tuple[str, int], ...]:
+    """Parse a CIGAR string (``"120M2D87M"``) back into an edit script.
+
+    Inverse of :meth:`~repro.align.alignment.Alignment.cigar`; the journal
+    stores edit scripts as CIGAR text.
+    """
+    ops: list[tuple[str, int]] = []
+    pos = 0
+    for match in _CIGAR_RUN.finditer(cigar):
+        if match.start() != pos:
+            raise ValueError(f"malformed CIGAR {cigar!r}")
+        ops.append((match.group(2), int(match.group(1))))
+        pos = match.end()
+    if pos != len(cigar):
+        raise ValueError(f"malformed CIGAR {cigar!r}")
+    return tuple(ops)
+
+
+def dedupe_records(
+    records: Iterable[tuple[int, int, Alignment]],
+) -> list[Alignment]:
+    """Deduplicate ``(anchor_t, anchor_q, alignment)`` records globally.
+
+    Sorts by source anchor in pipeline order (query-major) and keeps the
+    first alignment per (target, query) interval — bit-compatible with
+    ``unique_alignments()`` on an unsegmented run over the same anchors.
+    """
+    ordered = sorted(records, key=lambda r: (r[1], r[0]))
+    seen: set[tuple[int, int, int, int]] = set()
+    out: list[Alignment] = []
+    for _t, _q, a in ordered:
+        key = (a.target_start, a.target_end, a.query_start, a.query_end)
+        if key not in seen:
+            seen.add(key)
+            out.append(a)
+    return out
+
+
+def canonical_order(alignment: Alignment) -> tuple:
+    """Total output order: (target, query, strand) coordinates, then score.
+
+    Strand is constant ('+') in this library; it sits in the key so the
+    contract is explicit and survives a reverse-complement extension.
+    """
+    return (
+        alignment.target_start,
+        alignment.target_end,
+        alignment.query_start,
+        alignment.query_end,
+        "+",
+        -alignment.score,
+        alignment.cigar(),
+    )
+
+
+def sort_canonical(alignments: Iterable[Alignment]) -> list[Alignment]:
+    """Sort alignments into the canonical (target, query, strand) order."""
+    return sorted(alignments, key=canonical_order)

@@ -1,0 +1,424 @@
+"""Fault-tolerant multiprocess task scheduling for WGA jobs.
+
+The unit of work is a :class:`TaskSpec` — an opaque payload plus a weight
+(the scheduler is generic; the runner uses it for both seeding and
+extension phases).  Scheduling follows the SaLoBa observation that
+workload balance across segments dominates scaling:
+
+* tasks are dispatched **heaviest-first** (LPT order) to a demand-driven
+  worker pool, so one repeat-dense chunk pair cannot serialise the tail
+  of a run;
+* :func:`plan_balance` uses :func:`repro.core.multigpu.greedy_partition`
+  — the paper's multi-GPU seed partitioner, promoted to a real helper —
+  to report the projected per-worker load split.
+
+Fault tolerance:
+
+* a task that raises is retried with exponential backoff
+  (``backoff_s * 2**(attempt-1)``, capped) up to ``max_attempts``;
+* a task that exhausts its attempts is **quarantined**: the job completes
+  and reports the gap instead of crashing;
+* a **worker death** (segfault, OOM-kill, ``os._exit``) is detected by
+  process liveness, the in-flight task is re-queued (counting as a failed
+  attempt, so a task that reliably kills its worker is quarantined rather
+  than respawned forever) and a replacement worker is spawned.
+
+``workers=0`` runs everything inline in the calling process with the same
+retry/quarantine bookkeeping — the deterministic path tests lean on.
+Handlers must be module-level callables (picklable) with signature
+``handler(init_arg, payload, attempt)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .. import obs
+from ..core.multigpu import greedy_partition
+
+__all__ = ["TaskOutcome", "TaskSpec", "plan_balance", "run_tasks"]
+
+#: on_event kinds, in roughly increasing order of concern.
+EVENTS = ("done", "retry", "worker_death", "quarantined")
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One schedulable unit of work."""
+
+    task_id: str
+    payload: Any
+    #: Relative cost estimate (anchor count, window area, ...); only the
+    #: ordering matters.
+    weight: float = 1.0
+
+
+@dataclass
+class TaskOutcome:
+    """Terminal state of one task."""
+
+    task_id: str
+    ok: bool
+    value: Any = None
+    error: str | None = None
+    attempts: int = 0
+    worker_deaths: int = 0
+    elapsed_s: float = 0.0
+
+
+@dataclass
+class _TaskState:
+    spec: TaskSpec
+    attempts: int = 0
+    worker_deaths: int = 0
+    elapsed_s: float = 0.0
+    last_error: str | None = None
+
+
+def plan_balance(tasks: list[TaskSpec], n_parts: int) -> list[float]:
+    """Projected per-part load under LPT assignment (descending)."""
+    if not tasks:
+        return [0.0] * max(n_parts, 1)
+    parts = greedy_partition([t.weight for t in tasks], n_parts)
+    return sorted(
+        (sum(tasks[i].weight for i in part) for part in parts), reverse=True
+    )
+
+
+def _lpt_order(tasks: list[TaskSpec]) -> list[TaskSpec]:
+    """Heaviest first; ties keep input order (deterministic)."""
+    return sorted(tasks, key=lambda t: -t.weight)
+
+
+def _backoff(attempt: int, backoff_s: float, cap_s: float) -> float:
+    return min(backoff_s * (2 ** (attempt - 1)), cap_s)
+
+
+def _events_counter():
+    return obs.counter(
+        "repro_jobs_scheduler_events_total",
+        "Scheduler events (done/retry/worker_death/quarantined).",
+    )
+
+
+def _task_seconds():
+    return obs.histogram(
+        "repro_jobs_task_seconds",
+        "Wall time of individual WGA tasks (successful attempts).",
+    )
+
+
+def run_tasks(
+    tasks: list[TaskSpec],
+    handler: Callable[[Any, Any, int], Any],
+    init_arg: Any = None,
+    *,
+    workers: int = 0,
+    max_attempts: int = 3,
+    backoff_s: float = 0.05,
+    backoff_cap_s: float = 2.0,
+    on_event: Callable[[str, str, dict], None] | None = None,
+) -> dict[str, TaskOutcome]:
+    """Run every task to a terminal state (success or quarantine).
+
+    Returns ``{task_id: TaskOutcome}`` covering every input task.  Raises
+    only on programming errors (duplicate ids, bad arguments) — worker
+    failures surface as outcomes, never as exceptions.
+    """
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be at least 1")
+    if workers < 0:
+        raise ValueError("workers must be non-negative")
+    ids = [t.task_id for t in tasks]
+    if len(set(ids)) != len(ids):
+        raise ValueError("task ids must be unique")
+    if not tasks:
+        return {}
+
+    def emit(kind: str, task_id: str, **info) -> None:
+        _events_counter().labels(kind=kind).inc()
+        if on_event is not None:
+            on_event(kind, task_id, info)
+
+    if workers == 0:
+        return _run_inline(
+            tasks, handler, init_arg, max_attempts, backoff_s, backoff_cap_s, emit
+        )
+    return _run_pool(
+        tasks,
+        handler,
+        init_arg,
+        workers,
+        max_attempts,
+        backoff_s,
+        backoff_cap_s,
+        emit,
+    )
+
+
+def _run_inline(
+    tasks: list[TaskSpec],
+    handler,
+    init_arg,
+    max_attempts: int,
+    backoff_s: float,
+    backoff_cap_s: float,
+    emit,
+) -> dict[str, TaskOutcome]:
+    outcomes: dict[str, TaskOutcome] = {}
+    for spec in _lpt_order(tasks):
+        state = _TaskState(spec)
+        while True:
+            state.attempts += 1
+            t0 = time.perf_counter()
+            try:
+                value = handler(init_arg, spec.payload, state.attempts)
+            except Exception as exc:  # noqa: BLE001 - fault isolation boundary
+                state.elapsed_s += time.perf_counter() - t0
+                state.last_error = f"{type(exc).__name__}: {exc}"
+                if state.attempts >= max_attempts:
+                    outcomes[spec.task_id] = _quarantine(state, emit)
+                    break
+                emit(
+                    "retry",
+                    spec.task_id,
+                    attempt=state.attempts,
+                    error=state.last_error,
+                )
+                time.sleep(_backoff(state.attempts, backoff_s, backoff_cap_s))
+            else:
+                state.elapsed_s += time.perf_counter() - t0
+                outcomes[spec.task_id] = _success(state, value, emit)
+                break
+    return outcomes
+
+
+def _success(state: _TaskState, value, emit) -> TaskOutcome:
+    _task_seconds().observe(state.elapsed_s)
+    # The value rides on the event so callers can checkpoint each task the
+    # moment it completes, not at end of phase.
+    emit("done", state.spec.task_id, attempts=state.attempts, value=value)
+    return TaskOutcome(
+        task_id=state.spec.task_id,
+        ok=True,
+        value=value,
+        attempts=state.attempts,
+        worker_deaths=state.worker_deaths,
+        elapsed_s=state.elapsed_s,
+    )
+
+
+def _quarantine(state: _TaskState, emit) -> TaskOutcome:
+    emit(
+        "quarantined",
+        state.spec.task_id,
+        attempts=state.attempts,
+        error=state.last_error,
+    )
+    return TaskOutcome(
+        task_id=state.spec.task_id,
+        ok=False,
+        error=state.last_error,
+        attempts=state.attempts,
+        worker_deaths=state.worker_deaths,
+        elapsed_s=state.elapsed_s,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multiprocess pool
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(handler, init_arg, task_q, result_q) -> None:
+    """Worker loop: one task at a time, failures reported not raised.
+
+    Polls with a timeout so an orphaned worker — its coordinator hard-
+    killed (``os._exit``), which skips the atexit hook that reaps daemon
+    children — notices the re-parenting and exits instead of blocking on
+    the queue forever.
+    """
+    parent = os.getppid()
+    while True:
+        try:
+            item = task_q.get(timeout=2.0)
+        except queue_mod.Empty:
+            if os.getppid() != parent:
+                return
+            continue
+        if item is None:
+            return
+        task_id, payload, attempt = item
+        t0 = time.perf_counter()
+        try:
+            value = handler(init_arg, payload, attempt)
+        except Exception as exc:  # noqa: BLE001 - fault isolation boundary
+            result_q.put(
+                (
+                    "fail",
+                    task_id,
+                    attempt,
+                    f"{type(exc).__name__}: {exc}",
+                    time.perf_counter() - t0,
+                )
+            )
+        else:
+            result_q.put(("done", task_id, attempt, value, time.perf_counter() - t0))
+
+
+@dataclass
+class _WorkerHandle:
+    proc: multiprocessing.Process
+    task_q: Any
+    #: (task_id, attempt) in flight, or None when idle.
+    current: tuple[str, int] | None = None
+
+
+def _run_pool(
+    tasks: list[TaskSpec],
+    handler,
+    init_arg,
+    workers: int,
+    max_attempts: int,
+    backoff_s: float,
+    backoff_cap_s: float,
+    emit,
+) -> dict[str, TaskOutcome]:
+    ctx = multiprocessing.get_context()
+    result_q = ctx.Queue()
+    states = {t.task_id: _TaskState(t) for t in tasks}
+    outcomes: dict[str, TaskOutcome] = {}
+    # Ready heap: (ready_at, seq, task_id); seq follows LPT rank so the
+    # initial drain dispatches heaviest-first.
+    seq = itertools.count()
+    ready: list[tuple[float, int, str]] = []
+    for spec in _lpt_order(tasks):
+        heapq.heappush(ready, (0.0, next(seq), spec.task_id))
+
+    def spawn() -> _WorkerHandle:
+        task_q = ctx.Queue()
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(handler, init_arg, task_q, result_q),
+            daemon=True,
+        )
+        proc.start()
+        return _WorkerHandle(proc=proc, task_q=task_q)
+
+    handles = [spawn() for _ in range(min(workers, len(tasks)))]
+
+    def fail_attempt(state: _TaskState, error: str, *, death: bool) -> None:
+        """Shared retry/quarantine bookkeeping for failures and deaths."""
+        state.last_error = error
+        if death:
+            state.worker_deaths += 1
+            emit(
+                "worker_death",
+                state.spec.task_id,
+                attempt=state.attempts,
+                error=error,
+            )
+        if state.attempts >= max_attempts:
+            outcomes[state.spec.task_id] = _quarantine(state, emit)
+            return
+        if not death:
+            emit(
+                "retry",
+                state.spec.task_id,
+                attempt=state.attempts,
+                error=error,
+            )
+        delay = _backoff(state.attempts, backoff_s, backoff_cap_s)
+        heapq.heappush(
+            ready, (time.monotonic() + delay, next(seq), state.spec.task_id)
+        )
+
+    def handle_for(task_id: str) -> _WorkerHandle | None:
+        for h in handles:
+            if h.current is not None and h.current[0] == task_id:
+                return h
+        return None
+
+    try:
+        while len(outcomes) < len(tasks):
+            # 1. Drain results.
+            try:
+                msg = result_q.get(timeout=0.02)
+            except queue_mod.Empty:
+                msg = None
+            while msg is not None:
+                kind, task_id, attempt, *rest = msg
+                state = states[task_id]
+                h = handle_for(task_id)
+                if h is not None and h.current == (task_id, attempt):
+                    h.current = None
+                # Stale messages (task already resolved, or a re-queued
+                # attempt superseded this one after a death race) are dropped.
+                if task_id not in outcomes and attempt == state.attempts:
+                    if kind == "done":
+                        value, elapsed = rest
+                        state.elapsed_s += elapsed
+                        outcomes[task_id] = _success(state, value, emit)
+                    else:
+                        error, elapsed = rest
+                        state.elapsed_s += elapsed
+                        fail_attempt(state, error, death=False)
+                try:
+                    msg = result_q.get_nowait()
+                except queue_mod.Empty:
+                    msg = None
+
+            # 2. Reap dead workers; re-queue their in-flight tasks.
+            for idx, h in enumerate(handles):
+                if h.proc.is_alive():
+                    continue
+                if h.current is not None:
+                    task_id, attempt = h.current
+                    h.current = None
+                    state = states[task_id]
+                    if task_id not in outcomes and attempt == state.attempts:
+                        fail_attempt(
+                            state,
+                            f"worker died (exit code {h.proc.exitcode})",
+                            death=True,
+                        )
+                if len(outcomes) < len(tasks):
+                    handles[idx] = spawn()
+
+            # 3. Dispatch ready tasks to idle workers.
+            now = time.monotonic()
+            for h in handles:
+                if h.current is not None:
+                    continue
+                while ready and ready[0][2] in outcomes:
+                    heapq.heappop(ready)  # cancelled by quarantine
+                if not ready or ready[0][0] > now:
+                    break
+                _, _, task_id = heapq.heappop(ready)
+                state = states[task_id]
+                state.attempts += 1
+                h.current = (task_id, state.attempts)
+                h.task_q.put((task_id, state.spec.payload, state.attempts))
+    finally:
+        for h in handles:
+            try:
+                h.task_q.put_nowait(None)
+            except Exception:  # noqa: BLE001 - best-effort shutdown
+                pass
+        deadline = time.monotonic() + 2.0
+        for h in handles:
+            h.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if h.proc.is_alive():
+                h.proc.terminate()
+                h.proc.join(timeout=1.0)
+        result_q.close()
+        result_q.cancel_join_thread()
+
+    return outcomes

@@ -11,6 +11,7 @@ from .multicore import MulticoreResult, run_multicore_lastz
 from .output import (
     format_general_row,
     general_header,
+    output_order,
     write_general,
     write_maf,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "UngappedLastzResult",
     "format_general_row",
     "general_header",
+    "output_order",
     "write_general",
     "write_maf",
     "multicore_seconds",

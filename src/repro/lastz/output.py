@@ -17,7 +17,13 @@ from ..align.alignment import Alignment
 from ..genome.alphabet import decode
 from ..genome.sequence import Sequence
 
-__all__ = ["general_header", "format_general_row", "write_general", "write_maf"]
+__all__ = [
+    "general_header",
+    "format_general_row",
+    "output_order",
+    "write_general",
+    "write_maf",
+]
 
 _GENERAL_COLUMNS = (
     "score",
@@ -68,6 +74,27 @@ def _open(path: str | Path | TextIO) -> tuple[TextIO, bool]:
     return open(path, "w", encoding="ascii"), True
 
 
+def output_order(alignment: Alignment) -> tuple:
+    """Writer sort key: best score first, then a total positional order.
+
+    Score ties are broken by (target, query, strand) coordinates — never
+    by input order — so any two runs that produce the same *set* of
+    alignments (e.g. a segmented whole-genome job at different worker
+    counts vs. a single-pass run) serialise to byte-identical files.
+    Strand is constant ('+') in this library but kept in the key so the
+    contract survives a reverse-complement extension.
+    """
+    return (
+        -alignment.score,
+        alignment.target_start,
+        alignment.target_end,
+        alignment.query_start,
+        alignment.query_end,
+        "+",
+        alignment.cigar(),
+    )
+
+
 def write_general(
     path: str | Path | TextIO,
     alignments: Iterable[Alignment],
@@ -78,7 +105,7 @@ def write_general(
     handle, own = _open(path)
     try:
         handle.write(general_header() + "\n")
-        for a in sorted(alignments, key=lambda a: -a.score):
+        for a in sorted(alignments, key=output_order):
             handle.write(format_general_row(a, target, query) + "\n")
     finally:
         if own:
@@ -127,7 +154,7 @@ def write_maf(
     try:
         handle.write(f"##maf version=1 program={program}\n\n")
         name_w = max(len(target.name), len(query.name))
-        for a in sorted(alignments, key=lambda a: -a.score):
+        for a in sorted(alignments, key=output_order):
             if not a.ops:
                 raise ValueError(
                     "MAF output needs edit scripts; run with traceback enabled"

@@ -24,6 +24,7 @@ __all__ = [
     "pack_kmers",
     "pack_spaced",
     "find_seeds",
+    "overrepresented_words",
 ]
 
 #: LASTZ's default 12-of-19 spaced seed pattern (1 = care, 0 = don't care).
@@ -125,6 +126,7 @@ def find_seeds(
     max_word_count: int = 64,
     target_mask: np.ndarray | None = None,
     query_mask: np.ndarray | None = None,
+    censored_words: np.ndarray | None = None,
 ) -> SeedMatches:
     """All exact word matches between ``target`` and ``query``.
 
@@ -142,6 +144,14 @@ def find_seeds(
         repeats in FASTA).  Windows touching a masked base never seed —
         LASTZ's repeat handling — though extensions may still align
         *through* masked regions.
+    censored_words:
+        Pre-computed censor set (sorted ``uint64`` words).  When given it
+        *replaces* the local ``max_word_count`` counting: a match is kept
+        unless its word is in the set.  The whole-genome job runner seeds
+        chunk pairs independently but must censor against *global* target
+        word counts (a chunk sees only a fraction of each repeat family),
+        so it computes :func:`overrepresented_words` once over the full
+        target and passes the set to every chunk-local call.
     """
     target = np.asarray(target, dtype=np.uint8)
     query = np.asarray(query, dtype=np.uint8)
@@ -184,7 +194,12 @@ def find_seeds(
     counts = right - left
 
     # Censor high-frequency words and non-matches.
-    keep = (counts > 0) & (counts <= max_word_count)
+    if censored_words is not None:
+        keep = counts > 0
+        if censored_words.size:
+            keep &= ~np.isin(q_w, censored_words)
+    else:
+        keep = (counts > 0) & (counts <= max_word_count)
     if not keep.any():
         return SeedMatches(
             np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), span
@@ -208,3 +223,37 @@ def find_seeds(
         query_pos=q_rep[order].astype(np.int64),
         span=span,
     )
+
+
+def overrepresented_words(
+    codes: np.ndarray,
+    *,
+    k: int = 19,
+    spaced_pattern: str | None = None,
+    max_word_count: int = 64,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Sorted ``uint64`` words occurring more than ``max_word_count`` times.
+
+    Counts valid (N-free, unmasked) windows of ``codes`` exactly as
+    :func:`find_seeds` counts the target side, so passing the result as
+    ``censored_words`` to chunk-local ``find_seeds`` calls reproduces the
+    global censoring decision regardless of how the target is segmented.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    if spaced_pattern is not None:
+        words, valid = pack_spaced(codes, spaced_pattern)
+        span = len(spaced_pattern)
+    else:
+        words, valid = pack_kmers(codes, k)
+        span = k
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != codes.shape:
+            raise ValueError("mask must match the sequence's length")
+        valid = valid & ~_window_masked(mask, span)
+    words = words[valid]
+    if words.size == 0:
+        return np.zeros(0, dtype=np.uint64)
+    unique, counts = np.unique(words, return_counts=True)
+    return np.sort(unique[counts > max_word_count])

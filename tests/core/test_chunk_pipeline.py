@@ -1,0 +1,146 @@
+"""Unit tests for the chunk-scoped pipeline entry (``run_fastz_chunk``).
+
+The contract: extending a chunk's anchors inside window-clipped suffixes
+produces *exactly* the alignments the full-sequence pipeline produces for
+those anchors.  Where the window could have truncated a wavefront, the
+seam guard must detect it (``window_fallbacks``) and transparently
+re-extend on the full sequences.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FastzOptions, run_fastz, run_fastz_chunk
+from repro.genome import SegmentClass, build_pair
+from repro.lastz import LastzConfig
+from repro.lastz.pipeline import select_anchors
+from repro.scoring import default_scheme
+
+
+@pytest.fixture(scope="module")
+def setup():
+    pair = build_pair(
+        "chunk",
+        target_length=16_000,
+        query_length=16_000,
+        classes=[
+            SegmentClass("mid", 8, 80, 250, divergence=0.06, indel_rate=0.004)
+        ],
+        rng=11,
+    )
+    config = LastzConfig(
+        scheme=default_scheme(gap_extend=60, ydrop=2400), diag_band=150
+    )
+    anchors = select_anchors(pair.target, pair.query, config)
+    reference = run_fastz(pair.target, pair.query, config, anchors=anchors)
+    return pair, config, anchors, reference
+
+
+def reference_records(reference, scheme):
+    # Tasks and alignments run in the same (prepared) anchor order;
+    # alignments exist only for tasks at or above the gapped threshold.
+    records = {}
+    alignments = iter(reference.alignments)
+    for task in reference.tasks:
+        if task.score >= scheme.gapped_threshold:
+            a = next(alignments)
+            records[(task.anchor_t, task.anchor_q)] = (
+                a.target_start, a.target_end, a.query_start, a.query_end,
+                a.score, a.ops,
+            )
+    return records
+
+
+class TestChunkEquivalence:
+    def test_full_window_matches_run_fastz(self, setup):
+        pair, config, anchors, reference = setup
+        chunk = run_fastz_chunk(pair.target, pair.query, config, anchors=anchors)
+        assert chunk.n_anchors == len(anchors)
+        assert chunk.window_fallbacks == 0
+        got = {
+            (t, q): (
+                a.target_start, a.target_end, a.query_start, a.query_end,
+                a.score, a.ops,
+            )
+            for t, q, a in chunk.records
+        }
+        assert got == reference_records(reference, config.scheme)
+
+    def test_generous_window_no_fallbacks(self, setup):
+        pair, config, anchors, reference = setup
+        mid_t = int(np.median(anchors.target_pos))
+        mid_q = int(np.median(anchors.query_pos))
+        keep = (anchors.target_pos <= mid_t) & (anchors.query_pos <= mid_q)
+        subset = anchors.take(np.flatnonzero(keep))
+        chunk = run_fastz_chunk(
+            pair.target,
+            pair.query,
+            config,
+            anchors=subset,
+            t_window=(0, min(len(pair.target), mid_t + 4_096)),
+            q_window=(0, min(len(pair.query), mid_q + 4_096)),
+        )
+        assert chunk.window_fallbacks == 0
+        ref = reference_records(reference, config.scheme)
+        for t, q, a in chunk.records:
+            assert ref[(t, q)] == (
+                a.target_start, a.target_end, a.query_start, a.query_end,
+                a.score, a.ops,
+            )
+
+    def test_degenerate_window_falls_back_and_stays_identical(self, setup):
+        # Windows only a few bases past each anchor guarantee truncated
+        # wavefronts; the seam guard must fire and the results must still
+        # be bit-identical to the unsegmented run.
+        pair, config, anchors, reference = setup
+        ref = reference_records(reference, config.scheme)
+        for idx in range(min(4, len(anchors))):
+            t = int(anchors.target_pos[idx])
+            q = int(anchors.query_pos[idx])
+            one = anchors.take(np.array([idx]))
+            chunk = run_fastz_chunk(
+                pair.target,
+                pair.query,
+                config,
+                anchors=one,
+                t_window=(max(0, t - 8), min(len(pair.target), t + 8)),
+                q_window=(max(0, q - 8), min(len(pair.query), q + 8)),
+            )
+            assert chunk.window_fallbacks > 0
+            for at, aq, a in chunk.records:
+                assert ref[(at, aq)] == (
+                    a.target_start, a.target_end, a.query_start, a.query_end,
+                    a.score, a.ops,
+                )
+
+    def test_batched_engine_matches_scalar(self, setup):
+        pair, config, anchors, _ = setup
+        scalar = run_fastz_chunk(pair.target, pair.query, config, anchors=anchors)
+        batched = run_fastz_chunk(
+            pair.target,
+            pair.query,
+            config,
+            FastzOptions(engine="batched", batch_size=64),
+            anchors=anchors,
+        )
+        assert [(t, q, a) for t, q, a in scalar.records] == [
+            (t, q, a) for t, q, a in batched.records
+        ]
+
+
+class TestChunkValidation:
+    def test_window_out_of_range(self, setup):
+        pair, config, anchors, _ = setup
+        with pytest.raises(ValueError, match="window"):
+            run_fastz_chunk(
+                pair.target, pair.query, config,
+                anchors=anchors, t_window=(0, len(pair.target) + 1),
+            )
+
+    def test_anchor_outside_window(self, setup):
+        pair, config, anchors, _ = setup
+        with pytest.raises(ValueError, match="outside"):
+            run_fastz_chunk(
+                pair.target, pair.query, config,
+                anchors=anchors, t_window=(0, 10), q_window=(0, 10),
+            )

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import (
     FASTZ_FULL,
+    greedy_partition,
     partition_arrays,
     time_fastz,
     time_fastz_multi_gpu,
@@ -51,6 +52,45 @@ class TestPartition:
     def test_validation(self, arrays):
         with pytest.raises(ValueError):
             partition_arrays(arrays, 0)
+
+
+class TestGreedyPartition:
+    def test_covers_all_indices_disjointly(self):
+        weights = [5.0, 1.0, 3.0, 2.0, 4.0, 2.0]
+        parts = greedy_partition(weights, 3)
+        assert len(parts) == 3
+        flat = sorted(i for part in parts for i in part)
+        assert flat == list(range(len(weights)))
+
+    def test_lpt_balances_within_heaviest_item(self):
+        # Classic LPT bound: max load <= optimal + heaviest item; for a
+        # well-mixed weight set the spread stays below the heaviest weight.
+        weights = [7.0, 5.0, 4.0, 3.0, 3.0, 2.0, 2.0, 1.0, 1.0]
+        parts = greedy_partition(weights, 3)
+        loads = [sum(weights[i] for i in part) for part in parts]
+        assert max(loads) - min(loads) <= max(weights)
+
+    def test_heaviest_items_spread_first(self):
+        parts = greedy_partition([10.0, 9.0, 8.0, 0.1, 0.1, 0.1], 3)
+        heavy_home = [part for part in parts if any(i < 3 for i in part)]
+        assert len(heavy_home) == 3  # one heavyweight per part
+
+    def test_deterministic_on_ties(self):
+        weights = [2.0] * 6
+        assert greedy_partition(weights, 2) == greedy_partition(weights, 2)
+
+    def test_more_parts_than_items(self):
+        parts = greedy_partition([1.0, 2.0], 4)
+        assert len(parts) == 4
+        assert sum(len(p) for p in parts) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            greedy_partition([1.0], 0)
+        with pytest.raises(ValueError):
+            greedy_partition([[1.0], [2.0]], 2)
+        with pytest.raises(ValueError):
+            greedy_partition([1.0, -2.0], 2)
 
 
 class TestMultiGpuTiming:

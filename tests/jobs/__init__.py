@@ -1,0 +1,1 @@
+"""Tests for the whole-genome job runner (repro.jobs)."""

@@ -1,0 +1,66 @@
+"""Unit tests for the append-only job journal."""
+
+import json
+
+import pytest
+
+from repro.jobs import Journal, JournalError, replay
+
+
+class TestRoundTrip:
+    def test_append_then_replay(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        records = [{"type": "header", "digest": "x"}, {"type": "chunk", "task": "c0x0"}]
+        with Journal(path, fsync=False) as journal:
+            for record in records:
+                journal.append(record)
+            assert journal.appended == 2
+        assert list(replay(path)) == records
+
+    def test_reopen_appends(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path, fsync=False) as journal:
+            journal.append({"a": 1})
+        with Journal(path, fsync=False) as journal:
+            journal.append({"b": 2})
+        assert list(replay(path)) == [{"a": 1}, {"b": 2}]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "job" / "journal.jsonl"
+        with Journal(path, fsync=False) as journal:
+            journal.append({"a": 1})
+        assert path.exists()
+
+    def test_fsync_default_on(self, tmp_path):
+        with Journal(tmp_path / "j.jsonl") as journal:
+            assert journal.fsync
+            journal.append({"a": 1})
+
+
+class TestCrashTolerance:
+    def test_torn_final_line_dropped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(json.dumps({"a": 1}) + "\n" + '{"type": "chu')
+        assert list(replay(path)) == [{"a": 1}]
+
+    def test_torn_only_line_yields_nothing(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"half')
+        assert list(replay(path)) == []
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"a": 1}\nnot json\n{"b": 2}\n')
+        with pytest.raises(JournalError, match="line 2"):
+            list(replay(path))
+
+    def test_non_object_record_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('[1, 2]\n{"b": 2}\n')
+        with pytest.raises(JournalError, match="not an object"):
+            list(replay(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text("")
+        assert list(replay(path)) == []

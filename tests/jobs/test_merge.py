@@ -1,0 +1,78 @@
+"""Unit tests for deterministic chunk-result merging."""
+
+import random
+
+import pytest
+
+from repro.align import Alignment
+from repro.jobs import dedupe_records, ops_from_cigar, sort_canonical
+
+
+def aln(ts, te, qs, qe, score=100, ops=()):
+    return Alignment(ts, te, qs, qe, score=score, ops=ops)
+
+
+class TestOpsFromCigar:
+    def test_round_trip(self):
+        ops = (("M", 120), ("D", 2), ("M", 87), ("I", 1), ("M", 4))
+        a = aln(0, 213, 0, 212, ops=ops)
+        assert ops_from_cigar(a.cigar()) == ops
+
+    def test_empty(self):
+        assert ops_from_cigar("") == ()
+
+    @pytest.mark.parametrize("bad", ["M12", "3X", "12", "1M x", "1M2"])
+    def test_malformed(self, bad):
+        with pytest.raises(ValueError, match="malformed"):
+            ops_from_cigar(bad)
+
+
+class TestDedupe:
+    def test_keeps_first_in_anchor_order(self):
+        # The same interval discovered from two anchors: the survivor must
+        # be the one whose anchor sorts first in pipeline (query-major)
+        # order, regardless of record arrival order.
+        early = aln(10, 20, 10, 20, score=50)
+        late = aln(10, 20, 10, 20, score=50)
+        records = [(15, 99, late), (15, 12, early)]
+        kept = dedupe_records(records)
+        assert len(kept) == 1
+        assert kept[0] is early
+
+    def test_distinct_intervals_all_kept(self):
+        records = [(0, 0, aln(0, 5, 0, 5)), (1, 1, aln(10, 15, 10, 15))]
+        assert len(dedupe_records(records)) == 2
+
+    def test_arrival_order_irrelevant(self):
+        rng = random.Random(5)
+        records = [
+            (t, q, aln(t, t + 10, q, q + 10, score=t + q))
+            for t in range(0, 50, 10)
+            for q in range(0, 50, 10)
+        ]
+        baseline = dedupe_records(records)
+        for _ in range(5):
+            shuffled = records[:]
+            rng.shuffle(shuffled)
+            assert dedupe_records(shuffled) == baseline
+
+
+class TestSortCanonical:
+    def test_total_order(self):
+        alignments = [
+            aln(5, 9, 0, 4, score=10),
+            aln(0, 4, 5, 9, score=1),
+            aln(0, 4, 0, 4, score=7),
+        ]
+        ordered = sort_canonical(alignments)
+        assert [a.target_start for a in ordered] == [0, 0, 5]
+        assert [a.query_start for a in ordered[:2]] == [0, 5]
+
+    def test_shuffle_invariant(self):
+        rng = random.Random(11)
+        alignments = [aln(t, t + 3, (t * 7) % 20, (t * 7) % 20 + 3) for t in range(15)]
+        baseline = sort_canonical(alignments)
+        for _ in range(5):
+            shuffled = alignments[:]
+            rng.shuffle(shuffled)
+            assert sort_canonical(shuffled) == baseline

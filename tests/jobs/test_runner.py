@@ -1,0 +1,219 @@
+"""End-to-end tests for ``run_wga``: equivalence, resume, fault tolerance.
+
+The acceptance bar for the job runner is *byte-identity*: a segmented run
+— at any worker count, with any resume history — must produce exactly the
+alignments of a single-pass ``run_fastz``, including alignments that span
+chunk seams.
+"""
+
+import json
+
+import pytest
+
+from repro.core.pipeline import run_fastz
+from repro.genome import SegmentClass, build_pair
+from repro.jobs import JobDigestMismatch, JobOptions, run_wga
+from repro.jobs.merge import sort_canonical
+from repro.lastz import LastzConfig, write_general, write_maf
+from repro.scoring import default_scheme
+
+CHUNK = 8_192
+OVERLAP = 2_048
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return build_pair(
+        "wga",
+        target_length=24_000,
+        query_length=24_000,
+        classes=[
+            SegmentClass("mid", 10, 80, 300, divergence=0.06, indel_rate=0.004)
+        ],
+        rng=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def config():
+    return LastzConfig(
+        scheme=default_scheme(gap_extend=60, ydrop=2400), diag_band=150
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(pair, config):
+    result = run_fastz(pair.target, pair.query, config)
+    return sort_canonical(result.unique_alignments())
+
+
+def options(**kw):
+    kw.setdefault("chunk_size", CHUNK)
+    kw.setdefault("overlap", OVERLAP)
+    kw.setdefault("fsync", False)
+    kw.setdefault("backoff_s", 0.001)
+    return JobOptions(**kw)
+
+
+def journal_task_records(job_dir):
+    lines = (job_dir / "journal.jsonl").read_text().splitlines()
+    records = [json.loads(line) for line in lines]
+    return [r for r in records if r["type"] in ("seeds", "chunk")]
+
+
+class TestEquivalence:
+    def test_inline_matches_single_pass(self, pair, config, reference, tmp_path):
+        report = run_wga(
+            pair.target, pair.query, config, job=options(), job_dir=tmp_path
+        )
+        assert report.alignments == reference
+        assert report.complete and not report.resumed
+
+    def test_seam_spanning_alignments_survive_tiny_overlap(
+        self, pair, config, reference, tmp_path
+    ):
+        # An overlap far below the y-drop horizon forces the seam guard to
+        # re-extend window-clipped anchors against the full sequences.
+        report = run_wga(
+            pair.target,
+            pair.query,
+            config,
+            job=options(chunk_size=4_096, overlap=64),
+            job_dir=tmp_path,
+        )
+        assert report.window_fallbacks > 0
+        assert report.alignments == reference
+
+    def test_worker_counts_byte_identical(self, pair, config, tmp_path):
+        outputs = {}
+        for workers in (0, 2):
+            job_dir = tmp_path / f"w{workers}"
+            report = run_wga(
+                pair.target,
+                pair.query,
+                config,
+                job=options(workers=workers),
+                job_dir=job_dir,
+            )
+            general = job_dir / "out.tsv"
+            maf = job_dir / "out.maf"
+            write_general(general, report.alignments, pair.target, pair.query)
+            write_maf(maf, report.alignments, pair.target, pair.query)
+            outputs[workers] = (general.read_bytes(), maf.read_bytes())
+        assert outputs[0] == outputs[2]
+
+
+class TestResume:
+    def test_completed_job_skips_everything(self, pair, config, tmp_path):
+        first = run_wga(
+            pair.target, pair.query, config, job=options(), job_dir=tmp_path
+        )
+        n_tasks = len(journal_task_records(tmp_path))
+        second = run_wga(
+            pair.target, pair.query, config, job=options(), job_dir=tmp_path
+        )
+        assert second.resumed
+        assert second.seed_skipped == second.n_seed_tasks
+        assert second.extend_skipped == second.n_extend_tasks
+        assert second.alignments == first.alignments
+        # No task was re-executed: the journal gained no task records.
+        assert len(journal_task_records(tmp_path)) == n_tasks
+
+    def test_digest_mismatch_rejected(self, pair, config, tmp_path):
+        run_wga(pair.target, pair.query, config, job=options(), job_dir=tmp_path)
+        other = LastzConfig(
+            scheme=default_scheme(gap_extend=30, ydrop=2400), diag_band=150
+        )
+        with pytest.raises(JobDigestMismatch):
+            run_wga(pair.target, pair.query, other, job=options(), job_dir=tmp_path)
+
+    def test_fresh_discards_mismatched_journal(self, pair, config, tmp_path):
+        run_wga(pair.target, pair.query, config, job=options(), job_dir=tmp_path)
+        other = LastzConfig(
+            scheme=default_scheme(gap_extend=30, ydrop=2400), diag_band=150
+        )
+        report = run_wga(
+            pair.target, pair.query, other,
+            job=options(), job_dir=tmp_path, fresh=True,
+        )
+        assert not report.resumed
+        assert list(tmp_path.glob("journal.jsonl.stale-*"))
+
+
+class TestFaultTolerance:
+    @pytest.fixture()
+    def extend_task_id(self, pair, config, tmp_path_factory):
+        """A chunk-task id that actually exists for this pair/geometry."""
+        probe = tmp_path_factory.mktemp("probe")
+        run_wga(pair.target, pair.query, config, job=options(), job_dir=probe)
+        chunk_tasks = [
+            r["task"] for r in journal_task_records(probe) if r["type"] == "chunk"
+        ]
+        assert chunk_tasks
+        return sorted(chunk_tasks)[0]
+
+    def test_transient_failure_retried(
+        self, pair, config, reference, tmp_path, monkeypatch, extend_task_id
+    ):
+        monkeypatch.setenv("REPRO_WGA_TEST_FAIL", f"e:{extend_task_id}=1")
+        report = run_wga(
+            pair.target, pair.query, config, job=options(), job_dir=tmp_path
+        )
+        assert report.retries == 1
+        assert report.complete
+        assert report.alignments == reference
+
+    def test_persistent_failure_quarantined(
+        self, pair, config, reference, tmp_path, monkeypatch, extend_task_id
+    ):
+        monkeypatch.setenv("REPRO_WGA_TEST_FAIL", f"e:{extend_task_id}=-1")
+        report = run_wga(
+            pair.target,
+            pair.query,
+            config,
+            job=options(max_attempts=2),
+            job_dir=tmp_path,
+        )
+        # The job completes and reports the gap instead of crashing.
+        assert not report.complete
+        (gap,) = report.quarantined
+        assert gap.task_id == extend_task_id
+        assert gap.phase == "extend"
+        assert gap.attempts == 2
+        assert 0 < len(report.alignments) < len(reference)
+
+    def test_quarantined_chunk_retried_on_resume(
+        self, pair, config, reference, tmp_path, monkeypatch, extend_task_id
+    ):
+        monkeypatch.setenv("REPRO_WGA_TEST_FAIL", f"e:{extend_task_id}=-1")
+        first = run_wga(
+            pair.target,
+            pair.query,
+            config,
+            job=options(max_attempts=2),
+            job_dir=tmp_path,
+        )
+        assert first.quarantined
+        monkeypatch.delenv("REPRO_WGA_TEST_FAIL")
+        healed = run_wga(
+            pair.target, pair.query, config, job=options(), job_dir=tmp_path
+        )
+        assert healed.resumed and healed.complete
+        assert healed.alignments == reference
+
+    def test_pool_retry_in_worker(
+        self, pair, config, reference, tmp_path, monkeypatch, extend_task_id
+    ):
+        # Workers inherit the environment, so the fault fires inside a
+        # spawned process and the retry crosses the pool boundary.
+        monkeypatch.setenv("REPRO_WGA_TEST_FAIL", f"e:{extend_task_id}=1")
+        report = run_wga(
+            pair.target,
+            pair.query,
+            config,
+            job=options(workers=2),
+            job_dir=tmp_path,
+        )
+        assert report.retries == 1
+        assert report.complete
+        assert report.alignments == reference

@@ -1,0 +1,145 @@
+"""Unit tests for the fault-tolerant task scheduler.
+
+Handlers live at module level: the pool pickles them by reference.
+Fault behaviour is driven through the task payload, so the same handlers
+serve the inline and multiprocess paths.
+"""
+
+import os
+
+import pytest
+
+from repro.jobs import TaskSpec, plan_balance, run_tasks
+
+
+def ok_handler(init_arg, payload, attempt):
+    return {"task": payload["n"], "init": init_arg, "attempt": attempt}
+
+
+def flaky_handler(init_arg, payload, attempt):
+    if attempt <= payload.get("fail_attempts", 0):
+        raise RuntimeError(f"flaky (attempt {attempt})")
+    return payload["n"]
+
+
+def dying_handler(init_arg, payload, attempt):
+    if attempt <= payload.get("die_attempts", 0):
+        os._exit(1)  # simulates a segfault / OOM-kill: no exception, no result
+    return payload["n"]
+
+
+def specs(n, **payload_extra):
+    return [
+        TaskSpec(task_id=f"t{i}", payload={"n": i, **payload_extra}, weight=i + 1)
+        for i in range(n)
+    ]
+
+
+class TestPlanBalance:
+    def test_loads_descending_and_conserved(self):
+        loads = plan_balance(specs(7), 3)
+        assert loads == sorted(loads, reverse=True)
+        assert sum(loads) == sum(i + 1 for i in range(7))
+
+    def test_empty(self):
+        assert plan_balance([], 4) == [0.0] * 4
+
+    def test_balanced_within_heaviest_task(self):
+        loads = plan_balance(specs(8), 2)
+        assert loads[0] - loads[-1] <= max(i + 1 for i in range(8))
+
+
+class TestInline:
+    def test_all_succeed(self):
+        outcomes = run_tasks(specs(5), ok_handler, "ctx")
+        assert set(outcomes) == {f"t{i}" for i in range(5)}
+        for i in range(5):
+            o = outcomes[f"t{i}"]
+            assert o.ok and o.attempts == 1 and o.worker_deaths == 0
+            assert o.value == {"task": i, "init": "ctx", "attempt": 1}
+
+    def test_retry_then_success(self):
+        events = []
+        outcomes = run_tasks(
+            [TaskSpec("t0", {"n": 0, "fail_attempts": 2})],
+            flaky_handler,
+            backoff_s=0.001,
+            on_event=lambda kind, task, info: events.append(kind),
+        )
+        assert outcomes["t0"].ok and outcomes["t0"].attempts == 3
+        assert events == ["retry", "retry", "done"]
+
+    def test_quarantine_after_max_attempts(self):
+        events = []
+        outcomes = run_tasks(
+            [TaskSpec("t0", {"n": 0, "fail_attempts": 99})],
+            flaky_handler,
+            max_attempts=3,
+            backoff_s=0.001,
+            on_event=lambda kind, task, info: events.append(kind),
+        )
+        o = outcomes["t0"]
+        assert not o.ok and o.attempts == 3 and "flaky" in o.error
+        assert events == ["retry", "retry", "quarantined"]
+
+    def test_quarantine_does_not_block_other_tasks(self):
+        tasks = [
+            TaskSpec("bad", {"n": -1, "fail_attempts": 99}),
+            TaskSpec("good", {"n": 1}),
+        ]
+        outcomes = run_tasks(tasks, flaky_handler, max_attempts=2, backoff_s=0.001)
+        assert not outcomes["bad"].ok
+        assert outcomes["good"].ok and outcomes["good"].value == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unique"):
+            run_tasks([TaskSpec("a", {}), TaskSpec("a", {})], ok_handler)
+        with pytest.raises(ValueError):
+            run_tasks(specs(1), ok_handler, max_attempts=0)
+        with pytest.raises(ValueError):
+            run_tasks(specs(1), ok_handler, workers=-1)
+
+    def test_empty_task_list(self):
+        assert run_tasks([], ok_handler) == {}
+
+
+class TestPool:
+    def test_all_succeed_across_workers(self):
+        outcomes = run_tasks(specs(9), ok_handler, "ctx", workers=3)
+        assert all(o.ok for o in outcomes.values())
+        assert sorted(o.value["task"] for o in outcomes.values()) == list(range(9))
+
+    def test_worker_failure_retried(self):
+        outcomes = run_tasks(
+            [TaskSpec("t0", {"n": 7, "fail_attempts": 1})],
+            flaky_handler,
+            workers=2,
+            backoff_s=0.001,
+        )
+        assert outcomes["t0"].ok and outcomes["t0"].attempts == 2
+
+    def test_worker_death_requeues_task(self):
+        events = []
+        outcomes = run_tasks(
+            [TaskSpec("t0", {"n": 3, "die_attempts": 1}), TaskSpec("t1", {"n": 4})],
+            dying_handler,
+            workers=2,
+            backoff_s=0.001,
+            on_event=lambda kind, task, info: events.append((kind, task)),
+        )
+        assert outcomes["t0"].ok and outcomes["t0"].value == 3
+        assert outcomes["t0"].worker_deaths == 1
+        assert outcomes["t0"].attempts == 2
+        assert outcomes["t1"].ok
+        assert ("worker_death", "t0") in events
+
+    def test_reliably_lethal_task_quarantined(self):
+        outcomes = run_tasks(
+            [TaskSpec("t0", {"n": 0, "die_attempts": 99})],
+            dying_handler,
+            workers=1,
+            max_attempts=2,
+            backoff_s=0.001,
+        )
+        o = outcomes["t0"]
+        assert not o.ok and o.worker_deaths == 2 and o.attempts == 2

@@ -1,6 +1,7 @@
 """Unit tests for alignment output formats (general TSV, MAF)."""
 
 import io
+import random
 
 import pytest
 
@@ -9,6 +10,7 @@ from repro.genome import Sequence
 from repro.lastz import (
     format_general_row,
     general_header,
+    output_order,
     write_general,
     write_maf,
 )
@@ -104,3 +106,110 @@ class TestMaf:
         path = tmp_path / "out.maf"
         write_maf(path, [alignment], target, query)
         assert path.read_text().startswith("##maf")
+
+
+class TestRoundTrip:
+    """Output rows must reconstruct exactly what the alignments say."""
+
+    def test_general_row_reports_alignment_verbatim(self, pair, alignment):
+        target, query = pair
+        buf = io.StringIO()
+        write_general(buf, [alignment], target, query)
+        header, row = buf.getvalue().splitlines()
+        assert header == general_header()
+        fields = row.split("\t")
+        assert [int(f) for f in (fields[0], *fields[2:4], *fields[5:7])] == [
+            alignment.score,
+            alignment.target_start,
+            alignment.target_end,
+            alignment.query_start,
+            alignment.query_end,
+        ]
+        assert fields[8] == alignment.cigar()
+
+    def test_maf_rows_reconstruct_sequences(self, pair, alignment):
+        # Dropping the dashes from each gapped row must give back exactly
+        # the aligned slice of the corresponding sequence.
+        target, query = pair
+        buf = io.StringIO()
+        write_maf(buf, [alignment], target, query)
+        s_lines = [l for l in buf.getvalue().splitlines() if l.startswith("s ")]
+        t_row = s_lines[0].split()[-1].replace("-", "")
+        q_row = s_lines[1].split()[-1].replace("-", "")
+        assert t_row == target.text()[alignment.target_start : alignment.target_end]
+        assert q_row == query.text()[alignment.query_start : alignment.query_end]
+
+    def test_write_general_file_and_textio_identical(self, tmp_path, pair, alignment):
+        target, query = pair
+        buf = io.StringIO()
+        write_general(buf, [alignment], target, query)
+        path = tmp_path / "out.tsv"
+        write_general(path, [alignment], target, query)
+        assert path.read_text() == buf.getvalue()
+        # A path argument opens and closes its own handle; TextIO is left
+        # open for the caller.
+        assert not buf.closed
+
+    def test_write_maf_file_and_textio_identical(self, tmp_path, pair, alignment):
+        target, query = pair
+        buf = io.StringIO()
+        write_maf(buf, [alignment], target, query)
+        path = tmp_path / "out.maf"
+        write_maf(path, [alignment], target, query)
+        assert path.read_text() == buf.getvalue()
+        assert not buf.closed
+
+
+class TestDeterministicOrder:
+    """Writers must not leak producer ordering into the files."""
+
+    @pytest.fixture()
+    def long_pair(self):
+        target = Sequence.from_text("tgt", "ACGTACGTACGTACGTACGTACGTACGT")
+        query = Sequence.from_text("qry", "ACGTACGTACGTACGTACGTACGTACGT")
+        return target, query
+
+    def alignments(self):
+        # Deliberate score ties at distinct coordinates: input order used
+        # to decide their file order, which broke workers=N byte-identity.
+        return [
+            Alignment(20, 24, 0, 4, score=100, ops=(("M", 4),)),
+            Alignment(0, 4, 20, 24, score=100, ops=(("M", 4),)),
+            Alignment(0, 4, 0, 4, score=100, ops=(("M", 4),)),
+            Alignment(5, 9, 5, 9, score=300, ops=(("M", 4),)),
+        ]
+
+    def test_output_order_breaks_score_ties_positionally(self):
+        keys = sorted(self.alignments(), key=output_order)
+        assert keys[0].score == 300
+        assert [(a.target_start, a.query_start) for a in keys[1:]] == [
+            (0, 0),
+            (0, 20),
+            (20, 0),
+        ]
+
+    def test_general_bytes_invariant_under_shuffle(self, long_pair):
+        target, query = long_pair
+        rng = random.Random(3)
+        baseline = None
+        for _ in range(5):
+            items = self.alignments()
+            rng.shuffle(items)
+            buf = io.StringIO()
+            write_general(buf, items, target, query)
+            if baseline is None:
+                baseline = buf.getvalue()
+            assert buf.getvalue() == baseline
+
+    def test_maf_bytes_invariant_under_shuffle(self, long_pair):
+        target, query = long_pair
+        rng = random.Random(3)
+        baseline = None
+        for _ in range(5):
+            items = self.alignments()
+            rng.shuffle(items)
+            buf = io.StringIO()
+            write_maf(buf, items, target, query)
+            if baseline is None:
+                baseline = buf.getvalue()
+            assert buf.getvalue() == baseline

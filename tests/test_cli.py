@@ -116,6 +116,52 @@ class TestAlignFormats:
         assert out_path.read_text().startswith("#score")
 
 
+class TestWga:
+    def test_matches_align_fastz_byte_for_byte(self, fasta_pair, tmp_path, capsys):
+        t, q = fasta_pair
+        wga_out = tmp_path / "wga.maf"
+        align_out = tmp_path / "align.maf"
+        assert main([
+            "wga", t, q,
+            "--job-dir", str(tmp_path / "job"),
+            "--chunk-size", "10000", "--overlap", "2048",
+            "--format", "maf", "--output", str(wga_out),
+            "--quiet", *_FAST,
+        ]) == 0
+        assert main([
+            "align", t, q, "--engine", "fastz",
+            "--format", "maf", "--output", str(align_out), *_FAST,
+        ]) == 0
+        capsys.readouterr()
+        assert wga_out.read_bytes() == align_out.read_bytes()
+
+    def test_rerun_resumes_and_reproduces(self, fasta_pair, tmp_path, capsys):
+        t, q = fasta_pair
+        args = [
+            "wga", t, q,
+            "--job-dir", str(tmp_path / "job"),
+            "--chunk-size", "10000", "--overlap", "2048",
+            "--quiet", *_FAST,
+        ]
+        first = tmp_path / "first.tsv"
+        second = tmp_path / "second.tsv"
+        assert main([*args, "--output", str(first)]) == 0
+        assert main([*args, "--output", str(second)]) == 0
+        err = capsys.readouterr().err
+        assert "(resumed)" in err
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_wga_defaults(self):
+        args = build_parser().parse_args(
+            ["wga", "a.fa", "b.fa", "--job-dir", "jd"]
+        )
+        assert args.chunk_size == 32_768
+        assert args.overlap == 4_096
+        assert args.workers == 0
+        assert args.max_attempts == 3
+        assert not args.fresh
+
+
 class TestVersion:
     def test_version_flag(self, capsys):
         import repro
