@@ -271,6 +271,12 @@ def build_parser() -> argparse.ArgumentParser:
     wga.add_argument(
         "--quiet", action="store_true", help="suppress per-chunk progress lines"
     )
+    wga.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 3 when any chunk was quarantined (output has alignment "
+        "gaps); default exits 0 and reports the gaps on stderr",
+    )
     _add_scoring_args(wga)
     wga.add_argument(
         "--format",
@@ -513,6 +519,10 @@ def _wga_command(args: argparse.Namespace) -> int:
         )
     # Quarantined chunks are a *reported* gap, not a failure: the journal
     # keeps their tasks pending, so a rerun retries exactly those chunks.
+    # --strict surfaces the gap in the exit status for scripted callers
+    # that would otherwise mistake a gapped file for a complete run.
+    if args.strict and not report.complete:
+        return 3
     return 0
 
 

@@ -8,11 +8,15 @@ is write + flush + ``fsync`` per record (configurable off for tests and
 benchmarks).
 
 A process killed mid-append leaves at most one torn line at the end of
-the file; :func:`replay` treats an undecodable *final* line as the crash
-tear and drops it, while an undecodable line in the middle of the file —
-which append-only writing cannot produce — raises :class:`JournalError`.
-Resume-ability follows: re-running a job replays the journal, skips every
-task with a completion record, and re-executes only the rest.
+the file.  Both recovery paths handle it: :class:`Journal` truncates a
+torn tail before reopening for append (otherwise the resumed run's first
+record would be glued onto the partial line, corrupting the file mid-way
+for every later replay), and :func:`replay` treats an undecodable *final*
+line as the crash tear and drops it.  An undecodable line in the middle
+of the file — which append-only writing plus tail truncation cannot
+produce — raises :class:`JournalError`.  Resume-ability follows:
+re-running a job replays the journal, skips every task with a completion
+record, and re-executes only the rest.
 """
 
 from __future__ import annotations
@@ -62,8 +66,35 @@ class Journal:
         self.path = Path(path)
         self.fsync = fsync
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._truncate_torn_tail()
         self._handle = self.path.open("a", encoding="utf-8")
         self.appended = 0
+
+    def _truncate_torn_tail(self) -> None:
+        """Cut a torn final line left by a crash mid-append.
+
+        Appending to a file whose last byte is not a newline would glue
+        the new record onto the partial line; that composite line would
+        then sit in the *middle* of the journal once further records
+        follow, making every later replay raise :class:`JournalError`.
+        Truncating back to the last newline keeps the append-only
+        invariant: torn data only ever exists at the very end of the
+        file, and only until the next reopen.
+        """
+        if not self.path.exists():
+            return
+        data = self.path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        cut = data.rfind(b"\n") + 1  # 0 when the only line is torn
+        with self.path.open("r+b") as handle:
+            handle.truncate(cut)
+            if self.fsync:
+                os.fsync(handle.fileno())
+        obs.counter(
+            "repro_jobs_journal_torn_total",
+            "Torn trailing journal lines dropped during replay.",
+        ).inc()
 
     def append(self, record: dict[str, Any]) -> None:
         """Durably append one record (the commit point of a task)."""

@@ -80,6 +80,30 @@ class _TaskState:
     worker_deaths: int = 0
     elapsed_s: float = 0.0
     last_error: str | None = None
+    #: Highest attempt number already resolved (success, retry, death or
+    #: quarantine).  ``attempts`` only advances on dispatch, so without
+    #: this a dying worker's final message could race the death-reap that
+    #: already re-queued the same attempt and be double-counted.
+    consumed_attempt: int = 0
+
+
+def _claim_attempt(state: _TaskState, outcomes: dict, attempt: int) -> bool:
+    """Consume one attempt's terminal signal; True exactly once per attempt.
+
+    The death-reap and the dead worker's last queued message can both
+    observe the same in-flight attempt; whichever arrives second must be
+    dropped as stale — otherwise one failure burns two attempts toward
+    quarantine and re-queues the task twice (duplicate dispatch).
+    ``attempts`` only advances on dispatch, so an ``attempt ==
+    state.attempts`` check alone cannot tell the second observer from the
+    first; the ``consumed_attempt`` high-water mark does.
+    """
+    if state.spec.task_id in outcomes:
+        return False
+    if attempt != state.attempts or attempt <= state.consumed_attempt:
+        return False
+    state.consumed_attempt = attempt
+    return True
 
 
 def plan_balance(tasks: list[TaskSpec], n_parts: int) -> list[float]:
@@ -359,9 +383,10 @@ def _run_pool(
                 h = handle_for(task_id)
                 if h is not None and h.current == (task_id, attempt):
                     h.current = None
-                # Stale messages (task already resolved, or a re-queued
-                # attempt superseded this one after a death race) are dropped.
-                if task_id not in outcomes and attempt == state.attempts:
+                # Stale messages (task already resolved, a newer attempt
+                # dispatched, or this attempt already consumed by the
+                # death-reap) are dropped.
+                if _claim_attempt(state, outcomes, attempt):
                     if kind == "done":
                         value, elapsed = rest
                         state.elapsed_s += elapsed
@@ -383,7 +408,7 @@ def _run_pool(
                     task_id, attempt = h.current
                     h.current = None
                     state = states[task_id]
-                    if task_id not in outcomes and attempt == state.attempts:
+                    if _claim_attempt(state, outcomes, attempt):
                         fail_attempt(
                             state,
                             f"worker died (exit code {h.proc.exitcode})",

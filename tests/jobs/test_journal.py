@@ -64,3 +64,30 @@ class TestCrashTolerance:
         path = tmp_path / "journal.jsonl"
         path.write_text("")
         assert list(replay(path)) == []
+
+    def test_reopen_truncates_torn_tail(self, tmp_path):
+        # Crash mid-append, then resume: the new record must not be glued
+        # onto the torn line (which would corrupt the file mid-way and
+        # make every later replay raise).
+        path = tmp_path / "journal.jsonl"
+        path.write_text(json.dumps({"a": 1}) + "\n" + '{"type": "chu')
+        with Journal(path, fsync=False) as journal:
+            journal.append({"b": 2})
+            journal.append({"c": 3})
+        assert list(replay(path)) == [{"a": 1}, {"b": 2}, {"c": 3}]
+
+    def test_reopen_truncates_torn_only_line(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"half')
+        with Journal(path, fsync=False) as journal:
+            journal.append({"a": 1})
+        assert list(replay(path)) == [{"a": 1}]
+        assert path.read_text().startswith('{"a"')
+
+    def test_reopen_complete_file_untouched(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        original = json.dumps({"a": 1}) + "\n"
+        path.write_text(original)
+        with Journal(path, fsync=False):
+            pass
+        assert path.read_text() == original

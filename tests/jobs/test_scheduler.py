@@ -143,3 +143,50 @@ class TestPool:
         )
         o = outcomes["t0"]
         assert not o.ok and o.worker_deaths == 2 and o.attempts == 2
+
+
+class TestAttemptClaim:
+    """The death-race staleness guard, exercised deterministically.
+
+    The coordinator can observe one in-flight attempt twice — once via
+    the death-reap and once via the dying worker's last queued ``fail``
+    message — in either order.  ``_claim_attempt`` must admit exactly one
+    observer per attempt, or a single failure burns two attempts toward
+    quarantine and re-queues the task twice.
+    """
+
+    def _state(self):
+        from repro.jobs.scheduler import _TaskState
+
+        state = _TaskState(TaskSpec("t0", {"n": 0}))
+        state.attempts = 1  # dispatched once, in flight
+        return state
+
+    def test_second_observer_of_same_attempt_is_stale(self):
+        from repro.jobs.scheduler import _claim_attempt
+
+        state = self._state()
+        assert _claim_attempt(state, {}, 1)  # death-reap consumes attempt 1
+        assert not _claim_attempt(state, {}, 1)  # late fail msg: stale
+
+    def test_next_dispatch_is_claimable_again(self):
+        from repro.jobs.scheduler import _claim_attempt
+
+        state = self._state()
+        assert _claim_attempt(state, {}, 1)
+        state.attempts = 2  # re-queued task dispatched again
+        assert _claim_attempt(state, {}, 2)
+        assert not _claim_attempt(state, {}, 2)
+
+    def test_old_attempt_numbers_are_stale(self):
+        from repro.jobs.scheduler import _claim_attempt
+
+        state = self._state()
+        state.attempts = 2
+        assert not _claim_attempt(state, {}, 1)
+
+    def test_resolved_task_rejects_everything(self):
+        from repro.jobs.scheduler import _claim_attempt
+
+        state = self._state()
+        assert not _claim_attempt(state, {"t0": object()}, 1)

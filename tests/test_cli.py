@@ -160,6 +160,41 @@ class TestWga:
         assert args.workers == 0
         assert args.max_attempts == 3
         assert not args.fresh
+        assert not args.strict
+
+    def test_strict_exit_code_on_quarantine(
+        self, fasta_pair, tmp_path, monkeypatch, capsys
+    ):
+        import repro.jobs as jobs_mod
+        from repro.jobs.runner import QuarantinedTask, WgaReport
+
+        t, q = fasta_pair
+
+        def fake_run_wga(*args, **kwargs):
+            return WgaReport(
+                alignments=[],
+                job_dir=tmp_path / "job",
+                digest="x",
+                resumed=False,
+                n_anchors=0,
+                n_seed_tasks=1,
+                n_extend_tasks=0,
+                seed_skipped=0,
+                extend_skipped=0,
+                retries=2,
+                worker_deaths=0,
+                window_fallbacks=0,
+                quarantined=[QuarantinedTask("seed", "c0x0", 3, "boom")],
+            )
+
+        monkeypatch.setattr(jobs_mod, "run_wga", fake_run_wga)
+        base = ["wga", t, q, "--job-dir", str(tmp_path / "job"), "--quiet", *_FAST]
+        # Default keeps the exit-0 "completes with a reported gap" contract.
+        assert main(base) == 0
+        # --strict makes the gap visible to scripted callers via the status.
+        assert main([*base, "--strict"]) == 3
+        err = capsys.readouterr().err
+        assert "quarantined" in err and "c0x0" in err
 
 
 class TestVersion:
