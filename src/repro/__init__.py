@@ -17,6 +17,7 @@ Quick start::
     fastz = run_fastz(target, query, config, anchors=reference.anchors)
 """
 
+from . import api
 from .align import (
     Alignment,
     banded_extend,
@@ -71,6 +72,7 @@ __all__ = [
     "ALL_DEVICES",
     "Alignment",
     "AlignmentService",
+    "api",
     "ServiceOverloaded",
     "ServiceStats",
     "DeviceSpec",

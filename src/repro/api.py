@@ -1,0 +1,284 @@
+"""repro.api — the stable v1 facade over the alignment pipelines.
+
+One front door for every way of running an alignment, so callers (the
+CLI, the job runner, tests, downstream scripts) stop reaching into
+pipeline internals:
+
+* :func:`align` — one in-process alignment
+  (:func:`repro.core.pipeline.run_fastz`).
+* :func:`align_window` — extend pre-selected anchors inside a sequence
+  window, the unit of work of the whole-genome runner
+  (:func:`repro.core.pipeline.run_fastz_chunk`).
+* :func:`align_chunked` — a segmented, checkpointed, fault-tolerant
+  whole-genome job (:func:`repro.jobs.run_wga`).
+* :class:`Client` — a stdlib HTTP client for a running ``repro serve``
+  endpoint, speaking the versioned ``/v1`` surface.
+
+Every entry point accepts ``options`` as a :class:`FastzOptions`, a
+plain mapping (validated through
+:meth:`~repro.core.options.FastzOptions.from_mapping`, so typos are
+errors, not silent defaults), or ``None`` for the full pipeline — the
+same validation path the HTTP body and the CLI flags go through.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from collections.abc import Mapping
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from .core.options import FASTZ_FULL, FastzOptions
+from .core.pipeline import ChunkResult, FastzResult, run_fastz, run_fastz_chunk
+from .genome.sequence import Sequence
+from .lastz.config import LastzConfig
+from .seeding import Anchors
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .jobs.runner import JobOptions, WgaReport
+
+__all__ = [
+    "ApiError",
+    "Client",
+    "align",
+    "align_chunked",
+    "align_window",
+    "resolve_options",
+]
+
+
+def resolve_options(
+    options: FastzOptions | Mapping | None,
+) -> FastzOptions:
+    """Normalise the ``options`` argument every facade call accepts.
+
+    ``None`` means the full pipeline (:data:`FASTZ_FULL`); a mapping is
+    validated field-by-field with unknown keys rejected.
+    """
+    if options is None:
+        return FASTZ_FULL
+    if isinstance(options, FastzOptions):
+        return options
+    return FastzOptions.from_mapping(options)
+
+
+def align(
+    target: Sequence | np.ndarray,
+    query: Sequence | np.ndarray,
+    config: LastzConfig | None = None,
+    options: FastzOptions | Mapping | None = None,
+    *,
+    anchors: Anchors | None = None,
+    workers: int | None = None,
+    keep_extensions: bool = False,
+) -> FastzResult:
+    """Align one (target, query) pair in-process.
+
+    Thin, stable wrapper over :func:`repro.core.pipeline.run_fastz`;
+    ``workers`` shards anchors across a multiprocessing pool with
+    bit-identical results.
+    """
+    return run_fastz(
+        target,
+        query,
+        config,
+        resolve_options(options),
+        anchors=anchors,
+        workers=workers,
+        keep_extensions=keep_extensions,
+    )
+
+
+def align_window(
+    target: Sequence | np.ndarray,
+    query: Sequence | np.ndarray,
+    config: LastzConfig | None = None,
+    options: FastzOptions | Mapping | None = None,
+    *,
+    anchors: Anchors,
+    t_window: tuple[int, int] | None = None,
+    q_window: tuple[int, int] | None = None,
+) -> ChunkResult:
+    """Extend pre-selected anchors inside target/query windows.
+
+    The unit of work the whole-genome runner ships to its workers —
+    seam-guarded, so windowing never changes an alignment.
+    """
+    return run_fastz_chunk(
+        target,
+        query,
+        config,
+        resolve_options(options),
+        anchors=anchors,
+        t_window=t_window,
+        q_window=q_window,
+    )
+
+
+def align_chunked(
+    target: Sequence,
+    query: Sequence,
+    config: LastzConfig | None = None,
+    options: FastzOptions | Mapping | None = None,
+    *,
+    job: "JobOptions | None" = None,
+    job_dir: str | Path | None = None,
+    fresh: bool = False,
+    log: Callable[[str], None] | None = None,
+) -> "WgaReport":
+    """Run (or resume) a segmented, checkpointed whole-genome job.
+
+    Wraps :func:`repro.jobs.run_wga` (imported lazily — the jobs
+    subsystem is heavier than one alignment needs).  ``job_dir`` is the
+    durable state directory; when ``None`` a throwaway temporary
+    directory is used, which forfeits resumability but keeps one-shot
+    calls ergonomic.
+    """
+    from .jobs import JobOptions, run_wga
+
+    if job is None:
+        job = JobOptions()
+    kwargs = dict(fresh=fresh, log=log)
+    if job_dir is None:
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="repro-wga-") as tmp:
+            return run_wga(
+                target, query, config, resolve_options(options),
+                job=job, job_dir=tmp, **kwargs,
+            )
+    return run_wga(
+        target, query, config, resolve_options(options),
+        job=job, job_dir=job_dir, **kwargs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# HTTP client
+# ---------------------------------------------------------------------------
+
+
+class ApiError(RuntimeError):
+    """A ``/v1`` endpoint answered with an error envelope.
+
+    ``status`` is the HTTP status; ``code`` the stable machine-readable
+    error code (``bad_request``, ``overloaded``, ...); ``retry_after_s``
+    the server's suggested backoff when it sent one.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        retry_after_s: float | None = None,
+    ) -> None:
+        super().__init__(f"{status} {code}: {message}")
+        self.status = status
+        self.code = code
+        self.retry_after_s = retry_after_s
+
+
+def _as_dna_text(sequence: Sequence | np.ndarray | str) -> str:
+    if isinstance(sequence, str):
+        return sequence
+    from .genome.alphabet import decode
+
+    codes = sequence.codes if isinstance(sequence, Sequence) else sequence
+    return decode(np.asarray(codes))
+
+
+class Client:
+    """Minimal stdlib client for a running ``repro serve`` endpoint.
+
+    Speaks the versioned JSON surface (``POST /v1/align``,
+    ``GET /v1/stats``, ``GET /v1/metrics``, ``GET /v1/healthz``) and
+    turns error envelopes into :class:`ApiError`.
+
+    >>> client = Client("http://127.0.0.1:8642")
+    >>> client.healthz()
+    {'status': 'ok'}
+    """
+
+    def __init__(self, base_url: str, *, timeout_s: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None):
+        data = None if body is None else json.dumps(body).encode()
+        req = urllib.request.Request(
+            f"{self.base_url}/v1{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return resp.read(), resp.headers
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                envelope = json.loads(raw)["error"]
+                code = str(envelope["code"])
+                message = str(envelope["message"])
+            except Exception:
+                code, message = "internal", raw.decode(errors="replace")
+            retry_after = exc.headers.get("Retry-After")
+            raise ApiError(
+                exc.code,
+                code,
+                message,
+                retry_after_s=float(retry_after) if retry_after else None,
+            ) from None
+
+    def _get_json(self, path: str) -> dict:
+        raw, _ = self._request("GET", path)
+        return json.loads(raw)
+
+    # -- endpoints -----------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._get_json("/healthz")
+
+    def stats(self) -> dict:
+        return self._get_json("/stats")
+
+    def metrics(self) -> str:
+        raw, _ = self._request("GET", "/metrics")
+        return raw.decode()
+
+    def align(
+        self,
+        target: Sequence | np.ndarray | str,
+        query: Sequence | np.ndarray | str,
+        *,
+        options: FastzOptions | Mapping | None = None,
+        timeout_s: float | None = None,
+    ) -> dict:
+        """POST one alignment; returns the response payload as a dict.
+
+        ``options`` overrides the server's defaults field-by-field;
+        a :class:`FastzOptions` is serialised whole, a mapping is sent
+        as-is (the server validates it).
+        """
+        body: dict = {
+            "target": _as_dna_text(target),
+            "query": _as_dna_text(query),
+        }
+        if options is not None:
+            body["options"] = (
+                options.to_mapping()
+                if isinstance(options, FastzOptions)
+                else dict(options)
+            )
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        raw, _ = self._request("POST", "/align", body)
+        return json.loads(raw)

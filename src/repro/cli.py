@@ -19,8 +19,10 @@ Four subcommands:
 
 ``serve``
     Run the concurrent alignment service (:mod:`repro.service`) behind a
-    JSON/HTTP endpoint: ``POST /align``, ``GET /stats``, ``GET /metrics``,
-    ``GET /healthz``.
+    versioned JSON/HTTP endpoint: ``POST /v1/align``, ``GET /v1/stats``,
+    ``GET /v1/metrics``, ``GET /v1/healthz`` (legacy unversioned paths
+    307-redirect).  ``--workers N`` shards fused batches across N
+    persistent worker processes with bit-identical results.
 
 ``trace``
     Align one FASTA pair with observability enabled (:mod:`repro.obs`)
@@ -185,6 +187,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=128,
         help="LRU result-cache capacity (0 disables caching)",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="multiprocess backend size; fused batches are sharded across "
+        "N persistent worker processes (0 = in-process extension)",
+    )
+    serve.add_argument(
+        "--max-inflight-mb",
+        type=int,
+        default=256,
+        help="admission-control bound on queued sequence megabytes; "
+        "beyond it submissions get HTTP 503 + Retry-After (0 = unbounded)",
+    )
     _add_scoring_args(serve)
     serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
@@ -294,14 +310,17 @@ def _align_command(args: argparse.Namespace) -> int:
     config = _config_from_args(args, traceback=not args.no_cigar)
 
     if args.engine in ("fastz", "fastz-batched"):
-        from .core import FastzOptions
+        from . import api
 
-        options = FastzOptions(
-            engine="batched" if args.engine == "fastz-batched" else "scalar",
-            batch_size=args.batch_size,
-        )
-        result = run_fastz(
-            target, query, config, options, workers=args.workers or None
+        result = api.align(
+            target,
+            query,
+            config,
+            {
+                "engine": "batched" if args.engine == "fastz-batched" else "scalar",
+                "batch_size": args.batch_size,
+            },
+            workers=args.workers or None,
         )
         alignments = result.unique_alignments()
     elif args.engine == "ungapped":
@@ -395,7 +414,9 @@ def _serve_command(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         max_queue=args.max_queue,
+        max_inflight_bytes=(args.max_inflight_mb * 1024 * 1024) or None,
         cache_entries=args.cache_entries,
+        pool_workers=args.workers,
         config=config,
     )
     server = make_server(
@@ -403,9 +424,10 @@ def _serve_command(args: argparse.Namespace) -> int:
     )
     host, port = server.server_address[:2]
     print(
-        f"serving alignments on http://{host}:{port} "
+        f"serving alignments on http://{host}:{port}/v1 "
         f"(max_batch={args.max_batch}, max_wait={args.max_wait_ms}ms, "
-        f"queue={args.max_queue}, cache={args.cache_entries})",
+        f"queue={args.max_queue}, cache={args.cache_entries}, "
+        f"workers={args.workers})",
         file=sys.stderr,
     )
     try:
@@ -463,23 +485,22 @@ def _trace_command(args: argparse.Namespace) -> int:
 
 
 def _wga_command(args: argparse.Namespace) -> int:
-    from .core import FastzOptions
-    from .jobs import JobOptions, run_wga
+    from . import api
+    from .jobs import JobOptions
     from .lastz.output import write_general, write_maf
 
     target = read_fasta(args.target)[0]
     query = read_fasta(args.query)[0]
     config = _config_from_args(args)
-    options = FastzOptions(engine=args.engine, batch_size=args.batch_size)
     say = (lambda _msg: None) if args.quiet else (
         lambda msg: print(f"# {msg}", file=sys.stderr)
     )
 
-    report = run_wga(
+    report = api.align_chunked(
         target,
         query,
         config,
-        options,
+        {"engine": args.engine, "batch_size": args.batch_size},
         job=JobOptions(
             chunk_size=args.chunk_size,
             overlap=args.overlap,

@@ -27,6 +27,7 @@ __all__ = [
     "MultiGpuTiming",
     "greedy_partition",
     "partition_arrays",
+    "partition_loads",
     "time_fastz_multi_gpu",
 ]
 
@@ -101,6 +102,20 @@ def greedy_partition(weights, n_parts: int) -> list[list[int]]:
         parts[p].append(int(idx))
         loads[p] += w[idx]
     return parts
+
+
+def partition_loads(weights, n_parts: int) -> tuple[list[list[int]], list[float]]:
+    """:func:`greedy_partition` plus the per-part load sums.
+
+    Both the jobs scheduler (progress estimates) and the service's
+    multiprocess pool backend (shard weighting gauges) want the projected
+    load alongside the assignment; computing it here keeps the two from
+    re-deriving it differently.
+    """
+    w = [float(x) for x in weights]
+    parts = greedy_partition(w, n_parts)
+    loads = [sum(w[i] for i in part) for part in parts]
+    return parts, loads
 
 
 def time_fastz_multi_gpu(

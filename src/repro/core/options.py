@@ -9,7 +9,8 @@ progression.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from collections.abc import Mapping
+from dataclasses import dataclass, fields as dataclass_fields, replace
 
 __all__ = [
     "FastzOptions",
@@ -75,6 +76,47 @@ class FastzOptions:
             raise ValueError("bin_edges must be strictly increasing and non-empty")
         if self.bin_edges[0] <= 0:
             raise ValueError("bin_edges must be positive")
+
+    def to_mapping(self) -> dict:
+        """JSON-ready rendering of every option field.
+
+        Tuples become lists so the mapping survives a JSON round trip;
+        :meth:`from_mapping` converts them back.  Round-trip identity
+        (``FastzOptions.from_mapping(opts.to_mapping()) == opts``) is the
+        contract the CLI, the HTTP body parser and :mod:`repro.api` all
+        validate through.
+        """
+        out: dict = {}
+        for f in dataclass_fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping) -> "FastzOptions":
+        """Build options from a plain mapping, rejecting unknown keys.
+
+        The single validation path for every external surface: CLI flags,
+        HTTP ``options`` bodies and :func:`repro.api.align` kwargs all
+        funnel through here, so a typo'd key fails loudly everywhere
+        instead of being silently dropped by one parser and honoured by
+        another.  Values still go through ``__post_init__`` validation.
+        """
+        if not isinstance(mapping, Mapping):
+            raise TypeError(
+                f"options must be a mapping, not {type(mapping).__name__}"
+            )
+        known = {f.name for f in dataclass_fields(cls)}
+        unknown = sorted(set(mapping) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown FastzOptions key(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        kwargs = dict(mapping)
+        if isinstance(kwargs.get("bin_edges"), list):
+            kwargs["bin_edges"] = tuple(kwargs["bin_edges"])
+        return cls(**kwargs)
 
     @property
     def label(self) -> str:

@@ -50,10 +50,12 @@ __all__ = [
     "ChunkResult",
     "FastzResult",
     "PreparedRequest",
+    "extend_suffixes_shard",
     "finish_fastz",
     "prepare_fastz",
     "run_fastz",
     "run_fastz_chunk",
+    "shard_anchor_suffixes",
 ]
 
 
@@ -353,6 +355,64 @@ def _extend_suffixes_batched_impl(
             ).inc(fb)
         out.append((insp_l[k], insp_r[k], sides[1], sides[0], fb))
     return out
+
+
+def shard_anchor_suffixes(
+    suffixes: list[tuple[np.ndarray, np.ndarray]],
+    n_shards: int,
+) -> list[tuple[list[int], list[tuple[np.ndarray, np.ndarray]]]]:
+    """Split an interleaved suffix list into LPT-balanced anchor shards.
+
+    Each shard is ``(anchor_indices, shard_suffixes)`` where
+    ``shard_suffixes`` keeps the right-at-``2k``/left-at-``2k+1``
+    interleaving for the shard's anchors in ascending anchor order.
+    Anchors are weighted by the smaller dimension of each one-sided
+    problem (the wavefront's reachable extent) and dealt heaviest-first
+    to the lightest shard (:func:`~repro.core.multigpu.greedy_partition`)
+    so one repeat-dense anchor cannot serialise a whole shard — the
+    workload-balance lever the service's multiprocess pool backend
+    dispatches on.  Empty shards are dropped; extension records re-placed
+    by anchor index reproduce the unsharded order exactly.
+    """
+    from .multigpu import greedy_partition
+
+    n_anchors = len(suffixes) // 2
+    if n_shards < 1:
+        raise ValueError("n_shards must be at least 1")
+    weights = [
+        min(len(suffixes[2 * k][0]), len(suffixes[2 * k][1]))
+        + min(len(suffixes[2 * k + 1][0]), len(suffixes[2 * k + 1][1]))
+        for k in range(n_anchors)
+    ]
+    shards: list[tuple[list[int], list[tuple[np.ndarray, np.ndarray]]]] = []
+    for part in greedy_partition(weights, n_shards):
+        if not part:
+            continue
+        idx = sorted(part)
+        sub: list[tuple[np.ndarray, np.ndarray]] = []
+        for k in idx:
+            sub.append(suffixes[2 * k])
+            sub.append(suffixes[2 * k + 1])
+        shards.append((idx, sub))
+    return shards
+
+
+def extend_suffixes_shard(
+    suffixes: list[tuple[np.ndarray, np.ndarray]],
+    scheme: ScoringScheme,
+    options: FastzOptions,
+    tile: int,
+) -> list[_AnchorExtension]:
+    """Engine-dispatching extension of one suffix shard (picklable entry).
+
+    Module-level so pool workers can receive it by reference: one shard
+    of a fused batch runs the configured engine exactly as the in-process
+    path would, and because every extension task is independent the
+    per-anchor records are bit-identical however the batch was sharded.
+    """
+    if options.engine == "batched":
+        return extend_suffixes_batched(suffixes, scheme, options, tile)
+    return _extend_suffixes_scalar(suffixes, scheme, options, tile)
 
 
 def _extend_anchors_batched(

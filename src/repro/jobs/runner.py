@@ -10,7 +10,7 @@
    ``collapse_diagonal`` pass — bit-identical to unsegmented
    ``select_anchors``.
 3. **Extend** — anchors are grouped by owning chunk pair and extended
-   window-bounded through :func:`repro.core.pipeline.run_fastz_chunk`
+   window-bounded through :func:`repro.api.align_window`
    (seam-guarded, so chunking never changes an alignment), scheduled
    heaviest-first across the worker pool with retry / quarantine /
    worker-death re-queue (:mod:`repro.jobs.scheduler`).
@@ -47,8 +47,8 @@ import numpy as np
 
 from .. import obs
 from ..align.alignment import Alignment
+from ..api import align_window
 from ..core.options import FASTZ_FULL, FastzOptions
-from ..core.pipeline import run_fastz_chunk
 from ..genome.sequence import Sequence
 from ..lastz.config import LastzConfig
 from ..seeding import Anchors, collapse_diagonal
@@ -256,7 +256,7 @@ def _extend_handler(state, payload, attempt: int) -> dict:
     t_codes, q_codes, config, options = state
     task_id = payload["id"]
     _maybe_inject_fault(f"e:{task_id}", attempt)
-    result = run_fastz_chunk(
+    result = align_window(
         t_codes,
         q_codes,
         config,

@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from .. import obs
-from ..core.multigpu import greedy_partition
+from ..core.multigpu import partition_loads
 
 __all__ = ["TaskOutcome", "TaskSpec", "plan_balance", "run_tasks"]
 
@@ -110,10 +110,8 @@ def plan_balance(tasks: list[TaskSpec], n_parts: int) -> list[float]:
     """Projected per-part load under LPT assignment (descending)."""
     if not tasks:
         return [0.0] * max(n_parts, 1)
-    parts = greedy_partition([t.weight for t in tasks], n_parts)
-    return sorted(
-        (sum(tasks[i].weight for i in part) for part in parts), reverse=True
-    )
+    _, loads = partition_loads([t.weight for t in tasks], n_parts)
+    return sorted(loads, reverse=True)
 
 
 def _lpt_order(tasks: list[TaskSpec]) -> list[TaskSpec]:

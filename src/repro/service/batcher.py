@@ -15,7 +15,11 @@ The dispatcher is one daemon thread looping over a bounded request queue:
    :func:`~repro.core.pipeline.extend_suffixes_batched`: the shared
    struct-of-arrays inspector plus the bin-aware executor, so short and
    long extensions from *different requests* still never share a lockstep
-   batch.
+   batch.  With a :class:`~repro.service.pool.WorkerPool` backend the
+   fused list is instead sharded LPT-balanced across persistent worker
+   processes — bit-identical records, multiple cores; a broken pool
+   (:class:`~repro.service.pool.PoolError`) degrades the batch back to
+   the in-process path instead of failing it.
 4. **Resolve** — split the per-anchor records back per request, fold each
    into a :class:`~repro.core.pipeline.FastzResult` and resolve its
    future.  Results are bit-identical to a direct ``run_fastz`` call
@@ -38,6 +42,7 @@ from dataclasses import dataclass, field
 from .. import obs
 from ..core.pipeline import extend_suffixes_batched, finish_fastz, prepare_fastz
 from .cache import ResultCache
+from .pool import PoolError, WorkerPool
 from .request import AlignmentRequest
 from .stats import StatsRecorder
 
@@ -97,11 +102,14 @@ class Dispatcher:
         policy: BatchPolicy,
         cache: ResultCache,
         recorder: StatsRecorder,
+        *,
+        pool: WorkerPool | None = None,
     ) -> None:
         self._queue = requests
         self._policy = policy
         self._cache = cache
         self._recorder = recorder
+        self._pool = pool
         #: When set, drained requests are cancelled instead of executed.
         self.abort = threading.Event()
         self.thread = threading.Thread(
@@ -220,7 +228,9 @@ class Dispatcher:
             suffixes.extend(prep.suffixes())
         try:
             with obs.span("service.extend", tasks=len(suffixes)):
-                fused = extend_suffixes_batched(suffixes, scheme, options, tile)
+                fused = self._extend_fused(
+                    group[0].request.fuse_key, suffixes, scheme, options, tile
+                )
         except Exception:
             # A poisoned request broke the fused batch.  Re-run one request
             # at a time so the exception resolves only the culprit's future.
@@ -242,6 +252,24 @@ class Dispatcher:
                 self._resolve(pending, prep, per_anchor)
             except Exception as exc:
                 self._fail(pending, exc)
+
+    def _extend_fused(self, fuse_key, suffixes, scheme, options, tile):
+        """Run one fused extension list on the pool or in-process.
+
+        A :class:`PoolError` means the *backend* is broken (workers died
+        repeatedly mid-shard, or the pool is closed) — not that the batch
+        is poisoned — so the batch degrades to the in-process path rather
+        than failing.  Any other exception propagates to the caller's
+        per-request poison-isolation retry.
+        """
+        if self._pool is not None:
+            try:
+                return self._pool.extend(
+                    suffixes, scheme, options, tile, key=fuse_key
+                )
+            except PoolError:
+                self._pool.note_degraded()
+        return extend_suffixes_batched(suffixes, scheme, options, tile)
 
     def _resolve(self, pending: Pending, prep, per_anchor) -> None:
         with obs.span("service.resolve", anchors=prep.n_anchors):

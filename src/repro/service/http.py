@@ -1,15 +1,30 @@
 """JSON-over-HTTP front end for the alignment service (stdlib only).
 
 A thin :mod:`http.server` layer so ``repro serve`` needs no third-party
-web framework:
+web framework.  The surface is versioned under ``/v1``:
 
-* ``POST /align`` — body ``{"target": "ACGT...", "query": "ACGT...",
-  "timeout_s": 5.0?}``; responds with the scored alignments.
-* ``GET /stats`` — the :class:`~repro.service.stats.ServiceStats`
+* ``POST /v1/align`` — body ``{"target": "ACGT...", "query": "ACGT...",
+  "timeout_s": 5.0?, "options": {...}?}``; responds with the scored
+  alignments.  ``options`` overrides the server's default
+  :class:`~repro.core.options.FastzOptions` field-by-field and is
+  validated with :meth:`~repro.core.options.FastzOptions.from_mapping`
+  (unknown keys are a 400, not silently ignored).
+* ``GET /v1/stats`` — the :class:`~repro.service.stats.ServiceStats`
   snapshot as JSON.
-* ``GET /metrics`` — the same counters (plus queue-wait/latency
+* ``GET /v1/metrics`` — the same counters (plus queue-wait/latency
   histograms) in Prometheus text exposition format.
-* ``GET /healthz`` — liveness probe.
+* ``GET /v1/healthz`` — liveness probe.
+
+Errors use one envelope everywhere: ``{"error": {"code": "...",
+"message": "..."}}`` with a stable machine-readable ``code``
+(``bad_request``, ``not_found``, ``overloaded``, ``shutting_down``,
+``deadline_exceeded``, ``cancelled``, ``internal``).  Load-shedding 503s
+carry a ``Retry-After`` header.
+
+The original unversioned paths (``/align``, ``/stats``, ``/metrics``,
+``/healthz``) answer with a **307** redirect to their ``/v1`` twin plus
+a ``Deprecation: true`` header — 307 preserves the method and body, so
+old POSTing clients keep working through one extra round trip.
 
 The server is threading (one handler thread per connection), so
 concurrent clients naturally pile requests into the service queue and
@@ -22,11 +37,18 @@ import json
 from concurrent.futures import CancelledError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..core.options import FastzOptions
 from ..genome.alphabet import encode
 from .batcher import DeadlineExceeded
 from .service import AlignmentService, ServiceClosed, ServiceOverloaded
 
-__all__ = ["ServiceHTTPServer", "make_server"]
+__all__ = ["API_PREFIX", "LEGACY_PATHS", "ServiceHTTPServer", "make_server"]
+
+#: Version prefix of the current HTTP surface.
+API_PREFIX = "/v1"
+
+#: Pre-versioning paths still honoured via 307 + ``Deprecation: true``.
+LEGACY_PATHS = ("/align", "/healthz", "/metrics", "/stats")
 
 #: Refuse request bodies beyond this (a chromosome pair in text is fine,
 #: an accidental multi-GB POST is not).
@@ -75,56 +97,101 @@ class _Handler(BaseHTTPRequestHandler):
     def _reply(self, status: int, payload: dict) -> None:
         self._reply_raw(status, json.dumps(payload).encode(), "application/json")
 
-    def _reply_raw(self, status: int, body: bytes, content_type: str) -> None:
+    def _reply_raw(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._reply(status, {"error": message})
+    def _error(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps({"error": {"code": code, "message": message}}).encode()
+        self._reply_raw(status, body, "application/json", headers)
+
+    def _redirect_legacy(self) -> bool:
+        """307 a pre-versioning path to its ``/v1`` twin (True if sent)."""
+        if self.path not in LEGACY_PATHS:
+            return False
+        self.send_response(307)
+        self.send_header("Location", API_PREFIX + self.path)
+        self.send_header("Deprecation", "true")
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+        return True
 
     # -- routes --------------------------------------------------------------
 
+    def do_HEAD(self) -> None:  # noqa: N802 - stdlib naming
+        # ``curl -I`` is the natural probe for the Deprecation/Location
+        # headers on legacy paths; answer it instead of a stdlib 501.
+        if self._redirect_legacy():
+            return
+        known = {API_PREFIX + p for p in ("/healthz", "/stats", "/metrics")}
+        status = 200 if self.path in known else 404
+        self.send_response(status)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        if self.path == "/healthz":
+        if self._redirect_legacy():
+            return
+        if self.path == API_PREFIX + "/healthz":
             self._reply(200, {"status": "ok"})
-        elif self.path == "/stats":
+        elif self.path == API_PREFIX + "/stats":
             self._reply(200, self.server.service.stats().as_dict())
-        elif self.path == "/metrics":
+        elif self.path == API_PREFIX + "/metrics":
             self._reply_raw(
                 200,
                 self.server.service.metrics_text().encode(),
                 "text/plain; version=0.0.4; charset=utf-8",
             )
         else:
-            self._error(404, f"unknown path {self.path!r}")
+            self._error(404, "not_found", f"unknown path {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        if self.path != "/align":
-            self._error(404, f"unknown path {self.path!r}")
+        if self._redirect_legacy():
+            return
+        if self.path != API_PREFIX + "/align":
+            self._error(404, "not_found", f"unknown path {self.path!r}")
             return
         try:
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
-            self._error(400, "bad Content-Length")
+            self._error(400, "bad_request", "bad Content-Length")
             return
         if length <= 0 or length > _MAX_BODY_BYTES:
-            self._error(400, f"body must be 1..{_MAX_BODY_BYTES} bytes")
+            self._error(
+                400, "bad_request", f"body must be 1..{_MAX_BODY_BYTES} bytes"
+            )
             return
         try:
             payload = json.loads(self.rfile.read(length))
         except (json.JSONDecodeError, UnicodeDecodeError):
-            self._error(400, "body is not valid JSON")
+            self._error(400, "bad_request", "body is not valid JSON")
             return
         if not isinstance(payload, dict):
-            self._error(400, "body must be a JSON object")
+            self._error(400, "bad_request", "body must be a JSON object")
             return
         target = payload.get("target")
         query = payload.get("query")
         if not isinstance(target, str) or not isinstance(query, str):
-            self._error(400, "'target' and 'query' must be DNA strings")
+            self._error(
+                400, "bad_request", "'target' and 'query' must be DNA strings"
+            )
             return
         timeout_s = payload.get("timeout_s")
         # bool is a subclass of int, so isinstance alone would accept
@@ -132,8 +199,25 @@ class _Handler(BaseHTTPRequestHandler):
         if timeout_s is not None and (
             isinstance(timeout_s, bool) or not isinstance(timeout_s, (int, float))
         ):
-            self._error(400, "'timeout_s' must be a number")
+            self._error(400, "bad_request", "'timeout_s' must be a number")
             return
+
+        service = self.server.service
+        options = None
+        raw_options = payload.get("options")
+        if raw_options is not None:
+            if not isinstance(raw_options, dict):
+                self._error(
+                    400, "bad_request", "'options' must be a JSON object"
+                )
+                return
+            try:
+                options = FastzOptions.from_mapping(
+                    {**service.default_options.to_mapping(), **raw_options}
+                )
+            except (TypeError, ValueError) as exc:
+                self._error(400, "bad_request", f"bad 'options': {exc}")
+                return
 
         # Validate before dispatch: the encoding LUT maps junk to N, so a
         # malformed body would otherwise be aligned-as-N (or, for other
@@ -141,29 +225,43 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             target_codes = encode(target, strict=True)
         except ValueError as exc:
-            self._error(400, f"'target' is not a DNA sequence: {exc}")
+            self._error(
+                400, "bad_request", f"'target' is not a DNA sequence: {exc}"
+            )
             return
         try:
             query_codes = encode(query, strict=True)
         except ValueError as exc:
-            self._error(400, f"'query' is not a DNA sequence: {exc}")
+            self._error(
+                400, "bad_request", f"'query' is not a DNA sequence: {exc}"
+            )
             return
 
-        service = self.server.service
         try:
             result = service.align(
-                target_codes, query_codes, timeout_s=timeout_s
+                target_codes, query_codes, options=options, timeout_s=timeout_s
             )
         except ServiceOverloaded as exc:
-            self._error(503, str(exc))
+            self._error(
+                503,
+                "overloaded",
+                str(exc),
+                headers={
+                    "Retry-After": str(
+                        max(1, round(getattr(exc, "retry_after_s", 1.0)))
+                    )
+                },
+            )
         except ServiceClosed as exc:
-            self._error(503, str(exc))
+            self._error(503, "shutting_down", str(exc))
         except (DeadlineExceeded, TimeoutError) as exc:
-            self._error(504, str(exc) or "request deadline exceeded")
+            self._error(
+                504, "deadline_exceeded", str(exc) or "request deadline exceeded"
+            )
         except CancelledError:
-            self._error(503, "request cancelled during shutdown")
+            self._error(503, "cancelled", "request cancelled during shutdown")
         except Exception as exc:
-            self._error(500, f"{type(exc).__name__}: {exc}")
+            self._error(500, "internal", f"{type(exc).__name__}: {exc}")
         else:
             self._reply(200, _alignment_payload(result))
 

@@ -90,6 +90,11 @@ class AlignmentRequest:
         self.target = _as_codes(self.target)
         self.query = _as_codes(self.query)
 
+    @property
+    def nbytes(self) -> int:
+        """Sequence payload size — the admission-control cost of a request."""
+        return int(self.target.nbytes) + int(self.query.nbytes)
+
     @cached_property
     def cache_key(self) -> str:
         """Digest of everything that determines the alignment result."""

@@ -12,6 +12,15 @@ production-shaped edges around that core:
 * **backpressure** — the queue is bounded; a full queue rejects the
   submission with :class:`ServiceOverloaded` instead of buffering
   unboundedly;
+* **admission control** — queued-but-unresolved sequence bytes are
+  bounded (``max_inflight_bytes``); beyond the bound, submissions are
+  load-shed with :class:`ServiceOverloaded` (HTTP 503 + ``Retry-After``)
+  *before* they can melt the queue with multi-megabyte payloads;
+* **multiprocess backend** — ``pool_workers > 0`` shards each fused
+  batch across persistent worker processes
+  (:class:`~repro.service.pool.WorkerPool`), LPT-balanced by extension
+  weight; results stay bit-identical to the in-process backend, and the
+  dispatcher degrades back to in-process execution if the pool breaks;
 * **deadlines** — a per-request ``timeout_s`` expires requests that are
   still queued when it elapses
   (:class:`~repro.service.batcher.DeadlineExceeded`);
@@ -39,6 +48,7 @@ from ..lastz.config import LastzConfig
 from ..seeding import Anchors
 from .batcher import BatchPolicy, DeadlineExceeded, Dispatcher, Pending
 from .cache import ResultCache
+from .pool import WorkerPool
 from .request import AlignmentRequest
 from .stats import ServiceStats, StatsRecorder
 
@@ -50,6 +60,9 @@ __all__ = [
     "ServiceOverloaded",
 ]
 
+#: Default admission-control bound on queued sequence bytes (256 MiB).
+DEFAULT_MAX_INFLIGHT_BYTES = 256 * 1024 * 1024
+
 #: Service-default engine: lockstep batches, the whole point of fusing.
 _DEFAULT_OPTIONS = FastzOptions(engine="batched")
 
@@ -59,7 +72,17 @@ class ServiceError(Exception):
 
 
 class ServiceOverloaded(ServiceError):
-    """The bounded request queue is full; retry later (backpressure)."""
+    """The service is at capacity; retry later (backpressure).
+
+    Raised both when the bounded request queue is full and when admission
+    control sheds the submission because too many sequence bytes are
+    already in flight.  ``retry_after_s`` is the suggested backoff (the
+    HTTP layer surfaces it as a ``Retry-After`` header).
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 class ServiceClosed(ServiceError):
@@ -77,8 +100,19 @@ class AlignmentService:
     max_queue:
         Bound on queued (undispatched) requests; submissions beyond it
         raise :class:`ServiceOverloaded`.
+    max_inflight_bytes:
+        Admission-control bound on the sequence bytes of queued-but-
+        unresolved requests; submissions beyond it are load-shed with
+        :class:`ServiceOverloaded`.  A request is always admitted when
+        nothing is in flight, so a single large pair can still be served.
+        ``None`` disables the bound.
     cache_entries:
         LRU result-cache capacity (0 disables caching).
+    pool_workers:
+        Multiprocess execution backend: shard each fused extension batch
+        across this many persistent worker processes (0 = run fused
+        batches in-process on the dispatcher thread, the pre-pool
+        behaviour).  Results are bit-identical either way.
     config, options:
         Defaults applied to submissions that do not bring their own.
 
@@ -91,22 +125,39 @@ class AlignmentService:
         max_batch: int = 32,
         max_wait_ms: float = 2.0,
         max_queue: int = 256,
+        max_inflight_bytes: int | None = DEFAULT_MAX_INFLIGHT_BYTES,
         cache_entries: int = 128,
+        pool_workers: int = 0,
         config: LastzConfig | None = None,
         options: FastzOptions = _DEFAULT_OPTIONS,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be at least 1")
+        if max_inflight_bytes is not None and max_inflight_bytes < 1:
+            raise ValueError("max_inflight_bytes must be positive or None")
+        if pool_workers < 0:
+            raise ValueError("pool_workers must be non-negative")
         self.policy = BatchPolicy(max_batch=max_batch, max_wait_ms=max_wait_ms)
         self.default_config = config or LastzConfig()
         self.default_options = options
+        self.max_inflight_bytes = max_inflight_bytes
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._cache = ResultCache(cache_entries)
         self._recorder = StatsRecorder()
         self._lock = threading.Lock()
         self._closed = False
+        self._inflight_bytes = 0
+        self._inflight_gauge = self._recorder.registry.gauge(
+            "repro_service_inflight_bytes",
+            "Sequence bytes of queued-but-unresolved requests.",
+        )
+        self._pool = (
+            WorkerPool(pool_workers, registry=self._recorder.registry)
+            if pool_workers > 0
+            else None
+        )
         self._dispatcher = Dispatcher(
-            self._queue, self.policy, self._cache, self._recorder
+            self._queue, self.policy, self._cache, self._recorder, pool=self._pool
         )
         self._dispatcher.start()
 
@@ -169,6 +220,21 @@ class AlignmentService:
                 self._recorder.record_cache_hit()
                 future.set_result(cached)
                 return future, None
+            # Admission control: shed before queueing when the in-flight
+            # sequence bytes would exceed the bound.  An empty service
+            # always admits, so no single request is permanently too big.
+            cost = request.nbytes
+            if (
+                self.max_inflight_bytes is not None
+                and self._inflight_bytes > 0
+                and self._inflight_bytes + cost > self.max_inflight_bytes
+            ):
+                self._recorder.record_shed()
+                raise ServiceOverloaded(
+                    f"{self._inflight_bytes} sequence bytes already in flight "
+                    f"(bound {self.max_inflight_bytes}); retry later",
+                    retry_after_s=1.0,
+                )
             pending = Pending(request=request)
             if timeout_s is not None:
                 pending.deadline = pending.enqueued_at + timeout_s
@@ -179,8 +245,21 @@ class AlignmentService:
                 raise ServiceOverloaded(
                     f"request queue full ({self._queue.maxsize} pending)"
                 ) from None
+            self._inflight_bytes += cost
+            self._inflight_gauge.set(self._inflight_bytes)
             self._recorder.record_submitted()
-            return pending.future, pending
+        # The future resolves exactly once (result, exception or
+        # cancellation), whatever path the request takes — release the
+        # admission budget there, not at N scattered outcome sites.
+        # Registered outside the lock: a future that resolved already
+        # runs the callback synchronously, and _release re-takes the lock.
+        pending.future.add_done_callback(lambda _f: self._release(cost))
+        return pending.future, pending
+
+    def _release(self, cost: int) -> None:
+        with self._lock:
+            self._inflight_bytes = max(0, self._inflight_bytes - cost)
+            self._inflight_gauge.set(self._inflight_bytes)
 
     def align(
         self,
@@ -226,8 +305,15 @@ class AlignmentService:
     def stats(self) -> ServiceStats:
         """A consistent snapshot of queue depth, latency and cache health."""
         return self._recorder.snapshot(
-            queue_depth=self._queue.qsize(), cache=self._cache.stats
+            queue_depth=self._queue.qsize(),
+            cache=self._cache.stats,
+            pool=self._pool.stats() if self._pool is not None else None,
         )
+
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The multiprocess backend, or None on the in-process backend."""
+        return self._pool
 
     def metrics_text(self) -> str:
         """Prometheus text exposition for the ``GET /metrics`` endpoint.
@@ -276,6 +362,8 @@ class AlignmentService:
                 self._dispatcher.abort.set()
             self._dispatcher.signal_shutdown()
         self._dispatcher.thread.join(timeout)
+        if self._pool is not None:
+            self._pool.close()
 
     def __enter__(self) -> "AlignmentService":
         return self

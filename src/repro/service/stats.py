@@ -36,6 +36,7 @@ _EVENT_KINDS = (
     "completed",
     "failed",
     "rejected",
+    "shed",
     "timed_out",
     "cancelled",
     "abandoned",
@@ -66,6 +67,9 @@ class ServiceStats:
     completed: int
     failed: int
     rejected: int
+    #: Submissions refused by admission control (in-flight bytes bound)
+    #: before they could queue — the load-shedding half of backpressure.
+    shed: int
     timed_out: int
     cancelled: int
     #: Requests whose caller stopped waiting but whose work still ran.
@@ -78,6 +82,9 @@ class ServiceStats:
     latency_p50_ms: float
     latency_p95_ms: float
     cache: CacheStats = field(repr=False)
+    #: Multiprocess-backend health (None on the in-process backend):
+    #: workers/alive/dispatches/respawns/redispatches/degraded.
+    pool: dict | None = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -98,6 +105,7 @@ class ServiceStats:
             "completed": self.completed,
             "failed": self.failed,
             "rejected": self.rejected,
+            "shed": self.shed,
             "timed_out": self.timed_out,
             "cancelled": self.cancelled,
             "abandoned": self.abandoned,
@@ -114,6 +122,7 @@ class ServiceStats:
                 "capacity": self.cache.capacity,
                 "hit_rate": round(self.cache.hit_rate, 4),
             },
+            "pool": self.pool,
         }
 
 
@@ -158,6 +167,9 @@ class StatsRecorder:
     def record_rejected(self) -> None:
         self._events.labels(kind="rejected").inc()
 
+    def record_shed(self) -> None:
+        self._events.labels(kind="shed").inc()
+
     def record_timed_out(self) -> None:
         self._events.labels(kind="timed_out").inc()
 
@@ -197,7 +209,13 @@ class StatsRecorder:
                 out[size] = count
         return out
 
-    def snapshot(self, *, queue_depth: int, cache: CacheStats) -> ServiceStats:
+    def snapshot(
+        self,
+        *,
+        queue_depth: int,
+        cache: CacheStats,
+        pool: dict | None = None,
+    ) -> ServiceStats:
         self._queue_depth.set(queue_depth)
         with self._lock:
             latencies = list(self._latencies)
@@ -208,6 +226,7 @@ class StatsRecorder:
             completed=counts["completed"],
             failed=counts["failed"],
             rejected=counts["rejected"],
+            shed=counts["shed"],
             timed_out=counts["timed_out"],
             cancelled=counts["cancelled"],
             abandoned=counts["abandoned"],
@@ -216,4 +235,5 @@ class StatsRecorder:
             latency_p50_ms=_percentile(latencies, 0.50) * 1e3,
             latency_p95_ms=_percentile(latencies, 0.95) * 1e3,
             cache=cache,
+            pool=pool,
         )

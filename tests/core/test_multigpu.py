@@ -10,6 +10,7 @@ from repro.core import (
     time_fastz,
     time_fastz_multi_gpu,
 )
+from repro.core.multigpu import partition_loads
 from repro.gpusim import Calibration, RTX_3080_AMPERE
 
 from .test_perfmodel import _make_tasks
@@ -132,3 +133,24 @@ class TestMultiGpuTiming:
         multi = time_fastz_multi_gpu(arrays, RTX_3080_AMPERE, 3, calib=calib)
         assert len(multi.per_gpu) == 3
         assert all(t.device == "RTX 3080" for t in multi.per_gpu)
+
+
+class TestPartitionLoads:
+    """partition_loads — the shared LPT helper behind the job scheduler's
+    plan_balance and the service worker pool's shard planner."""
+
+    def test_loads_match_parts(self):
+        weights = [5.0, 1.0, 3.0, 2.0, 4.0, 2.0]
+        parts, loads = partition_loads(weights, 3)
+        assert loads == [sum(weights[i] for i in part) for part in parts]
+        assert sum(loads) == pytest.approx(sum(weights))
+
+    def test_agrees_with_greedy_partition(self):
+        weights = [7, 5, 4, 3, 3, 2, 2, 1, 1]
+        parts, _ = partition_loads(weights, 3)
+        assert parts == greedy_partition([float(w) for w in weights], 3)
+
+    def test_accepts_integer_weights(self):
+        parts, loads = partition_loads([4, 4, 2], 2)
+        assert all(isinstance(load, float) for load in loads)
+        assert sorted(loads) == [4.0, 6.0]

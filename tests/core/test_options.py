@@ -66,6 +66,48 @@ class TestOptions:
         assert "naive" in FastzOptions(cyclic_buffers=False).label
 
 
+class TestMappingRoundTrip:
+    """One validation path for CLI flags, HTTP bodies and api kwargs."""
+
+    def test_round_trip_identity(self):
+        for options in (
+            FASTZ_FULL,
+            FastzOptions(engine="batched", batch_size=7, streams=4),
+            FastzOptions(bin_edges=(7, 28), binning=False),
+        ):
+            assert FastzOptions.from_mapping(options.to_mapping()) == options
+
+    def test_to_mapping_is_json_ready(self):
+        import json
+
+        mapping = FASTZ_FULL.to_mapping()
+        assert json.loads(json.dumps(mapping)) == mapping
+        # Tuples are rendered as lists so they survive a JSON round trip.
+        assert isinstance(mapping["bin_edges"], list)
+
+    def test_partial_mapping_uses_defaults(self):
+        options = FastzOptions.from_mapping({"engine": "batched"})
+        assert options.engine == "batched"
+        assert options.batch_size == FASTZ_FULL.batch_size
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="enginee"):
+            FastzOptions.from_mapping({"enginee": "batched"})
+
+    def test_unknown_keys_all_named(self):
+        with pytest.raises(ValueError) as excinfo:
+            FastzOptions.from_mapping({"zzz": 1, "aaa": 2})
+        assert "aaa" in str(excinfo.value) and "zzz" in str(excinfo.value)
+
+    def test_bad_value_still_validated(self):
+        with pytest.raises(ValueError, match="engine"):
+            FastzOptions.from_mapping({"engine": "quantum"})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(TypeError):
+            FastzOptions.from_mapping([("engine", "batched")])
+
+
 class TestLadder:
     def test_order_and_length(self):
         ladder = ablation_ladder()

@@ -1,9 +1,11 @@
-"""End-to-end tests of the JSON/HTTP endpoint (stdlib client only)."""
+"""End-to-end tests of the versioned JSON/HTTP endpoint (stdlib client)."""
 
+import http.client
 import json
 import threading
 import urllib.error
 import urllib.request
+import urllib.parse
 
 import pytest
 
@@ -11,6 +13,7 @@ from repro.genome import SegmentClass, build_pair
 from repro.lastz.config import LastzConfig
 from repro.scoring import default_scheme
 from repro.service import AlignmentService, make_server
+from repro.service.http import API_PREFIX, LEGACY_PATHS
 
 CONFIG = LastzConfig(scheme=default_scheme(gap_extend=60, ydrop=2400))
 
@@ -31,7 +34,7 @@ def endpoint():
 def _post(url, payload, timeout=300):
     data = json.dumps(payload).encode()
     request = urllib.request.Request(
-        f"{url}/align", data=data, headers={"Content-Type": "application/json"}
+        f"{url}/v1/align", data=data, headers={"Content-Type": "application/json"}
     )
     with urllib.request.urlopen(request, timeout=timeout) as response:
         return response.status, json.loads(response.read())
@@ -47,10 +50,18 @@ def _get_text(url, path, timeout=30):
         return response.status, response.read().decode()
 
 
+def _error_body(excinfo) -> dict:
+    """Parse the error envelope from a raised HTTPError."""
+    body = json.loads(excinfo.value.read())
+    assert set(body) == {"error"}
+    assert set(body["error"]) == {"code", "message"}
+    return body["error"]
+
+
 class TestRoutes:
     def test_healthz(self, endpoint):
         url, _ = endpoint
-        status, payload = _get(url, "/healthz")
+        status, payload = _get(url, "/v1/healthz")
         assert status == 200 and payload == {"status": "ok"}
 
     def test_align_roundtrip(self, endpoint):
@@ -72,17 +83,37 @@ class TestRoutes:
         assert first["target_end"] > first["target_start"]
         assert first["cigar"]
 
+    def test_align_with_options_body(self, endpoint):
+        url, _ = endpoint
+        pair = build_pair(
+            "http-opts",
+            target_length=12_000,
+            query_length=12_000,
+            classes=[SegmentClass("s", 6, 80, 250, divergence=0.05)],
+            rng=12,
+        )
+        body = {"target": pair.target.text(), "query": pair.query.text()}
+        _, default_payload = _post(url, body)
+        _, batched_payload = _post(
+            url, {**body, "options": {"engine": "batched", "batch_size": 64}}
+        )
+        # Engines are bit-identical; the option override must not 400.
+        assert batched_payload["alignments"] == default_payload["alignments"]
+
     def test_stats_endpoint(self, endpoint):
         url, _ = endpoint
-        status, payload = _get(url, "/stats")
+        status, payload = _get(url, "/v1/stats")
         assert status == 200
         assert payload["submitted"] >= 1
         assert "cache" in payload
+        assert "shed" in payload
+        # In-process backend: no pool section.
+        assert payload["pool"] is None
 
     def test_metrics_endpoint_agrees_with_stats(self, endpoint):
         url, _ = endpoint
-        _, stats = _get(url, "/stats")
-        status, text = _get_text(url, "/metrics")
+        _, stats = _get(url, "/v1/stats")
+        status, text = _get_text(url, "/v1/metrics")
         assert status == 200
         assert "# TYPE repro_service_events_total counter" in text
         # Both endpoints read the same registry, so the counts agree.
@@ -102,19 +133,59 @@ class TestRoutes:
     def test_unknown_path_404(self, endpoint):
         url, _ = endpoint
         with pytest.raises(urllib.error.HTTPError) as excinfo:
-            _get(url, "/nope")
+            _get(url, "/v1/nope")
         assert excinfo.value.code == 404
+        assert _error_body(excinfo)["code"] == "not_found"
+
+
+class TestLegacyRedirects:
+    def test_get_paths_redirect_307_with_deprecation(self, endpoint):
+        # urllib auto-follows GET redirects, so talk raw HTTP to see them.
+        url, _ = endpoint
+        parsed = urllib.parse.urlparse(url)
+        for path in LEGACY_PATHS:
+            conn = http.client.HTTPConnection(parsed.hostname, parsed.port, timeout=30)
+            try:
+                conn.request("GET", path)
+                response = conn.getresponse()
+                response.read()
+                assert response.status == 307, path
+                assert response.getheader("Location") == API_PREFIX + path
+                assert response.getheader("Deprecation") == "true"
+            finally:
+                conn.close()
+
+    def test_legacy_get_followed_still_works(self, endpoint):
+        # End-to-end: a legacy client that follows redirects keeps working.
+        url, _ = endpoint
+        status, payload = _get(url, "/healthz")
+        assert status == 200 and payload == {"status": "ok"}
+
+    def test_legacy_post_align_redirects_307(self, endpoint):
+        # urllib refuses to follow POST 307s, surfacing the redirect —
+        # exactly what we assert on (307 preserves method + body).
+        url, _ = endpoint
+        data = json.dumps({"target": "ACGT", "query": "ACGT"}).encode()
+        request = urllib.request.Request(
+            f"{url}/align", data=data, headers={"Content-Type": "application/json"}
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 307
+        assert excinfo.value.headers["Location"] == "/v1/align"
+        assert excinfo.value.headers["Deprecation"] == "true"
 
 
 class TestBadRequests:
     def test_invalid_json_400(self, endpoint):
         url, _ = endpoint
         request = urllib.request.Request(
-            f"{url}/align", data=b"not json", headers={"Content-Type": "text/plain"}
+            f"{url}/v1/align", data=b"not json", headers={"Content-Type": "text/plain"}
         )
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=30)
         assert excinfo.value.code == 400
+        assert _error_body(excinfo)["code"] == "bad_request"
 
     def test_missing_fields_400(self, endpoint):
         url, _ = endpoint
@@ -137,6 +208,37 @@ class TestBadRequests:
                 _post(url, {"target": "ACGT", "query": "ACGT", "timeout_s": value})
             assert excinfo.value.code == 400
 
+    def test_unknown_option_key_400(self, endpoint):
+        url, _ = endpoint
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(
+                url,
+                {
+                    "target": "ACGT",
+                    "query": "ACGT",
+                    "options": {"enginee": "batched"},
+                },
+            )
+        assert excinfo.value.code == 400
+        error = _error_body(excinfo)
+        assert error["code"] == "bad_request"
+        assert "enginee" in error["message"]
+
+    def test_bad_option_value_400(self, endpoint):
+        url, _ = endpoint
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(
+                url,
+                {"target": "ACGT", "query": "ACGT", "options": {"engine": "quantum"}},
+            )
+        assert excinfo.value.code == 400
+
+    def test_non_mapping_options_400(self, endpoint):
+        url, _ = endpoint
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(url, {"target": "ACGT", "query": "ACGT", "options": [1, 2]})
+        assert excinfo.value.code == 400
+
     def test_non_dna_sequence_400(self, endpoint):
         # The encoding LUT maps junk to N, so without strict validation
         # this body was accepted (aligned as all-N) instead of rejected.
@@ -144,14 +246,12 @@ class TestBadRequests:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _post(url, {"target": "ACGT123!", "query": "ACGT"})
         assert excinfo.value.code == 400
-        body = json.loads(excinfo.value.read())
-        assert "target" in body["error"]
+        assert "target" in _error_body(excinfo)["message"]
 
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _post(url, {"target": "ACGT", "query": "ACGU"})
         assert excinfo.value.code == 400
-        body = json.loads(excinfo.value.read())
-        assert "query" in body["error"]
+        assert "query" in _error_body(excinfo)["message"]
 
     def test_non_ascii_sequence_400(self, endpoint):
         url, _ = endpoint
@@ -161,7 +261,7 @@ class TestBadRequests:
 
     def test_empty_body_400(self, endpoint):
         url, _ = endpoint
-        request = urllib.request.Request(f"{url}/align", data=b"")
+        request = urllib.request.Request(f"{url}/v1/align", data=b"")
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=30)
         assert excinfo.value.code == 400

@@ -1,0 +1,259 @@
+"""Multiprocess backend tests: equivalence, fault tolerance, degradation.
+
+The load-bearing property is bit-identity: the pool shards fused
+extension batches across worker processes, and because every extension
+task is independent, the reassembled records — and therefore every
+alignment the service returns — must match the in-process backend byte
+for byte at any worker count, through any number of worker deaths.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.options import FastzOptions
+from repro.core.pipeline import (
+    extend_suffixes_batched,
+    prepare_fastz,
+    shard_anchor_suffixes,
+)
+from repro.genome import SegmentClass, build_pair
+from repro.lastz.config import LastzConfig
+from repro.scoring import default_scheme
+from repro.service import AlignmentService, PoolError, WorkerPool
+
+CONFIG = LastzConfig(scheme=default_scheme(gap_extend=60, ydrop=2400))
+
+KILL_ENV = "REPRO_POOL_TEST_KILL_WORKER"
+
+
+def _pairs(n=4, length=8_000, seed=23):
+    out = []
+    for i in range(n):
+        pair = build_pair(
+            f"pool{i}",
+            target_length=length,
+            query_length=length,
+            classes=[SegmentClass("s", 4, 80, 250, divergence=0.05)],
+            rng=seed + i,
+        )
+        out.append((pair.target, pair.query))
+    return out
+
+
+def _run_service(pairs, **kwargs):
+    """Align every pair on a fresh service; returns comparable tuples."""
+    outs = []
+    with AlignmentService(max_wait_ms=1.0, config=CONFIG, **kwargs) as service:
+        for target, query in pairs:
+            result = service.align(target, query, timeout_s=300)
+            outs.append(
+                [
+                    (a.score, a.target_start, a.target_end,
+                     a.query_start, a.query_end, a.cigar())
+                    for a in result.unique_alignments()
+                ]
+            )
+        stats = service.stats()
+    return outs, stats
+
+
+@pytest.fixture(scope="module")
+def prep():
+    target, query = _pairs(n=1, length=12_000)[0]
+    return prepare_fastz(
+        target.codes, query.codes, CONFIG, FastzOptions(engine="batched")
+    )
+
+
+class TestShardPlan:
+    def test_covers_anchors_disjointly(self, prep):
+        suffixes = prep.suffixes()
+        shards = shard_anchor_suffixes(suffixes, 3)
+        anchors = sorted(a for idx, _sub in shards for a in idx)
+        assert anchors == list(range(prep.n_anchors))
+        for idx, sub in shards:
+            assert len(sub) == 2 * len(idx)
+
+    def test_sub_lists_keep_interleaving(self, prep):
+        suffixes = prep.suffixes()
+        for idx, sub in shard_anchor_suffixes(suffixes, 2):
+            for local, anchor in enumerate(idx):
+                assert sub[2 * local] is suffixes[2 * anchor]
+                assert sub[2 * local + 1] is suffixes[2 * anchor + 1]
+
+    def test_never_more_shards_than_anchors(self, prep):
+        shards = shard_anchor_suffixes(prep.suffixes(), prep.n_anchors + 16)
+        assert len(shards) <= prep.n_anchors
+
+    def test_validation(self, prep):
+        with pytest.raises(ValueError):
+            shard_anchor_suffixes(prep.suffixes(), 0)
+
+
+class TestWorkerPool:
+    def test_extend_matches_in_process(self, prep):
+        suffixes = prep.suffixes()
+        expected = extend_suffixes_batched(
+            suffixes, prep.scheme, prep.options, prep.tile
+        )
+        pool = WorkerPool(2)
+        try:
+            got = pool.extend(
+                suffixes, prep.scheme, prep.options, prep.tile, key="k"
+            )
+        finally:
+            pool.close()
+        assert got == expected
+
+    def test_empty_batch(self):
+        pool = WorkerPool(1)
+        try:
+            assert pool.extend([], None, None, 16, key="k") == []
+        finally:
+            pool.close()
+
+    def test_warm_cache_ships_params_once(self, prep):
+        pool = WorkerPool(1)
+        try:
+            suffixes = prep.suffixes()
+            pool.extend(suffixes, prep.scheme, prep.options, prep.tile, key="k")
+            assert "k" in pool._workers[0].seen
+            # Second dispatch reuses the worker-resident params.
+            pool.extend(suffixes, prep.scheme, prep.options, prep.tile, key="k")
+            assert pool.dispatches == 2
+        finally:
+            pool.close()
+
+    def test_closed_pool_raises(self, prep):
+        pool = WorkerPool(1)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(PoolError):
+            pool.extend(prep.suffixes(), prep.scheme, prep.options, prep.tile, key="k")
+
+    def test_stats_shape(self):
+        pool = WorkerPool(2)
+        try:
+            stats = pool.stats()
+            assert stats["workers"] == 2
+            assert stats["alive"] == 2
+            assert set(stats) == {
+                "workers", "alive", "dispatches", "respawns",
+                "redispatches", "degraded",
+            }
+        finally:
+            pool.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+
+class TestServiceEquivalence:
+    def test_bit_identical_across_worker_counts(self):
+        pairs = _pairs(n=4)
+        baseline, base_stats = _run_service(pairs, pool_workers=0)
+        for workers in (1, 4):
+            outs, stats = _run_service(pairs, pool_workers=workers)
+            assert outs == baseline, f"pool_workers={workers} diverged"
+            assert stats.completed == base_stats.completed
+            assert stats.failed == 0
+            assert stats.pool["workers"] == workers
+            assert stats.pool["dispatches"] >= 1
+        assert base_stats.pool is None
+
+    def test_pool_section_in_stats_dict(self):
+        (target, query), = _pairs(n=1)
+        with AlignmentService(
+            max_wait_ms=1.0, config=CONFIG, pool_workers=2
+        ) as service:
+            service.align(target, query, timeout_s=300)
+            payload = service.stats().as_dict()
+        assert payload["pool"]["workers"] == 2
+        assert payload["pool"]["respawns"] == 0
+
+
+class TestFaultTolerance:
+    def test_sigkilled_worker_mid_batch_completes(self, monkeypatch):
+        # Worker 0 hard-exits (SIGKILL semantics) on its first shard; the
+        # pool must respawn it, re-dispatch the shard, and the request
+        # must still complete with the in-process answer.
+        pairs = _pairs(n=2)
+        baseline, _ = _run_service(pairs, pool_workers=0)
+        monkeypatch.setenv(KILL_ENV, "0")
+        outs, stats = _run_service(pairs, pool_workers=2)
+        assert outs == baseline
+        assert stats.failed == 0
+        assert stats.pool["respawns"] >= 1
+        assert stats.pool["redispatches"] >= 1
+        assert stats.pool["alive"] == 2
+
+    def test_idle_worker_killed_between_batches(self):
+        pairs = _pairs(n=2)
+        baseline, _ = _run_service(pairs, pool_workers=0)
+        with AlignmentService(
+            max_wait_ms=1.0, config=CONFIG, pool_workers=2
+        ) as service:
+            first = service.align(*pairs[0], timeout_s=300)
+            victim = service.pool.worker_pids[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 10
+            while service.pool.n_alive == 2 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            second = service.align(*pairs[1], timeout_s=300)
+            stats = service.stats()
+        for result, expected in ((first, baseline[0]), (second, baseline[1])):
+            got = [
+                (a.score, a.target_start, a.target_end,
+                 a.query_start, a.query_end, a.cigar())
+                for a in result.unique_alignments()
+            ]
+            assert got == expected
+        assert stats.pool["respawns"] >= 1
+        assert stats.failed == 0
+
+    def test_repeated_deaths_degrade_to_in_process(self, monkeypatch):
+        # Every spawned worker is on the kill list, so each re-dispatch
+        # kills its replacement too; past max_redispatch the pool raises
+        # PoolError and the dispatcher must fall back in-process — the
+        # request completes anyway.
+        pairs = _pairs(n=1)
+        baseline, _ = _run_service(pairs, pool_workers=0)
+        monkeypatch.setenv(KILL_ENV, ",".join(str(i) for i in range(64)))
+        outs, stats = _run_service(pairs, pool_workers=2)
+        assert outs == baseline
+        assert stats.failed == 0
+        assert stats.pool["degraded"] >= 1
+
+    def test_poisoned_request_fails_alone_and_pool_survives(self):
+        # Codes value 99 is outside the alphabet and detonates inside the
+        # extension handler on the worker: that is a reported failure, not
+        # a death — the culprit's future fails, the pool stays up, and the
+        # next request is served normally.
+        (target, query), = _pairs(n=1)
+        rng = np.random.default_rng(3)
+        poison = rng.integers(0, 4, 2_000, dtype=np.uint8)
+        poison[500:600] = 99
+        from repro.seeding import Anchors
+
+        with AlignmentService(
+            max_wait_ms=1.0, config=CONFIG, pool_workers=2
+        ) as service:
+            with pytest.raises(Exception):
+                service.align(
+                    poison, poison,
+                    anchors=Anchors(np.array([550]), np.array([550])),
+                    timeout_s=300,
+                )
+            result = service.align(target, query, timeout_s=300)
+            stats = service.stats()
+        assert len(result.unique_alignments()) >= 1
+        assert stats.failed == 1
+        assert stats.completed >= 1
+        assert stats.pool["alive"] == 2
+        # Poison is not a worker death: nothing was respawned for it.
+        assert stats.pool["degraded"] == 0

@@ -163,6 +163,57 @@ class TestRobustness:
             gate.set()
             service.shutdown(timeout=60)
 
+    def test_admission_control_sheds_on_inflight_bytes(self, gated_dispatcher):
+        """Beyond the in-flight byte bound, submissions shed with 503
+        semantics (ServiceOverloaded + retry_after_s), distinct from
+        queue-full rejection."""
+        gate, marker = gated_dispatcher
+        rng = np.random.default_rng(5)
+        big = rng.integers(0, 4, 2_000, dtype=np.uint8)
+        service = AlignmentService(
+            max_batch=1,
+            max_wait_ms=0.0,
+            max_inflight_bytes=8_000,
+            config=CONFIG,
+        )
+        try:
+            # The gate request (202 bytes) plus one big pair (4000) fit
+            # under the bound; a second big pair pushes past it.
+            gate_future = _submit_gate(service, marker)
+            admitted = service.submit(big, big)
+            with pytest.raises(ServiceOverloaded) as excinfo:
+                service.submit(big, big)
+            assert excinfo.value.retry_after_s > 0
+            stats = service.stats()
+            assert stats.shed == 1
+            assert stats.rejected == 0  # shedding is not queue-full
+            gate.set()
+            assert admitted.result(timeout=60) is not None
+            assert gate_future.result(timeout=60) is not None
+            # The completed request released its bytes: admission resumes.
+            assert service.align(big, big, timeout_s=60) is not None
+        finally:
+            gate.set()
+            service.shutdown(timeout=60)
+
+    def test_unbounded_inflight_when_disabled(self, gated_dispatcher):
+        gate, marker = gated_dispatcher
+        rng = np.random.default_rng(6)
+        big = rng.integers(0, 4, 50_000, dtype=np.uint8)
+        service = AlignmentService(
+            max_batch=1, max_wait_ms=0.0, max_inflight_bytes=None, config=CONFIG
+        )
+        try:
+            _submit_gate(service, marker)
+            futures = [service.submit(big, big) for _ in range(3)]
+            assert service.stats().shed == 0
+            gate.set()
+            for future in futures:
+                assert future.result(timeout=300) is not None
+        finally:
+            gate.set()
+            service.shutdown(timeout=60)
+
     def test_per_request_timeout(self, gated_dispatcher):
         gate, marker = gated_dispatcher
         rng = np.random.default_rng(2)

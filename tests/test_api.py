@@ -1,0 +1,150 @@
+"""Tests of the repro.api v1 facade: local entry points and HTTP client."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.core.options import FASTZ_FULL, FastzOptions
+from repro.core.pipeline import run_fastz
+from repro.genome import SegmentClass, build_pair
+from repro.lastz.config import LastzConfig
+from repro.scoring import default_scheme
+from repro.service import AlignmentService, make_server
+
+CONFIG = LastzConfig(scheme=default_scheme(gap_extend=60, ydrop=2400))
+
+
+def _pair(seed=31, length=10_000):
+    return build_pair(
+        f"api{seed}",
+        target_length=length,
+        query_length=length,
+        classes=[SegmentClass("s", 5, 80, 250, divergence=0.05)],
+        rng=seed,
+    )
+
+
+class TestResolveOptions:
+    def test_none_is_full_pipeline(self):
+        assert api.resolve_options(None) is FASTZ_FULL
+
+    def test_instance_passthrough(self):
+        options = FastzOptions(engine="batched")
+        assert api.resolve_options(options) is options
+
+    def test_mapping_validated(self):
+        assert api.resolve_options({"engine": "batched"}).engine == "batched"
+        with pytest.raises(ValueError, match="unknown"):
+            api.resolve_options({"engin": "batched"})
+
+
+class TestAlign:
+    def test_matches_run_fastz(self):
+        pair = _pair()
+        facade = api.align(pair.target, pair.query, CONFIG)
+        direct = run_fastz(pair.target, pair.query, CONFIG, FASTZ_FULL)
+        assert facade.alignments == direct.alignments
+
+    def test_mapping_options(self):
+        pair = _pair()
+        scalar = api.align(pair.target, pair.query, CONFIG)
+        batched = api.align(
+            pair.target, pair.query, CONFIG, {"engine": "batched"}
+        )
+        assert batched.alignments == scalar.alignments
+
+    def test_align_window_matches_unbounded(self):
+        pair = _pair()
+        full = api.align(pair.target, pair.query, CONFIG, keep_extensions=True)
+        windowed = api.align_window(
+            pair.target.codes,
+            pair.query.codes,
+            CONFIG,
+            anchors=full.anchors,
+        )
+        assert {a.cigar() for _, _, a in windowed.records} >= {
+            a.cigar() for a in full.unique_alignments()
+        }
+
+    def test_align_chunked_temp_job_dir(self):
+        pair = _pair(seed=37, length=20_000)
+        report = api.align_chunked(
+            pair.target,
+            pair.query,
+            CONFIG,
+            {"engine": "scalar"},
+            log=lambda _msg: None,
+        )
+        direct = api.align(pair.target, pair.query, CONFIG)
+        assert report.complete
+        assert {a.cigar() for a in report.alignments} == {
+            a.cigar() for a in direct.unique_alignments()
+        }
+
+
+@pytest.fixture(scope="module")
+def endpoint():
+    service = AlignmentService(max_wait_ms=1.0, config=CONFIG)
+    server = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    service.shutdown(timeout=60)
+
+
+class TestClient:
+    def test_healthz(self, endpoint):
+        assert api.Client(endpoint).healthz() == {"status": "ok"}
+
+    def test_align_accepts_str_sequence_and_codes(self, endpoint):
+        client = api.Client(endpoint)
+        pair = _pair(seed=41)
+        by_seq = client.align(pair.target, pair.query, timeout_s=300)
+        by_str = client.align(
+            pair.target.text(), pair.query.text(), timeout_s=300
+        )
+        by_codes = client.align(pair.target.codes, pair.query.codes, timeout_s=300)
+        assert by_seq == by_str == by_codes
+        assert by_seq["count"] >= 1
+
+    def test_align_with_options(self, endpoint):
+        client = api.Client(endpoint)
+        pair = _pair(seed=43)
+        base = client.align(pair.target, pair.query, timeout_s=300)
+        mapped = client.align(
+            pair.target,
+            pair.query,
+            options={"engine": "batched"},
+            timeout_s=300,
+        )
+        typed = client.align(
+            pair.target,
+            pair.query,
+            options=FastzOptions(engine="batched"),
+            timeout_s=300,
+        )
+        assert mapped["alignments"] == base["alignments"]
+        assert typed["alignments"] == base["alignments"]
+
+    def test_stats_and_metrics(self, endpoint):
+        client = api.Client(endpoint)
+        stats = client.stats()
+        assert stats["submitted"] >= 1
+        assert "repro_service_events_total" in client.metrics()
+
+    def test_error_envelope_raises_api_error(self, endpoint):
+        client = api.Client(endpoint)
+        with pytest.raises(api.ApiError) as excinfo:
+            client.align("ACGT", "NOT DNA!", timeout_s=30)
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad_request"
+
+        with pytest.raises(api.ApiError) as excinfo:
+            client.align("ACGT", "ACGT", options={"bogus": 1}, timeout_s=30)
+        assert excinfo.value.code == "bad_request"
+        assert "bogus" in str(excinfo.value)
