@@ -1,6 +1,7 @@
 """Alignment engines: Gotoh reference, y-drop row engine, FastZ wavefront."""
 
 from .alignment import Alignment, merge_ops
+from .arena import LockstepArena, release_thread_arenas, thread_arena
 from .banded import banded_extend
 from .batch import batch_wavefront_extend
 from .diagonal import (
@@ -42,6 +43,7 @@ __all__ = [
     "ExtensionResult",
     "ExtensionStats",
     "GotohResult",
+    "LockstepArena",
     "UngappedHSP",
     "WARP_WIDTH",
     "WavefrontResult",
@@ -54,7 +56,9 @@ __all__ = [
     "gotoh_matrices",
     "merge_ops",
     "pack",
+    "release_thread_arenas",
     "skew_matrix",
+    "thread_arena",
     "to_diagonal",
     "ungapped_extend",
     "ungapped_extend_one_sided",

@@ -1,0 +1,146 @@
+"""Reusable slab arena for the lockstep batch engine.
+
+The batched wavefront engine (:mod:`repro.align.batch`) advances hundreds
+of extension tasks per anti-diagonal; on a GPU the working set would live
+in a preallocated device buffer for the lifetime of the stream.  The CPU
+analogue is this arena: one :class:`LockstepArena` owns the score, code,
+boolean and traceback slabs and hands out *views* sized to each lockstep
+chunk, so a warm engine (the pipeline executor, a service dispatcher
+thread, a pool worker process) performs zero slab allocations in steady
+state — growth happens geometrically and only when a chunk's union window
+outgrows every batch seen before.
+
+Blocks are keyed by role (``"scores"``, ``"bools"``, ``"scratch8"``,
+``"codes_t"``, ``"codes_q"``, ``"tile"``) *and* dtype, so an int32 sweep
+and an int64 fallback sweep can alternate without thrashing each other's
+buffers.  Returned views are **uninitialised** — the engine owns all
+filling/scrubbing — and :meth:`block` reports whether the backing storage
+changed so the engine knows when live state must be copied across.
+
+An arena is deliberately **not** thread-safe: it models one lane of
+device memory.  Keep one arena per dispatcher thread / worker process and
+never share one across concurrent ``batch_wavefront_extend`` calls.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from .. import obs
+
+__all__ = ["LockstepArena", "thread_arena", "release_thread_arenas"]
+
+
+class LockstepArena:
+    """Preallocated, geometrically grown slab storage for lockstep sweeps.
+
+    ``acquires``/``reuses``/``allocations`` count checkout outcomes (a
+    checkout that fits inside a retained buffer is a *reuse*; one that
+    forces fresh backing is an *allocation*).  The same counts are
+    mirrored into the :mod:`repro.obs` registry as
+    ``repro_batch_arena_acquires_total`` / ``..._reuses_total`` /
+    ``..._allocs_total`` plus a ``repro_batch_arena_bytes`` gauge of
+    retained storage, so a trace or ``GET /v1/metrics`` shows whether the
+    hot path runs allocation-free.
+    """
+
+    __slots__ = ("_blocks", "acquires", "reuses", "allocations")
+
+    def __init__(self) -> None:
+        self._blocks: dict[tuple[str, str], np.ndarray] = {}
+        self.acquires = 0
+        self.reuses = 0
+        self.allocations = 0
+
+    def block(
+        self, key: str, shape: tuple[int, ...], dtype: np.dtype | type
+    ) -> tuple[np.ndarray, bool]:
+        """Check out an uninitialised view of at least ``shape``.
+
+        Returns ``(view, fresh)``.  ``view`` has exactly ``shape``;
+        ``fresh`` is True when the backing buffer changed (first checkout
+        or growth), meaning any live state in a previously returned view
+        of the same key must be copied into the new view by the caller.
+        When ``fresh`` is False the view aliases the previous backing, so
+        a grown view already contains the old columns/rows in place.
+        """
+        dt = np.dtype(dtype)
+        self.acquires += 1
+        obs.counter(
+            "repro_batch_arena_acquires_total", "Arena slab checkouts."
+        ).inc()
+        slot = (key, dt.str)
+        buf = self._blocks.get(slot)
+        if buf is not None and all(h >= s for h, s in zip(buf.shape, shape)):
+            self.reuses += 1
+            obs.counter(
+                "repro_batch_arena_reuses_total",
+                "Arena slab checkouts served from retained buffers.",
+            ).inc()
+            return buf[tuple(slice(0, s) for s in shape)], False
+        # Grow each axis to at least what is asked for, never shrinking an
+        # axis the retained buffer already covers (the engine's own
+        # geometric growth supplies the doubling).
+        if buf is not None and buf.ndim == len(shape):
+            new_shape = tuple(max(h, s) for h, s in zip(buf.shape, shape))
+        else:
+            new_shape = tuple(shape)
+        arr = np.empty(new_shape, dtype=dt)
+        self._blocks[slot] = arr
+        self.allocations += 1
+        obs.counter(
+            "repro_batch_arena_allocs_total",
+            "Arena slab checkouts that allocated fresh backing.",
+        ).inc()
+        obs.gauge(
+            "repro_batch_arena_bytes", "Bytes of slab storage retained by arenas."
+        ).set(float(self.nbytes()))
+        return arr[tuple(slice(0, s) for s in shape)], True
+
+    def nbytes(self) -> int:
+        """Total bytes of retained backing storage."""
+        return sum(buf.nbytes for buf in self._blocks.values())
+
+    def release(self) -> None:
+        """Drop all retained buffers (counters are kept)."""
+        self._blocks.clear()
+
+
+_thread_arenas = threading.local()
+
+
+def thread_arena(key: str) -> LockstepArena:
+    """The calling thread's warm arena for ``key``, created on first use.
+
+    This is how long-lived engines stay allocation-free across *calls*:
+    the pipeline checks out ``thread_arena("inspector")`` and
+    ``thread_arena("executor:<bin>")`` so a service dispatcher thread or a
+    pool worker process reuses the same slabs batch after batch, while two
+    threads never share backing storage (arenas are not thread-safe).
+    """
+    registry = getattr(_thread_arenas, "registry", None)
+    if registry is None:
+        registry = _thread_arenas.registry = {}
+    arena = registry.get(key)
+    if arena is None:
+        arena = registry[key] = LockstepArena()
+    return arena
+
+
+def release_thread_arenas() -> int:
+    """Drop every warm arena owned by the calling thread.
+
+    Returns the number of bytes freed.  Long-running hosts call this on
+    shutdown paths (service dispatcher exit, pool worker exit) so retained
+    slab memory does not outlive the engine that warmed it.
+    """
+    registry = getattr(_thread_arenas, "registry", None)
+    freed = 0
+    if registry:
+        for arena in registry.values():
+            freed += arena.nbytes()
+            arena.release()
+        registry.clear()
+    return freed

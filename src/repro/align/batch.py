@@ -14,19 +14,37 @@ Layout
 ------
 All per-task score state is stacked row-wise:
 
-* cyclic three-diagonal buffers ``S/I/D`` become ``(N, cap)`` slabs indexed
-  by the absolute row coordinate ``i`` (same bijection as the scalar
-  engine's buffers), rotated by reference swap each step;
+* cyclic three-diagonal buffers ``S/I/D`` become ``(N, cap)`` planes of one
+  arena-backed score block indexed by the absolute row coordinate ``i``
+  (same bijection as the scalar engine's buffers), rotated by plane-index
+  swap each step;
 * per-task active windows live in ``lo``/``hi`` vectors; each step computes
   only the union column range ``[min(lo), max(hi)]`` and masks each row to
   its own window — the tighter the batch's length distribution, the less
   masked-out waste, which is the measurable CPU analogue of §3.3's
-  length-binned load balance;
-* sequence codes are staged into padded ``(N, L)`` slabs grown on demand,
-  so the diagonal-parent substitution lookup is two contiguous slices plus
-  one fancy-index into the 5x5 matrix — no per-task gathers;
-* finished tasks are retired (their :class:`WavefrontResult` is emitted)
-  and the batch is compacted so dead rows stop consuming bandwidth.
+  length-binned load balance (recorded as the ``repro_batch_occupancy``
+  histogram: live cells over union-window slab cells);
+* sequence codes are staged **once** into padded ``(N, L)`` slabs; growth
+  zero-extends the slab and stages only the new columns;
+* finished tasks become masked *tombstones* (their window is pinned shut
+  with sentinels, so they stop contributing to the union range and every
+  per-row update skips them via ``where=``); slabs are physically
+  compacted only when the dead fraction exceeds a threshold
+  (``REPRO_BATCH_COMPACT_THRESHOLD``, default 0.5), instead of fancy-index
+  copying every slab on every retirement.
+
+Allocation model
+----------------
+All slab storage is checked out of a :class:`~repro.align.arena.
+LockstepArena`; a warm engine performs no slab allocations in steady
+state.  The score planes are int32 whenever
+:func:`~repro.align.wavefront.score_drift_bound` proves the sweep cannot
+wrap past int32 around the ``NEG_INF`` sentinel (every op is
+add/subtract/max, so int32 and int64 sweeps are then bit-identical); the
+engine transparently falls back to int64 otherwise.  All per-diagonal
+recurrences, window masking and y-drop pruning write into the arena
+planes with ``out=``/``where=`` ufuncs — the hot loop allocates only
+O(N)-sized vectors, never O(N x width) temporaries.
 
 The engine reproduces the scalar engine *bit-identically*: same scores,
 same optimal cells (same tie-breaks — the masked out-of-window cells are
@@ -38,34 +56,48 @@ the property-style equivalence suite.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from .. import obs
 from ..scoring import NEG_INF, ScoringScheme
+from .arena import LockstepArena
 from .traceback import S_DIAG, S_FROM_D, S_FROM_I, S_ORIGIN, walk_traceback
-from .wavefront import WARP_WIDTH, DiagTraceback, WavefrontResult, WavefrontStats
+from .wavefront import (
+    WARP_WIDTH,
+    DiagTraceback,
+    WavefrontResult,
+    WavefrontStats,
+    pick_score_dtype,
+)
 
 __all__ = ["batch_wavefront_extend"]
 
-_NEG = np.int64(NEG_INF)
+#: Window sentinels for tombstoned (retired) rows: ``lo`` is pushed above
+#: any reachable diagonal and ``hi`` below zero, so a dead row's window can
+#: never reopen and never stretches the union range ``[L, H]``.
+_DEAD_LO = np.int64(1) << 40
+_DEAD_HI = np.int64(-3)
+
+_COMPACT_ENV = "REPRO_BATCH_COMPACT_THRESHOLD"
+_DEFAULT_COMPACT_THRESHOLD = 0.5
+
+_OCC_BUCKETS = tuple(i / 10 for i in range(1, 11))
+
+#: Score block plane layout: 7 cyclic S/I/D planes + 2 scratch planes.
+_N_SCORE_PLANES = 9
 
 
-def _grow_slab(slab: np.ndarray, cap: int) -> np.ndarray:
-    out = np.full((slab.shape[0], cap), _NEG, dtype=np.int64)
-    out[:, : slab.shape[1]] = slab
-    return out
-
-
-def _grow_codes(slab: np.ndarray, seqs: list[np.ndarray], length: int) -> np.ndarray:
-    """Extend the padded code slab to ``length`` columns, zero-padded."""
-    out = np.zeros((slab.shape[0], length), dtype=np.uint8)
-    have = slab.shape[1]
-    out[:, :have] = slab
-    for row, seq in enumerate(seqs):
-        stop = min(int(seq.shape[0]), length)
-        if stop > have:
-            out[row, have:stop] = seq[have:stop]
-    return out
+def _compact_threshold() -> float:
+    """Dead-row fraction above which slabs are physically compacted."""
+    raw = os.environ.get(_COMPACT_ENV)
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    return _DEFAULT_COMPACT_THRESHOLD
 
 
 def batch_wavefront_extend(
@@ -76,6 +108,9 @@ def batch_wavefront_extend(
     traceback: bool = False,
     prune: bool = True,
     batch_size: int | None = None,
+    arena: LockstepArena | None = None,
+    score_dtype: str | np.dtype | None = None,
+    presorted: bool = False,
 ) -> list[WavefrontResult]:
     """Extend N ``(target, query)`` suffix pairs in lockstep.
 
@@ -84,24 +119,63 @@ def batch_wavefront_extend(
     same keyword arguments; results come back in input order and are
     bit-identical to the per-task calls.
 
-    ``batch_size`` caps how many tasks share one lockstep slab (bounding
-    slab memory); ``None`` runs everything as a single batch.
+    Memory model
+    ------------
+    One lockstep slab holds ``batch_size`` rows times the widest union
+    window the chunk reaches — O(batch_size x max_extent) score cells
+    (int32 when provably safe, else int64), regardless of how many pairs
+    are passed.  ``batch_size=None`` packs *everything* into a single
+    slab, so slab memory then grows with ``len(pairs)``; callers with
+    unbounded task lists (the pipeline executor, service workers) must
+    pass a bound — they all forward ``FastzOptions.batch_size``.  Slabs
+    are checked out of ``arena`` and reused across chunks; pass a warm
+    :class:`~repro.align.arena.LockstepArena` to reuse them across *calls*
+    as well (one arena per thread/process — arenas are not thread-safe).
+    ``score_dtype`` ("int32"/"int64") overrides the automatic promotion
+    decision, e.g. to force the int64 path in tests; forcing int32 on a
+    workload whose drift bound exceeds the int32 budget is undefined.
+    ``presorted=True`` says the caller already ordered ``pairs`` by
+    expected sweep depth (e.g. the executor's inspector-measured extents,
+    a better key than raw length), suppressing the internal length sort.
+    Composition never changes any result — only slab occupancy.
     """
     results: list[WavefrontResult | None] = [None] * len(pairs)
     if not pairs:
         return []
     if batch_size is not None and batch_size <= 0:
         raise ValueError("batch_size must be positive")
+    forced: np.dtype | None = None
+    if score_dtype is not None:
+        forced = np.dtype(score_dtype)
+        if forced not in (np.dtype(np.int32), np.dtype(np.int64)):
+            raise ValueError("score_dtype must be int32 or int64")
+    if arena is None:
+        arena = LockstepArena()
     step = int(batch_size) if batch_size else len(pairs)
+    # Occupancy-aware chunk composition: when the task list is split into
+    # several lockstep chunks, grouping tasks of similar total length keeps
+    # each chunk's union window tight and lets whole chunks retire early
+    # (tasks are independent, so composition never changes any result;
+    # results are still returned in input order).
+    if len(pairs) > step and not presorted:
+        order: list[int] = sorted(
+            range(len(pairs)),
+            key=lambda i: len(pairs[i][0]) + len(pairs[i][1]),
+        )
+    else:
+        order = list(range(len(pairs)))
     for start in range(0, len(pairs), step):
+        chunk = order[start : start + step]
         _extend_lockstep(
-            pairs[start : start + step],
+            [pairs[i] for i in chunk],
             scheme,
             eager_tile,
             traceback,
             prune,
             results,
-            start,
+            chunk,
+            arena,
+            forced,
         )
     return results  # type: ignore[return-value]
 
@@ -113,285 +187,505 @@ def _extend_lockstep(
     traceback: bool,
     prune: bool,
     results: list,
-    base_index: int,
+    out_index: list[int],
+    arena: LockstepArena,
+    forced_dtype: np.dtype | None,
 ) -> None:
     targets = [np.asarray(t, dtype=np.uint8) for t, _ in pairs]
     queries = [np.asarray(q, dtype=np.uint8) for _, q in pairs]
-    rows = len(pairs)
+    R = len(pairs)
     obs.counter(
         "repro_batch_lockstep_batches_total",
         "Struct-of-arrays lockstep batches advanced.",
     ).inc()
     obs.counter(
         "repro_batch_tasks_total", "Extension tasks packed into lockstep batches."
-    ).inc(rows)
+    ).inc(R)
 
     oe = int(scheme.gap_open + scheme.gap_extend)
     e = int(scheme.gap_extend)
     ydrop = int(scheme.ydrop) if prune else None
-    sub = scheme.substitution
     tile = int(eager_tile) if not traceback else 0
 
-    idx = np.arange(rows, dtype=np.int64)
-    m = np.fromiter((t.shape[0] for t in targets), dtype=np.int64, count=rows)
-    n = np.fromiter((q.shape[0] for q in queries), dtype=np.int64, count=rows)
+    idx = np.asarray(out_index, dtype=np.int64)
+    m = np.fromiter((t.shape[0] for t in targets), dtype=np.int64, count=R)
+    n = np.fromiter((q.shape[0] for q in queries), dtype=np.int64, count=R)
+
+    span = int((m + n).max())
+    sdt = forced_dtype or pick_score_dtype(scheme, span, prune=prune)
+    obs.counter(
+        "repro_batch_sweep_dtype_total", "Lockstep sweeps by score dtype."
+    ).labels(dtype=sdt.name).inc()
+    NEG = sdt.type(NEG_INF)
+    sub = np.asarray(scheme.substitution)
+    sub_side = int(sub.shape[0])
+    sub_f = np.ascontiguousarray(sub, dtype=sdt).ravel()
+    # The flat-take substitution lookup clips instead of raising, so enforce
+    # the scalar engine's fancy-indexing contract (out-of-alphabet codes are
+    # an error) up front, before any state is staged.
+    for seq in targets:
+        if seq.shape[0] and int(seq.max()) >= sub_side:
+            raise IndexError(
+                f"target codes exceed the {sub_side}-letter alphabet"
+            )
+    for seq in queries:
+        if seq.shape[0] and int(seq.max()) >= sub_side:
+            raise IndexError(
+                f"query codes exceed the {sub_side}-letter alphabet"
+            )
 
     cap = 128
-    S_pp = np.full((rows, cap), _NEG, dtype=np.int64)
-    S_p = np.full((rows, cap), _NEG, dtype=np.int64)
-    S_c = np.full((rows, cap), _NEG, dtype=np.int64)
-    I_p = np.full((rows, cap), _NEG, dtype=np.int64)
-    I_c = np.full((rows, cap), _NEG, dtype=np.int64)
-    D_p = np.full((rows, cap), _NEG, dtype=np.int64)
-    D_c = np.full((rows, cap), _NEG, dtype=np.int64)
-    S_p[:, 0] = 0  # diagonal 0: the origin
+    blk, _ = arena.block("scores", (_N_SCORE_PLANES, R, cap), sdt)
+    blk[:7] = NEG
+    bool_blk, _ = arena.block("bools", (4, R, cap), np.bool_)
+    u8_blk, _ = arena.block("scratch8", (4, R, cap), np.uint8)
+    cols_all = np.arange(cap, dtype=np.int64)
+    # Cyclic rotation swaps plane *indices*; views are re-derived per step.
+    p_spp, p_sp, p_sc = 0, 1, 2
+    p_ip, p_ic = 3, 4
+    p_dp, p_dc = 5, 6
+    blk[p_sp, :, 0] = 0  # diagonal 0: the origin
 
     t_len = q_len = 64
-    Tpad = _grow_codes(np.zeros((rows, 0), dtype=np.uint8), targets, t_len)
-    Qpad = _grow_codes(np.zeros((rows, 0), dtype=np.uint8), queries, q_len)
+    Tpad, _ = arena.block("codes_t", (R, t_len), np.uint8)
+    Qpad, _ = arena.block("codes_q", (R, q_len), np.uint8)
+    Tpad[:] = 0
+    Qpad[:] = 0
+    for row in range(R):
+        seq = targets[row]
+        stop = min(int(seq.shape[0]), t_len)
+        if stop:
+            Tpad[row, :stop] = seq[:stop]
+        seq = queries[row]
+        stop = min(int(seq.shape[0]), q_len)
+        if stop:
+            Qpad[row, :stop] = seq[:stop]
 
-    lo_prev = np.zeros(rows, dtype=np.int64)
-    hi_prev = np.zeros(rows, dtype=np.int64)
-    best = np.zeros(rows, dtype=np.int64)
-    best_i = np.zeros(rows, dtype=np.int64)
-    best_j = np.zeros(rows, dtype=np.int64)
+    lo_prev = np.zeros(R, dtype=np.int64)
+    hi_prev = np.zeros(R, dtype=np.int64)
+    best = np.zeros(R, dtype=sdt)
+    best_i = np.zeros(R, dtype=np.int64)
+    best_j = np.zeros(R, dtype=np.int64)
+    thr = np.empty(R, dtype=sdt)
+    d_best = np.empty(R, dtype=sdt)
+    lo = np.zeros(R, dtype=np.int64)
+    hi = np.zeros(R, dtype=np.int64)
+    dmn = np.subtract(0, n)  # maintained incrementally as d - n
+    width = np.empty(R, dtype=np.int64)
+    strips = np.empty(R, dtype=np.int64)
+    improved = np.empty(R, dtype=bool)
+    scr_b = np.empty(R, dtype=bool)
+    rows_all = np.arange(R, dtype=np.int64)
 
-    diagonals = np.ones(rows, dtype=np.int64)
-    cells = np.ones(rows, dtype=np.int64)
-    warp_steps = np.ones(rows, dtype=np.int64)
-    boundary_cells = np.zeros(rows, dtype=np.int64)
-    max_width = np.ones(rows, dtype=np.int64)
+    diagonals = np.ones(R, dtype=np.int64)
+    cells = np.ones(R, dtype=np.int64)
+    warp_steps = np.ones(R, dtype=np.int64)
+    # boundary_cells is recovered at finalize as warp_steps - diagonals: both
+    # start at 1 and every step adds (strips, 1) while boundary adds strips-1.
+    max_width = np.ones(R, dtype=np.int64)
+
+    live = np.ones(R, dtype=bool)
+    n_live = R
+    compact_frac = _compact_threshold()
+    slab_cells = 0
+    live_cells = 0
 
     tile_tb: np.ndarray | None = None
     if tile > 0:
-        tile_tb = np.zeros((rows, tile + 1, tile + 1), dtype=np.uint8)
+        tile_tb, _ = arena.block("tile", (R, tile + 1, tile + 1), np.uint8)
+        tile_tb[:] = 0
         tile_tb[:, 0, 0] = S_ORIGIN
-    full_tbs: list[DiagTraceback] | None = None
+    full_tbs: list[DiagTraceback | None] | None = None
     if traceback:
         full_tbs = []
-        for row in range(rows):
+        for row in range(R):
             tb = DiagTraceback((int(m[row]) + 1, int(n[row]) + 1))
             tb.append_diag(0, np.array([S_ORIGIN], dtype=np.uint8))
             full_tbs.append(tb)
 
-    def finalize(row: int) -> None:
-        stats = WavefrontStats(
-            diagonals=int(diagonals[row]),
-            cells=int(cells[row]),
-            warp_steps=int(warp_steps[row]),
-            boundary_cells=int(boundary_cells[row]),
-            max_width=int(max_width[row]),
-        )
-        bi, bj = int(best_i[row]), int(best_j[row])
-        ops = None
-        eager_hit = False
+    def _finalize_rows(dead: np.ndarray) -> None:
+        """Emit WavefrontResults for the rows in ``dead`` (one bulk scalar
+        extraction per stat array instead of per-row numpy indexing)."""
+        nonlocal live_cells
+        sel = dead.tolist()
+        out_i = idx[dead].tolist()
+        sc_l = best[dead].tolist()
+        bi_l = best_i[dead].tolist()
+        bj_l = best_j[dead].tolist()
+        dg_l = diagonals[dead].tolist()
+        ce_l = cells[dead].tolist()
+        ws_l = warp_steps[dead].tolist()
+        bc_l = (warp_steps[dead] - diagonals[dead]).tolist()
+        mw_l = max_width[dead].tolist()
+        # Each row's cells counter is 1 + its lifetime sum of window widths,
+        # so retiring rows is the natural place to accumulate the occupancy
+        # numerator without a per-step masked reduction.
+        live_cells += int(cells[dead].sum()) - dead.shape[0]
+        for k, row in enumerate(sel):
+            bi, bj = bi_l[k], bj_l[k]
+            ops = None
+            eager_hit = False
+            if full_tbs is not None:
+                ops = walk_traceback(full_tbs[row], bi, bj)
+            elif tile_tb is not None and bi <= tile and bj <= tile:
+                ops = walk_traceback(tile_tb[row], bi, bj)
+                eager_hit = True
+            results[out_i[k]] = WavefrontResult(
+                score=sc_l[k],
+                end_i=bi,
+                end_j=bj,
+                stats=WavefrontStats(
+                    diagonals=dg_l[k],
+                    cells=ce_l[k],
+                    warp_steps=ws_l[k],
+                    boundary_cells=bc_l[k],
+                    max_width=mw_l[k],
+                ),
+                ops=ops,
+                eager_hit=eager_hit,
+            )
+
+    def _retire(dead: np.ndarray) -> None:
+        """Finalize ``dead`` rows and tombstone them in place."""
+        nonlocal n_live
+        _finalize_rows(dead)
+        live[dead] = False
+        lo_prev[dead] = _DEAD_LO
+        hi_prev[dead] = _DEAD_HI
         if full_tbs is not None:
-            ops = walk_traceback(full_tbs[row], bi, bj)
-        elif tile_tb is not None and bi <= tile and bj <= tile:
-            ops = walk_traceback(tile_tb[row], bi, bj)
-            eager_hit = True
-        results[base_index + int(idx[row])] = WavefrontResult(
-            score=int(best[row]),
-            end_i=bi,
-            end_j=bj,
-            stats=stats,
-            ops=ops,
-            eager_hit=eager_hit,
-        )
+            for row in dead.tolist():
+                full_tbs[row] = None
+        n_live -= int(dead.shape[0])
+
+    def _compact() -> None:
+        """Physically repack live rows to the front of every slab."""
+        nonlocal R, blk, bool_blk, u8_blk, Tpad, Qpad, tile_tb, full_tbs
+        nonlocal targets, queries, idx, m, n, lo, hi, lo_prev, hi_prev
+        nonlocal best, best_i, best_j, thr, d_best, live
+        nonlocal dmn, width, strips, improved, scr_b, rows_all
+        nonlocal diagonals, cells, warp_steps, max_width
+        keep = np.flatnonzero(live)
+        k = keep.shape[0]
+        blk[:7, :k] = blk[:7, keep]
+        blk = blk[:, :k]
+        bool_blk = bool_blk[:, :k]
+        u8_blk = u8_blk[:, :k]
+        Tpad[:k] = Tpad[keep]
+        Tpad = Tpad[:k]
+        Qpad[:k] = Qpad[keep]
+        Qpad = Qpad[:k]
+        if tile_tb is not None:
+            tile_tb[:k] = tile_tb[keep]
+            tile_tb = tile_tb[:k]
+        if full_tbs is not None:
+            full_tbs = [full_tbs[i] for i in keep]
+        targets = [targets[i] for i in keep]
+        queries = [queries[i] for i in keep]
+        idx, m, n = idx[keep], m[keep], n[keep]
+        lo, hi = lo[keep], hi[keep]
+        lo_prev, hi_prev = lo_prev[keep], hi_prev[keep]
+        best, best_i, best_j = best[keep], best_i[keep], best_j[keep]
+        diagonals, cells = diagonals[keep], cells[keep]
+        warp_steps, max_width = warp_steps[keep], max_width[keep]
+        thr = thr[:k]
+        d_best = d_best[:k]
+        dmn = dmn[keep]
+        width = width[:k]
+        strips = strips[:k]
+        improved = improved[:k]
+        scr_b = scr_b[:k]
+        rows_all = rows_all[:k]
+        live = np.ones(k, dtype=bool)
+        R = k
+        obs.counter(
+            "repro_batch_compactions_total",
+            "Lockstep slab compactions (dead fraction crossed threshold).",
+        ).inc()
+
+    def _maybe_compact() -> None:
+        if (R - n_live) > compact_frac * R:
+            _compact()
 
     d = 0
-    while rows:
+    while n_live:
         d += 1
-        lo = np.maximum(np.maximum(lo_prev, d - n), 0)
-        hi = np.minimum(np.minimum(hi_prev + 1, d), m)
+        np.add(dmn, 1, out=dmn)
+        np.maximum(lo_prev, dmn, out=lo)
+        np.maximum(lo, 0, out=lo)
+        np.add(hi_prev, 1, out=hi)
+        np.minimum(hi, m, out=hi)
+        np.minimum(hi, d, out=hi)
 
         # --- retire tasks whose window closed (the scalar break) ------------
-        closed = lo > hi
-        if closed.any():
-            for row in np.flatnonzero(closed):
-                finalize(int(row))
-            keep = np.flatnonzero(~closed)
-            rows = keep.shape[0]
-            if rows == 0:
+        np.greater(lo, hi, out=scr_b)
+        np.logical_and(scr_b, live, out=scr_b)
+        if scr_b.any():
+            dead = np.flatnonzero(scr_b)
+            lo[dead] = _DEAD_LO
+            hi[dead] = _DEAD_HI
+            _retire(dead)
+            if not n_live:
                 break
-            idx, m, n = idx[keep], m[keep], n[keep]
-            lo, hi, lo_prev, hi_prev = lo[keep], hi[keep], lo_prev[keep], hi_prev[keep]
-            best, best_i, best_j = best[keep], best_i[keep], best_j[keep]
-            diagonals, cells = diagonals[keep], cells[keep]
-            warp_steps, boundary_cells = warp_steps[keep], boundary_cells[keep]
-            max_width = max_width[keep]
-            S_pp, S_p, S_c = S_pp[keep], S_p[keep], S_c[keep]
-            I_p, I_c, D_p, D_c = I_p[keep], I_c[keep], D_p[keep], D_c[keep]
-            Tpad, Qpad = Tpad[keep], Qpad[keep]
-            targets = [targets[i] for i in keep]
-            queries = [queries[i] for i in keep]
-            if tile_tb is not None:
-                tile_tb = tile_tb[keep]
-            if full_tbs is not None:
-                full_tbs = [full_tbs[i] for i in keep]
+            _maybe_compact()
 
         L = int(lo.min())
         H = int(hi.max())
-        width = hi - lo + 1
+        np.subtract(hi, lo, out=width)
+        np.add(width, 1, out=width)
+        W = H - L + 1
 
         if H + 3 > cap:
-            cap = max(H + 3, 2 * cap)
-            S_pp, S_p, S_c = _grow_slab(S_pp, cap), _grow_slab(S_p, cap), _grow_slab(S_c, cap)
-            I_p, I_c = _grow_slab(I_p, cap), _grow_slab(I_c, cap)
-            D_p, D_c = _grow_slab(D_p, cap), _grow_slab(D_c, cap)
+            new_cap = max(H + 3, 2 * cap)
+            nb, fresh = arena.block("scores", (_N_SCORE_PLANES, R, new_cap), sdt)
+            if fresh:
+                nb[:7, :, :cap] = blk[:7]
+            nb[:7, :, cap:] = NEG
+            blk = nb
+            bool_blk, _ = arena.block("bools", (4, R, new_cap), np.bool_)
+            u8_blk, _ = arena.block("scratch8", (4, R, new_cap), np.uint8)
+            cols_all = np.arange(new_cap, dtype=np.int64)
+            cap = new_cap
         if H > t_len:
-            t_len = max(2 * t_len, H + 64)
-            Tpad = _grow_codes(Tpad, targets, t_len)
+            new_t = max(2 * t_len, H + 64)
+            nT, fresh = arena.block("codes_t", (R, new_t), np.uint8)
+            if fresh:
+                nT[:, :t_len] = Tpad
+            nT[:, t_len:] = 0
+            for row in np.flatnonzero(live & (m > t_len)).tolist():
+                seq = targets[row]
+                stop = min(int(seq.shape[0]), new_t)
+                nT[row, t_len:stop] = seq[t_len:stop]
+            Tpad = nT
+            t_len = new_t
         if d >= q_len:
-            q_len = max(2 * q_len, d + 64)
-            Qpad = _grow_codes(Qpad, queries, q_len)
+            new_q = max(2 * q_len, d + 64)
+            nQ, fresh = arena.block("codes_q", (R, new_q), np.uint8)
+            if fresh:
+                nQ[:, :q_len] = Qpad
+            nQ[:, q_len:] = 0
+            for row in np.flatnonzero(live & (n > q_len)).tolist():
+                seq = queries[row]
+                stop = min(int(seq.shape[0]), new_q)
+                nQ[row, q_len:stop] = seq[q_len:stop]
+            Qpad = nQ
+            q_len = new_q
 
-        cols = np.arange(L, H + 1, dtype=np.int64)
-        in_win = (cols >= lo[:, None]) & (cols <= hi[:, None])
-        W = H - L + 1
+        S_pp, S_p, S_c = blk[p_spp], blk[p_sp], blk[p_sc]
+        I_p, I_c = blk[p_ip], blk[p_ic]
+        D_p, D_c = blk[p_dp], blk[p_dc]
+        sc0 = blk[7, :, :W]
+        sc1 = blk[8, :, :W]
+        b_in = bool_blk[0, :, :W]
+        b_dv = bool_blk[1, :, :W]
+        b_a = bool_blk[2, :, :W]
+        b_b = bool_blk[3, :, :W]
+        s_ch = u8_blk[0, :, :W]
+        u8a = u8_blk[1, :, :W]
 
         # Scrub the recycled buffer's union-window edges (windows move by at
         # most one column per step; interior columns are overwritten below).
         if L >= 1:
-            S_c[:, L - 1] = I_c[:, L - 1] = D_c[:, L - 1] = _NEG
-        S_c[:, H + 1] = I_c[:, H + 1] = D_c[:, H + 1] = _NEG
+            S_c[:, L - 1] = I_c[:, L - 1] = D_c[:, L - 1] = NEG
+        S_c[:, H + 1] = I_c[:, H + 1] = D_c[:, H + 1] = NEG
 
         Sp = S_p[:, L : H + 1]
         Ip = I_p[:, L : H + 1]
+        Icur = I_c[:, L : H + 1]
+        Dcur = D_c[:, L : H + 1]
+        Scur = S_c[:, L : H + 1]
 
         # --- I(i, j): from diagonal d-1, same index -------------------------
-        Icur = np.maximum(Ip - e, Sp - oe)
-        top = hi == d  # cell (d, 0) has no insertion parent
-        if top.any():
-            tr = np.flatnonzero(top)
-            Icur[tr, hi[tr] - L] = _NEG
+        np.subtract(Ip, e, out=Icur)
+        np.subtract(Sp, oe, out=sc0)
+        np.maximum(Icur, sc0, out=Icur)
+        if H == d:  # cell (d, 0) has no insertion parent
+            top = np.flatnonzero(hi == d)
+            if top.shape[0]:
+                Icur[top, hi[top] - L] = NEG
 
         # --- D(i, j): from diagonal d-1, index i-1 --------------------------
         if L >= 1:
-            Dcur = np.maximum(D_p[:, L - 1 : H] - e, S_p[:, L - 1 : H] - oe)
+            np.subtract(D_p[:, L - 1 : H], e, out=Dcur)
+            np.subtract(S_p[:, L - 1 : H], oe, out=sc0)
+            np.maximum(Dcur, sc0, out=Dcur)
         else:
-            Dcur = np.empty_like(Icur)
-            Dcur[:, 0] = _NEG  # cell (0, d) has no deletion parent
-            np.maximum(D_p[:, 0:H] - e, S_p[:, 0:H] - oe, out=Dcur[:, 1:])
+            Dcur[:, 0] = NEG  # cell (0, d) has no deletion parent
+            np.subtract(D_p[:, 0:H], e, out=Dcur[:, 1:])
+            np.subtract(S_p[:, 0:H], oe, out=sc0[:, 1:])
+            np.maximum(Dcur[:, 1:], sc0[:, 1:], out=Dcur[:, 1:])
 
         # --- S = max(I, D, diag) --------------------------------------------
-        Scur = np.maximum(Icur, Dcur)
-        diag_valid = in_win & (cols >= 1) & (cols <= d - 1)
+        np.maximum(Icur, Dcur, out=Scur)
         if L >= 1:
-            spp = S_pp[:, L - 1 : H]
             tg = Tpad[:, L - 1 : H]
         else:
-            spp = np.empty_like(Scur)
-            spp[:, 0] = _NEG
-            spp[:, 1:] = S_pp[:, 0:H]
-            tg = np.zeros((rows, W), dtype=np.uint8)
+            tg = u8_blk[2, :, :W]
+            tg[:, 0] = 0
             tg[:, 1:] = Tpad[:, 0:H]
         if H == d:
-            qg = np.zeros((rows, W), dtype=np.uint8)
+            qg = u8_blk[3, :, :W]
+            qg[:, -1] = 0
             if W > 1:
-                qg[:, :-1] = Qpad[:, d - H : d - L][:, ::-1]
+                qg[:, :-1] = Qpad[:, 0 : d - L][:, ::-1]
         else:
             qg = Qpad[:, d - H - 1 : d - L][:, ::-1]
-        diag_cand = spp + sub[tg, qg]
-        Scur = np.where(diag_valid, np.maximum(Scur, diag_cand), Scur)
+        # Substitution lookup: flat 5x5 take via a uint8 index plane.
+        np.multiply(tg, 5, out=u8a)
+        np.add(u8a, qg, out=u8a)
+        np.take(sub_f, u8a, out=sc1, mode="clip")
+        if L >= 1:
+            np.add(sc1, S_pp[:, L - 1 : H], out=sc1)
+        else:
+            np.add(sc1[:, 1:], S_pp[:, 0:H], out=sc1[:, 1:])
+        # The matrix-edge cells (i == 0, present iff L == 0; i == d, present
+        # iff H == d) have no diagonal parent: neutralise the candidate at
+        # the two union-edge columns (in-window edge cells always have a
+        # real I or D parent, so the NEG candidate never wins there).  The
+        # max itself must stay gated to each row's window: the diag parent
+        # plane was masked by *its own* (wider, pre-prune) window two steps
+        # ago, so outside [lo, hi] it can still hold real values that an
+        # ungated max would resurrect past the y-drop threshold.
+        if L == 0:
+            sc1[:, 0] = NEG
+        if H == d:
+            sc1[:, -1] = NEG
+        cols = cols_all[L : H + 1]
+        np.greater_equal(cols, lo[:, None], out=b_in)
+        np.less_equal(cols, hi[:, None], out=b_b)
+        np.logical_and(b_in, b_b, out=b_in)
+        np.maximum(Scur, sc1, out=Scur, where=b_in)
 
         # --- traceback recording --------------------------------------------
         record_tile = tile_tb is not None and d <= 2 * tile
         if full_tbs is not None or record_tile:
-            i_from_i = (Ip - e) > (Sp - oe)
+            # b_in still holds the in-window mask from the S max above;
+            # diag_valid differs from it only at the matrix edges.
+            np.copyto(b_dv, b_in)
+            if L == 0:
+                b_dv[:, 0] = False
+            if H == d:
+                b_dv[:, -1] = False
+            np.copyto(s_ch, np.uint8(S_FROM_D))
+            np.equal(Scur, Icur, out=b_a)
+            np.copyto(s_ch, np.uint8(S_FROM_I), where=b_a)
+            np.equal(Scur, sc1, out=b_a)
+            np.logical_and(b_a, b_dv, out=b_a)
+            np.copyto(s_ch, np.uint8(S_DIAG), where=b_a)
+            np.subtract(Ip, e, out=sc0)
+            np.subtract(Sp, oe, out=sc1)
+            np.greater(sc0, sc1, out=b_a)  # i_from_i
             if L >= 1:
-                d_from_d = (D_p[:, L - 1 : H] - e) > (S_p[:, L - 1 : H] - oe)
+                np.subtract(D_p[:, L - 1 : H], e, out=sc0)
+                np.subtract(S_p[:, L - 1 : H], oe, out=sc1)
+                np.greater(sc0, sc1, out=b_b)  # d_from_d
             else:
-                d_from_d = np.zeros((rows, W), dtype=bool)
-                d_from_d[:, 1:] = (D_p[:, 0:H] - e) > (S_p[:, 0:H] - oe)
-            s_choice = np.full((rows, W), S_FROM_D, dtype=np.uint8)
-            s_choice[Scur == Icur] = S_FROM_I
-            s_choice[diag_valid & (Scur == diag_cand)] = S_DIAG
-            packed = s_choice | (i_from_i.astype(np.uint8) << 2)
-            packed |= d_from_d.astype(np.uint8) << 3
+                b_b[:, 0] = False
+                np.subtract(D_p[:, 0:H], e, out=sc0[:, 1:])
+                np.subtract(S_p[:, 0:H], oe, out=sc1[:, 1:])
+                np.greater(sc0[:, 1:], sc1[:, 1:], out=b_b[:, 1:])
+            # Pack parent bits into s_ch; bits are disjoint so add == OR.
+            np.add(s_ch, np.uint8(4), out=s_ch, where=b_a)
+            np.add(s_ch, np.uint8(8), out=s_ch, where=b_b)
             if full_tbs is not None:
                 off = (lo - L).tolist()
-                w_list = width.tolist()
-                for row, tb in enumerate(full_tbs):
+                w_l = width.tolist()
+                lo_l = lo.tolist()
+                for row in np.flatnonzero(live).tolist():
                     start = off[row]
-                    tb.append_diag(
-                        int(lo[row]), packed[row, start : start + w_list[row]].copy()
+                    full_tbs[row].append_diag(
+                        lo_l[row], s_ch[row, start : start + w_l[row]].copy()
                     )
             else:
-                t_mask = in_win & (cols[None, :] <= tile) & (cols[None, :] >= d - tile)
-                rr, pp = np.nonzero(t_mask)
-                if rr.shape[0]:
-                    ii = pp + L
-                    tile_tb[rr, ii, d - ii] = packed[rr, pp]
-
-        # Hold masked-out cells at exactly NEG_INF: the batch-slab invariant
-        # that mirrors the scalar engine's scrubbed buffer edges.
-        Icur = np.where(in_win, Icur, _NEG)
-        Dcur = np.where(in_win, Dcur, _NEG)
-        Scur = np.where(in_win, Scur, _NEG)
+                t_lo = max(L, d - tile)
+                t_hi = min(H, tile)
+                if t_lo <= t_hi:
+                    rr, pp = np.nonzero(b_in[:, t_lo - L : t_hi - L + 1])
+                    if rr.shape[0]:
+                        ii = pp + t_lo
+                        tile_tb[rr, ii, d - ii] = s_ch[rr, pp + (t_lo - L)]
 
         # --- prune window edges against completed-diagonal best -------------
+        # The alive test is gated to each row's window (b_in), so stale
+        # plane values and out-of-window garbage never keep a row alive.
         if ydrop is not None:
-            alive = in_win & (Scur >= (best - ydrop)[:, None])
-            has_alive = alive.any(axis=1)
-            first = alive.argmax(axis=1)
-            last = W - 1 - alive[:, ::-1].argmax(axis=1)
+            np.subtract(best, ydrop, out=thr)
+            np.greater_equal(Scur, thr[:, None], out=b_a)
+            np.logical_and(b_a, b_in, out=b_a)
+            first = b_a.argmax(axis=1)
+            has_alive = b_a[rows_all, first]
+            last = W - 1 - b_a[:, ::-1].argmax(axis=1)
             lo_next = L + first
             hi_next = L + last
-            if has_alive.any():
-                keep_cells = (cols >= lo_next[:, None]) & (cols <= hi_next[:, None])
-                Icur = np.where(keep_cells, Icur, _NEG)
-                Dcur = np.where(keep_cells, Dcur, _NEG)
-                Scur = np.where(keep_cells, Scur, _NEG)
+            seal_rows = np.flatnonzero(has_alive)
         else:
-            has_alive = np.ones(rows, dtype=bool)
+            has_alive = None
             lo_next, hi_next = lo, hi
-
-        S_c[:, L : H + 1] = Scur
-        I_c[:, L : H + 1] = Icur
-        D_c[:, L : H + 1] = Dcur
+            seal_rows = np.flatnonzero(live)
+        # Seal each surviving row's window in the planes.  Later steps read
+        # outside [lo_next, hi_next] only at the two boundary columns (the
+        # window can move by at most one column per step), so pin exactly
+        # those cells to NEG_INF — mirroring the scalar engine's scrubbed
+        # buffer edges — instead of masking the whole slab.  S is read both
+        # as gap and diagonal parent on either side; I is read one column
+        # past the top edge, D one past the bottom.  Everything further out
+        # is never read again: stale pruned-away values decay in place and
+        # stay strictly below ``best``, so they can't disturb the alive
+        # test (window-gated) or the best-cell argmax (a new optimum
+        # strictly exceeds every stale or pruned cell).
+        if seal_rows.shape[0]:
+            hcol = hi_next[seal_rows] + 1
+            S_c[seal_rows, hcol] = NEG
+            I_c[seal_rows, hcol] = NEG
+            lcol = lo_next[seal_rows] - 1
+            inb = lcol >= 0
+            if not inb.all():
+                lrows, lcol = seal_rows[inb], lcol[inb]
+            else:
+                lrows = seal_rows
+            S_c[lrows, lcol] = NEG
+            D_c[lrows, lcol] = NEG
 
         # --- best-cell tracking (ties: smallest i+j, then smallest i) -------
-        w_idx = Scur.argmax(axis=1)
-        d_best = np.take_along_axis(Scur, w_idx[:, None], axis=1)[:, 0]
-        improved = has_alive & (d_best > best)
+        np.maximum.reduce(Scur, axis=1, out=d_best)
+        np.greater(d_best, best, out=improved)
+        if has_alive is None:
+            np.logical_and(improved, live, out=improved)
+        else:
+            np.logical_and(improved, has_alive, out=improved)
         if improved.any():
-            best = np.where(improved, d_best, best)
-            best_i = np.where(improved, L + w_idx, best_i)
-            best_j = np.where(improved, d - best_i, best_j)
+            w_idx = Scur.argmax(axis=1)
+            np.copyto(best, d_best, where=improved)
+            np.copyto(best_i, w_idx + L, where=improved)
+            np.copyto(best_j, d - best_i, where=improved)
 
-        diagonals += 1
-        cells += width
-        strips = -(-width // WARP_WIDTH)
-        warp_steps += strips
-        boundary_cells += strips - 1
+        # Retired rows are never read after finalize, so the per-row stats
+        # run ungated (tombstones accumulate garbage that compaction drops).
+        np.add(diagonals, 1, out=diagonals)
+        np.add(cells, width, out=cells)
+        np.add(width, WARP_WIDTH - 1, out=strips)
+        np.floor_divide(strips, WARP_WIDTH, out=strips)
+        np.add(warp_steps, strips, out=warp_steps)
         np.maximum(max_width, width, out=max_width)
+        slab_cells += R * W
 
-        S_pp, S_p, S_c = S_p, S_c, S_pp
-        I_p, I_c = I_c, I_p
-        D_p, D_c = D_c, D_p
-        lo_prev, hi_prev = lo_next, hi_next
+        p_spp, p_sp, p_sc = p_sp, p_sc, p_spp
+        p_ip, p_ic = p_ic, p_ip
+        p_dp, p_dc = p_dc, p_dp
+        np.copyto(lo_prev, lo_next, where=live)
+        np.copyto(hi_prev, hi_next, where=live)
 
         # --- retire tasks whose whole window fell below threshold -----------
-        if not has_alive.all():
-            for row in np.flatnonzero(~has_alive):
-                finalize(int(row))
-            keep = np.flatnonzero(has_alive)
-            rows = keep.shape[0]
-            if rows == 0:
-                break
-            idx, m, n = idx[keep], m[keep], n[keep]
-            lo_prev, hi_prev = lo_prev[keep], hi_prev[keep]
-            best, best_i, best_j = best[keep], best_i[keep], best_j[keep]
-            diagonals, cells = diagonals[keep], cells[keep]
-            warp_steps, boundary_cells = warp_steps[keep], boundary_cells[keep]
-            max_width = max_width[keep]
-            S_pp, S_p, S_c = S_pp[keep], S_p[keep], S_c[keep]
-            I_p, I_c, D_p, D_c = I_p[keep], I_c[keep], D_p[keep], D_c[keep]
-            Tpad, Qpad = Tpad[keep], Qpad[keep]
-            targets = [targets[i] for i in keep]
-            queries = [queries[i] for i in keep]
-            if tile_tb is not None:
-                tile_tb = tile_tb[keep]
-            if full_tbs is not None:
-                full_tbs = [full_tbs[i] for i in keep]
+        if has_alive is not None:
+            dying = live & ~has_alive
+            if dying.any():
+                _retire(np.flatnonzero(dying))
+                if not n_live:
+                    break
+                _maybe_compact()
+
+    if slab_cells:
+        obs.histogram(
+            "repro_batch_occupancy",
+            "Live cells / union-window slab cells per lockstep sweep.",
+            buckets=_OCC_BUCKETS,
+        ).observe(live_cells / slab_cells)

@@ -53,11 +53,62 @@ __all__ = [
     "DiagTraceback",
     "wavefront_extend",
     "WARP_WIDTH",
+    "INT32_SAFE_DRIFT",
+    "max_step_penalty",
+    "score_drift_bound",
+    "pick_score_dtype",
 ]
 
 #: Lanes per warp; a diagonal wider than this is processed in strips and the
 #: strip-boundary lane must spill its cell to memory (paper §3.2).
 WARP_WIDTH = 32
+
+#: How far an int32 score cell may sink below the ``NEG_INF`` sentinel
+#: (``-2**30``) before wrapping past ``int32`` min.  ``2**31 - 2**30 = 2**30``
+#: exactly; keep a 2**16 guard band so off-by-a-few-penalties reasoning can
+#: never matter.
+INT32_SAFE_DRIFT = (1 << 30) - (1 << 16)
+
+
+def max_step_penalty(scheme: ScoringScheme) -> int:
+    """Largest magnitude any one DP transition can subtract from a cell.
+
+    Every recurrence is ``max`` of predecessors minus one of
+    ``gap_open + gap_extend``, ``gap_extend`` or a substitution score, so
+    one anti-diagonal step moves a value by at most this much.
+    """
+    return max(
+        int(scheme.gap_open + scheme.gap_extend),
+        int(scheme.gap_extend),
+        int(np.abs(np.asarray(scheme.substitution)).max()),
+    )
+
+
+def score_drift_bound(scheme: ScoringScheme, span: int, *, prune: bool = True) -> int:
+    """Worst-case distance any slab value can drift below ``NEG_INF``.
+
+    An extension over sequences with ``len(t) + len(q) <= span`` computes
+    at most ``span`` anti-diagonals; cells seeded from the sentinel sink by
+    at most :func:`max_step_penalty` per diagonal (plus one substitution on
+    the diagonal candidate, covered by the ``+ 2`` margin).  Pruning also
+    compares against ``best - ydrop``, so the y-drop magnitude joins the
+    bound.  If this bound fits :data:`INT32_SAFE_DRIFT`, int32 slabs with
+    the unchanged ``NEG_INF`` sentinel are arithmetically exact — every op
+    is add/subtract/max, so int32 and int64 sweeps are bit-identical.
+    """
+    bound = (int(span) + 2) * max_step_penalty(scheme)
+    if prune:
+        bound += int(scheme.ydrop)
+    return bound
+
+
+def pick_score_dtype(
+    scheme: ScoringScheme, span: int, *, prune: bool = True
+) -> np.dtype:
+    """int32 when :func:`score_drift_bound` proves it exact, else int64."""
+    if score_drift_bound(scheme, span, prune=prune) <= INT32_SAFE_DRIFT:
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
 
 
 @dataclass(frozen=True)

@@ -407,8 +407,14 @@ def _bench_command(args: argparse.Namespace) -> int:
 
 
 def _serve_command(args: argparse.Namespace) -> int:
+    from . import obs
     from .service import AlignmentService, make_server
 
+    # Process-wide observability: /v1/metrics appends the global registry,
+    # which is where the pipeline and lockstep-engine families (batch
+    # occupancy, arena reuse) land.  The tracer bounds itself to the last
+    # 32 root spans, so a long-lived server cannot grow without limit.
+    obs.enable()
     config = _config_from_args(args)
     service = AlignmentService(
         max_batch=args.max_batch,
@@ -478,6 +484,15 @@ def _trace_command(args: argparse.Namespace) -> int:
         f"overall {100 * report.overall_access_reduction:.1f}% "
         "(paper: >96% / ~97%)"
     )
+    occupancy = registry.histogram("repro_batch_occupancy")
+    if occupancy.count():
+        acquires = registry.counter("repro_batch_arena_acquires_total").value()
+        allocs = registry.counter("repro_batch_arena_allocs_total").value()
+        print(
+            f"batch occupancy:    {occupancy.sum() / occupancy.count():.3f} "
+            f"mean live/slab cells over {occupancy.count()} lockstep sweeps; "
+            f"arena: {int(allocs)} allocs / {int(acquires)} slab checkouts"
+        )
     if args.metrics:
         print()
         print(registry.render(), end="")

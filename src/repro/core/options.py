@@ -60,6 +60,11 @@ class FastzOptions:
     #: (bounds slab memory; executor batches are additionally composed
     #: per length bin so short and long tasks never share a batch).
     batch_size: int = 256
+    #: Score-plane dtype for the lockstep engine: ``"auto"`` uses int32
+    #: whenever the worst-case score drift provably fits (halving score
+    #: bandwidth, bit-identical either way), ``"int32"``/``"int64"`` force
+    #: one path (tests, debugging).
+    score_dtype: str = "auto"
 
     def __post_init__(self) -> None:
         if self.eager_tile <= 0:
@@ -70,6 +75,8 @@ class FastzOptions:
             raise ValueError("engine must be 'scalar' or 'batched'")
         if self.batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if self.score_dtype not in ("auto", "int32", "int64"):
+            raise ValueError("score_dtype must be 'auto', 'int32' or 'int64'")
         if not self.bin_edges or any(
             b <= a for a, b in zip(self.bin_edges, self.bin_edges[1:])
         ):
@@ -117,6 +124,11 @@ class FastzOptions:
         if isinstance(kwargs.get("bin_edges"), list):
             kwargs["bin_edges"] = tuple(kwargs["bin_edges"])
         return cls(**kwargs)
+
+    @property
+    def score_dtype_override(self) -> str | None:
+        """``score_dtype`` in the engine's argument form (``None`` = auto)."""
+        return None if self.score_dtype == "auto" else self.score_dtype
 
     @property
     def label(self) -> str:

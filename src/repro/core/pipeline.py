@@ -34,6 +34,7 @@ import numpy as np
 
 from .. import obs
 from ..align.alignment import Alignment
+from ..align.arena import thread_arena
 from ..align.batch import batch_wavefront_extend
 from ..align.extend import combine_alignment
 from ..align.wavefront import WavefrontResult, wavefront_extend
@@ -253,7 +254,12 @@ def _extend_suffixes_batched_impl(
     n_anchors = len(suffixes) // 2
     with obs.span("fastz.inspector", tasks=len(suffixes)):
         insp = batch_wavefront_extend(
-            suffixes, scheme, eager_tile=tile, batch_size=options.batch_size
+            suffixes,
+            scheme,
+            eager_tile=tile,
+            batch_size=options.batch_size,
+            arena=thread_arena("inspector"),
+            score_dtype=options.score_dtype_override,
         )
     insp_r = insp[0::2]
     insp_l = insp[1::2]
@@ -299,6 +305,7 @@ def _extend_suffixes_batched_impl(
         for bin_id in np.unique(bins):
             jobs: list[tuple[int, int]] = []  # (anchor index, side: 0=right 1=left)
             job_pairs: list[tuple[np.ndarray, np.ndarray]] = []
+            job_extents: list[int] = []
             for k in pending[bins == bin_id]:
                 for side in (0, 1):
                     ins = (insp_r, insp_l)[side][k]
@@ -308,11 +315,30 @@ def _extend_suffixes_batched_impl(
                         q_suffix = q_suffix[: ins.end_j]
                     jobs.append((int(k), side))
                     job_pairs.append((t_suffix, q_suffix))
+                    job_extents.append(ins.end_i + ins.end_j)
+            # Occupancy-aware composition: order the bin's jobs by the
+            # inspector-measured extent (not raw suffix length) so the
+            # engine's lockstep chunks pack tasks of similar true depth —
+            # with trimming off, suffix lengths say nothing about how far
+            # the y-drop wavefront actually reaches.  Results are keyed by
+            # (anchor, side), so ordering never changes output.
+            if len(jobs) > options.batch_size:
+                by_extent = sorted(
+                    range(len(jobs)), key=job_extents.__getitem__
+                )
+                jobs = [jobs[i] for i in by_extent]
+                job_pairs = [job_pairs[i] for i in by_extent]
             with obs.span(
                 "fastz.executor", bin=int(bin_id), tasks=len(job_pairs)
             ):
                 ran = batch_wavefront_extend(
-                    job_pairs, scheme, traceback=True, batch_size=options.batch_size
+                    job_pairs,
+                    scheme,
+                    traceback=True,
+                    batch_size=options.batch_size,
+                    arena=thread_arena(f"executor:{int(bin_id)}"),
+                    score_dtype=options.score_dtype_override,
+                    presorted=True,
                 )
             obs.counter(
                 "repro_pipeline_executor_tasks_total",

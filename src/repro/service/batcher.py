@@ -40,6 +40,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 
 from .. import obs
+from ..align.arena import release_thread_arenas
 from ..core.pipeline import extend_suffixes_batched, finish_fastz, prepare_fastz
 from .cache import ResultCache
 from .pool import PoolError, WorkerPool
@@ -126,20 +127,27 @@ class Dispatcher:
     # -- thread body ---------------------------------------------------------
 
     def _run(self) -> None:
-        while True:
-            item = self._queue.get()
-            if item is _SENTINEL:
-                return
-            batch, saw_sentinel = self._collect(item)
-            try:
-                self._dispatch(batch)
-            except BaseException:  # pragma: no cover - last-resort guard
-                for pending in batch:
-                    if not pending.future.done():
-                        pending.future.cancel()
-                raise
-            if saw_sentinel:
-                return
+        # The dispatcher thread owns the service's warm lockstep arenas
+        # (in-process extension path): every fused batch it runs through
+        # the pipeline reuses the same slabs via thread_arena().  Drop
+        # them when the thread retires so the memory dies with it.
+        try:
+            while True:
+                item = self._queue.get()
+                if item is _SENTINEL:
+                    return
+                batch, saw_sentinel = self._collect(item)
+                try:
+                    self._dispatch(batch)
+                except BaseException:  # pragma: no cover - last-resort guard
+                    for pending in batch:
+                        if not pending.future.done():
+                            pending.future.cancel()
+                    raise
+                if saw_sentinel:
+                    return
+        finally:
+            release_thread_arenas()
 
     def _collect(self, first) -> tuple[list[Pending], bool]:
         """Drain up to ``max_batch`` requests within the ``max_wait`` window."""

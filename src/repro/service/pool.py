@@ -50,6 +50,7 @@ import time
 from dataclasses import dataclass
 from typing import Any
 
+from ..align.arena import release_thread_arenas
 from ..core.pipeline import extend_suffixes_shard, shard_anchor_suffixes
 from ..obs.metrics import MetricsRegistry
 
@@ -80,6 +81,11 @@ def _worker_main(worker_id: int, task_q, result_q) -> None:
     Polls with a timeout so an orphaned worker (coordinator hard-killed,
     skipping the atexit reaping of daemon children) notices the
     re-parenting and exits instead of blocking on the queue forever.
+
+    Each worker implicitly keeps the pipeline's warm lockstep arenas
+    (:func:`repro.align.thread_arena`) alive between shards — the
+    process-resident analogue of the device buffers a GPU stream would
+    own — and drops them on the clean-shutdown path.
     """
     parent = os.getppid()
     warm: dict[str, tuple] = {}
@@ -88,9 +94,11 @@ def _worker_main(worker_id: int, task_q, result_q) -> None:
             item = task_q.get(timeout=2.0)
         except queue_mod.Empty:
             if os.getppid() != parent:
+                release_thread_arenas()
                 return
             continue
         if item is None:
+            release_thread_arenas()
             return
         job_id, shard_id, key, params, suffixes = item
         if str(worker_id) in _kill_ids():

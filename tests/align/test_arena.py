@@ -1,0 +1,134 @@
+"""LockstepArena semantics: reuse, growth, aliasing, thread-local registry."""
+
+import threading
+
+import numpy as np
+
+from repro.align import (
+    LockstepArena,
+    batch_wavefront_extend,
+    release_thread_arenas,
+    thread_arena,
+    wavefront_extend,
+)
+from repro.genome import mutate, random_codes
+
+
+def _pairs(seed: int, count: int):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(count):
+        core = random_codes(rng, int(rng.integers(10, 120)))
+        q = mutate(core, rng, divergence=0.06, indel_rate=0.01)
+        flank = random_codes(rng, 80)
+        out.append(
+            (np.concatenate([core, flank]), np.concatenate([q, flank]))
+        )
+    return out
+
+
+class TestBlockCheckout:
+    def test_first_checkout_is_fresh(self):
+        arena = LockstepArena()
+        view, fresh = arena.block("scores", (2, 4, 8), np.int32)
+        assert fresh
+        assert view.shape == (2, 4, 8)
+        assert arena.allocations == 1
+
+    def test_fitting_checkout_reuses_backing(self):
+        arena = LockstepArena()
+        first, _ = arena.block("scores", (2, 4, 8), np.int32)
+        first[:] = 7
+        again, fresh = arena.block("scores", (2, 3, 5), np.int32)
+        assert not fresh
+        assert (again == 7).all()  # aliases the retained buffer
+        assert arena.reuses == 1
+
+    def test_growth_covers_maximum_per_axis(self):
+        arena = LockstepArena()
+        arena.block("scores", (2, 8, 4), np.int32)
+        view, fresh = arena.block("scores", (2, 4, 16), np.int32)
+        assert fresh
+        assert view.shape == (2, 4, 16)
+        # The retained buffer keeps the max of both requests per axis.
+        retained, fresh = arena.block("scores", (2, 8, 16), np.int32)
+        assert not fresh
+
+    def test_dtype_keys_do_not_thrash(self):
+        arena = LockstepArena()
+        arena.block("scores", (2, 4, 8), np.int32)
+        arena.block("scores", (2, 4, 8), np.int64)
+        _, fresh32 = arena.block("scores", (2, 4, 8), np.int32)
+        _, fresh64 = arena.block("scores", (2, 4, 8), np.int64)
+        assert not fresh32 and not fresh64
+
+    def test_release_drops_storage_keeps_counters(self):
+        arena = LockstepArena()
+        arena.block("scores", (2, 4, 8), np.int32)
+        assert arena.nbytes() > 0
+        acquires = arena.acquires
+        arena.release()
+        assert arena.nbytes() == 0
+        assert arena.acquires == acquires
+
+
+class TestWarmEngineReuse:
+    def test_warm_arena_runs_allocation_free(self, bench_scheme):
+        """Second identical batch through a warm arena must not allocate."""
+        arena = LockstepArena()
+        pairs = _pairs(3, 50)
+        first = batch_wavefront_extend(pairs, bench_scheme, eager_tile=16, arena=arena)
+        allocs = arena.allocations
+        second = batch_wavefront_extend(pairs, bench_scheme, eager_tile=16, arena=arena)
+        assert arena.allocations == allocs
+        for a, b in zip(first, second):
+            assert (a.score, a.end_i, a.end_j, a.stats) == (
+                b.score, b.end_i, b.end_j, b.stats,
+            )
+
+    def test_recycled_slabs_stay_bit_identical(self, bench_scheme):
+        """A warm (dirty) arena must never leak state between batches."""
+        arena = LockstepArena()
+        for seed in (5, 11, 19):
+            pairs = _pairs(seed, 30)
+            got = batch_wavefront_extend(
+                pairs, bench_scheme, eager_tile=8, arena=arena
+            )
+            for (t, q), g in zip(pairs, got):
+                ref = wavefront_extend(t, q, bench_scheme, eager_tile=8)
+                assert (g.score, g.end_i, g.end_j) == (ref.score, ref.end_i, ref.end_j)
+                assert g.stats == ref.stats
+
+
+class TestThreadArenaRegistry:
+    def test_same_key_same_arena(self):
+        try:
+            assert thread_arena("t1") is thread_arena("t1")
+            assert thread_arena("t1") is not thread_arena("t2")
+        finally:
+            release_thread_arenas()
+
+    def test_threads_never_share(self):
+        try:
+            mine = thread_arena("shared-key")
+            seen = []
+
+            def probe():
+                seen.append(thread_arena("shared-key"))
+                release_thread_arenas()
+
+            worker = threading.Thread(target=probe)
+            worker.start()
+            worker.join()
+            assert seen[0] is not mine
+        finally:
+            release_thread_arenas()
+
+    def test_release_reports_freed_bytes(self):
+        arena = thread_arena("sized")
+        arena.block("scores", (2, 4, 8), np.int64)
+        retained = arena.nbytes()
+        assert retained > 0
+        freed = release_thread_arenas()
+        assert freed >= retained
+        assert arena.nbytes() == 0

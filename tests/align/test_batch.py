@@ -6,10 +6,17 @@ unpruned), and therefore transitively agree with the row-wise
 ``ydrop_extend`` reference wherever the scalar engine does.
 """
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
 from repro.align import batch_wavefront_extend, wavefront_extend, ydrop_extend
+from repro.align.wavefront import (
+    INT32_SAFE_DRIFT,
+    max_step_penalty,
+    pick_score_dtype,
+)
 from repro.genome import mutate, random_codes
 
 
@@ -135,3 +142,104 @@ class TestEagerTileSemantics:
         for (t, q), g in zip(pairs, got):
             ref = wavefront_extend(t, q, bench_scheme, traceback=True)
             assert g.ops == ref.ops
+
+
+class TestScoreDtypePromotion:
+    """int32 score slabs must be a pure bandwidth optimisation: the checked
+    promotion picks int32 only when provably exact, and both dtypes produce
+    bit-identical sweeps."""
+
+    def test_promotion_decision_flips_at_the_bound(self, bench_scheme):
+        pen = max_step_penalty(bench_scheme)
+        edge_span = (INT32_SAFE_DRIFT - int(bench_scheme.ydrop)) // pen - 2
+        assert pick_score_dtype(bench_scheme, 1_000) == np.dtype(np.int32)
+        assert pick_score_dtype(bench_scheme, edge_span) == np.dtype(np.int32)
+        assert pick_score_dtype(bench_scheme, edge_span + 1) == np.dtype(np.int64)
+        # Without pruning the y-drop magnitude leaves the bound.
+        assert pick_score_dtype(
+            bench_scheme, edge_span + 1, prune=False
+        ) == np.dtype(np.int32)
+
+    @pytest.mark.parametrize("mode", ENGINE_MODES)
+    def test_forced_dtypes_bit_identical(self, bench_scheme, mode):
+        """Property: near or far from the bound, the int32 and int64 paths
+        agree with each other and with the scalar engine on everything."""
+        pairs = _random_pairs(59, 30)
+        i32 = batch_wavefront_extend(
+            pairs, bench_scheme, score_dtype="int32", **mode
+        )
+        i64 = batch_wavefront_extend(
+            pairs, bench_scheme, score_dtype="int64", **mode
+        )
+        for a, b in zip(i32, i64):
+            _assert_results_identical(a, b)
+        for (t, q), g in zip(pairs, i32):
+            _assert_results_identical(g, wavefront_extend(t, q, bench_scheme, **mode))
+
+    def test_auto_promotes_to_int64_when_unsafe(self, bench_scheme):
+        """A scheme whose per-step penalty blows the int32 budget at tiny
+        spans must auto-promote — and still match the scalar engine."""
+        huge = replace(bench_scheme, gap_open=INT32_SAFE_DRIFT)
+        assert pick_score_dtype(huge, 10) == np.dtype(np.int64)
+        pairs = _random_pairs(61, 8)
+        got = batch_wavefront_extend(pairs, huge, eager_tile=8)
+        for (t, q), g in zip(pairs, got):
+            _assert_results_identical(g, wavefront_extend(t, q, huge, eager_tile=8))
+
+    def test_bad_score_dtype_rejected(self, bench_scheme):
+        with pytest.raises(ValueError):
+            batch_wavefront_extend(
+                _random_pairs(1, 2), bench_scheme, score_dtype="float32"
+            )
+
+
+def _mixed_extent_pairs(seed: int) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Wildly mixed extents: most tasks die within a few diagonals while a
+    few run deep, so the dead-row fraction crosses any compaction threshold
+    mid-run."""
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for k in range(28):
+        core = 400 if k % 7 == 0 else int(rng.integers(2, 12))
+        base = random_codes(rng, core)
+        q_core = mutate(base, rng, divergence=0.05, indel_rate=0.01)
+        flank = random_codes(rng, 60)
+        pairs.append(
+            (np.concatenate([base, flank]), np.concatenate([q_core, flank]))
+        )
+    return pairs
+
+
+class TestDeferredCompaction:
+    """Tombstoned retirement + threshold-driven compaction must be purely
+    internal: any threshold produces the scalar engine's exact results."""
+
+    @pytest.mark.parametrize("threshold", ["0.01", "0.25", "5.0"])
+    def test_bit_identical_across_thresholds(
+        self, bench_scheme, monkeypatch, threshold
+    ):
+        monkeypatch.setenv("REPRO_BATCH_COMPACT_THRESHOLD", threshold)
+        pairs = _mixed_extent_pairs(31)
+        got = batch_wavefront_extend(pairs, bench_scheme, eager_tile=8)
+        for (t, q), g in zip(pairs, got):
+            _assert_results_identical(g, wavefront_extend(t, q, bench_scheme, eager_tile=8))
+
+    def test_compactions_happen_and_are_observable(self, bench_scheme, monkeypatch):
+        from repro import obs
+        from repro.obs import MetricsRegistry
+
+        monkeypatch.setenv("REPRO_BATCH_COMPACT_THRESHOLD", "0.01")
+        registry, _ = obs.enable(MetricsRegistry())
+        try:
+            batch_wavefront_extend(_mixed_extent_pairs(33), bench_scheme, eager_tile=8)
+            assert registry.counter("repro_batch_compactions_total").value() >= 1
+            assert registry.counter("repro_batch_arena_acquires_total").value() >= 1
+        finally:
+            obs.disable()
+
+    def test_invalid_threshold_falls_back_to_default(self, bench_scheme, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_COMPACT_THRESHOLD", "not-a-number")
+        pairs = _mixed_extent_pairs(37)
+        got = batch_wavefront_extend(pairs, bench_scheme, eager_tile=8)
+        for (t, q), g in zip(pairs, got):
+            _assert_results_identical(g, wavefront_extend(t, q, bench_scheme, eager_tile=8))
