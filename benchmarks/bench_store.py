@@ -1,0 +1,152 @@
+"""What the reference store buys (implementation health, not a figure).
+
+Three measurements over the D1 benchmark pair:
+
+* **Dispatch payload** — bytes pickled into a pool work message for one
+  fused batch: the old path (every anchor's target/query suffix views,
+  megabytes) against the store path (one shared-memory handle per
+  sequence plus ``(ti, qi, t, q)`` anchor rows, a few hundred bytes).
+  Gate: **digest dispatch >= 100x smaller**.
+* **Registration cost** — one-time ``ReferenceStore.add`` (2-bit pack +
+  fsync-free atomic writes), amortised across every later use.
+* **Seed-table cache** — ``store.seed_table`` cold (build + persist)
+  against a fresh process-equivalent warm load of the persisted table.
+  Gate: **warm load >= 2x faster than the cold build**.
+
+Results append a trajectory point to ``bench_results/BENCH_store.json``.
+Run directly: ``PYTHONPATH=src python benchmarks/bench_store.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+from pathlib import Path
+
+from repro.core.pipeline import prepare_fastz
+from repro.lastz.config import LastzConfig
+from repro.scoring import default_scheme
+from repro.store import ReferenceStore
+from repro.workloads import build_benchmark_pair, get_benchmark
+
+RESULTS = Path(__file__).resolve().parent.parent / "bench_results"
+
+SCALE = 0.05
+CONFIG = LastzConfig(scheme=default_scheme(gap_extend=60, ydrop=2400))
+
+
+def measure_payloads(pair) -> dict:
+    """Pickled work-message bytes: suffix shipping vs spec dispatch."""
+    prep = prepare_fastz(pair.target.codes, pair.query.codes, CONFIG)
+    suffix_payload = len(pickle.dumps(prep.suffixes(), protocol=5))
+    # The spec message the pool sends for store-published sequences:
+    # handles + anchor rows, no sequence bytes at all.
+    sources = [("shm", "psm_deadbeef", len(pair.target)),
+               ("shm", "psm_cafef00d", len(pair.query))]
+    rows = [(0, 1, int(t), int(q)) for t, q in zip(prep.t_pos, prep.q_pos)]
+    spec_payload = len(pickle.dumps(("spec", sources, rows), protocol=5))
+    return {
+        "anchors": prep.n_anchors,
+        "suffix_bytes": suffix_payload,
+        "spec_bytes": spec_payload,
+        "reduction": round(suffix_payload / spec_payload, 1),
+    }
+
+
+def measure_registration(store: ReferenceStore, pair) -> dict:
+    start = time.perf_counter()
+    digest = store.add(pair.target, name="D1.target")
+    add_s = time.perf_counter() - start
+    start = time.perf_counter()
+    again = store.add(pair.target, name="D1.target")
+    readd_s = time.perf_counter() - start
+    assert again == digest
+    return {
+        "target_bp": len(pair.target),
+        "add_ms": round(add_s * 1e3, 2),
+        "idempotent_readd_ms": round(readd_s * 1e3, 3),
+        "digest": digest,
+    }
+
+
+def measure_seed_cache(store: ReferenceStore, digest: str) -> dict:
+    k = CONFIG.seed_length
+    start = time.perf_counter()
+    cold_table = store.seed_table(digest, k=k)
+    cold_s = time.perf_counter() - start
+    # A fresh store instance models a new process: only the persisted
+    # .npz is warm, not the in-memory LRU.
+    fresh = ReferenceStore(store.root)
+    start = time.perf_counter()
+    warm_table = fresh.load_seed_table(digest, k=k)
+    warm_s = time.perf_counter() - start
+    assert warm_table is not None
+    assert (warm_table.words == cold_table.words).all()
+    return {
+        "seed_positions": len(cold_table),
+        "cold_build_ms": round(cold_s * 1e3, 2),
+        "warm_load_ms": round(warm_s * 1e3, 3),
+        "speedup": round(cold_s / warm_s, 1),
+    }
+
+
+def main() -> dict:
+    import tempfile
+
+    pair = build_benchmark_pair(get_benchmark("D1_2R,2"), SCALE)
+    print(
+        f"D1 @ scale {SCALE}: target {len(pair.target):,} bp, "
+        f"query {len(pair.query):,} bp"
+    )
+
+    payloads = measure_payloads(pair)
+    print(
+        f"dispatch payload: suffixes {payloads['suffix_bytes']:,} B  "
+        f"spec {payloads['spec_bytes']:,} B  "
+        f"-> {payloads['reduction']}x smaller "
+        f"({payloads['anchors']} anchors)"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        store = ReferenceStore(tmp)
+        registration = measure_registration(store, pair)
+        print(
+            f"registration: {registration['add_ms']:.1f}ms for "
+            f"{registration['target_bp']:,} bp "
+            f"(re-add {registration['idempotent_readd_ms']:.2f}ms)"
+        )
+        seed_cache = measure_seed_cache(store, registration["digest"])
+        print(
+            f"seed table: cold build {seed_cache['cold_build_ms']:.1f}ms  "
+            f"warm load {seed_cache['warm_load_ms']:.2f}ms  "
+            f"-> {seed_cache['speedup']}x"
+        )
+    registration.pop("digest")
+
+    entry = {
+        "scale": SCALE,
+        "payloads": payloads,
+        "registration": registration,
+        "seed_cache": seed_cache,
+    }
+    RESULTS.mkdir(exist_ok=True)
+    out = RESULTS / "BENCH_store.json"
+    history = json.loads(out.read_text()) if out.exists() else []
+    history.append(entry)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    assert payloads["reduction"] >= 100.0, (
+        f"spec dispatch only {payloads['reduction']}x smaller than suffix "
+        "shipping (gate: >= 100x)"
+    )
+    assert seed_cache["speedup"] >= 2.0, (
+        f"warm seed-table load only {seed_cache['speedup']}x faster than "
+        "the cold build (gate: >= 2x)"
+    )
+    return entry
+
+
+if __name__ == "__main__":
+    main()

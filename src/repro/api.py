@@ -40,6 +40,7 @@ from .seeding import Anchors
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .jobs.runner import JobOptions, WgaReport
+    from .store import ReferenceStore, StoredReference
 
 __all__ = [
     "ApiError",
@@ -47,6 +48,7 @@ __all__ = [
     "align",
     "align_chunked",
     "align_window",
+    "register_reference",
     "resolve_options",
 ]
 
@@ -66,9 +68,49 @@ def resolve_options(
     return FastzOptions.from_mapping(options)
 
 
+def _as_alignable(value):
+    """Accept a :class:`~repro.store.StoredReference` anywhere a sequence goes.
+
+    A stored reference decodes lazily into a :class:`Sequence`; anything
+    else passes through untouched so array/Sequence callers pay nothing.
+    """
+    from .store.store import StoredReference
+
+    if isinstance(value, StoredReference):
+        return value.sequence()
+    return value
+
+
+def register_reference(
+    sequence: Sequence | str,
+    *,
+    store: "ReferenceStore | str | Path",
+    name: str | None = None,
+) -> "StoredReference":
+    """Register a reference in a store once; returns the stored handle.
+
+    Idempotent: registering the same bases (mask included) returns the
+    same digest.  ``sequence`` may be raw DNA text — soft-mask lowercase
+    is preserved through the sidecar, exactly as ``repro refs add`` does.
+    """
+    from .genome.alphabet import encode_with_mask
+    from .store import ReferenceStore
+
+    if not isinstance(store, ReferenceStore):
+        store = ReferenceStore(store)
+    if isinstance(sequence, str):
+        codes, mask = encode_with_mask(sequence)
+    else:
+        codes, mask = sequence.codes, None
+        if name is None:
+            name = sequence.name
+    digest = store.add(codes, name=name, mask=mask)
+    return store.get(digest)
+
+
 def align(
-    target: Sequence | np.ndarray,
-    query: Sequence | np.ndarray,
+    target: "Sequence | np.ndarray | StoredReference",
+    query: "Sequence | np.ndarray | StoredReference",
     config: LastzConfig | None = None,
     options: FastzOptions | Mapping | None = None,
     *,
@@ -80,11 +122,13 @@ def align(
 
     Thin, stable wrapper over :func:`repro.core.pipeline.run_fastz`;
     ``workers`` shards anchors across a multiprocessing pool with
-    bit-identical results.
+    bit-identical results.  Either side may be a
+    :class:`~repro.store.StoredReference` (decoded lazily from the
+    store's 2-bit file).
     """
     return run_fastz(
-        target,
-        query,
+        _as_alignable(target),
+        _as_alignable(query),
         config,
         resolve_options(options),
         anchors=anchors,
@@ -120,8 +164,8 @@ def align_window(
 
 
 def align_chunked(
-    target: Sequence,
-    query: Sequence,
+    target: "Sequence | StoredReference",
+    query: "Sequence | StoredReference",
     config: LastzConfig | None = None,
     options: FastzOptions | Mapping | None = None,
     *,
@@ -254,24 +298,59 @@ class Client:
         raw, _ = self._request("GET", "/metrics")
         return raw.decode()
 
+    def register_reference(
+        self,
+        sequence: Sequence | np.ndarray | str,
+        *,
+        name: str | None = None,
+    ) -> dict:
+        """POST a reference to ``/v1/references``; returns the envelope.
+
+        The response carries the content digest (``digest``) to pass as
+        ``target_ref``/``query_ref`` in later :meth:`align` calls, plus
+        ``registered`` (False when the store already had these bytes).
+        """
+        body: dict = {"sequence": _as_dna_text(sequence)}
+        if name is not None:
+            body["name"] = name
+        raw, _ = self._request("POST", "/references", body)
+        return json.loads(raw)
+
+    def references(self) -> dict:
+        """GET the server's reference listing (``/v1/references``)."""
+        return self._get_json("/references")
+
     def align(
         self,
-        target: Sequence | np.ndarray | str,
-        query: Sequence | np.ndarray | str,
+        target: Sequence | np.ndarray | str | None = None,
+        query: Sequence | np.ndarray | str | None = None,
         *,
+        target_ref: str | None = None,
+        query_ref: str | None = None,
         options: FastzOptions | Mapping | None = None,
         timeout_s: float | None = None,
     ) -> dict:
         """POST one alignment; returns the response payload as a dict.
 
-        ``options`` overrides the server's defaults field-by-field;
-        a :class:`FastzOptions` is serialised whole, a mapping is sent
-        as-is (the server validates it).
+        Each side is either raw sequence (``target``/``query``) or a
+        registered reference digest (``target_ref``/``query_ref``) —
+        exactly one per side.  ``options`` overrides the server's
+        defaults field-by-field; a :class:`FastzOptions` is serialised
+        whole, a mapping is sent as-is (the server validates it).
         """
-        body: dict = {
-            "target": _as_dna_text(target),
-            "query": _as_dna_text(query),
-        }
+        body: dict = {}
+        for side, value, ref in (
+            ("target", target, target_ref),
+            ("query", query, query_ref),
+        ):
+            if (value is None) == (ref is None):
+                raise ValueError(
+                    f"exactly one of {side!r} or {side}_ref is required"
+                )
+            if ref is not None:
+                body[f"{side}_ref"] = ref
+            else:
+                body[side] = _as_dna_text(value)
         if options is not None:
             body["options"] = (
                 options.to_mapping()

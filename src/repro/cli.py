@@ -38,12 +38,21 @@ Four subcommands:
     Output is byte-identical to ``align --engine fastz`` at any worker
     count.
 
+``refs``
+    Manage a reference store (:mod:`repro.store`): ``refs add`` packs
+    FASTA records into content-addressed 2-bit files, ``refs ls`` lists
+    them, ``refs rm`` evicts one.  Everywhere ``align``, ``trace`` and
+    ``wga`` take a FASTA path they also take ``ref:<digest-or-prefix>``,
+    resolved against the store (``--store`` / ``$REPRO_STORE_DIR`` /
+    ``.repro_store``).
+
 Run ``python -m repro.cli <subcommand> --help`` for the options.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence as Seq
 
@@ -91,6 +100,39 @@ def _config_from_args(args: argparse.Namespace, **extra) -> LastzConfig:
     )
 
 
+def _store_root(args: argparse.Namespace) -> str:
+    """Resolve the store directory: flag, then env, then ``.repro_store``."""
+    return (
+        getattr(args, "store", None)
+        or os.environ.get("REPRO_STORE_DIR")
+        or ".repro_store"
+    )
+
+
+def _add_store_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="reference store directory (default: $REPRO_STORE_DIR or "
+        ".repro_store)",
+    )
+
+
+def _load_side(spec: str, args: argparse.Namespace):
+    """Resolve one sequence argument: FASTA path or ``ref:<digest-prefix>``.
+
+    Returns ``(sequence, stored_or_none)`` — the stored handle lets
+    callers reach the digest and the persistent seed-table cache.
+    """
+    if spec.startswith("ref:"):
+        from .store import ReferenceStore
+
+        store = ReferenceStore(_store_root(args))
+        stored = store.get(store.resolve(spec[len("ref:"):]))
+        return stored.sequence(), stored
+    return read_fasta(spec)[0], None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="fastz-repro",
@@ -106,8 +148,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     align = sub.add_parser("align", help="align two FASTA files")
-    align.add_argument("target", help="target FASTA (first record used)")
-    align.add_argument("query", help="query FASTA (first record used)")
+    align.add_argument(
+        "target", help="target FASTA (first record used) or ref:<digest>"
+    )
+    align.add_argument(
+        "query", help="query FASTA (first record used) or ref:<digest>"
+    )
+    _add_store_arg(align)
     align.add_argument(
         "--engine",
         choices=("lastz", "fastz", "fastz-batched", "ungapped"),
@@ -201,6 +248,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission-control bound on queued sequence megabytes; "
         "beyond it submissions get HTTP 503 + Retry-After (0 = unbounded)",
     )
+    serve.add_argument(
+        "--store",
+        default=None,
+        help="serve a reference store: enables POST /v1/references and "
+        "align-by-digest (target_ref/query_ref)",
+    )
+    serve.add_argument(
+        "--max-body-mb",
+        type=int,
+        default=64,
+        help="largest raw /v1/align body accepted before HTTP 413 points "
+        "the caller at POST /v1/references",
+    )
     _add_scoring_args(serve)
     serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
@@ -210,8 +270,13 @@ def build_parser() -> argparse.ArgumentParser:
         "trace",
         help="align one FASTA pair and print the instrumented span tree",
     )
-    trace.add_argument("target", help="target FASTA (first record used)")
-    trace.add_argument("query", help="query FASTA (first record used)")
+    trace.add_argument(
+        "target", help="target FASTA (first record used) or ref:<digest>"
+    )
+    trace.add_argument(
+        "query", help="query FASTA (first record used) or ref:<digest>"
+    )
+    _add_store_arg(trace)
     trace.add_argument(
         "--engine",
         choices=("scalar", "batched"),
@@ -235,8 +300,13 @@ def build_parser() -> argparse.ArgumentParser:
         "wga",
         help="segmented, checkpointed whole-genome alignment job",
     )
-    wga.add_argument("target", help="target FASTA (first record used)")
-    wga.add_argument("query", help="query FASTA (first record used)")
+    wga.add_argument(
+        "target", help="target FASTA (first record used) or ref:<digest>"
+    )
+    wga.add_argument(
+        "query", help="query FASTA (first record used) or ref:<digest>"
+    )
+    _add_store_arg(wga)
     wga.add_argument(
         "--job-dir",
         required=True,
@@ -301,12 +371,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format",
     )
     wga.add_argument("--output", default=None, help="write to a file instead of stdout")
+
+    refs = sub.add_parser("refs", help="manage the reference store")
+    refs_sub = refs.add_subparsers(dest="refs_command", required=True)
+    refs_add = refs_sub.add_parser(
+        "add", help="register FASTA records (gzip ok) in the store"
+    )
+    refs_add.add_argument(
+        "fasta", nargs="+", help="FASTA files (.fa or .fa.gz); every record "
+        "in each file is registered"
+    )
+    _add_store_arg(refs_add)
+    refs_add.add_argument(
+        "--precompute-seeds",
+        action="store_true",
+        help="also build and cache the seed table for each reference",
+    )
+    refs_add.add_argument(
+        "--seed-length", type=int, default=19,
+        help="seed length for --precompute-seeds",
+    )
+    refs_ls = refs_sub.add_parser("ls", help="list registered references")
+    _add_store_arg(refs_ls)
+    refs_rm = refs_sub.add_parser(
+        "rm", help="remove one reference (and its cached seed tables)"
+    )
+    refs_rm.add_argument("digest", help="digest or unique prefix")
+    _add_store_arg(refs_rm)
     return parser
 
 
 def _align_command(args: argparse.Namespace) -> int:
-    target = read_fasta(args.target)[0]
-    query = read_fasta(args.query)[0]
+    target, _ = _load_side(args.target, args)
+    query, _ = _load_side(args.query, args)
     config = _config_from_args(args, traceback=not args.no_cigar)
 
     if args.engine in ("fastz", "fastz-batched"):
@@ -424,16 +521,21 @@ def _serve_command(args: argparse.Namespace) -> int:
         cache_entries=args.cache_entries,
         pool_workers=args.workers,
         config=config,
+        store=args.store,
     )
     server = make_server(
-        service, args.host, args.port, quiet=not args.verbose
+        service,
+        args.host,
+        args.port,
+        quiet=not args.verbose,
+        max_align_body=args.max_body_mb * 1024 * 1024,
     )
     host, port = server.server_address[:2]
     print(
         f"serving alignments on http://{host}:{port}/v1 "
         f"(max_batch={args.max_batch}, max_wait={args.max_wait_ms}ms, "
         f"queue={args.max_queue}, cache={args.cache_entries}, "
-        f"workers={args.workers})",
+        f"workers={args.workers}, store={args.store or 'none'})",
         file=sys.stderr,
     )
     try:
@@ -453,15 +555,33 @@ def _trace_command(args: argparse.Namespace) -> int:
     from .core import FastzOptions
     from .obs.tracing import render_span_tree
 
-    target = read_fasta(args.target)[0]
-    query = read_fasta(args.query)[0]
+    target, stored = _load_side(args.target, args)
+    query, _ = _load_side(args.query, args)
     config = _config_from_args(args)
     options = FastzOptions(engine=args.engine, batch_size=args.batch_size)
 
+    # A store-backed target consults the persistent seed-table cache: on
+    # a warm run the table loads here and the fastz.seed_table span never
+    # appears in the trace; on a cold run the pipeline builds it inline
+    # (the span shows up) and we persist it afterwards for next time.
+    seed_table = None
+    if stored is not None:
+        seed_table = stored.store.load_seed_table(
+            stored.digest,
+            k=config.seed_length,
+            spaced_pattern=config.spaced_pattern,
+        )
+
     registry, tracer = obs.enable()
     try:
-        result = run_fastz(target, query, config, options)
+        result = run_fastz(target, query, config, options, seed_table=seed_table)
         root = tracer.last_root("fastz.run")
+        if stored is not None and seed_table is None:
+            stored.store.seed_table(
+                stored.digest,
+                k=config.seed_length,
+                spaced_pattern=config.spaced_pattern,
+            )
     finally:
         obs.disable()
 
@@ -504,16 +624,18 @@ def _wga_command(args: argparse.Namespace) -> int:
     from .jobs import JobOptions
     from .lastz.output import write_general, write_maf
 
-    target = read_fasta(args.target)[0]
-    query = read_fasta(args.query)[0]
+    target, t_stored = _load_side(args.target, args)
+    query, q_stored = _load_side(args.query, args)
     config = _config_from_args(args)
     say = (lambda _msg: None) if args.quiet else (
         lambda msg: print(f"# {msg}", file=sys.stderr)
     )
 
+    # Store-backed sides go in as StoredReference handles: worker shards
+    # then carry (store root, digest) instead of pickled code arrays.
     report = api.align_chunked(
-        target,
-        query,
+        t_stored or target,
+        q_stored or query,
         config,
         {"engine": args.engine, "batch_size": args.batch_size},
         job=JobOptions(
@@ -562,19 +684,64 @@ def _wga_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _refs_command(args: argparse.Namespace) -> int:
+    from .genome.alphabet import encode_with_mask
+    from .store import ReferenceStore, StoreError
+
+    store = ReferenceStore(_store_root(args))
+    if args.refs_command == "add":
+        from .genome.fasta import iter_fasta_records
+
+        for path in args.fasta:
+            for name, text in iter_fasta_records(path):
+                codes, mask = encode_with_mask(text)
+                digest = store.add(codes, name=name, mask=mask)
+                if args.precompute_seeds:
+                    store.seed_table(digest, k=args.seed_length)
+                print(f"{digest}  {name}  {codes.size:,} bp")
+        return 0
+    if args.refs_command == "ls":
+        rows = store.list()
+        for row in rows:
+            flag = "" if row.get("valid", True) else "  [corrupt]"
+            print(f"{row['digest']}  {row['length']:>12,}  {row['name']}{flag}")
+        if not rows:
+            print(f"# empty store at {store.root}", file=sys.stderr)
+        return 0
+    # rm
+    try:
+        digest = store.resolve(args.digest)
+        store.remove(digest)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"removed {digest}")
+    return 0
+
+
 def main(argv: Seq[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "align":
-        return _align_command(args)
-    if args.command == "synth":
-        return _synth_command(args)
-    if args.command == "serve":
-        return _serve_command(args)
-    if args.command == "trace":
-        return _trace_command(args)
-    if args.command == "wga":
-        return _wga_command(args)
-    return _bench_command(args)
+    from .store import StoreError
+
+    try:
+        if args.command == "align":
+            return _align_command(args)
+        if args.command == "synth":
+            return _synth_command(args)
+        if args.command == "serve":
+            return _serve_command(args)
+        if args.command == "trace":
+            return _trace_command(args)
+        if args.command == "wga":
+            return _wga_command(args)
+        if args.command == "refs":
+            return _refs_command(args)
+        return _bench_command(args)
+    except StoreError as exc:
+        # Unknown digests and corrupt store entries are user-facing
+        # conditions, not crashes: print the actionable message cleanly.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -539,8 +539,15 @@ def prepare_fastz(
     options: FastzOptions = FASTZ_FULL,
     *,
     anchors: Anchors | None = None,
+    seed_table=None,
 ) -> PreparedRequest:
-    """Stage a request: encode, select anchors, sort, fix the eager tile."""
+    """Stage a request: encode, select anchors, sort, fix the eager tile.
+
+    ``seed_table`` is an optional prebuilt target-side
+    :class:`~repro.seeding.SeedTable` (the reference store's persistent
+    cache); it skips the table-build half of seeding, bit-identically.
+    Ignored when ``anchors`` are given.
+    """
     config = config or LastzConfig()
     with obs.span("fastz.prepare") as sp:
         t_codes = np.asarray(target.codes if isinstance(target, Sequence) else target)
@@ -550,7 +557,9 @@ def prepare_fastz(
             with obs.span(
                 "fastz.seeding", target_bp=len(t_codes), query_bp=len(q_codes)
             ):
-                anchors = select_anchors(t_codes, q_codes, config)
+                anchors = select_anchors(
+                    t_codes, q_codes, config, target_table=seed_table
+                )
         order = np.lexsort((anchors.target_pos, anchors.query_pos))
         anchors = anchors.take(order)
         sp.set(anchors=len(anchors.target_pos))
@@ -659,6 +668,7 @@ def run_fastz(
     anchors: Anchors | None = None,
     keep_extensions: bool = False,
     workers: int | None = None,
+    seed_table=None,
 ) -> FastzResult:
     """Run the FastZ pipeline over all anchors (no sequential skipping).
 
@@ -674,7 +684,9 @@ def run_fastz(
     wall-clock, never results.
     """
     with obs.span("fastz.run", engine=options.engine) as sp:
-        prepared = prepare_fastz(target, query, config, options, anchors=anchors)
+        prepared = prepare_fastz(
+            target, query, config, options, anchors=anchors, seed_table=seed_table
+        )
         t_codes, q_codes = prepared.t_codes, prepared.q_codes
         scheme, tile = prepared.scheme, prepared.tile
         t_pos, q_pos = prepared.t_pos, prepared.q_pos

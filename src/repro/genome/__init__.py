@@ -11,7 +11,7 @@ from .alphabet import (
     reverse_complement,
 )
 from .evolve import GenomePair, PlantedSegment, SegmentClass, build_pair, mutate
-from .fasta import read_fasta, write_fasta
+from .fasta import iter_fasta, iter_fasta_records, read_fasta, write_fasta
 from .generator import random_codes, random_sequence, tandem_repeat
 from .sequence import Sequence
 
@@ -28,6 +28,8 @@ __all__ = [
     "decode",
     "encode",
     "encode_with_mask",
+    "iter_fasta",
+    "iter_fasta_records",
     "mutate",
     "random_codes",
     "random_sequence",

@@ -3,21 +3,49 @@
 LASTZ consumes chromosome FASTA files; the benchmark registry can persist
 synthetic genomes to disk in the same format so runs are reproducible and
 inspectable with standard tools.
+
+Reading is streaming at record granularity: :func:`iter_fasta` yields one
+:class:`Sequence` at a time and never holds more than the current record
+in memory, so ``repro refs add`` can register a multi-chromosome genome
+file without slurping it whole.  Gzipped files (``.fa.gz``/``.fasta.gz``
+— anything ending in ``.gz``) are decompressed transparently, matching
+how real genome distributions ship.
 """
 
 from __future__ import annotations
 
+import gzip
 import io
 from pathlib import Path
 from typing import Iterable, Iterator, TextIO
 
 from .sequence import Sequence
 
-__all__ = ["read_fasta", "write_fasta", "parse_fasta"]
+__all__ = [
+    "iter_fasta",
+    "iter_fasta_records",
+    "parse_fasta",
+    "parse_fasta_records",
+    "read_fasta",
+    "write_fasta",
+]
 
 
-def parse_fasta(handle: TextIO) -> Iterator[Sequence]:
-    """Yield :class:`Sequence` records from an open FASTA text stream."""
+def _open_text(path: str | Path) -> TextIO:
+    """Open a FASTA path for text reading, decompressing ``.gz`` files."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="ascii")
+    return open(path, "r", encoding="ascii")
+
+
+def parse_fasta_records(handle: TextIO) -> Iterator[tuple[str, str]]:
+    """Yield raw ``(name, text)`` records from an open FASTA text stream.
+
+    The text keeps its original case, so callers that care about
+    soft-masking (lowercase repeat annotation) can recover it with
+    :func:`repro.genome.alphabet.encode_with_mask`.
+    """
     name: str | None = None
     chunks: list[str] = []
     for raw in handle:
@@ -26,7 +54,7 @@ def parse_fasta(handle: TextIO) -> Iterator[Sequence]:
             continue
         if line.startswith(">"):
             if name is not None:
-                yield Sequence.from_text(name, "".join(chunks))
+                yield name, "".join(chunks)
             name = line[1:].split()[0] if len(line) > 1 else ""
             if not name:
                 raise ValueError("FASTA record with empty name")
@@ -36,13 +64,30 @@ def parse_fasta(handle: TextIO) -> Iterator[Sequence]:
                 raise ValueError("FASTA data before first header line")
             chunks.append(line)
     if name is not None:
-        yield Sequence.from_text(name, "".join(chunks))
+        yield name, "".join(chunks)
+
+
+def parse_fasta(handle: TextIO) -> Iterator[Sequence]:
+    """Yield :class:`Sequence` records from an open FASTA text stream."""
+    for name, text in parse_fasta_records(handle):
+        yield Sequence.from_text(name, text)
+
+
+def iter_fasta_records(path: str | Path) -> Iterator[tuple[str, str]]:
+    """Stream raw ``(name, text)`` records from a FASTA path (``.gz`` ok)."""
+    with _open_text(path) as handle:
+        yield from parse_fasta_records(handle)
+
+
+def iter_fasta(path: str | Path) -> Iterator[Sequence]:
+    """Stream :class:`Sequence` records from a FASTA path (``.gz`` ok)."""
+    with _open_text(path) as handle:
+        yield from parse_fasta(handle)
 
 
 def read_fasta(path: str | Path) -> list[Sequence]:
-    """Read every record of a FASTA file."""
-    with open(path, "r", encoding="ascii") as handle:
-        return list(parse_fasta(handle))
+    """Read every record of a FASTA file (plain or gzipped)."""
+    return list(iter_fasta(path))
 
 
 def write_fasta(

@@ -41,7 +41,10 @@ import os
 import time
 from dataclasses import dataclass, field, fields as dataclass_fields
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store import StoredReference
 
 import numpy as np
 
@@ -227,9 +230,44 @@ class _ExitAfter:
 # ---------------------------------------------------------------------------
 
 
+def _codes_source(seq) -> tuple:
+    """How a sequence's codes travel to workers.
+
+    A store-backed sequence (:class:`~repro.store.StoredReference`) ships
+    as ``("store", root, digest)`` — a few dozen bytes; each worker mmaps
+    and decodes the 2-bit file locally.  Anything else ships the codes
+    array itself.
+    """
+    from ..store.store import StoredReference
+
+    if isinstance(seq, StoredReference):
+        return ("store", str(seq.store.root), seq.digest)
+    return ("codes", seq.codes)
+
+
+#: Per-process decode cache for store-shipped codes: every task in one
+#: worker resolves the same (root, digest) to the same array.
+_RESOLVED_CODES: dict[tuple[str, str], np.ndarray] = {}
+
+
+def _resolve_codes(source: tuple) -> np.ndarray:
+    if source[0] == "codes":
+        return source[1]
+    _, root, digest = source
+    cached = _RESOLVED_CODES.get((root, digest))
+    if cached is None:
+        from ..store import ReferenceStore
+
+        cached = ReferenceStore(root).get(digest).codes
+        _RESOLVED_CODES[(root, digest)] = cached
+    return cached
+
+
 def _seed_handler(state, payload, attempt: int) -> dict:
     """Seed one chunk pair's windows; return globally-owned seed positions."""
-    t_codes, q_codes, config, censored = state
+    t_src, q_src, config, censored = state
+    t_codes = _resolve_codes(t_src)
+    q_codes = _resolve_codes(q_src)
     task_id = payload["id"]
     _maybe_inject_fault(f"s:{task_id}", attempt)
     tw, qw = payload["t"], payload["q"]  # (start, end, core_start, core_end)
@@ -253,7 +291,9 @@ def _seed_handler(state, payload, attempt: int) -> dict:
 
 def _extend_handler(state, payload, attempt: int) -> dict:
     """Extend one chunk pair's owned anchors, window-bounded."""
-    t_codes, q_codes, config, options = state
+    t_src, q_src, config, options = state
+    t_codes = _resolve_codes(t_src)
+    q_codes = _resolve_codes(q_src)
     task_id = payload["id"]
     _maybe_inject_fault(f"e:{task_id}", attempt)
     result = align_window(
@@ -290,8 +330,8 @@ def _owner_index(pos: np.ndarray, chunk_size: int, n_chunks: int) -> np.ndarray:
 
 
 def run_wga(
-    target: Sequence,
-    query: Sequence,
+    target: "Sequence | StoredReference",
+    query: "Sequence | StoredReference",
     config: LastzConfig | None = None,
     options: FastzOptions = FASTZ_FULL,
     *,
@@ -326,6 +366,11 @@ def run_wga(
     digest = job_digest(
         target, query, config, options, job.chunk_size, overlap
     )
+    # Store-backed sequences ship to workers as (root, digest) handles,
+    # not pickled code arrays; the result is byte-identical either way
+    # because job_digest hashes the decoded codes in both cases.
+    t_source = _codes_source(target)
+    q_source = _codes_source(query)
     exit_after = _ExitAfter()
 
     with obs.span("jobs.run", workers=job.workers) as run_span:
@@ -471,7 +516,7 @@ def run_wga(
                 outcomes = run_tasks(
                     seed_tasks,
                     _seed_handler,
-                    (target.codes, query.codes, config, censored),
+                    (t_source, q_source, config, censored),
                     workers=job.workers,
                     max_attempts=job.max_attempts,
                     backoff_s=job.backoff_s,
@@ -549,7 +594,7 @@ def run_wga(
                 outcomes = run_tasks(
                     extend_tasks,
                     _extend_handler,
-                    (target.codes, query.codes, config, options),
+                    (t_source, q_source, config, options),
                     workers=job.workers,
                     max_attempts=job.max_attempts,
                     backoff_s=job.backoff_s,

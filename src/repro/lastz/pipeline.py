@@ -123,8 +123,16 @@ def select_anchors(
     target: Sequence | np.ndarray,
     query: Sequence | np.ndarray,
     config: LastzConfig,
+    *,
+    target_table=None,
 ) -> Anchors:
-    """Stage 1+2: discover seeds and thin them into anchors."""
+    """Stage 1+2: discover seeds and thin them into anchors.
+
+    ``target_table`` is an optional prebuilt
+    :class:`~repro.seeding.SeedTable` (e.g. from the reference store's
+    persistent cache); when given, the target-side table build inside
+    :func:`find_seeds` is skipped, bit-identically.
+    """
     t_codes = target.codes if isinstance(target, Sequence) else target
     q_codes = query.codes if isinstance(query, Sequence) else query
     seeds = find_seeds(
@@ -133,6 +141,7 @@ def select_anchors(
         k=config.seed_length,
         spaced_pattern=config.spaced_pattern,
         max_word_count=config.max_word_count,
+        target_table=target_table,
     )
     return collapse_diagonal(
         seeds, window=config.collapse_window, diag_band=config.diag_band

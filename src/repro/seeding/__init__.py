@@ -4,6 +4,8 @@ from .filtering import Anchors, collapse_diagonal, ungapped_filter
 from .seeds import (
     LASTZ_SPACED_SEED,
     SeedMatches,
+    SeedTable,
+    build_seed_table,
     find_seeds,
     pack_kmers,
     pack_spaced,
@@ -13,6 +15,8 @@ __all__ = [
     "Anchors",
     "LASTZ_SPACED_SEED",
     "SeedMatches",
+    "SeedTable",
+    "build_seed_table",
     "collapse_diagonal",
     "find_seeds",
     "pack_kmers",

@@ -18,9 +18,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
+
 __all__ = [
     "SeedMatches",
+    "SeedTable",
     "LASTZ_SPACED_SEED",
+    "build_seed_table",
     "pack_kmers",
     "pack_spaced",
     "find_seeds",
@@ -117,6 +121,65 @@ def _window_masked(mask: np.ndarray, span: int) -> np.ndarray:
     return (csum[span:] - csum[:-span]) > 0
 
 
+@dataclass(frozen=True)
+class SeedTable:
+    """Sorted target-side word table, the precomputable half of seeding.
+
+    ``words`` is sorted ascending and ``positions[i]`` is the start offset
+    of ``words[i]`` in the target; ``span`` is the word footprint in bases.
+    Building this table (pack + stable argsort over the whole target) is
+    the expensive part of :func:`find_seeds` and depends only on the
+    target and the seeding parameters, so the reference store persists it
+    per registered sequence and hands it back on every request.
+    """
+
+    words: np.ndarray
+    positions: np.ndarray
+    span: int
+
+    def __post_init__(self) -> None:
+        if self.words.shape != self.positions.shape:
+            raise ValueError("seed table arrays must have equal shape")
+
+    def __len__(self) -> int:
+        return int(self.words.shape[0])
+
+
+def build_seed_table(
+    codes: np.ndarray,
+    *,
+    k: int = 19,
+    spaced_pattern: str | None = None,
+    mask: np.ndarray | None = None,
+) -> SeedTable:
+    """Build the sorted target-side word table used by :func:`find_seeds`.
+
+    Replicates the target half of :func:`find_seeds` exactly (same packing,
+    same validity rules, same stable sort), so matching against a prebuilt
+    table is bit-identical to the inline path.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    if spaced_pattern is not None:
+        words, valid = pack_spaced(codes, spaced_pattern)
+        span = len(spaced_pattern)
+    else:
+        words, valid = pack_kmers(codes, k)
+        span = k
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != codes.shape:
+            raise ValueError("mask must match the sequence's length")
+        valid = valid & ~_window_masked(mask, span)
+    pos_all = np.flatnonzero(valid)
+    w = words[pos_all]
+    order = np.argsort(w, kind="stable")
+    return SeedTable(
+        words=w[order],
+        positions=pos_all[order].astype(np.int64),
+        span=span,
+    )
+
+
 def find_seeds(
     target: np.ndarray,
     query: np.ndarray,
@@ -127,6 +190,7 @@ def find_seeds(
     target_mask: np.ndarray | None = None,
     query_mask: np.ndarray | None = None,
     censored_words: np.ndarray | None = None,
+    target_table: SeedTable | None = None,
 ) -> SeedMatches:
     """All exact word matches between ``target`` and ``query``.
 
@@ -152,42 +216,69 @@ def find_seeds(
         word counts (a chunk sees only a fraction of each repeat family),
         so it computes :func:`overrepresented_words` once over the full
         target and passes the set to every chunk-local call.
+    target_table:
+        Prebuilt sorted target table (see :func:`build_seed_table`).  When
+        given, the target-side pack + sort — the expensive, per-reference
+        half of this function — is skipped entirely; the table must have
+        been built with the same seeding parameters (``span`` is checked;
+        ``target_mask`` must then be None because masking is baked into
+        the table at build time).  The result is bit-identical to the
+        inline path.
     """
     target = np.asarray(target, dtype=np.uint8)
     query = np.asarray(query, dtype=np.uint8)
+    span = len(spaced_pattern) if spaced_pattern is not None else k
     if spaced_pattern is not None:
-        t_words, t_valid = pack_spaced(target, spaced_pattern)
         q_words, q_valid = pack_spaced(query, spaced_pattern)
-        span = len(spaced_pattern)
     else:
-        t_words, t_valid = pack_kmers(target, k)
         q_words, q_valid = pack_kmers(query, k)
-        span = k
 
-    if target_mask is not None:
-        target_mask = np.asarray(target_mask, dtype=bool)
-        if target_mask.shape != target.shape:
-            raise ValueError("target_mask must match the target's length")
-        t_valid = t_valid & ~_window_masked(target_mask, span)
+    if target_table is not None:
+        if target_mask is not None:
+            raise ValueError(
+                "target_mask cannot be combined with target_table; masking "
+                "is baked into the table when it is built"
+            )
+        if target_table.span != span:
+            raise ValueError(
+                f"target_table was built with span {target_table.span}, "
+                f"these seeding parameters need span {span}"
+            )
+        t_w_sorted = target_table.words
+        t_pos_sorted = target_table.positions
+    else:
+        # Build the sorted target table inline.  The span makes the cost
+        # visible in traces; on the store path it disappears because a
+        # cached table is passed in instead.
+        with obs.span("fastz.seed_table", target_bp=int(target.shape[0])):
+            if spaced_pattern is not None:
+                t_words, t_valid = pack_spaced(target, spaced_pattern)
+            else:
+                t_words, t_valid = pack_kmers(target, k)
+            if target_mask is not None:
+                target_mask = np.asarray(target_mask, dtype=bool)
+                if target_mask.shape != target.shape:
+                    raise ValueError("target_mask must match the target's length")
+                t_valid = t_valid & ~_window_masked(target_mask, span)
+            t_pos_all = np.flatnonzero(t_valid)
+            t_w = t_words[t_pos_all]
+            # Sort target words once; stream query words through searchsorted.
+            order = np.argsort(t_w, kind="stable")
+            t_w_sorted = t_w[order]
+            t_pos_sorted = t_pos_all[order]
+
     if query_mask is not None:
         query_mask = np.asarray(query_mask, dtype=bool)
         if query_mask.shape != query.shape:
             raise ValueError("query_mask must match the query's length")
         q_valid = q_valid & ~_window_masked(query_mask, span)
 
-    t_pos_all = np.flatnonzero(t_valid)
     q_pos_all = np.flatnonzero(q_valid)
-    if t_pos_all.size == 0 or q_pos_all.size == 0:
+    if t_pos_sorted.size == 0 or q_pos_all.size == 0:
         return SeedMatches(
             np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), span
         )
-    t_w = t_words[t_pos_all]
     q_w = q_words[q_pos_all]
-
-    # Sort target words once; stream query words through searchsorted.
-    order = np.argsort(t_w, kind="stable")
-    t_w_sorted = t_w[order]
-    t_pos_sorted = t_pos_all[order]
 
     left = np.searchsorted(t_w_sorted, q_w, side="left")
     right = np.searchsorted(t_w_sorted, q_w, side="right")

@@ -216,6 +216,7 @@ class Dispatcher:
                                 request.config,
                                 request.options,
                                 anchors=request.anchors,
+                                seed_table=request.seed_table,
                             ),
                         )
                     )
@@ -231,13 +232,11 @@ class Dispatcher:
         scheme = prepared[0][1].scheme
         options = prepared[0][1].options
         tile = prepared[0][1].tile
-        suffixes = []
-        for _, prep in prepared:
-            suffixes.extend(prep.suffixes())
+        n_tasks = 2 * sum(prep.n_anchors for _, prep in prepared)
         try:
-            with obs.span("service.extend", tasks=len(suffixes)):
+            with obs.span("service.extend", tasks=n_tasks):
                 fused = self._extend_fused(
-                    group[0].request.fuse_key, suffixes, scheme, options, tile
+                    group[0].request.fuse_key, prepared, scheme, options, tile
                 )
         except Exception:
             # A poisoned request broke the fused batch.  Re-run one request
@@ -261,8 +260,16 @@ class Dispatcher:
             except Exception as exc:
                 self._fail(pending, exc)
 
-    def _extend_fused(self, fuse_key, suffixes, scheme, options, tile):
-        """Run one fused extension list on the pool or in-process.
+    def _extend_fused(self, fuse_key, prepared, scheme, options, tile):
+        """Run one fused group's extensions on the pool or in-process.
+
+        On the pool path the group is dispatched as a *spec*: one code
+        source per distinct sequence — a shared-memory handle for
+        store-published references, inline codes otherwise — plus a
+        ``(ti, qi, t, q)`` row per anchor.  Workers rebuild the suffix
+        views locally, so a store-backed shard message carries digests +
+        windows instead of pickled sequence bytes (bit-identical records
+        either way).
 
         A :class:`PoolError` means the *backend* is broken (workers died
         repeatedly mid-shard, or the pool is closed) — not that the batch
@@ -271,12 +278,35 @@ class Dispatcher:
         per-request poison-isolation retry.
         """
         if self._pool is not None:
+            sources: list = []
+            source_ids: dict = {}
+
+            def source_for(codes, handle) -> int:
+                key = ("shm", handle[1]) if handle is not None else ("mem", id(codes))
+                idx = source_ids.get(key)
+                if idx is None:
+                    idx = len(sources)
+                    sources.append(handle if handle is not None else ("inline", codes))
+                    source_ids[key] = idx
+                return idx
+
+            rows = []
+            for pending, prep in prepared:
+                request = pending.request
+                ti = source_for(prep.t_codes, request.target_source)
+                qi = source_for(prep.q_codes, request.query_source)
+                rows.extend(
+                    (ti, qi, t, q) for t, q in zip(prep.t_pos, prep.q_pos)
+                )
             try:
-                return self._pool.extend(
-                    suffixes, scheme, options, tile, key=fuse_key
+                return self._pool.extend_spec(
+                    sources, rows, scheme, options, tile, key=fuse_key
                 )
             except PoolError:
                 self._pool.note_degraded()
+        suffixes = []
+        for _, prep in prepared:
+            suffixes.extend(prep.suffixes())
         return extend_suffixes_batched(suffixes, scheme, options, tile)
 
     def _resolve(self, pending: Pending, prep, per_anchor) -> None:

@@ -5,10 +5,18 @@ web framework.  The surface is versioned under ``/v1``:
 
 * ``POST /v1/align`` — body ``{"target": "ACGT...", "query": "ACGT...",
   "timeout_s": 5.0?, "options": {...}?}``; responds with the scored
-  alignments.  ``options`` overrides the server's default
+  alignments.  Either side may instead be a registered reference:
+  ``{"target_ref": "<digest>"}`` (needs a server configured with a
+  reference store) — exactly one of value/ref per side.  ``options``
+  overrides the server's default
   :class:`~repro.core.options.FastzOptions` field-by-field and is
   validated with :meth:`~repro.core.options.FastzOptions.from_mapping`
   (unknown keys are a 400, not silently ignored).
+* ``POST /v1/references`` — register a reference: ``{"sequence":
+  "ACGTacgt...", "name": "chr1"?}``; idempotent by content digest, the
+  response carries ``{"digest", "length", "registered"}``.  Lowercase
+  input is recorded as the soft-mask sidecar.
+* ``GET /v1/references`` — list registered references.
 * ``GET /v1/stats`` — the :class:`~repro.service.stats.ServiceStats`
   snapshot as JSON.
 * ``GET /v1/metrics`` — the same counters (plus queue-wait/latency
@@ -17,9 +25,13 @@ web framework.  The surface is versioned under ``/v1``:
 
 Errors use one envelope everywhere: ``{"error": {"code": "...",
 "message": "..."}}`` with a stable machine-readable ``code``
-(``bad_request``, ``not_found``, ``overloaded``, ``shutting_down``,
-``deadline_exceeded``, ``cancelled``, ``internal``).  Load-shedding 503s
-carry a ``Retry-After`` header.
+(``bad_request``, ``not_found``, ``payload_too_large``, ``overloaded``,
+``shutting_down``, ``deadline_exceeded``, ``cancelled``,
+``store_corrupt``, ``internal``).  Load-shedding 503s carry a
+``Retry-After`` header.  Raw-sequence ``/v1/align`` bodies over the
+configurable ``max_align_body`` limit get **413** ``payload_too_large``
+*before* the body is read — the message points at ``POST
+/v1/references``, the intended path for large sequences.
 
 The original unversioned paths (``/align``, ``/stats``, ``/metrics``,
 ``/healthz``) answer with a **307** redirect to their ``/v1`` twin plus
@@ -38,7 +50,9 @@ from concurrent.futures import CancelledError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..core.options import FastzOptions
-from ..genome.alphabet import encode
+from ..genome.alphabet import encode, encode_with_mask
+from ..store import StoreCorrupt, UnknownReference, reference_digest
+from ..store.twobit import runs_from_mask
 from .batcher import DeadlineExceeded
 from .service import AlignmentService, ServiceClosed, ServiceOverloaded
 
@@ -50,9 +64,15 @@ API_PREFIX = "/v1"
 #: Pre-versioning paths still honoured via 307 + ``Deprecation: true``.
 LEGACY_PATHS = ("/align", "/healthz", "/metrics", "/stats")
 
-#: Refuse request bodies beyond this (a chromosome pair in text is fine,
-#: an accidental multi-GB POST is not).
-_MAX_BODY_BYTES = 64 * 1024 * 1024
+#: Default cap on raw-sequence ``/v1/align`` bodies (a chromosome pair in
+#: text is fine, an accidental multi-GB POST is not); ``make_server``'s
+#: ``max_align_body`` overrides it.  Oversize bodies 413 with a pointer
+#: at ``POST /v1/references``.
+DEFAULT_MAX_ALIGN_BODY = 64 * 1024 * 1024
+
+#: Registration bodies may legitimately carry whole chromosomes; this is
+#: an absolute backstop, not a tuning knob.
+_MAX_REGISTER_BODY = 1024 * 1024 * 1024
 
 
 def _alignment_payload(result) -> dict:
@@ -79,9 +99,21 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address, service: AlignmentService, *, quiet: bool = True):
+    def __init__(
+        self,
+        address,
+        service: AlignmentService,
+        *,
+        quiet: bool = True,
+        max_align_body: int | None = None,
+    ):
         self.service = service
         self.quiet = quiet
+        self.max_align_body = (
+            DEFAULT_MAX_ALIGN_BODY if max_align_body is None else int(max_align_body)
+        )
+        if self.max_align_body < 1:
+            raise ValueError("max_align_body must be positive")
         super().__init__(address, _Handler)
 
 
@@ -159,39 +191,146 @@ class _Handler(BaseHTTPRequestHandler):
                 self.server.service.metrics_text().encode(),
                 "text/plain; version=0.0.4; charset=utf-8",
             )
+        elif self.path == API_PREFIX + "/references":
+            store = self.server.service.store
+            if store is None:
+                self._error(
+                    400,
+                    "bad_request",
+                    "this server has no reference store (serve --store)",
+                )
+                return
+            self._reply(200, {"references": store.list()})
         else:
             self._error(404, "not_found", f"unknown path {self.path!r}")
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        if self._redirect_legacy():
-            return
-        if self.path != API_PREFIX + "/align":
-            self._error(404, "not_found", f"unknown path {self.path!r}")
-            return
+    # -- POST bodies ---------------------------------------------------------
+
+    def _read_json(self, limit: int, over_limit_message: str) -> dict | None:
+        """Read + parse a JSON object body; replies and returns None on error.
+
+        The size check runs on ``Content-Length`` *before* any body bytes
+        are read, so an oversize upload is refused without buffering it.
+        """
         try:
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
             self._error(400, "bad_request", "bad Content-Length")
-            return
-        if length <= 0 or length > _MAX_BODY_BYTES:
+            return None
+        if length <= 0:
+            self._error(400, "bad_request", "body must not be empty")
+            return None
+        if length > limit:
             self._error(
-                400, "bad_request", f"body must be 1..{_MAX_BODY_BYTES} bytes"
+                413,
+                "payload_too_large",
+                f"body is {length} bytes (limit {limit}); "
+                + over_limit_message,
             )
-            return
+            return None
         try:
             payload = json.loads(self.rfile.read(length))
         except (json.JSONDecodeError, UnicodeDecodeError):
             self._error(400, "bad_request", "body is not valid JSON")
-            return
+            return None
         if not isinstance(payload, dict):
             self._error(400, "bad_request", "body must be a JSON object")
+            return None
+        return payload
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self._redirect_legacy():
+            return
+        if self.path == API_PREFIX + "/align":
+            self._post_align()
+        elif self.path == API_PREFIX + "/references":
+            self._post_references()
+        else:
+            self._error(404, "not_found", f"unknown path {self.path!r}")
+
+    def _post_references(self) -> None:
+        store = self.server.service.store
+        if store is None:
+            self._error(
+                400,
+                "bad_request",
+                "this server has no reference store (serve --store)",
+            )
+            return
+        payload = self._read_json(
+            _MAX_REGISTER_BODY, "split the FASTA and register per chromosome"
+        )
+        if payload is None:
+            return
+        sequence = payload.get("sequence")
+        if not isinstance(sequence, str):
+            self._error(400, "bad_request", "'sequence' must be a DNA string")
+            return
+        name = payload.get("name", "reference")
+        if not isinstance(name, str) or not name:
+            self._error(400, "bad_request", "'name' must be a non-empty string")
+            return
+        try:
+            encode(sequence, strict=True)
+        except ValueError as exc:
+            self._error(
+                400, "bad_request", f"'sequence' is not a DNA sequence: {exc}"
+            )
+            return
+        # Lowercase input is FASTA soft-masking; keep it in the sidecar.
+        codes, mask = encode_with_mask(sequence)
+        digest = reference_digest(codes, runs_from_mask(mask))
+        existed = store.contains(digest)
+        try:
+            store.add(codes, name=name, mask=mask)
+        except OSError as exc:
+            self._error(500, "internal", f"cannot write store files: {exc}")
+            return
+        self._reply(
+            200,
+            {
+                "digest": digest,
+                "name": name,
+                "length": len(codes),
+                "registered": not existed,
+            },
+        )
+
+    def _post_align(self) -> None:
+        payload = self._read_json(
+            self.server.max_align_body,
+            "register large sequences once via POST /v1/references and "
+            "align by digest ('target_ref'/'query_ref') instead",
+        )
+        if payload is None:
             return
         target = payload.get("target")
         query = payload.get("query")
-        if not isinstance(target, str) or not isinstance(query, str):
+        target_ref = payload.get("target_ref")
+        query_ref = payload.get("query_ref")
+        for field, value in (("target_ref", target_ref), ("query_ref", query_ref)):
+            if value is not None and not isinstance(value, str):
+                self._error(400, "bad_request", f"'{field}' must be a digest string")
+                return
+        if (target is None) == (target_ref is None):
             self._error(
-                400, "bad_request", "'target' and 'query' must be DNA strings"
+                400,
+                "bad_request",
+                "give exactly one of 'target' (DNA string) or 'target_ref' (digest)",
             )
+            return
+        if (query is None) == (query_ref is None):
+            self._error(
+                400,
+                "bad_request",
+                "give exactly one of 'query' (DNA string) or 'query_ref' (digest)",
+            )
+            return
+        if target is not None and not isinstance(target, str):
+            self._error(400, "bad_request", "'target' must be a DNA string")
+            return
+        if query is not None and not isinstance(query, str):
+            self._error(400, "bad_request", "'query' must be a DNA string")
             return
         timeout_s = payload.get("timeout_s")
         # bool is a subclass of int, so isinstance alone would accept
@@ -222,25 +361,40 @@ class _Handler(BaseHTTPRequestHandler):
         # Validate before dispatch: the encoding LUT maps junk to N, so a
         # malformed body would otherwise be aligned-as-N (or, for other
         # input bugs, surface as a 500 from deep inside the pipeline).
-        try:
-            target_codes = encode(target, strict=True)
-        except ValueError as exc:
-            self._error(
-                400, "bad_request", f"'target' is not a DNA sequence: {exc}"
-            )
-            return
-        try:
-            query_codes = encode(query, strict=True)
-        except ValueError as exc:
-            self._error(
-                400, "bad_request", f"'query' is not a DNA sequence: {exc}"
-            )
-            return
+        target_codes = query_codes = None
+        if target is not None:
+            try:
+                target_codes = encode(target, strict=True)
+            except ValueError as exc:
+                self._error(
+                    400, "bad_request", f"'target' is not a DNA sequence: {exc}"
+                )
+                return
+        if query is not None:
+            try:
+                query_codes = encode(query, strict=True)
+            except ValueError as exc:
+                self._error(
+                    400, "bad_request", f"'query' is not a DNA sequence: {exc}"
+                )
+                return
 
         try:
             result = service.align(
-                target_codes, query_codes, options=options, timeout_s=timeout_s
+                target_codes,
+                query_codes,
+                options=options,
+                timeout_s=timeout_s,
+                target_ref=target_ref,
+                query_ref=query_ref,
             )
+        except UnknownReference as exc:
+            self._error(404, "not_found", str(exc))
+        except StoreCorrupt as exc:
+            self._error(500, "store_corrupt", str(exc))
+        except ValueError as exc:
+            # e.g. align-by-ref against a server without a store.
+            self._error(400, "bad_request", str(exc))
         except ServiceOverloaded as exc:
             self._error(
                 503,
@@ -272,6 +426,14 @@ def make_server(
     port: int = 8642,
     *,
     quiet: bool = True,
+    max_align_body: int | None = None,
 ) -> ServiceHTTPServer:
-    """Bind (but do not start) the JSON endpoint for ``service``."""
-    return ServiceHTTPServer((host, port), service, quiet=quiet)
+    """Bind (but do not start) the JSON endpoint for ``service``.
+
+    ``max_align_body`` caps raw-sequence ``/v1/align`` bodies (default
+    :data:`DEFAULT_MAX_ALIGN_BODY`); oversize bodies are refused with 413
+    ``payload_too_large`` before being read.
+    """
+    return ServiceHTTPServer(
+        (host, port), service, quiet=quiet, max_align_body=max_align_body
+    )

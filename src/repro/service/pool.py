@@ -51,8 +51,10 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..align.arena import release_thread_arenas
+from ..core.multigpu import greedy_partition
 from ..core.pipeline import extend_suffixes_shard, shard_anchor_suffixes
 from ..obs.metrics import MetricsRegistry
+from ..store.shm import ShmPublisher, attach_codes, release_attachments
 
 __all__ = ["PoolError", "WorkerPool"]
 
@@ -75,6 +77,42 @@ def _kill_ids() -> set[str]:
     return {part.strip() for part in raw.split(",") if part.strip()}
 
 
+def _resolve_sources(sources) -> list:
+    """Materialise a dispatch message's code sources in a worker.
+
+    ``("shm", name, length)`` attaches to the parent's published segment
+    (cached per process by :func:`repro.store.attach_codes`, so repeated
+    shards over the same reference map it once); ``("inline", codes)``
+    arrived pickled in the message itself — the fallback for sequences
+    that were never registered with the store.
+    """
+    out = []
+    for src in sources:
+        if src[0] == "shm":
+            _kind, name, length = src
+            out.append(attach_codes(name, length))
+        else:
+            out.append(src[1])
+    return out
+
+
+def _spec_suffixes(sources, rows) -> list:
+    """Rebuild the interleaved right/left suffix views from a shard spec.
+
+    Mirrors :func:`repro.core.pipeline._anchor_suffixes` exactly — right
+    extension at ``2k``, reversed left at ``2k + 1`` — over whatever code
+    arrays the sources resolve to, so the extension records come back
+    bit-identical to a pickled-suffix dispatch.
+    """
+    codes = _resolve_sources(sources)
+    suffixes = []
+    for ti, qi, t, q in rows:
+        tc, qc = codes[ti], codes[qi]
+        suffixes.append((tc[t:], qc[q:]))  # right at 2k
+        suffixes.append((tc[:t][::-1], qc[:q][::-1]))  # left at 2k+1
+    return suffixes
+
+
 def _worker_main(worker_id: int, task_q, result_q) -> None:
     """Worker loop: one shard at a time, failures reported not raised.
 
@@ -85,7 +123,10 @@ def _worker_main(worker_id: int, task_q, result_q) -> None:
     Each worker implicitly keeps the pipeline's warm lockstep arenas
     (:func:`repro.align.thread_arena`) alive between shards — the
     process-resident analogue of the device buffers a GPU stream would
-    own — and drops them on the clean-shutdown path.
+    own — and drops them on the clean-shutdown path.  Work arrives either
+    as pickled suffixes (``("suffixes", ...)``) or as a store-aware spec
+    (``("spec", sources, rows)``) that rebuilds them from shared-memory
+    references — megabytes of sequence shrink to a name + window.
     """
     parent = os.getppid()
     warm: dict[str, tuple] = {}
@@ -95,18 +136,24 @@ def _worker_main(worker_id: int, task_q, result_q) -> None:
         except queue_mod.Empty:
             if os.getppid() != parent:
                 release_thread_arenas()
+                release_attachments()
                 return
             continue
         if item is None:
             release_thread_arenas()
+            release_attachments()
             return
-        job_id, shard_id, key, params, suffixes = item
+        job_id, shard_id, key, params, work = item
         if str(worker_id) in _kill_ids():
             os._exit(137)
         try:
             if params is not None:
                 warm[key] = params
             scheme, options, tile = warm[key]
+            if work[0] == "spec":
+                suffixes = _spec_suffixes(work[1], work[2])
+            else:
+                suffixes = work[1]
             records = extend_suffixes_shard(suffixes, scheme, options, tile)
         except Exception as exc:  # noqa: BLE001 - fault isolation boundary
             result_q.put(
@@ -183,6 +230,9 @@ class WorkerPool:
         self._ids = itertools.count()
         self._jobs = itertools.count()
         self._closed = False
+        #: Parent-owned shared-memory registry for store-backed references;
+        #: dispatch specs carry ("shm", name, length) instead of codes.
+        self._shm = ShmPublisher()
         self._workers = [self._spawn() for _ in range(workers)]
         self._set_worker_gauges()
 
@@ -259,17 +309,31 @@ class WorkerPool:
                 w.proc.join(timeout=1.0)
         self._result_q.close()
         self._result_q.cancel_join_thread()
+        self._shm.close()
         self._set_worker_gauges()
+
+    # -- shared-memory publication ------------------------------------------
+
+    def publish(self, key: str, codes) -> tuple[str, int] | None:
+        """Publish a reference's codes once; returns the worker handle.
+
+        Idempotent per key; ``None`` (caller ships codes inline) when the
+        publisher's byte cap is exhausted or the segment cannot be
+        created.  Segments live until :meth:`close`.
+        """
+        if self._closed:
+            return None
+        return self._shm.publish(key, codes)
 
     # -- dispatch ------------------------------------------------------------
 
     def _send(self, slot: int, job_id: int, shard_id: int, key: str,
-              params: tuple, suffixes) -> None:
+              params: tuple, work) -> None:
         worker = self._workers[slot]
         payload = None if key in worker.seen else params
         worker.seen.add(key)
         worker.current = (job_id, shard_id)
-        worker.task_q.put((job_id, shard_id, key, payload, suffixes))
+        worker.task_q.put((job_id, shard_id, key, payload, work))
         self._shard_counter.labels(slot=slot).inc()
 
     def extend(self, suffixes, scheme, options, tile: int, *, key: str):
@@ -286,6 +350,58 @@ class WorkerPool:
         n_anchors = len(suffixes) // 2
         if n_anchors == 0:
             return []
+        shards = shard_anchor_suffixes(suffixes, min(len(self._workers), n_anchors))
+        idx_by_shard = [idx for idx, _sub in shards]
+        work_by_shard = [("suffixes", sub) for _idx, sub in shards]
+        return self._run_shards(
+            work_by_shard, idx_by_shard, n_anchors, scheme, options, tile, key=key
+        )
+
+    def extend_spec(self, sources, rows, scheme, options, tile: int, *, key: str):
+        """Store-aware variant of :meth:`extend`: dispatch windows, not bytes.
+
+        ``sources`` is a list of code sources — ``("shm", name, length)``
+        handles from :meth:`publish` or ``("inline", codes)`` for
+        unregistered sequences; ``rows`` is one ``(ti, qi, t, q)`` tuple
+        per anchor, in anchor order, indexing into ``sources``.  Workers
+        rebuild the suffix views locally, so a shard message carries only
+        the row table (plus any inline sources) — the >100x dispatch
+        payload reduction of the reference store.
+        """
+        if self._closed:
+            raise PoolError("pool is closed")
+        n_anchors = len(rows)
+        if n_anchors == 0:
+            return []
+        lengths = [
+            src[2] if src[0] == "shm" else len(src[1]) for src in sources
+        ]
+        # Same weight the suffix path computes: the wavefront's reachable
+        # extent on each side, so the LPT plan (and thus the shard
+        # composition) is identical however the codes are shipped.
+        weights = [
+            min(lengths[ti] - t, lengths[qi] - q) + min(t, q)
+            for ti, qi, t, q in rows
+        ]
+        n_shards = min(len(self._workers), n_anchors)
+        idx_by_shard = []
+        work_by_shard = []
+        for part in greedy_partition(weights, n_shards):
+            if not part:
+                continue
+            idx = sorted(part)
+            idx_by_shard.append(idx)
+            work_by_shard.append(("spec", sources, [rows[k] for k in idx]))
+        return self._run_shards(
+            work_by_shard, idx_by_shard, n_anchors, scheme, options, tile, key=key
+        )
+
+    def _run_shards(
+        self, work_by_shard, idx_by_shard, n_anchors, scheme, options, tile, *, key
+    ):
+        """Dispatch prepared shard work and collect records by anchor index."""
+        if self._closed:
+            raise PoolError("pool is closed")
         t0 = time.perf_counter()
         job_id = next(self._jobs)
         params = (scheme, options, tile)
@@ -294,16 +410,14 @@ class WorkerPool:
         for slot, worker in enumerate(self._workers):
             if not worker.proc.is_alive():
                 self._respawn(slot)
-        shards = shard_anchor_suffixes(suffixes, min(len(self._workers), n_anchors))
-        shard_sub = {sid: sub for sid, (_idx, sub) in enumerate(shards)}
-        for shard_id in shard_sub:
-            self._send(shard_id, job_id, shard_id, key, params, shard_sub[shard_id])
+        for shard_id, work in enumerate(work_by_shard):
+            self._send(shard_id, job_id, shard_id, key, params, work)
         self.dispatches += 1
 
         done: dict[int, list] = {}
         failures: dict[int, str] = {}
         redispatched: dict[int, int] = {}
-        while len(done) + len(failures) < len(shards):
+        while len(done) + len(failures) < len(work_by_shard):
             try:
                 msg = self._result_q.get(timeout=0.02)
             except queue_mod.Empty:
@@ -343,7 +457,7 @@ class WorkerPool:
                         f"shard killed {redispatched[shard_id]} workers in a row"
                     )
                 self._send(
-                    slot, job_id, shard_id, key, params, shard_sub[shard_id]
+                    slot, job_id, shard_id, key, params, work_by_shard[shard_id]
                 )
 
         self._dispatch_seconds.observe(time.perf_counter() - t0)
@@ -352,7 +466,7 @@ class WorkerPool:
             raise RuntimeError(f"pool shard {shard_id} failed: {error}")
 
         out: list = [None] * n_anchors
-        for shard_id, (idx, _sub) in enumerate(shards):
+        for shard_id, idx in enumerate(idx_by_shard):
             records = done[shard_id]
             for local, anchor in enumerate(idx):
                 out[anchor] = records[local]

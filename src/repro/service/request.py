@@ -78,13 +78,30 @@ def _as_codes(sequence: Sequence | np.ndarray) -> np.ndarray:
 
 @dataclass
 class AlignmentRequest:
-    """One caller's alignment job, normalised to code arrays."""
+    """One caller's alignment job, normalised to code arrays.
+
+    Store-backed requests additionally carry the reference's content
+    digest (``target_digest``/``query_digest``), an optional prebuilt
+    seed table from the store's persistent cache, and an optional
+    shared-memory ``(name, length)`` source handle per side so the pool
+    dispatcher can ship windows instead of codes.  None of these change
+    the alignment result — the digest keys the cache cheaply and the
+    table/source only change how the same computation is fed.
+    """
 
     target: np.ndarray
     query: np.ndarray
     config: LastzConfig
     options: FastzOptions
     anchors: Anchors | None = field(default=None)
+    #: Reference-store content digests, when the request came in by ref.
+    target_digest: str | None = field(default=None)
+    query_digest: str | None = field(default=None)
+    #: Prebuilt target-side seed table (store cache); skips table build.
+    seed_table: object | None = field(default=None, repr=False)
+    #: Shared-memory handles ``("shm", name, length)`` for pool dispatch.
+    target_source: tuple | None = field(default=None, repr=False)
+    query_source: tuple | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.target = _as_codes(self.target)
@@ -97,10 +114,21 @@ class AlignmentRequest:
 
     @cached_property
     def cache_key(self) -> str:
-        """Digest of everything that determines the alignment result."""
+        """Digest of everything that determines the alignment result.
+
+        Sides that arrived by reference hash the store digest instead of
+        the codes — same discriminating power (the digest *is* a content
+        hash) without touching megabytes of sequence per lookup.
+        """
         h = hashlib.sha256()
-        _digest_update(h, self.target)
-        _digest_update(h, self.query)
+        if self.target_digest is not None:
+            h.update(b"ref:" + self.target_digest.encode() + b"\x00")
+        else:
+            _digest_update(h, self.target)
+        if self.query_digest is not None:
+            h.update(b"ref:" + self.query_digest.encode() + b"\x00")
+        else:
+            _digest_update(h, self.query)
         if self.anchors is None:
             h.update(b"anchors:none\x00")
         else:

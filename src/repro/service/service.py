@@ -46,6 +46,7 @@ from ..core.pipeline import FastzResult
 from ..genome.sequence import Sequence
 from ..lastz.config import LastzConfig
 from ..seeding import Anchors
+from ..store import ReferenceStore
 from .batcher import BatchPolicy, DeadlineExceeded, Dispatcher, Pending
 from .cache import ResultCache
 from .pool import WorkerPool
@@ -113,6 +114,13 @@ class AlignmentService:
         across this many persistent worker processes (0 = run fused
         batches in-process on the dispatcher thread, the pre-pool
         behaviour).  Results are bit-identical either way.
+    store:
+        A :class:`~repro.store.ReferenceStore` (or its root path) backing
+        align-by-digest submissions (``target_ref``/``query_ref``): codes
+        come off the store's mmap, the persisted seed table skips the
+        table-build stage, and with a pool backend the codes are published
+        to shared memory once so shard dispatch carries digests + windows.
+        ``None`` (default) rejects by-ref submissions.
     config, options:
         Defaults applied to submissions that do not bring their own.
 
@@ -128,6 +136,7 @@ class AlignmentService:
         max_inflight_bytes: int | None = DEFAULT_MAX_INFLIGHT_BYTES,
         cache_entries: int = 128,
         pool_workers: int = 0,
+        store: "ReferenceStore | str | None" = None,
         config: LastzConfig | None = None,
         options: FastzOptions = _DEFAULT_OPTIONS,
     ) -> None:
@@ -138,6 +147,11 @@ class AlignmentService:
         if pool_workers < 0:
             raise ValueError("pool_workers must be non-negative")
         self.policy = BatchPolicy(max_batch=max_batch, max_wait_ms=max_wait_ms)
+        self._store = (
+            store
+            if store is None or isinstance(store, ReferenceStore)
+            else ReferenceStore(store)
+        )
         self.default_config = config or LastzConfig()
         self.default_options = options
         self.max_inflight_bytes = max_inflight_bytes
@@ -165,34 +179,88 @@ class AlignmentService:
 
     def submit(
         self,
-        target: Sequence | np.ndarray,
-        query: Sequence | np.ndarray,
+        target: Sequence | np.ndarray | None = None,
+        query: Sequence | np.ndarray | None = None,
         config: LastzConfig | None = None,
         options: FastzOptions | None = None,
         *,
         anchors: Anchors | None = None,
         timeout_s: float | None = None,
+        target_ref: str | None = None,
+        query_ref: str | None = None,
     ) -> Future:
         """Enqueue one alignment job; returns a future of ``FastzResult``.
 
+        Each side takes either raw codes (``target``/``query``) or a
+        reference-store digest (``target_ref``/``query_ref``) — exactly
+        one per side; by-ref needs a service constructed with ``store=``.
         Raises :class:`ServiceOverloaded` when the queue is full and
         :class:`ServiceClosed` after shutdown began.  ``timeout_s`` bounds
         how long the request may sit in the queue before it is expired
         with :class:`DeadlineExceeded`.
         """
         return self._submit(
-            target, query, config, options, anchors=anchors, timeout_s=timeout_s
+            target,
+            query,
+            config,
+            options,
+            anchors=anchors,
+            timeout_s=timeout_s,
+            target_ref=target_ref,
+            query_ref=query_ref,
         )[0]
+
+    def _resolve_side(
+        self,
+        value: Sequence | np.ndarray | None,
+        ref: str | None,
+        config: LastzConfig,
+        *,
+        target_side: bool,
+        anchors: Anchors | None,
+    ) -> tuple:
+        """One side's (codes, digest, shm source, seed table) from value/ref."""
+        if ref is None:
+            if value is None:
+                raise ValueError(
+                    "each side needs either a sequence or a reference digest"
+                )
+            return value, None, None, None
+        if value is not None:
+            raise ValueError(
+                "give a sequence or a reference digest per side, not both"
+            )
+        if self._store is None:
+            raise ValueError(
+                "align-by-ref requires a service configured with store="
+            )
+        stored = self._store.get(ref)
+        codes = stored.codes
+        source = None
+        if self._pool is not None:
+            handle = self._pool.publish(stored.digest, codes)
+            if handle is not None:
+                source = ("shm", handle[0], handle[1])
+        table = None
+        if target_side and anchors is None:
+            table = self._store.seed_table(
+                stored.digest,
+                k=config.seed_length,
+                spaced_pattern=config.spaced_pattern,
+            )
+        return codes, stored.digest, source, table
 
     def _submit(
         self,
-        target: Sequence | np.ndarray,
-        query: Sequence | np.ndarray,
+        target: Sequence | np.ndarray | None = None,
+        query: Sequence | np.ndarray | None = None,
         config: LastzConfig | None = None,
         options: FastzOptions | None = None,
         *,
         anchors: Anchors | None = None,
         timeout_s: float | None = None,
+        target_ref: str | None = None,
+        query_ref: str | None = None,
     ) -> tuple[Future, Pending | None]:
         """Submission core: returns the future plus its queue entry.
 
@@ -200,12 +268,24 @@ class AlignmentService:
         queued); :meth:`align` uses it to mark work abandoned when the
         caller's result wait times out.
         """
+        config = config or self.default_config
+        t_codes, t_digest, t_source, seed_table = self._resolve_side(
+            target, target_ref, config, target_side=True, anchors=anchors
+        )
+        q_codes, q_digest, q_source, _ = self._resolve_side(
+            query, query_ref, config, target_side=False, anchors=anchors
+        )
         request = AlignmentRequest(
-            target=target,
-            query=query,
-            config=config or self.default_config,
+            target=t_codes,
+            query=q_codes,
+            config=config,
             options=options or self.default_options,
             anchors=anchors,
+            target_digest=t_digest,
+            query_digest=q_digest,
+            seed_table=seed_table,
+            target_source=t_source,
+            query_source=q_source,
         )
         with self._lock:
             if self._closed:
@@ -263,13 +343,15 @@ class AlignmentService:
 
     def align(
         self,
-        target: Sequence | np.ndarray,
-        query: Sequence | np.ndarray,
+        target: Sequence | np.ndarray | None = None,
+        query: Sequence | np.ndarray | None = None,
         config: LastzConfig | None = None,
         options: FastzOptions | None = None,
         *,
         anchors: Anchors | None = None,
         timeout_s: float | None = None,
+        target_ref: str | None = None,
+        query_ref: str | None = None,
     ) -> FastzResult:
         """Blocking convenience wrapper: submit and wait for the result.
 
@@ -288,6 +370,8 @@ class AlignmentService:
             options,
             anchors=anchors,
             timeout_s=timeout_s,
+            target_ref=target_ref,
+            query_ref=query_ref,
         )
         if timeout_s is None:
             return future.result()
@@ -314,6 +398,11 @@ class AlignmentService:
     def pool(self) -> WorkerPool | None:
         """The multiprocess backend, or None on the in-process backend."""
         return self._pool
+
+    @property
+    def store(self) -> ReferenceStore | None:
+        """The reference store backing by-ref submissions, if configured."""
+        return self._store
 
     def metrics_text(self) -> str:
         """Prometheus text exposition for the ``GET /metrics`` endpoint.

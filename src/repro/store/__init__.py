@@ -1,0 +1,35 @@
+"""``repro.store`` — zero-copy reference store + persistent seed index.
+
+References are registered once (``ReferenceStore.add`` / ``repro refs
+add`` / ``POST /v1/references``) and served forever after by content
+digest: 2-bit packed mmap-able files with N/soft-mask runs in a JSON
+sidecar, per-reference persisted seed tables keyed by store version +
+seeding parameters, and named shared-memory publication so pool dispatch
+ships a digest + window instead of pickled sequence bytes.  See
+DESIGN.md §14.
+"""
+
+from .shm import ShmPublisher, attach_codes, release_attachments
+from .store import (
+    ReferenceStore,
+    StoreCorrupt,
+    StoreError,
+    StoredReference,
+    UnknownReference,
+    reference_digest,
+)
+from .twobit import STORE_VERSION, TwoBitError
+
+__all__ = [
+    "ReferenceStore",
+    "STORE_VERSION",
+    "ShmPublisher",
+    "StoreCorrupt",
+    "StoreError",
+    "StoredReference",
+    "TwoBitError",
+    "UnknownReference",
+    "attach_codes",
+    "reference_digest",
+    "release_attachments",
+]

@@ -1,0 +1,91 @@
+"""Persistent per-reference seed-table cache.
+
+The target half of :func:`repro.seeding.find_seeds` — pack every window
+into a word, drop invalid windows, stable-sort — depends only on the
+reference and the seeding parameters, so it is pure precomputable state
+(Sundram's seed-filter-extend dataflow observation).  The store persists
+each :class:`~repro.seeding.SeedTable` as a ``.npz`` beside the 2-bit
+file, keyed by:
+
+* the store format version (:data:`~repro.store.twobit.STORE_VERSION`) —
+  a format bump orphans every cached table at once, and
+* a seeding-parameter key (``k<k>`` or ``p<pattern>``) — tables for
+  different seed shapes coexist.
+
+A cached table whose recorded span disagrees with its key's span (a
+hand-edited or torn file) is treated as a miss, never served.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..seeding import SeedTable
+from .twobit import STORE_VERSION
+
+__all__ = ["load_table", "save_table", "seed_params_key", "table_span"]
+
+
+def seed_params_key(
+    *, k: int = 19, spaced_pattern: str | None = None, masked: bool = False
+) -> str:
+    """Filename-safe cache key for one set of seeding parameters.
+
+    ``masked`` tables bake the reference's soft-mask into the validity
+    filter and are keyed apart from unmasked ones — the default pipeline
+    (:func:`~repro.lastz.pipeline.select_anchors`) seeds unmasked, and
+    serving it a masked table would break by-ref/by-bytes bit-identity.
+    """
+    if spaced_pattern is not None:
+        if not spaced_pattern or any(c not in "01" for c in spaced_pattern):
+            raise ValueError("pattern must be a non-empty string of 0s and 1s")
+        base = f"v{STORE_VERSION}-p{spaced_pattern}"
+    else:
+        base = f"v{STORE_VERSION}-k{int(k)}"
+    return base + "-m" if masked else base
+
+
+def table_span(*, k: int = 19, spaced_pattern: str | None = None) -> int:
+    """Word footprint in bases for one set of seeding parameters."""
+    return len(spaced_pattern) if spaced_pattern is not None else int(k)
+
+
+def save_table(path: str | Path, table: SeedTable) -> None:
+    """Persist a seed table atomically (tmp + rename)."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        np.savez(
+            handle,
+            words=np.asarray(table.words, dtype=np.uint64),
+            positions=np.asarray(table.positions, dtype=np.int64),
+            span=np.int64(table.span),
+        )
+    tmp.replace(path)
+
+
+def load_table(
+    path: str | Path, *, expect_span: int | None = None
+) -> SeedTable | None:
+    """Load a cached table; ``None`` on missing/unreadable/mismatched files.
+
+    The cache is advisory — any problem degrades to a rebuild, never an
+    error and never a wrong table.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        with np.load(path) as data:
+            words = np.asarray(data["words"], dtype=np.uint64)
+            positions = np.asarray(data["positions"], dtype=np.int64)
+            span = int(data["span"])
+    except Exception:
+        return None
+    if words.shape != positions.shape or words.ndim != 1:
+        return None
+    if expect_span is not None and span != expect_span:
+        return None
+    return SeedTable(words=words, positions=positions, span=span)

@@ -70,3 +70,40 @@ class TestWriteValidation:
     def test_bad_width(self, tmp_path):
         with pytest.raises(ValueError):
             write_fasta(tmp_path / "x.fa", [], width=0)
+
+
+class TestStreaming:
+    def test_iter_fasta_matches_read(self, tmp_path, records):
+        path = tmp_path / "g.fa"
+        write_fasta(path, records)
+        from repro.genome import iter_fasta
+
+        assert list(iter_fasta(path)) == read_fasta(path)
+
+    def test_iter_records_preserves_case(self, tmp_path):
+        path = tmp_path / "g.fa"
+        path.write_text(">chr1\nacGT\nttAA\n")
+        from repro.genome import iter_fasta_records
+
+        assert list(iter_fasta_records(path)) == [("chr1", "acGTttAA")]
+
+    def test_gzip_roundtrip(self, tmp_path, records):
+        import gzip
+
+        from repro.genome import iter_fasta
+
+        plain = tmp_path / "g.fa"
+        write_fasta(plain, records)
+        gz = tmp_path / "g.fa.gz"
+        gz.write_bytes(gzip.compress(plain.read_bytes()))
+        assert list(iter_fasta(gz)) == records
+        assert read_fasta(gz) == records
+
+    def test_streaming_is_lazy(self, tmp_path, records):
+        # Consuming only the first record must not require parsing the rest.
+        path = tmp_path / "g.fa"
+        write_fasta(path, records)
+        from repro.genome import iter_fasta
+
+        first = next(iter(iter_fasta(path)))
+        assert first == records[0]

@@ -1,0 +1,71 @@
+"""Precomputed seed tables must be invisible to seeding results."""
+
+import numpy as np
+import pytest
+
+from repro.seeding import build_seed_table, find_seeds
+
+
+def _assert_same_matches(a, b):
+    np.testing.assert_array_equal(a.target_pos, b.target_pos)
+    np.testing.assert_array_equal(a.query_pos, b.query_pos)
+    assert a.span == b.span
+
+
+class TestTableEquivalence:
+    def test_contiguous(self, rng):
+        t = rng.integers(0, 4, size=5000).astype(np.uint8)
+        q = rng.integers(0, 4, size=3000).astype(np.uint8)
+        inline = find_seeds(t, q, k=13)
+        table = build_seed_table(t, k=13)
+        _assert_same_matches(find_seeds(t, q, k=13, target_table=table), inline)
+
+    def test_spaced_pattern(self, rng):
+        t = rng.integers(0, 4, size=5000).astype(np.uint8)
+        q = rng.integers(0, 4, size=3000).astype(np.uint8)
+        pattern = "1110110111"
+        inline = find_seeds(t, q, spaced_pattern=pattern)
+        table = build_seed_table(t, spaced_pattern=pattern)
+        _assert_same_matches(
+            find_seeds(t, q, spaced_pattern=pattern, target_table=table), inline
+        )
+
+    def test_with_ns_and_censoring(self, rng):
+        t = rng.integers(0, 5, size=5000).astype(np.uint8)  # includes N=4
+        q = rng.integers(0, 5, size=3000).astype(np.uint8)
+        inline = find_seeds(t, q, k=9, max_word_count=4)
+        table = build_seed_table(t, k=9)
+        _assert_same_matches(
+            find_seeds(t, q, k=9, max_word_count=4, target_table=table), inline
+        )
+
+    def test_query_mask_still_applies(self, rng):
+        t = rng.integers(0, 4, size=4000).astype(np.uint8)
+        q = rng.integers(0, 4, size=2000).astype(np.uint8)
+        q_mask = np.zeros(q.size, dtype=bool)
+        q_mask[:500] = True
+        inline = find_seeds(t, q, k=11, query_mask=q_mask)
+        table = build_seed_table(t, k=11)
+        _assert_same_matches(
+            find_seeds(t, q, k=11, query_mask=q_mask, target_table=table), inline
+        )
+
+
+class TestTableValidation:
+    def test_span_mismatch_rejected(self, rng):
+        t = rng.integers(0, 4, size=1000).astype(np.uint8)
+        table = build_seed_table(t, k=13)
+        with pytest.raises(ValueError, match="span"):
+            find_seeds(t, t[:500], k=19, target_table=table)
+
+    def test_target_mask_with_table_rejected(self, rng):
+        t = rng.integers(0, 4, size=1000).astype(np.uint8)
+        table = build_seed_table(t, k=13)
+        with pytest.raises(ValueError, match="target_mask"):
+            find_seeds(
+                t,
+                t[:500],
+                k=13,
+                target_mask=np.zeros(t.size, dtype=bool),
+                target_table=table,
+            )

@@ -1,0 +1,183 @@
+"""Reference store behaviour: registration, lookup, corruption, seed cache."""
+
+import numpy as np
+import pytest
+
+from repro.genome.alphabet import encode, encode_with_mask
+from repro.genome.sequence import Sequence
+from repro.seeding import build_seed_table
+from repro.store import (
+    ReferenceStore,
+    StoreCorrupt,
+    UnknownReference,
+    reference_digest,
+)
+from repro.store.twobit import runs_from_mask
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ReferenceStore(tmp_path / "store")
+
+
+class TestGoldenDigests:
+    """Pinned digest values: the content address is a wire format.
+
+    A change here orphans every registered reference and breaks
+    align-by-digest clients — bump STORE_VERSION if it is deliberate.
+    """
+
+    def test_plain(self):
+        assert reference_digest(encode("ACGT")) == (
+            "5852662d34407d94f18696f8ee375ddb57cf4f2e3c7c681034fabbe9cc2986cd"
+        )
+
+    def test_n_runs_are_content(self):
+        codes = encode("ACGTNNNACGT")
+        assert reference_digest(codes) == (
+            "a5e58347d7201c45b75fe178a569cc6ed46791fe587cc71afaf0607d611e0168"
+        )
+
+    def test_mask_is_content(self):
+        codes, mask = encode_with_mask("acgtACGT")
+        assert reference_digest(codes, runs_from_mask(mask)) == (
+            "60bec5dc4e2c0ac67030ff199a7eaa0f1e416c3f639cfeeeceda8586cccb1f17"
+        )
+
+    def test_unmasked_differs_from_masked(self):
+        assert reference_digest(encode("ACGTACGT")) == (
+            "2218caea2ba2a67c799c6ef672416a2735e242af3ee893993206c9bb57467c86"
+        )
+
+    def test_name_is_not_content(self, store):
+        codes = encode("ACGT" * 50)
+        assert store.add(codes, name="a") == store.add(codes, name="b")
+
+
+class TestRegistration:
+    def test_add_get_roundtrip(self, store, rng):
+        codes = rng.integers(0, 4, size=1000).astype(np.uint8)
+        digest = store.add(codes, name="chr1")
+        ref = store.get(digest)
+        assert ref.name == "chr1"
+        assert len(ref) == 1000
+        np.testing.assert_array_equal(ref.codes, codes)
+        assert not ref.codes.flags.writeable
+        assert ref.mask is None
+
+    def test_add_sequence_object(self, store):
+        seq = Sequence.from_text("chrX", "ACGTN" * 20)
+        ref = store.get(store.add(seq))
+        assert ref.name == "chrX"
+        np.testing.assert_array_equal(ref.codes, seq.codes)
+        np.testing.assert_array_equal(ref.sequence().codes, seq.codes)
+
+    def test_mask_roundtrip(self, store):
+        codes, mask = encode_with_mask("acgtACGTacgt" * 10)
+        ref = store.get(store.add(codes, mask=mask))
+        np.testing.assert_array_equal(ref.mask, mask)
+
+    def test_idempotent(self, store):
+        codes = encode("ACGT" * 100)
+        d1 = store.add(codes, name="first")
+        d2 = store.add(codes, name="second")
+        assert d1 == d2
+        assert store.get(d1).name == "first"  # first registration wins
+
+    def test_codes_window(self, store, rng):
+        codes = np.asarray(encode("ACGTNNN" + "TGCA" * 40))
+        digest = store.add(codes)
+        ref = store.get(digest)
+        for start, stop in [(0, 7), (3, 11), (5, 5), (100, 167)]:
+            np.testing.assert_array_equal(
+                ref.codes_window(start, stop), codes[start:stop]
+            )
+
+    def test_unknown_digest(self, store):
+        with pytest.raises(UnknownReference):
+            store.get("0" * 64)
+
+    def test_list_resolve_remove(self, store):
+        d1 = store.add(encode("ACGT" * 30), name="a")
+        d2 = store.add(encode("TTTT" * 30), name="b")
+        assert {e["digest"] for e in store.list()} == {d1, d2}
+        assert store.resolve(d1[:12]) == d1
+        store.remove(d2)
+        assert {e["digest"] for e in store.list()} == {d1}
+        with pytest.raises(UnknownReference):
+            store.get(d2)
+
+
+class TestCorruption:
+    def test_truncated_twobit_is_clean_error(self, store):
+        digest = store.add(encode("ACGT" * 200), name="c")
+        path = store.root / digest[:2] / f"{digest}.2bit"
+        path.write_bytes(path.read_bytes()[:-16])
+        store._refs.clear()  # drop the in-memory handle; hit the files
+        with pytest.raises(StoreCorrupt):
+            store.get(digest)
+        assert not store.contains(digest)
+
+    def test_reregistration_repairs(self, store):
+        codes = encode("ACGT" * 200)
+        digest = store.add(codes, name="c")
+        path = store.root / digest[:2] / f"{digest}.2bit"
+        path.write_bytes(b"garbage")
+        store._refs.clear()
+        assert store.add(codes, name="c") == digest
+        np.testing.assert_array_equal(store.get(digest).codes, codes)
+
+
+class TestSeedCache:
+    def test_cold_builds_warm_loads(self, store, rng):
+        codes = rng.integers(0, 4, size=4000).astype(np.uint8)
+        digest = store.add(codes)
+        assert store.load_seed_table(digest, k=13) is None
+        table = store.seed_table(digest, k=13)
+        # A fresh store instance sees only the persisted file.
+        fresh = ReferenceStore(store.root)
+        loaded = fresh.load_seed_table(digest, k=13)
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded.words, table.words)
+        np.testing.assert_array_equal(loaded.positions, table.positions)
+        assert loaded.span == table.span
+
+    def test_matches_direct_build(self, store, rng):
+        codes = rng.integers(0, 4, size=4000).astype(np.uint8)
+        digest = store.add(codes)
+        direct = build_seed_table(codes, k=13)
+        cached = store.seed_table(digest, k=13)
+        np.testing.assert_array_equal(cached.words, direct.words)
+        np.testing.assert_array_equal(cached.positions, direct.positions)
+
+    def test_params_key_tables_coexist(self, store, rng):
+        codes = rng.integers(0, 4, size=4000).astype(np.uint8)
+        digest = store.add(codes)
+        t13 = store.seed_table(digest, k=13)
+        t19 = store.seed_table(digest, k=19)
+        assert t13.span == 13 and t19.span == 19
+        fresh = ReferenceStore(store.root)
+        assert fresh.load_seed_table(digest, k=13).span == 13
+        assert fresh.load_seed_table(digest, k=19).span == 19
+
+    def test_masked_is_separate_key(self, store):
+        codes, mask = encode_with_mask("acgtacgtacgtacgt" + "ACGT" * 100)
+        digest = store.add(codes, mask=mask)
+        plain = store.seed_table(digest, k=13)
+        masked = store.seed_table(digest, k=13, masked=True)
+        # The soft-masked prefix is excluded only from the masked table.
+        assert len(masked) < len(plain)
+        fresh = ReferenceStore(store.root)
+        assert len(fresh.load_seed_table(digest, k=13)) == len(plain)
+        assert len(fresh.load_seed_table(digest, k=13, masked=True)) == len(masked)
+
+    def test_torn_cache_file_degrades_to_rebuild(self, store, rng):
+        codes = rng.integers(0, 4, size=4000).astype(np.uint8)
+        digest = store.add(codes)
+        table = store.seed_table(digest, k=13)
+        cache = next((store.root / digest[:2]).glob("*.seeds-*.npz"))
+        cache.write_bytes(b"not an npz")
+        fresh = ReferenceStore(store.root)
+        assert fresh.load_seed_table(digest, k=13) is None
+        rebuilt = fresh.seed_table(digest, k=13)
+        np.testing.assert_array_equal(rebuilt.words, table.words)

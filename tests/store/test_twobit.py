@@ -1,0 +1,85 @@
+"""Unit tests for the 2-bit container format."""
+
+import numpy as np
+import pytest
+
+from repro.genome.alphabet import encode, encode_with_mask
+from repro.store.twobit import (
+    HEADER_SIZE,
+    TwoBitError,
+    mask_from_runs,
+    open_packed,
+    pack_codes,
+    payload_size,
+    read_header,
+    runs_from_mask,
+    unpack_codes,
+    write_twobit,
+)
+
+
+class TestPackRoundtrip:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4, 5, 7, 8, 1023])
+    def test_lengths(self, rng, n):
+        codes = rng.integers(0, 4, size=n).astype(np.uint8)
+        packed = pack_codes(codes)
+        assert packed.size == payload_size(n)
+        np.testing.assert_array_equal(unpack_codes(packed, n), codes)
+
+    def test_n_runs_restored(self):
+        codes = encode("ACGTNNNACGTN")
+        runs = runs_from_mask(codes >= 4)
+        assert runs == [(4, 7), (11, 12)]
+        back = unpack_codes(pack_codes(codes), codes.size, n_runs=runs)
+        np.testing.assert_array_equal(back, codes)
+
+    def test_without_runs_ns_decode_as_a(self):
+        codes = encode("NNAC")
+        back = unpack_codes(pack_codes(codes), 4)
+        np.testing.assert_array_equal(back, encode("AAAC"))
+
+class TestMaskRuns:
+    def test_roundtrip(self):
+        _, mask = encode_with_mask("acGTacgTTa")
+        runs = runs_from_mask(mask)
+        assert runs == [(0, 2), (4, 7), (9, 10)]
+        np.testing.assert_array_equal(mask_from_runs(runs, 10), mask)
+
+    def test_empty(self):
+        assert runs_from_mask(np.zeros(5, dtype=bool)) == []
+        assert not mask_from_runs([], 5).any()
+
+
+class TestFileFormat:
+    def test_write_read(self, tmp_path, rng):
+        codes = rng.integers(0, 4, size=301).astype(np.uint8)
+        path = tmp_path / "x.2bit"
+        write_twobit(path, codes)
+        assert read_header(path) == 301
+        packed = open_packed(path, 301)
+        np.testing.assert_array_equal(unpack_codes(packed, 301), codes)
+
+    def test_memmap_is_zero_copy(self, tmp_path):
+        path = tmp_path / "x.2bit"
+        write_twobit(path, encode("ACGT" * 100))
+        assert isinstance(open_packed(path, 400), np.memmap)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "x.2bit"
+        path.write_bytes(b"JUNK" + b"\x00" * (HEADER_SIZE - 4))
+        with pytest.raises(TwoBitError):
+            read_header(path)
+
+    def test_truncation_detected(self, tmp_path):
+        path = tmp_path / "x.2bit"
+        write_twobit(path, encode("ACGT" * 64))
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-8])
+        with pytest.raises(TwoBitError):
+            read_header(path)
+
+    def test_short_header_detected(self, tmp_path):
+        path = tmp_path / "x.2bit"
+        path.write_bytes(b"R2")
+        with pytest.raises(TwoBitError):
+            read_header(path)

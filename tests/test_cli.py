@@ -276,3 +276,79 @@ class TestServeParser:
         assert args.port == 9000
         assert args.max_batch == 1
         assert args.max_wait_ms == 0.0
+
+
+class TestRefs:
+    def test_add_ls_rm(self, fasta_pair, tmp_path, capsys):
+        t, _q = fasta_pair
+        store = str(tmp_path / "store")
+        assert main(["refs", "add", t, "--store", store]) == 0
+        digest = capsys.readouterr().out.split()[0]
+        assert len(digest) == 64
+
+        assert main(["refs", "ls", "--store", store]) == 0
+        assert digest in capsys.readouterr().out
+
+        assert main(["refs", "rm", digest[:10], "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["refs", "ls", "--store", store]) == 0
+        assert digest not in capsys.readouterr().out
+
+    def test_add_is_idempotent(self, fasta_pair, tmp_path, capsys):
+        t, _q = fasta_pair
+        store = str(tmp_path / "store")
+        main(["refs", "add", t, "--store", store])
+        first = capsys.readouterr().out
+        main(["refs", "add", t, "--store", store])
+        assert capsys.readouterr().out == first
+
+    def test_rm_unknown_exits_2(self, tmp_path, capsys):
+        assert main(
+            ["refs", "rm", "feed", "--store", str(tmp_path / "store")]
+        ) == 2
+
+    def test_store_dir_from_env(self, fasta_pair, tmp_path, capsys, monkeypatch):
+        t, _q = fasta_pair
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "envstore"))
+        assert main(["refs", "add", t]) == 0
+        digest = capsys.readouterr().out.split()[0]
+        assert main(["refs", "ls"]) == 0
+        assert digest in capsys.readouterr().out
+
+    def test_precompute_seeds(self, fasta_pair, tmp_path, capsys):
+        t, _q = fasta_pair
+        store = tmp_path / "store"
+        main(["refs", "add", t, "--store", str(store), "--precompute-seeds"])
+        digest = capsys.readouterr().out.split()[0]
+        assert (store / digest[:2] / f"{digest}.seeds-v1-k19.npz").exists()
+
+
+class TestAlignByRef:
+    def test_ref_spec_matches_fasta(self, fasta_pair, tmp_path, capsys):
+        t, q = fasta_pair
+        store = str(tmp_path / "store")
+        main(["refs", "add", t, "--store", store])
+        digest = capsys.readouterr().out.split()[0]
+
+        main(["align", t, q, "--engine", "fastz", *_FAST])
+        by_bytes = capsys.readouterr().out
+        main(
+            ["align", f"ref:{digest[:12]}", q, "--store", store,
+             "--engine", "fastz", *_FAST]
+        )
+        by_ref = capsys.readouterr().out
+        assert by_ref == by_bytes
+
+    def test_trace_cold_then_warm_seed_span(self, fasta_pair, tmp_path, capsys):
+        t, q = fasta_pair
+        store = str(tmp_path / "store")
+        main(["refs", "add", t, "--store", store])
+        digest = capsys.readouterr().out.split()[0]
+
+        assert main(["trace", f"ref:{digest}", q, "--store", store, *_FAST]) == 0
+        cold = capsys.readouterr().out
+        assert "fastz.seed_table" in cold
+
+        assert main(["trace", f"ref:{digest}", q, "--store", store, *_FAST]) == 0
+        warm = capsys.readouterr().out
+        assert "fastz.seed_table" not in warm
