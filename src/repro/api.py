@@ -117,6 +117,9 @@ def align(
     anchors: Anchors | None = None,
     workers: int | None = None,
     keep_extensions: bool = False,
+    streaming: bool = False,
+    on_partial: "Callable | None" = None,
+    stream_chunk_bp: int | None = None,
 ) -> FastzResult:
     """Align one (target, query) pair in-process.
 
@@ -125,6 +128,12 @@ def align(
     bit-identical results.  Either side may be a
     :class:`~repro.store.StoredReference` (decoded lazily from the
     store's 2-bit file).
+
+    ``streaming=True`` overlaps seeding with extension
+    (:func:`repro.core.streaming.run_fastz_streaming`): same result, and
+    ``on_partial`` receives a
+    :class:`~repro.core.streaming.StreamPartial` after each extension
+    batch.  ``stream_chunk_bp`` tunes the seeding-chunk granularity.
     """
     return run_fastz(
         _as_alignable(target),
@@ -134,6 +143,9 @@ def align(
         anchors=anchors,
         workers=workers,
         keep_extensions=keep_extensions,
+        streaming=streaming,
+        on_partial=on_partial,
+        stream_chunk_bp=stream_chunk_bp,
     )
 
 
@@ -173,6 +185,7 @@ def align_chunked(
     job_dir: str | Path | None = None,
     fresh: bool = False,
     log: Callable[[str], None] | None = None,
+    on_alignment: Callable | None = None,
 ) -> "WgaReport":
     """Run (or resume) a segmented, checkpointed whole-genome job.
 
@@ -181,12 +194,16 @@ def align_chunked(
     durable state directory; when ``None`` a throwaway temporary
     directory is used, which forfeits resumability but keeps one-shot
     calls ergonomic.
+
+    ``on_alignment`` streams finalized alignments as the incremental
+    merge's watermark passes them — called mid-run, in ascending anchor
+    order, long before the report is assembled (``repro wga --follow``).
     """
     from .jobs import JobOptions, run_wga
 
     if job is None:
         job = JobOptions()
-    kwargs = dict(fresh=fresh, log=log)
+    kwargs = dict(fresh=fresh, log=log, on_alignment=on_alignment)
     if job_dir is None:
         import tempfile
 
@@ -226,6 +243,38 @@ class ApiError(RuntimeError):
         self.status = status
         self.code = code
         self.retry_after_s = retry_after_s
+
+
+def _parse_retry_after(value: str | None) -> float | None:
+    """Parse a ``Retry-After`` header into seconds, or ``None``.
+
+    RFC 9110 allows two forms: non-negative delta-seconds and an
+    HTTP-date.  Dates are converted to a delay relative to now and
+    clamped at zero (a date in the past means "retry immediately", not a
+    negative backoff).  Unparseable values yield ``None`` rather than an
+    exception — a proxy's malformed header must not mask the real error.
+    """
+    if value is None:
+        return None
+    value = value.strip()
+    try:
+        delta = float(value)
+    except ValueError:
+        pass
+    else:
+        return max(0.0, delta)
+    from datetime import datetime, timezone
+    from email.utils import parsedate_to_datetime
+
+    try:
+        when = parsedate_to_datetime(value)
+    except (TypeError, ValueError):
+        return None
+    if when is None:
+        return None
+    if when.tzinfo is None:
+        when = when.replace(tzinfo=timezone.utc)
+    return max(0.0, (when - datetime.now(timezone.utc)).total_seconds())
 
 
 def _as_dna_text(sequence: Sequence | np.ndarray | str) -> str:
@@ -274,12 +323,11 @@ class Client:
                 message = str(envelope["message"])
             except Exception:
                 code, message = "internal", raw.decode(errors="replace")
-            retry_after = exc.headers.get("Retry-After")
             raise ApiError(
                 exc.code,
                 code,
                 message,
-                retry_after_s=float(retry_after) if retry_after else None,
+                retry_after_s=_parse_retry_after(exc.headers.get("Retry-After")),
             ) from None
 
     def _get_json(self, path: str) -> dict:
@@ -338,6 +386,80 @@ class Client:
         defaults field-by-field; a :class:`FastzOptions` is serialised
         whole, a mapping is sent as-is (the server validates it).
         """
+        body = self._align_body(
+            target, query, target_ref, query_ref, options, timeout_s
+        )
+        raw, _ = self._request("POST", "/align", body)
+        return json.loads(raw)
+
+    def align_stream(
+        self,
+        target: Sequence | np.ndarray | str | None = None,
+        query: Sequence | np.ndarray | str | None = None,
+        *,
+        target_ref: str | None = None,
+        query_ref: str | None = None,
+        options: FastzOptions | Mapping | None = None,
+    ):
+        """POST one alignment to ``/v1/align?stream=1``; yields NDJSON records.
+
+        The server runs the streaming pipeline and chunk-encodes one JSON
+        record per line as work completes: ``{"type": "partial", ...}``
+        after each extension batch, then a terminal ``{"type": "summary",
+        ...}`` whose payload is identical to the non-streaming
+        :meth:`align` response (streamed and barrier results are
+        bit-identical).  A terminal ``{"type": "error", ...}`` record —
+        e.g. the server draining mid-stream — raises :class:`ApiError`.
+        """
+        body = self._align_body(
+            target, query, target_ref, query_ref, options, None
+        )
+        req = urllib.request.Request(
+            f"{self.base_url}/v1/align?stream=1",
+            data=json.dumps(body).encode(),
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            resp = urllib.request.urlopen(req, timeout=self.timeout_s)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                envelope = json.loads(raw)["error"]
+                code = str(envelope["code"])
+                message = str(envelope["message"])
+            except Exception:
+                code, message = "internal", raw.decode(errors="replace")
+            raise ApiError(
+                exc.code,
+                code,
+                message,
+                retry_after_s=_parse_retry_after(exc.headers.get("Retry-After")),
+            ) from None
+        with resp:
+            for line in resp:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if record.get("type") == "error":
+                    envelope = record.get("error", {})
+                    raise ApiError(
+                        200,
+                        str(envelope.get("code", "internal")),
+                        str(envelope.get("message", "stream failed")),
+                    )
+                yield record
+
+    @staticmethod
+    def _align_body(
+        target,
+        query,
+        target_ref,
+        query_ref,
+        options,
+        timeout_s,
+    ) -> dict:
         body: dict = {}
         for side, value, ref in (
             ("target", target, target_ref),
@@ -359,5 +481,4 @@ class Client:
             )
         if timeout_s is not None:
             body["timeout_s"] = timeout_s
-        raw, _ = self._request("POST", "/align", body)
-        return json.loads(raw)
+        return body

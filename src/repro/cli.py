@@ -174,6 +174,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="shard anchors across a multiprocessing pool (fastz engines)",
     )
+    align.add_argument(
+        "--stream",
+        action="store_true",
+        help="overlap seeding with extension (fastz engines); prints a "
+        "progress line per extension batch on stderr, output unchanged",
+    )
+    align.add_argument(
+        "--stream-chunk-bp",
+        type=int,
+        default=None,
+        help="seeding-chunk size for --stream, in target bases "
+        "(granularity only; results are identical at any value)",
+    )
     _add_scoring_args(align)
     align.add_argument("--no-cigar", action="store_true", help="skip tracebacks")
     align.add_argument(
@@ -261,6 +274,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="largest raw /v1/align body accepted before HTTP 413 points "
         "the caller at POST /v1/references",
     )
+    serve.add_argument(
+        "--stream-chunk-bp",
+        type=int,
+        default=None,
+        help="seeding-chunk size for POST /v1/align?stream=1, in target "
+        "bases (partial-record granularity only; results are identical)",
+    )
+    serve.add_argument(
+        "--grace-s",
+        type=float,
+        default=5.0,
+        help="graceful-drain bound on SIGTERM/SIGINT: seconds to wait for "
+        "in-flight requests before force-closing their connections",
+    )
     _add_scoring_args(serve)
     serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
@@ -293,6 +320,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="also print the Prometheus text rendering of the run's counters",
+    )
+    trace.add_argument(
+        "--stream",
+        action="store_true",
+        help="trace the streaming pipeline instead: the span tree shows "
+        "seeding chunks and extension batches overlapping in time",
+    )
+    trace.add_argument(
+        "--stream-chunk-bp",
+        type=int,
+        default=None,
+        help="seeding-chunk size for --stream, in target bases",
     )
     _add_scoring_args(trace)
 
@@ -358,6 +397,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-chunk progress lines"
     )
     wga.add_argument(
+        "--follow",
+        action="store_true",
+        help="print each alignment on stderr the moment the incremental "
+        "merge finalizes it (mid-run, in anchor order); output unchanged",
+    )
+    wga.add_argument(
         "--strict",
         action="store_true",
         help="exit 3 when any chunk was quarantined (output has alignment "
@@ -406,8 +451,25 @@ def _align_command(args: argparse.Namespace) -> int:
     query, _ = _load_side(args.query, args)
     config = _config_from_args(args, traceback=not args.no_cigar)
 
+    if args.stream and args.engine not in ("fastz", "fastz-batched"):
+        print(
+            "error: --stream requires --engine fastz or fastz-batched",
+            file=sys.stderr,
+        )
+        return 2
     if args.engine in ("fastz", "fastz-batched"):
         from . import api
+
+        on_partial = None
+        if args.stream:
+            def on_partial(partial):
+                print(
+                    f"# stream batch {partial.seq}: {partial.n_anchors} anchors "
+                    f"({partial.done_anchors} done), "
+                    f"{len(partial.alignments)} alignments, "
+                    f"{partial.wall_s:.3f}s",
+                    file=sys.stderr,
+                )
 
         result = api.align(
             target,
@@ -418,6 +480,9 @@ def _align_command(args: argparse.Namespace) -> int:
                 "batch_size": args.batch_size,
             },
             workers=args.workers or None,
+            streaming=args.stream,
+            on_partial=on_partial,
+            stream_chunk_bp=args.stream_chunk_bp,
         )
         alignments = result.unique_alignments()
     elif args.engine == "ungapped":
@@ -522,6 +587,7 @@ def _serve_command(args: argparse.Namespace) -> int:
         pool_workers=args.workers,
         config=config,
         store=args.store,
+        stream_chunk_bp=args.stream_chunk_bp,
     )
     server = make_server(
         service,
@@ -529,6 +595,7 @@ def _serve_command(args: argparse.Namespace) -> int:
         args.port,
         quiet=not args.verbose,
         max_align_body=args.max_body_mb * 1024 * 1024,
+        grace_s=args.grace_s,
     )
     host, port = server.server_address[:2]
     print(
@@ -538,12 +605,24 @@ def _serve_command(args: argparse.Namespace) -> int:
         f"workers={args.workers}, store={args.store or 'none'})",
         file=sys.stderr,
     )
+
+    # SIGTERM/SIGINT begin a *bounded graceful drain*: stop accepting,
+    # let in-flight requests finish (streams close with a terminal error
+    # record), then server_close force-closes stragglers after --grace-s.
+    import signal
+
+    def _drain(signum, frame):
+        print(
+            f"draining and shutting down (grace {args.grace_s:g}s)...",
+            file=sys.stderr,
+        )
+        server.initiate_shutdown()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
-        print("draining and shutting down...", file=sys.stderr)
     finally:
-        server.shutdown()
         server.server_close()
         service.shutdown(drain=True)
     return 0
@@ -574,7 +653,15 @@ def _trace_command(args: argparse.Namespace) -> int:
 
     registry, tracer = obs.enable()
     try:
-        result = run_fastz(target, query, config, options, seed_table=seed_table)
+        result = run_fastz(
+            target,
+            query,
+            config,
+            options,
+            seed_table=seed_table,
+            streaming=args.stream,
+            stream_chunk_bp=args.stream_chunk_bp,
+        )
         root = tracer.last_root("fastz.run")
         if stored is not None and seed_table is None:
             stored.store.seed_table(
@@ -589,6 +676,26 @@ def _trace_command(args: argparse.Namespace) -> int:
         print("error: no trace captured for the run", file=sys.stderr)
         return 1
     print(render_span_tree(root))
+
+    if args.stream:
+        # Stage-overlap proof straight from the span attributes: the
+        # producer's seeding interval vs the consumer's extension batches.
+        seed_spans = root.find("fastz.stream.seed")
+        extend_spans = root.find("fastz.stream.extend")
+        if seed_spans and extend_spans:
+            seed_end = max(
+                float(s.attributes.get("end_s", 0.0)) for s in seed_spans
+            )
+            first_extend = min(
+                float(s.attributes.get("start_s", 0.0)) for s in extend_spans
+            )
+            overlapped = first_extend < seed_end
+            print(
+                f"stream overlap:     seeding ended {seed_end:.3f}s, first "
+                f"extension began {first_extend:.3f}s — "
+                + ("stages overlapped" if overlapped else "no overlap "
+                   "(input too small for more than one batch)")
+            )
 
     bins = result.bin_counts().tolist()
     report = traffic_report(result.arrays)
@@ -631,6 +738,15 @@ def _wga_command(args: argparse.Namespace) -> int:
         lambda msg: print(f"# {msg}", file=sys.stderr)
     )
 
+    on_alignment = None
+    if args.follow:
+        def on_alignment(a):
+            print(
+                f"# >> t {a.target_start}-{a.target_end} "
+                f"q {a.query_start}-{a.query_end} score {a.score}",
+                file=sys.stderr,
+            )
+
     # Store-backed sides go in as StoredReference handles: worker shards
     # then carry (store root, digest) instead of pickled code arrays.
     report = api.align_chunked(
@@ -647,6 +763,7 @@ def _wga_command(args: argparse.Namespace) -> int:
         job_dir=args.job_dir,
         fresh=args.fresh,
         log=say,
+        on_alignment=on_alignment,
     )
 
     sink = open(args.output, "w", encoding="ascii") if args.output else sys.stdout

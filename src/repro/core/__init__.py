@@ -15,6 +15,7 @@ from .perfmodel import (
     time_feng_baseline,
 )
 from .pipeline import ChunkResult, FastzResult, run_fastz, run_fastz_chunk
+from .streaming import StreamAborted, StreamPartial, run_fastz_streaming
 from .task import FastzTask, TaskArrays, tasks_to_arrays
 
 __all__ = [
@@ -25,6 +26,8 @@ __all__ = [
     "FastzTiming",
     "ChunkResult",
     "MultiGpuTiming",
+    "StreamAborted",
+    "StreamPartial",
     "greedy_partition",
     "partition_arrays",
     "time_fastz_multi_gpu",
@@ -37,6 +40,7 @@ __all__ = [
     "bin_labels",
     "run_fastz",
     "run_fastz_chunk",
+    "run_fastz_streaming",
     "tasks_to_arrays",
     "time_fastz",
     "time_feng_baseline",

@@ -669,6 +669,9 @@ def run_fastz(
     keep_extensions: bool = False,
     workers: int | None = None,
     seed_table=None,
+    streaming: bool = False,
+    on_partial=None,
+    stream_chunk_bp: int | None = None,
 ) -> FastzResult:
     """Run the FastZ pipeline over all anchors (no sequential skipping).
 
@@ -682,7 +685,31 @@ def run_fastz(
     ``"batched"`` lockstep batches); ``workers`` > 1 additionally shards
     the anchor set across a multiprocessing pool.  Both knobs change only
     wall-clock, never results.
+
+    ``streaming=True`` runs the bounded-queue overlap pipeline
+    (:func:`repro.core.streaming.run_fastz_streaming`) instead of the
+    stage barriers — still bit-identical; ``on_partial`` then receives a
+    :class:`~repro.core.streaming.StreamPartial` per extension batch and
+    ``stream_chunk_bp`` overrides the producer's seeding-chunk size.
+    Streaming is a *run-mode* parameter, deliberately not a
+    :class:`FastzOptions` field: options are hashed into job digests and
+    cache keys, and streaming never changes results.
     """
+    if streaming:
+        from .streaming import DEFAULT_CHUNK_BP, run_fastz_streaming
+
+        return run_fastz_streaming(
+            target,
+            query,
+            config,
+            options,
+            anchors=anchors,
+            keep_extensions=keep_extensions,
+            workers=workers,
+            seed_table=seed_table,
+            chunk_bp=stream_chunk_bp or DEFAULT_CHUNK_BP,
+            on_partial=on_partial,
+        )
     with obs.span("fastz.run", engine=options.engine) as sp:
         prepared = prepare_fastz(
             target, query, config, options, anchors=anchors, seed_table=seed_table

@@ -13,7 +13,13 @@ phases together; the ``repro wga`` CLI subcommand fronts it.
 """
 
 from .journal import Journal, JournalError, replay
-from .merge import canonical_order, dedupe_records, ops_from_cigar, sort_canonical
+from .merge import (
+    IncrementalMerger,
+    canonical_order,
+    dedupe_records,
+    ops_from_cigar,
+    sort_canonical,
+)
 from .runner import (
     JobDigestMismatch,
     JobOptions,
@@ -28,6 +34,7 @@ from .segmenter import Chunk, ChunkPair, chunk_pairs, segment_sequence
 __all__ = [
     "Chunk",
     "ChunkPair",
+    "IncrementalMerger",
     "JobDigestMismatch",
     "JobOptions",
     "Journal",

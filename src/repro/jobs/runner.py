@@ -58,7 +58,7 @@ from ..seeding import Anchors, collapse_diagonal
 from ..seeding.seeds import SeedMatches, find_seeds, overrepresented_words
 from ..service.request import scheme_digest
 from .journal import Journal, replay
-from .merge import dedupe_records, ops_from_cigar, sort_canonical
+from .merge import IncrementalMerger, ops_from_cigar
 from .scheduler import TaskSpec, plan_balance, run_tasks
 from .segmenter import Chunk, ChunkPair, chunk_pairs, segment_sequence
 
@@ -329,6 +329,41 @@ def _owner_index(pos: np.ndarray, chunk_size: int, n_chunks: int) -> np.ndarray:
     return np.minimum(pos // chunk_size, n_chunks - 1)
 
 
+def _stale_journal_name(journal_path: Path, digest: str) -> Path:
+    """Collision-proof rotation name for a discarded (``fresh=True``) journal.
+
+    A wall-clock-seconds stamp collides when two fresh runs start within
+    the same second (the second rename silently targets the first run's
+    rotation) and jumps around under clock changes.  The job digest plus
+    pid plus a monotonic-nanosecond reading is unique per run: the digest
+    ties the rotation to the job it replaced, the pid separates concurrent
+    processes, and the monotonic clock never repeats within a process.
+    """
+    stamp = f"{digest[:12]}-{os.getpid():x}-{time.monotonic_ns():x}"
+    return journal_path.with_suffix(f".jsonl.stale-{stamp}")
+
+
+def _chunk_records(record: dict) -> list[tuple[int, int, Alignment]]:
+    """Decode one extend-task journal record into merge records."""
+    out: list[tuple[int, int, Alignment]] = []
+    for at, aq, ts, te, qs, qe, score, cigar in record["alignments"]:
+        out.append(
+            (
+                at,
+                aq,
+                Alignment(
+                    target_start=ts,
+                    target_end=te,
+                    query_start=qs,
+                    query_end=qe,
+                    score=score,
+                    ops=ops_from_cigar(cigar),
+                ),
+            )
+        )
+    return out
+
+
 def run_wga(
     target: "Sequence | StoredReference",
     query: "Sequence | StoredReference",
@@ -339,6 +374,7 @@ def run_wga(
     job_dir: str | Path,
     fresh: bool = False,
     log: Callable[[str], None] | None = None,
+    on_alignment: Callable[[Alignment], None] | None = None,
 ) -> WgaReport:
     """Run (or resume) a segmented whole-genome alignment job.
 
@@ -353,6 +389,12 @@ def run_wga(
         :class:`JobDigestMismatch` unless ``fresh=True`` rotates it away.
     log:
         Progress sink (one line per event); ``None`` disables reporting.
+    on_alignment:
+        Streaming sink: called once per *finalized* alignment, in global
+        anchor order, as soon as the merge watermark proves no unfinished
+        chunk task can precede it (``repro wga --follow``).  The final
+        report still carries the full canonical output — byte-identical
+        to the barrier merge.
     """
     t0 = time.perf_counter()
     config = config or LastzConfig()
@@ -380,10 +422,7 @@ def run_wga(
         resumed = False
         if journal_path.exists():
             if fresh:
-                stamp = int(time.time())
-                journal_path.rename(
-                    journal_path.with_suffix(f".jsonl.stale-{stamp}")
-                )
+                journal_path.rename(_stale_journal_name(journal_path, digest))
             else:
                 for record in replay(journal_path):
                     kind = record.get("type")
@@ -436,7 +475,14 @@ def run_wga(
             quarantined: list[QuarantinedTask] = []
             counters = {"retries": 0, "deaths": 0}
 
-            def make_events(phase: str, record_type: str, total: int, skipped: int):
+            def make_events(
+                phase: str,
+                record_type: str,
+                total: int,
+                skipped: int,
+                on_done: Callable[[str, dict], None] | None = None,
+                on_quarantined: Callable[[str], None] | None = None,
+            ):
                 progress = {"done": skipped}
 
                 def on_event(kind: str, task_id: str, info: dict) -> None:
@@ -448,6 +494,8 @@ def run_wga(
                         record["attempts"] = info["attempts"]
                         journal.append(record)
                         exit_after.tick()
+                        if on_done is not None:
+                            on_done(task_id, record)
                         say(
                             f"[{phase} {progress['done']}/{total}] {task_id} ok"
                             + (
@@ -482,6 +530,8 @@ def run_wga(
                             "repro_jobs_quarantined_total",
                             "Chunk tasks quarantined after exhausting retries.",
                         ).labels(phase=phase).inc()
+                        if on_quarantined is not None:
+                            on_quarantined(task_id)
                         say(
                             f"[{phase}] {task_id} QUARANTINED after "
                             f"{info['attempts']} attempts: {info['error']}"
@@ -559,6 +609,22 @@ def run_wga(
                     key = f"c{int(t_owner[idx])}x{int(q_owner[idx])}"
                     by_pair.setdefault(key, []).append(idx)
 
+                # Incremental merge: every chunk task can still produce
+                # records only at or above its minimum anchor key, so the
+                # merger finalizes (and surfaces) alignments below the
+                # min-over-pending watermark while extension is running.
+                expected: dict[str, tuple[int, int]] = {}
+                for task_id, idxs in by_pair.items():
+                    expected[task_id] = min(
+                        zip(
+                            anchors.query_pos[idxs].tolist(),
+                            anchors.target_pos[idxs].tolist(),
+                        )
+                    )
+                merger = IncrementalMerger(expected, on_alignment=on_alignment)
+                for task_id, record in extend_done.items():
+                    merger.complete(task_id, _chunk_records(record))
+
                 extend_tasks = []
                 for task_id, idxs in sorted(by_pair.items()):
                     if task_id in extend_done:
@@ -600,7 +666,20 @@ def run_wga(
                     backoff_s=job.backoff_s,
                     backoff_cap_s=job.backoff_cap_s,
                     on_event=make_events(
-                        "extend", "chunk", len(by_pair), extend_skipped
+                        "extend",
+                        "chunk",
+                        len(by_pair),
+                        extend_skipped,
+                        # Feed the merger as chunk results land: the
+                        # watermark advances and finalized alignments
+                        # stream out mid-job.  Quarantined tasks complete
+                        # empty so one poisoned chunk cannot dam the rest.
+                        on_done=lambda task_id, record: merger.complete(
+                            task_id, _chunk_records(record)
+                        ),
+                        on_quarantined=lambda task_id: merger.complete(
+                            task_id, []
+                        ),
                     ),
                 )
                 for task_id, outcome in outcomes.items():
@@ -608,29 +687,18 @@ def run_wga(
                         extend_done[task_id] = outcome.value
                 sp.set(tasks=len(by_pair), skipped=extend_skipped)
 
-            # --- merge -------------------------------------------------
+            # --- merge (already folded incrementally; finalize) --------
             with obs.span("jobs.merge", chunks=len(extend_done)) as sp:
-                records: list[tuple[int, int, Alignment]] = []
                 window_fallbacks = 0
-                for record in extend_done.values():
+                n_records = 0
+                for task_id, record in extend_done.items():
                     window_fallbacks += int(record.get("window_fallbacks", 0))
-                    for at, aq, ts, te, qs, qe, score, cigar in record["alignments"]:
-                        records.append(
-                            (
-                                at,
-                                aq,
-                                Alignment(
-                                    target_start=ts,
-                                    target_end=te,
-                                    query_start=qs,
-                                    query_end=qe,
-                                    score=score,
-                                    ops=ops_from_cigar(cigar),
-                                ),
-                            )
-                        )
-                alignments = sort_canonical(dedupe_records(records))
-                sp.set(records=len(records), alignments=len(alignments))
+                    n_records += len(record["alignments"])
+                    # Idempotent safety net: a result delivered without a
+                    # "done" event (scheduler edge cases) still merges.
+                    merger.complete(task_id, _chunk_records(record))
+                alignments = merger.finalize()
+                sp.set(records=n_records, alignments=len(alignments))
 
             elapsed = time.perf_counter() - t0
             report = WgaReport(

@@ -1,25 +1,37 @@
 """Seeding: exact-match seed discovery and seed filtering."""
 
-from .filtering import Anchors, collapse_diagonal, ungapped_filter
+from .filtering import (
+    Anchors,
+    IncrementalCollapser,
+    collapse_diagonal,
+    ungapped_filter,
+)
 from .seeds import (
     LASTZ_SPACED_SEED,
     SeedMatches,
     SeedTable,
     build_seed_table,
+    censored_from_table,
     find_seeds,
+    overrepresented_words,
     pack_kmers,
     pack_spaced,
+    pack_words,
 )
 
 __all__ = [
     "Anchors",
+    "IncrementalCollapser",
     "LASTZ_SPACED_SEED",
     "SeedMatches",
     "SeedTable",
     "build_seed_table",
+    "censored_from_table",
     "collapse_diagonal",
     "find_seeds",
+    "overrepresented_words",
     "pack_kmers",
     "pack_spaced",
+    "pack_words",
     "ungapped_filter",
 ]

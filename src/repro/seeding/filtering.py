@@ -27,7 +27,12 @@ from ..align.ungapped import ungapped_extend
 from ..scoring import ScoringScheme
 from .seeds import SeedMatches
 
-__all__ = ["Anchors", "collapse_diagonal", "ungapped_filter"]
+__all__ = [
+    "Anchors",
+    "IncrementalCollapser",
+    "collapse_diagonal",
+    "ungapped_filter",
+]
 
 
 @dataclass(frozen=True)
@@ -51,6 +56,132 @@ class Anchors:
         return list(zip(self.target_pos.tolist(), self.query_pos.tolist()))
 
 
+class IncrementalCollapser:
+    """Diagonal thinning with an advancing *diagonal frontier*.
+
+    The collapse scan visits seeds in (diagonal, query-position) order, and
+    each keep/drop decision depends only on seeds *earlier* in that order
+    (kept seeds at diagonals ``<= d``).  So the scan can be segmented: once
+    every future seed is guaranteed to lie at diagonal ``>= frontier``, all
+    buffered seeds with ``diagonal < frontier`` can be decided *finally* —
+    the persistent per-diagonal / per-bucket state carries across drains
+    and reproduces the one-shot :func:`collapse_diagonal` scan bit for bit.
+    The streaming pipeline exploits exactly this: seeding the target in
+    ascending chunks against a query-side table means every undiscovered
+    seed has ``diagonal >= next_chunk_start - len(query) + 1``.
+
+    Contract: seeds passed to :meth:`add` after a :meth:`drain` call must
+    all lie at diagonals ``>=`` that drain's frontier (drains take strictly
+    increasing frontiers).  Violating this re-orders the global scan and
+    the result is no longer identical to the barrier pipeline.
+
+    :func:`collapse_diagonal` is implemented on top of this class (one
+    ``add`` + one unbounded ``drain``), so there is a single collapse state
+    machine to trust.
+    """
+
+    def __init__(self, *, window: int = 500, diag_band: int = 0, span: int) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if diag_band < 0:
+            raise ValueError("diag_band must be non-negative")
+        self.window = window
+        self.diag_band = diag_band
+        self.span = span
+        self._pending_t: list[np.ndarray] = []
+        self._pending_q: list[np.ndarray] = []
+        # Exact-diagonal state: last kept query position per diagonal.
+        self._last_q: dict[int, int] = {}
+        # Banded state: every kept (diag, q) per diagonal bucket, in keep
+        # order (the scan probes them first-to-last, so order matters).
+        self._last_kept: dict[int, list[tuple[int, int]]] = {}
+
+    @property
+    def pending(self) -> int:
+        return sum(int(a.shape[0]) for a in self._pending_t)
+
+    def add(self, target_pos: np.ndarray, query_pos: np.ndarray) -> None:
+        """Buffer a batch of seed hits (start positions, any order)."""
+        t = np.asarray(target_pos, dtype=np.int64)
+        q = np.asarray(query_pos, dtype=np.int64)
+        if t.shape != q.shape:
+            raise ValueError("seed position arrays must have equal shape")
+        if t.size:
+            self._pending_t.append(t)
+            self._pending_q.append(q)
+
+    def drain(self, frontier: int | None = None) -> Anchors:
+        """Decide every buffered seed with ``diagonal < frontier``.
+
+        ``None`` decides everything left.  Returns the *kept* seeds as
+        centre-anchored :class:`Anchors`, in scan order — concatenating the
+        anchors of successive drains reproduces the one-shot collapse
+        output exactly.
+        """
+        if not self._pending_t:
+            return Anchors(
+                np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+            )
+        t_all = np.concatenate(self._pending_t)
+        q_all = np.concatenate(self._pending_q)
+        d_all = t_all - q_all
+        if frontier is None:
+            ready = np.ones(t_all.shape[0], dtype=bool)
+        else:
+            ready = d_all < frontier
+        t_rest, q_rest = t_all[~ready], q_all[~ready]
+        self._pending_t = [t_rest] if t_rest.size else []
+        self._pending_q = [q_rest] if q_rest.size else []
+
+        t_sel, q_sel, d_sel = t_all[ready], q_all[ready], d_all[ready]
+        if t_sel.size == 0:
+            return Anchors(
+                np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+            )
+        order = np.lexsort((q_sel, d_sel))
+        d_sorted = d_sel[order]
+        q_sorted = q_sel[order]
+        n = d_sorted.shape[0]
+        keep = np.zeros(n, dtype=bool)
+
+        if self.diag_band == 0:
+            last_q = self._last_q
+            window = self.window
+            for idx in range(n):
+                d = int(d_sorted[idx])
+                q = int(q_sorted[idx])
+                prev = last_q.get(d)
+                if prev is None or q - prev >= window:
+                    keep[idx] = True
+                    last_q[d] = q
+        else:
+            diag_band = self.diag_band
+            window = self.window
+            last_kept = self._last_kept
+            for idx in range(n):
+                d = int(d_sorted[idx])
+                q = int(q_sorted[idx])
+                b = d // diag_band
+                clear = True
+                for bb in (b - 1, b, b + 1):
+                    for kd, kq in last_kept.get(bb, ()):
+                        if abs(d - kd) <= diag_band and abs(q - kq) < window:
+                            clear = False
+                            break
+                    if not clear:
+                        break
+                if clear:
+                    keep[idx] = True
+                    last_kept.setdefault(b, []).append((d, q))
+
+        kept = order[keep]
+        half = self.span // 2
+        return Anchors(
+            target_pos=(t_sel[kept] + half).astype(np.int64),
+            query_pos=(q_sel[kept] + half).astype(np.int64),
+        )
+
+
 def collapse_diagonal(
     seeds: SeedMatches, *, window: int = 500, diag_band: int = 0
 ) -> Anchors:
@@ -63,58 +194,15 @@ def collapse_diagonal(
     shifted by small indels (LASTZ's chaining performs the equivalent
     merge).  The anchor point is placed at the *centre* of the seed word,
     which is where LASTZ anchors its gapped extension.
+
+    One-shot wrapper over :class:`IncrementalCollapser` (a single unbounded
+    drain), so the barrier and streaming pipelines share one scan.
     """
-    if window <= 0:
-        raise ValueError("window must be positive")
-    if diag_band < 0:
-        raise ValueError("diag_band must be non-negative")
-    n = len(seeds)
-    if n == 0:
-        return Anchors(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
-
-    diag = seeds.diagonals()
-    order = np.lexsort((seeds.query_pos, diag))
-    d_sorted = diag[order]
-    q_sorted = seeds.query_pos[order]
-
-    keep = np.zeros(n, dtype=bool)
-    if diag_band == 0:
-        # Exact-diagonal runs: linear sweep over sorted groups.
-        last_q = 0
-        for idx in range(n):
-            if idx == 0 or d_sorted[idx] != d_sorted[idx - 1]:
-                keep[idx] = True
-                last_q = q_sorted[idx]
-            elif q_sorted[idx] - last_q >= window:
-                keep[idx] = True
-                last_q = q_sorted[idx]
-    else:
-        # Banded collapse: remember the last kept seed per diagonal bucket;
-        # a new seed must clear every bucket within the band.
-        bucket_of = (d_sorted // max(diag_band, 1)).astype(np.int64)
-        last_kept: dict[int, list[tuple[int, int]]] = {}
-        for idx in range(n):
-            d = int(d_sorted[idx])
-            q = int(q_sorted[idx])
-            b = int(bucket_of[idx])
-            clear = True
-            for bb in (b - 1, b, b + 1):
-                for kd, kq in last_kept.get(bb, ()):
-                    if abs(d - kd) <= diag_band and abs(q - kq) < window:
-                        clear = False
-                        break
-                if not clear:
-                    break
-            if clear:
-                keep[idx] = True
-                last_kept.setdefault(b, []).append((d, q))
-
-    kept = order[keep]
-    half = seeds.span // 2
-    return Anchors(
-        target_pos=(seeds.target_pos[kept] + half).astype(np.int64),
-        query_pos=(seeds.query_pos[kept] + half).astype(np.int64),
+    collapser = IncrementalCollapser(
+        window=window, diag_band=diag_band, span=seeds.span
     )
+    collapser.add(seeds.target_pos, seeds.query_pos)
+    return collapser.drain(None)
 
 
 def ungapped_filter(

@@ -25,8 +25,10 @@ __all__ = [
     "SeedTable",
     "LASTZ_SPACED_SEED",
     "build_seed_table",
+    "censored_from_table",
     "pack_kmers",
     "pack_spaced",
+    "pack_words",
     "find_seeds",
     "overrepresented_words",
 ]
@@ -112,6 +114,22 @@ def pack_spaced(codes: np.ndarray, pattern: str) -> tuple[np.ndarray, np.ndarray
     return words, ~_window_has_n(codes, span)
 
 
+def pack_words(
+    codes: np.ndarray, *, k: int = 19, spaced_pattern: str | None = None
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Pack windows under either seeding mode; returns ``(words, valid, span)``.
+
+    The one dispatch point between contiguous and spaced seeds, shared by
+    :func:`find_seeds`, :func:`build_seed_table` and the streaming
+    producer so every caller packs identically.
+    """
+    if spaced_pattern is not None:
+        words, valid = pack_spaced(codes, spaced_pattern)
+        return words, valid, len(spaced_pattern)
+    words, valid = pack_kmers(codes, k)
+    return words, valid, k
+
+
 def _window_masked(mask: np.ndarray, span: int) -> np.ndarray:
     """Boolean per window start: does the window touch a masked base?"""
     n = mask.shape[0]
@@ -159,12 +177,7 @@ def build_seed_table(
     table is bit-identical to the inline path.
     """
     codes = np.asarray(codes, dtype=np.uint8)
-    if spaced_pattern is not None:
-        words, valid = pack_spaced(codes, spaced_pattern)
-        span = len(spaced_pattern)
-    else:
-        words, valid = pack_kmers(codes, k)
-        span = k
+    words, valid, span = pack_words(codes, k=k, spaced_pattern=spaced_pattern)
     if mask is not None:
         mask = np.asarray(mask, dtype=bool)
         if mask.shape != codes.shape:
@@ -178,6 +191,25 @@ def build_seed_table(
         positions=pos_all[order].astype(np.int64),
         span=span,
     )
+
+
+def censored_from_table(
+    table: SeedTable, *, max_word_count: int = 64
+) -> np.ndarray:
+    """Sorted words occurring more than ``max_word_count`` times in ``table``.
+
+    A :class:`SeedTable` indexes exactly the valid (N-free, unmasked)
+    windows :func:`overrepresented_words` would count, with ``words``
+    already sorted — so the censor set falls out of a run-length scan,
+    letting the streaming producer derive the *global* censoring decision
+    from a cached table without touching the raw sequence.
+    """
+    words = table.words
+    if words.size == 0:
+        return np.zeros(0, dtype=np.uint64)
+    starts = np.flatnonzero(np.concatenate(([True], words[1:] != words[:-1])))
+    counts = np.diff(np.concatenate((starts, [words.size])))
+    return words[starts[counts > max_word_count]].copy()
 
 
 def find_seeds(
@@ -227,11 +259,7 @@ def find_seeds(
     """
     target = np.asarray(target, dtype=np.uint8)
     query = np.asarray(query, dtype=np.uint8)
-    span = len(spaced_pattern) if spaced_pattern is not None else k
-    if spaced_pattern is not None:
-        q_words, q_valid = pack_spaced(query, spaced_pattern)
-    else:
-        q_words, q_valid = pack_kmers(query, k)
+    q_words, q_valid, span = pack_words(query, k=k, spaced_pattern=spaced_pattern)
 
     if target_table is not None:
         if target_mask is not None:
@@ -251,10 +279,9 @@ def find_seeds(
         # visible in traces; on the store path it disappears because a
         # cached table is passed in instead.
         with obs.span("fastz.seed_table", target_bp=int(target.shape[0])):
-            if spaced_pattern is not None:
-                t_words, t_valid = pack_spaced(target, spaced_pattern)
-            else:
-                t_words, t_valid = pack_kmers(target, k)
+            t_words, t_valid, _ = pack_words(
+                target, k=k, spaced_pattern=spaced_pattern
+            )
             if target_mask is not None:
                 target_mask = np.asarray(target_mask, dtype=bool)
                 if target_mask.shape != target.shape:
@@ -332,12 +359,7 @@ def overrepresented_words(
     global censoring decision regardless of how the target is segmented.
     """
     codes = np.asarray(codes, dtype=np.uint8)
-    if spaced_pattern is not None:
-        words, valid = pack_spaced(codes, spaced_pattern)
-        span = len(spaced_pattern)
-    else:
-        words, valid = pack_kmers(codes, k)
-        span = k
+    words, valid, span = pack_words(codes, k=k, spaced_pattern=spaced_pattern)
     if mask is not None:
         mask = np.asarray(mask, dtype=bool)
         if mask.shape != codes.shape:

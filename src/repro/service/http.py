@@ -12,6 +12,14 @@ web framework.  The surface is versioned under ``/v1``:
   :class:`~repro.core.options.FastzOptions` field-by-field and is
   validated with :meth:`~repro.core.options.FastzOptions.from_mapping`
   (unknown keys are a 400, not silently ignored).
+* ``POST /v1/align?stream=1`` — same body, streamed response: the
+  streaming pipeline runs on the handler thread and the reply is
+  chunk-encoded NDJSON, one JSON record per line — ``{"type":
+  "partial", ...}`` after each extension batch (threshold-clearing
+  alignments included as they are discovered), then a terminal
+  ``{"type": "summary", ...}`` identical to the non-streaming payload
+  (streamed and barrier results are bit-identical), or ``{"type":
+  "error", ...}`` if the run fails after streaming began.
 * ``POST /v1/references`` — register a reference: ``{"sequence":
   "ACGTacgt...", "name": "chr1"?}``; idempotent by content digest, the
   response carries ``{"digest", "length", "registered"}``.  Lowercase
@@ -41,15 +49,30 @@ old POSTing clients keep working through one extra round trip.
 The server is threading (one handler thread per connection), so
 concurrent clients naturally pile requests into the service queue and
 get micro-batched together.
+
+Shutdown is a *bounded graceful drain*, not an abrupt daemon-thread
+kill: :meth:`ServiceHTTPServer.initiate_shutdown` (what ``repro
+serve`` wires to SIGTERM/SIGINT) stops the accept loop and flips the
+draining flag — new requests get 503 ``shutting_down``, in-flight
+streams see it via ``should_abort`` and close with a terminal error
+record — then :meth:`~ServiceHTTPServer.server_close` joins handler
+threads for ``grace_s`` seconds and force-closes whatever sockets
+remain.
 """
 
 from __future__ import annotations
 
 import json
+import socket
+import socketserver
+import threading
+import time
+import urllib.parse
 from concurrent.futures import CancelledError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..core.options import FastzOptions
+from ..core.streaming import StreamAborted
 from ..genome.alphabet import encode, encode_with_mask
 from ..store import StoreCorrupt, UnknownReference, reference_digest
 from ..store.twobit import runs_from_mask
@@ -75,29 +98,44 @@ DEFAULT_MAX_ALIGN_BODY = 64 * 1024 * 1024
 _MAX_REGISTER_BODY = 1024 * 1024 * 1024
 
 
+def _alignment_rows(alignments) -> list[dict]:
+    return [
+        {
+            "score": a.score,
+            "target_start": a.target_start,
+            "target_end": a.target_end,
+            "query_start": a.query_start,
+            "query_end": a.query_end,
+            "cigar": a.cigar(),
+        }
+        for a in alignments
+    ]
+
+
 def _alignment_payload(result) -> dict:
     return {
         "count": len(result.alignments),
         "anchors": len(result.tasks),
         "eager_fraction": round(result.eager_fraction, 4),
-        "alignments": [
-            {
-                "score": a.score,
-                "target_start": a.target_start,
-                "target_end": a.target_end,
-                "query_start": a.query_start,
-                "query_end": a.query_end,
-                "cigar": a.cigar(),
-            }
-            for a in result.unique_alignments()
-        ],
+        "alignments": _alignment_rows(result.unique_alignments()),
     }
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """HTTP server bound to one :class:`AlignmentService`."""
+    """HTTP server bound to one :class:`AlignmentService`.
 
-    daemon_threads = True
+    Handler threads are **not** daemons: a SIGTERM must not tear down a
+    thread mid-journal-write or mid-stream.  Instead the server drains —
+    :meth:`initiate_shutdown` stops accepting and flags ``draining``,
+    and :meth:`server_close` bounds the wait for stragglers to
+    ``grace_s`` seconds before force-closing their sockets.
+    """
+
+    daemon_threads = False
+    # Keep the stdlib's handler-thread tracking (it only happens when
+    # block_on_close is set); server_close skips the unbounded stdlib
+    # join and does its own bounded drain instead.
+    block_on_close = True
 
     def __init__(
         self,
@@ -106,6 +144,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         *,
         quiet: bool = True,
         max_align_body: int | None = None,
+        grace_s: float = 5.0,
     ):
         self.service = service
         self.quiet = quiet
@@ -114,7 +153,87 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         )
         if self.max_align_body < 1:
             raise ValueError("max_align_body must be positive")
+        if grace_s < 0:
+            raise ValueError("grace_s must be non-negative")
+        self.grace_s = float(grace_s)
+        self._draining = threading.Event()
+        self._conn_lock = threading.Lock()
+        self._connections: set = set()
         super().__init__(address, _Handler)
+
+    # -- graceful drain ------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """True once shutdown began; new requests get 503 ``shutting_down``."""
+        return self._draining.is_set()
+
+    def _track_connection(self, conn) -> None:
+        with self._conn_lock:
+            self._connections.add(conn)
+
+    def _untrack_connection(self, conn) -> None:
+        with self._conn_lock:
+            self._connections.discard(conn)
+
+    def initiate_shutdown(self) -> None:
+        """Begin a graceful drain; safe to call from a signal handler.
+
+        Flips ``draining`` immediately — new requests are answered 503
+        ``shutting_down`` (an immediate refusal beats hanging in the
+        listen backlog), in-flight streams abort at their next batch
+        boundary with a terminal error record — then stops the accept
+        loop as soon as in-flight connections clear, or after
+        ``grace_s`` at the latest.  Runs on a helper thread:
+        ``shutdown()`` called inline on the serve_forever thread
+        deadlocks.  Idempotent.
+        """
+        if self._draining.is_set():
+            return
+        self._draining.set()
+        threading.Thread(
+            target=self._drain_then_stop, name="repro-http-drain", daemon=True
+        ).start()
+
+    def _drain_then_stop(self) -> None:
+        deadline = time.monotonic() + self.grace_s
+        while time.monotonic() < deadline:
+            with self._conn_lock:
+                busy = len(self._connections)
+            if busy == 0:
+                break
+            time.sleep(0.05)
+        self.shutdown()
+
+    def server_close(self) -> None:
+        """Close the listener, then drain handlers for at most ``grace_s``.
+
+        Handlers that outlive the grace window get their sockets
+        shut down, which fails their next read/write and unwinds them;
+        a final short join collects them.
+        """
+        self._draining.set()
+        # TCPServer.server_close (not super()): ThreadingMixIn's version
+        # joins handler threads without a bound, the opposite of a grace
+        # window.
+        socketserver.TCPServer.server_close(self)
+        deadline = time.monotonic() + self.grace_s
+        threads = [
+            t
+            for t in list(vars(self).get("_threads", None) or ())
+            if t.is_alive()
+        ]
+        for t in threads:
+            t.join(max(0.0, deadline - time.monotonic()))
+        with self._conn_lock:
+            leftovers = list(self._connections)
+        for conn in leftovers:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        for t in threads:
+            t.join(1.0)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -122,9 +241,24 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------------
 
+    def setup(self) -> None:  # noqa: D102 - stdlib hook
+        super().setup()
+        self.server._track_connection(self.connection)
+
+    def finish(self) -> None:  # noqa: D102 - stdlib hook
+        try:
+            super().finish()
+        finally:
+            self.server._untrack_connection(self.connection)
+
     def log_message(self, fmt, *args):  # noqa: D102 - stdlib hook
         if not self.server.quiet:
             super().log_message(fmt, *args)
+
+    def _split_path(self) -> tuple[str, dict[str, list[str]]]:
+        """Request path split into (path, query mapping)."""
+        parts = urllib.parse.urlsplit(self.path)
+        return parts.path, urllib.parse.parse_qs(parts.query)
 
     def _reply(self, status: int, payload: dict) -> None:
         self._reply_raw(status, json.dumps(payload).encode(), "application/json")
@@ -154,9 +288,9 @@ class _Handler(BaseHTTPRequestHandler):
         body = json.dumps({"error": {"code": code, "message": message}}).encode()
         self._reply_raw(status, body, "application/json", headers)
 
-    def _redirect_legacy(self) -> bool:
+    def _redirect_legacy(self, path: str) -> bool:
         """307 a pre-versioning path to its ``/v1`` twin (True if sent)."""
-        if self.path not in LEGACY_PATHS:
+        if path not in LEGACY_PATHS:
             return False
         self.send_response(307)
         self.send_header("Location", API_PREFIX + self.path)
@@ -170,28 +304,31 @@ class _Handler(BaseHTTPRequestHandler):
     def do_HEAD(self) -> None:  # noqa: N802 - stdlib naming
         # ``curl -I`` is the natural probe for the Deprecation/Location
         # headers on legacy paths; answer it instead of a stdlib 501.
-        if self._redirect_legacy():
+        path, _ = self._split_path()
+        if self._redirect_legacy(path):
             return
         known = {API_PREFIX + p for p in ("/healthz", "/stats", "/metrics")}
-        status = 200 if self.path in known else 404
+        status = 200 if path in known else 404
         self.send_response(status)
         self.send_header("Content-Length", "0")
         self.end_headers()
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        if self._redirect_legacy():
+        path, _ = self._split_path()
+        if self._redirect_legacy(path):
             return
-        if self.path == API_PREFIX + "/healthz":
-            self._reply(200, {"status": "ok"})
-        elif self.path == API_PREFIX + "/stats":
+        if path == API_PREFIX + "/healthz":
+            status = "draining" if self.server.draining else "ok"
+            self._reply(200, {"status": status})
+        elif path == API_PREFIX + "/stats":
             self._reply(200, self.server.service.stats().as_dict())
-        elif self.path == API_PREFIX + "/metrics":
+        elif path == API_PREFIX + "/metrics":
             self._reply_raw(
                 200,
                 self.server.service.metrics_text().encode(),
                 "text/plain; version=0.0.4; charset=utf-8",
             )
-        elif self.path == API_PREFIX + "/references":
+        elif path == API_PREFIX + "/references":
             store = self.server.service.store
             if store is None:
                 self._error(
@@ -202,7 +339,7 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             self._reply(200, {"references": store.list()})
         else:
-            self._error(404, "not_found", f"unknown path {self.path!r}")
+            self._error(404, "not_found", f"unknown path {path!r}")
 
     # -- POST bodies ---------------------------------------------------------
 
@@ -239,14 +376,21 @@ class _Handler(BaseHTTPRequestHandler):
         return payload
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        if self._redirect_legacy():
+        path, query = self._split_path()
+        if self._redirect_legacy(path):
             return
-        if self.path == API_PREFIX + "/align":
-            self._post_align()
-        elif self.path == API_PREFIX + "/references":
+        if self.server.draining:
+            self._error(
+                503, "shutting_down", "server is draining; no new requests"
+            )
+            return
+        if path == API_PREFIX + "/align":
+            stream = query.get("stream", ["0"])[-1] not in ("", "0", "false")
+            self._post_align(stream=stream)
+        elif path == API_PREFIX + "/references":
             self._post_references()
         else:
-            self._error(404, "not_found", f"unknown path {self.path!r}")
+            self._error(404, "not_found", f"unknown path {path!r}")
 
     def _post_references(self) -> None:
         store = self.server.service.store
@@ -296,7 +440,7 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
-    def _post_align(self) -> None:
+    def _post_align(self, stream: bool = False) -> None:
         payload = self._read_json(
             self.server.max_align_body,
             "register large sequences once via POST /v1/references and "
@@ -379,6 +523,19 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 return
 
+        if stream:
+            if timeout_s is not None:
+                self._error(
+                    400,
+                    "bad_request",
+                    "'timeout_s' is not supported with stream=1",
+                )
+                return
+            self._stream_align(
+                target_codes, query_codes, options, target_ref, query_ref
+            )
+            return
+
         try:
             result = service.align(
                 target_codes,
@@ -419,6 +576,103 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._reply(200, _alignment_payload(result))
 
+    # -- streaming -----------------------------------------------------------
+
+    def _stream_align(
+        self, target_codes, query_codes, options, target_ref, query_ref
+    ) -> None:
+        """Run the streaming pipeline and chunk-encode NDJSON records.
+
+        The response status line is forced to HTTP/1.1 (chunked transfer
+        needs it) with ``Connection: close``, so the rest of the server
+        can stay on per-request HTTP/1.0 semantics.  Errors before the
+        first record use the normal error envelope + status; errors after
+        streaming began become a terminal ``{"type": "error"}`` record.
+        """
+        service = self.server.service
+        started = False
+
+        def write_record(record: dict) -> None:
+            nonlocal started
+            if not started:
+                self.protocol_version = "HTTP/1.1"
+                self.close_connection = True
+                self.send_response(200)
+                self.send_header("Content-Type", "application/x-ndjson")
+                self.send_header("Transfer-Encoding", "chunked")
+                self.send_header("Connection", "close")
+                self.end_headers()
+                started = True
+            data = json.dumps(record).encode() + b"\n"
+            self.wfile.write(b"%x\r\n" % len(data) + data + b"\r\n")
+            self.wfile.flush()
+
+        def on_partial(partial) -> None:
+            write_record(
+                {
+                    "type": "partial",
+                    "seq": partial.seq,
+                    "anchors": partial.n_anchors,
+                    "done_anchors": partial.done_anchors,
+                    "eager": partial.eager,
+                    "wall_s": partial.wall_s,
+                    "alignments": _alignment_rows(partial.alignments),
+                }
+            )
+
+        try:
+            result = service.align_stream(
+                target_codes,
+                query_codes,
+                options=options,
+                target_ref=target_ref,
+                query_ref=query_ref,
+                on_partial=on_partial,
+                should_abort=self.server._draining.is_set,
+            )
+        except (BrokenPipeError, ConnectionResetError):
+            # The client went away mid-stream; the abort already
+            # cancelled the producer, nothing left to tell anyone.
+            self.close_connection = True
+            return
+        except Exception as exc:
+            status, code, message = _classify_stream_error(exc)
+            if not started:
+                self._error(status, code, message)
+                return
+            try:
+                write_record(
+                    {"type": "error", "error": {"code": code, "message": message}}
+                )
+            except OSError:
+                pass
+        else:
+            try:
+                write_record({"type": "summary", **_alignment_payload(result)})
+            except OSError:
+                self.close_connection = True
+                return
+        try:
+            self.wfile.write(b"0\r\n\r\n")
+            self.wfile.flush()
+        except OSError:
+            pass
+
+
+def _classify_stream_error(exc: Exception) -> tuple[int, str, str]:
+    """(status, code, message) for a streaming failure, pre- or mid-stream."""
+    if isinstance(exc, StreamAborted):
+        return 503, "shutting_down", "server is draining; stream aborted"
+    if isinstance(exc, ServiceClosed):
+        return 503, "shutting_down", str(exc)
+    if isinstance(exc, UnknownReference):
+        return 404, "not_found", str(exc)
+    if isinstance(exc, StoreCorrupt):
+        return 500, "store_corrupt", str(exc)
+    if isinstance(exc, ValueError):
+        return 400, "bad_request", str(exc)
+    return 500, "internal", f"{type(exc).__name__}: {exc}"
+
 
 def make_server(
     service: AlignmentService,
@@ -427,13 +681,20 @@ def make_server(
     *,
     quiet: bool = True,
     max_align_body: int | None = None,
+    grace_s: float = 5.0,
 ) -> ServiceHTTPServer:
     """Bind (but do not start) the JSON endpoint for ``service``.
 
     ``max_align_body`` caps raw-sequence ``/v1/align`` bodies (default
     :data:`DEFAULT_MAX_ALIGN_BODY`); oversize bodies are refused with 413
-    ``payload_too_large`` before being read.
+    ``payload_too_large`` before being read.  ``grace_s`` bounds how long
+    :meth:`ServiceHTTPServer.server_close` waits for in-flight handler
+    threads before force-closing their sockets.
     """
     return ServiceHTTPServer(
-        (host, port), service, quiet=quiet, max_align_body=max_align_body
+        (host, port),
+        service,
+        quiet=quiet,
+        max_align_body=max_align_body,
+        grace_s=grace_s,
     )

@@ -123,6 +123,10 @@ class AlignmentService:
         ``None`` (default) rejects by-ref submissions.
     config, options:
         Defaults applied to submissions that do not bring their own.
+    stream_chunk_bp:
+        Default seeding-chunk size (target bases) for
+        :meth:`align_stream`; tunes partial-result granularity only —
+        streamed results stay bit-identical at any value.
 
     Usable as a context manager; exit drains and shuts down.
     """
@@ -139,6 +143,7 @@ class AlignmentService:
         store: "ReferenceStore | str | None" = None,
         config: LastzConfig | None = None,
         options: FastzOptions = _DEFAULT_OPTIONS,
+        stream_chunk_bp: int | None = None,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be at least 1")
@@ -155,6 +160,11 @@ class AlignmentService:
         self.default_config = config or LastzConfig()
         self.default_options = options
         self.max_inflight_bytes = max_inflight_bytes
+        if stream_chunk_bp is not None and stream_chunk_bp < 1:
+            raise ValueError("stream_chunk_bp must be positive or None")
+        #: Default seeding-chunk size for :meth:`align_stream` (None =
+        #: the pipeline default); granularity only, never results.
+        self.stream_chunk_bp = stream_chunk_bp
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._cache = ResultCache(cache_entries)
         self._recorder = StatsRecorder()
@@ -383,6 +393,94 @@ class AlignmentService:
                 pending.abandoned = True
                 future.cancel()
             raise
+
+    def align_stream(
+        self,
+        target: Sequence | np.ndarray | None = None,
+        query: Sequence | np.ndarray | None = None,
+        config: LastzConfig | None = None,
+        options: FastzOptions | None = None,
+        *,
+        target_ref: str | None = None,
+        query_ref: str | None = None,
+        on_partial=None,
+        should_abort=None,
+        chunk_bp: int | None = None,
+    ) -> FastzResult:
+        """Run one alignment with the streaming pipeline, on *this* thread.
+
+        Streaming runs bypass the micro-batcher — overlap comes from the
+        run's own producer/consumer stages, not from fusing with other
+        requests — so the caller's thread (an HTTP handler, typically)
+        does the work and ``on_partial`` fires inline as extension
+        batches complete.  The result is bit-identical to :meth:`align`
+        with the same inputs.  ``should_abort`` is polled between batches
+        (the HTTP layer's graceful drain hooks in here) and aborts with
+        :class:`~repro.core.streaming.StreamAborted`.  By-ref sides
+        resolve against the store; a store-cached seed table supplies the
+        censor set so the seeding stage skips the target count pass.
+        """
+        from ..core.streaming import DEFAULT_CHUNK_BP, run_fastz_streaming
+
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is shut down")
+        config = config or self.default_config
+        options = options or self.default_options
+
+        def resolve(value, ref, *, target_side):
+            if ref is None:
+                if value is None:
+                    raise ValueError(
+                        "each side needs either a sequence or a reference digest"
+                    )
+                codes = value.codes if isinstance(value, Sequence) else value
+                return np.asarray(codes), None
+            if value is not None:
+                raise ValueError(
+                    "give a sequence or a reference digest per side, not both"
+                )
+            if self._store is None:
+                raise ValueError(
+                    "align-by-ref requires a service configured with store="
+                )
+            stored = self._store.get(ref)
+            table = None
+            if target_side:
+                table = self._store.seed_table(
+                    stored.digest,
+                    k=config.seed_length,
+                    spaced_pattern=config.spaced_pattern,
+                )
+            return stored.codes, table
+
+        t_codes, seed_table = resolve(target, target_ref, target_side=True)
+        q_codes, _ = resolve(query, query_ref, target_side=False)
+        self._recorder.record_submitted()
+        start = time.monotonic()
+        try:
+            result = run_fastz_streaming(
+                t_codes,
+                q_codes,
+                config,
+                options,
+                seed_table=seed_table,
+                chunk_bp=chunk_bp or self.stream_chunk_bp or DEFAULT_CHUNK_BP,
+                on_partial=on_partial,
+                should_abort=should_abort,
+            )
+        except Exception:
+            self._recorder.record_failed()
+            raise
+        finally:
+            # The handler thread ran lockstep extension batches; drop its
+            # thread-local arena slabs instead of pinning them to a
+            # connection-lifetime thread.
+            from ..align.arena import release_thread_arenas
+
+            release_thread_arenas()
+        self._recorder.record_completed(time.monotonic() - start)
+        return result
 
     # -- introspection -------------------------------------------------------
 

@@ -18,14 +18,44 @@ hand-edited or torn file) is treated as a miss, never served.
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 
 import numpy as np
 
+from .. import obs
 from ..seeding import SeedTable
 from .twobit import STORE_VERSION
 
 __all__ = ["load_table", "save_table", "seed_params_key", "table_span"]
+
+# One warning per process; every degrade is still counted.
+_degrade_warned = False
+
+
+def _note_degraded(path: Path, reason: str) -> None:
+    """Record a cache entry that could not be served (rebuild follows).
+
+    The degrade itself stays silent-by-design — the cache is advisory —
+    but it must not be *invisible*: a store on a flaky disk rebuilding
+    every table on every run is a real performance bug.  Every degrade
+    increments ``repro_store_seed_cache_degraded_total``; the first one
+    per process also warns with the path and reason.
+    """
+    global _degrade_warned
+    obs.counter(
+        "repro_store_seed_cache_degraded_total",
+        "Cached seed tables that failed to load and degraded to a rebuild.",
+    ).inc()
+    if not _degrade_warned:
+        _degrade_warned = True
+        warnings.warn(
+            f"seed-table cache degraded to a rebuild ({reason}): {path}; "
+            "further degrades are counted in "
+            "repro_store_seed_cache_degraded_total without warning again",
+            RuntimeWarning,
+            stacklevel=4,
+        )
 
 
 def seed_params_key(
@@ -82,10 +112,13 @@ def load_table(
             words = np.asarray(data["words"], dtype=np.uint64)
             positions = np.asarray(data["positions"], dtype=np.int64)
             span = int(data["span"])
-    except Exception:
+    except Exception as exc:
+        _note_degraded(path, f"unreadable: {type(exc).__name__}: {exc}")
         return None
     if words.shape != positions.shape or words.ndim != 1:
+        _note_degraded(path, "malformed arrays")
         return None
     if expect_span is not None and span != expect_span:
+        _note_degraded(path, f"span {span} != expected {expect_span}")
         return None
     return SeedTable(words=words, positions=positions, span=span)

@@ -18,11 +18,43 @@ would tear the segment out from under its siblings.
 
 from __future__ import annotations
 
+import warnings
 from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
 __all__ = ["ShmPublisher", "attach_codes", "release_attachments"]
+
+# One warning per process; every failed unregister is still counted.
+_unregister_warned = False
+
+
+def _note_unregister_failed(name: str, exc: BaseException) -> None:
+    """Count a failed resource-tracker unregister instead of hiding it.
+
+    Attachment still succeeds — the view is valid either way — but a
+    tracked attach means this worker's exit may unlink the segment out
+    from under its siblings, which then crash on the next dispatch.  The
+    counter (``repro_shm_attach_errors_total``) makes that failure mode
+    diagnosable; the first occurrence per process also warns.
+    """
+    global _unregister_warned
+    from .. import obs
+
+    obs.counter(
+        "repro_shm_attach_errors_total",
+        "Shared-memory attaches whose resource-tracker unregister failed.",
+    ).inc()
+    if not _unregister_warned:
+        _unregister_warned = True
+        warnings.warn(
+            f"could not unregister shared-memory segment {name!r} from the "
+            f"resource tracker ({type(exc).__name__}: {exc}); this worker's "
+            "exit may unlink the segment under sibling workers (counted in "
+            "repro_shm_attach_errors_total)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 #: Soft cap on total published bytes per publisher; past it, publish()
 #: declines (returns None) and dispatch falls back to inline codes.
@@ -109,8 +141,8 @@ def attach_codes(name: str, length: int) -> np.ndarray:
         # POSIX, which would unlink the segment when this process exits.
         # Ownership stays with the publisher; undo the registration.
         resource_tracker.unregister(seg._name, "shared_memory")  # type: ignore[attr-defined]
-    except Exception:
-        pass
+    except Exception as exc:
+        _note_unregister_failed(name, exc)
     view = np.ndarray((int(length),), dtype=np.uint8, buffer=seg.buf)
     view.setflags(write=False)
     _ATTACHED[name] = (seg, view)

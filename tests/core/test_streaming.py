@@ -1,0 +1,254 @@
+"""Streaming seed→extend pipeline: bit-identity with the barrier runs."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FASTZ_FULL,
+    FastzOptions,
+    StreamAborted,
+    run_fastz,
+    run_fastz_streaming,
+)
+from repro.genome import SegmentClass, build_pair
+from repro.lastz.config import LastzConfig
+from repro.lastz.pipeline import select_anchors
+from repro.scoring import default_scheme
+from repro.seeding import IncrementalCollapser, SeedMatches, collapse_diagonal
+from repro.workloads.profiles import BENCH_OPTIONS, bench_config
+
+
+def result_key(result):
+    """Everything the correctness contract promises, as comparable data."""
+    return {
+        "alignments": [
+            (a.target_start, a.target_end, a.query_start, a.query_end, a.score,
+             a.cigar())
+            for a in result.alignments
+        ],
+        "tasks": [
+            (t.anchor_t, t.anchor_q, t.score, t.eager) for t in result.tasks
+        ],
+        "anchor_t": result.anchors.target_pos.tolist(),
+        "anchor_q": result.anchors.query_pos.tolist(),
+        "fallbacks": result.executor_fallbacks,
+    }
+
+
+@pytest.fixture(scope="module")
+def small_pair():
+    return build_pair(
+        "stream",
+        target_length=15_000,
+        query_length=15_000,
+        classes=[SegmentClass("s", 8, 60, 220, divergence=0.05, indel_rate=0.002)],
+        rng=23,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return LastzConfig(scheme=default_scheme(gap_extend=60, ydrop=2400))
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize(
+        "options", [FASTZ_FULL, BENCH_OPTIONS], ids=["scalar", "batched"]
+    )
+    def test_matches_barrier_run(self, small_pair, small_config, options):
+        barrier = run_fastz(
+            small_pair.target, small_pair.query, small_config, options
+        )
+        streamed = run_fastz_streaming(
+            small_pair.target, small_pair.query, small_config, options,
+            chunk_bp=2048,
+        )
+        assert result_key(streamed) == result_key(barrier)
+
+    def test_chunk_size_never_changes_results(self, small_pair, small_config):
+        runs = [
+            run_fastz_streaming(
+                small_pair.target, small_pair.query, small_config, FASTZ_FULL,
+                chunk_bp=chunk_bp, max_batch_anchors=batch,
+            )
+            for chunk_bp, batch in [(977, 7), (4096, 1024), (1 << 20, 2)]
+        ]
+        assert result_key(runs[1]) == result_key(runs[0])
+        assert result_key(runs[2]) == result_key(runs[0])
+
+    def test_banded_collapse_matches_barrier(self, small_pair):
+        config = LastzConfig(
+            scheme=default_scheme(gap_extend=60, ydrop=2400), diag_band=150
+        )
+        barrier = run_fastz(small_pair.target, small_pair.query, config, FASTZ_FULL)
+        streamed = run_fastz_streaming(
+            small_pair.target, small_pair.query, config, FASTZ_FULL, chunk_bp=2048
+        )
+        assert result_key(streamed) == result_key(barrier)
+
+    def test_preselected_anchors_path(self, small_pair, small_config):
+        anchors = select_anchors(
+            small_pair.target, small_pair.query, small_config
+        )
+        barrier = run_fastz(
+            small_pair.target, small_pair.query, small_config, FASTZ_FULL,
+            anchors=anchors,
+        )
+        streamed = run_fastz_streaming(
+            small_pair.target, small_pair.query, small_config, FASTZ_FULL,
+            anchors=anchors,
+        )
+        assert result_key(streamed) == result_key(barrier)
+
+    def test_worker_pool_matches_serial(self, small_pair, small_config):
+        serial = run_fastz_streaming(
+            small_pair.target, small_pair.query, small_config, FASTZ_FULL,
+            chunk_bp=4096,
+        )
+        pooled = run_fastz_streaming(
+            small_pair.target, small_pair.query, small_config, FASTZ_FULL,
+            chunk_bp=4096, workers=2,
+        )
+        assert result_key(pooled) == result_key(serial)
+
+    def test_tiny_genome_pair_bench_profile(self, tiny_genome_pair):
+        config = bench_config()
+        barrier = run_fastz(
+            tiny_genome_pair.target, tiny_genome_pair.query, config, BENCH_OPTIONS
+        )
+        streamed = run_fastz_streaming(
+            tiny_genome_pair.target, tiny_genome_pair.query, config, BENCH_OPTIONS,
+            chunk_bp=8192,
+        )
+        assert result_key(streamed) == result_key(barrier)
+
+
+class TestPartials:
+    def test_partial_union_equals_final(self, small_pair, small_config):
+        partials = []
+        result = run_fastz_streaming(
+            small_pair.target, small_pair.query, small_config, FASTZ_FULL,
+            chunk_bp=2048, max_batch_anchors=16, on_partial=partials.append,
+        )
+        assert len(partials) >= 2
+
+        # Sequence numbers count up from 0; done_anchors is cumulative.
+        assert [p.seq for p in partials] == list(range(len(partials)))
+        assert [p.done_anchors for p in partials] == list(
+            np.cumsum([p.n_anchors for p in partials])
+        )
+        assert partials[-1].done_anchors == len(result.tasks)
+        assert [p.wall_s for p in partials] == sorted(p.wall_s for p in partials)
+
+        streamed_boxes = {
+            (a.target_start, a.target_end, a.query_start, a.query_end, a.score,
+             a.cigar())
+            for p in partials
+            for a in p.alignments
+        }
+        final_boxes = {
+            (a.target_start, a.target_end, a.query_start, a.query_end, a.score,
+             a.cigar())
+            for a in result.alignments
+        }
+        assert streamed_boxes == final_boxes
+
+    def test_eager_counts_sum(self, small_pair, small_config):
+        partials = []
+        result = run_fastz_streaming(
+            small_pair.target, small_pair.query, small_config, FASTZ_FULL,
+            chunk_bp=2048, max_batch_anchors=16, on_partial=partials.append,
+        )
+        assert sum(p.eager for p in partials) == result.eager_count
+
+
+class TestAbort:
+    def test_should_abort_raises(self, small_pair, small_config):
+        with pytest.raises(StreamAborted):
+            run_fastz_streaming(
+                small_pair.target, small_pair.query, small_config, FASTZ_FULL,
+                chunk_bp=2048, should_abort=lambda: True,
+            )
+
+    def test_abort_mid_stream_leaves_no_producer(self, small_pair, small_config):
+        before = {t.ident for t in threading.enumerate()}
+        seen = []
+
+        def abort_after_first():
+            return len(seen) >= 1
+
+        with pytest.raises(StreamAborted):
+            run_fastz_streaming(
+                small_pair.target, small_pair.query, small_config, FASTZ_FULL,
+                chunk_bp=1024, max_batch_anchors=4,
+                on_partial=seen.append, should_abort=abort_after_first,
+            )
+        # The producer thread must be joined on the abort path, not leaked.
+        leaked = [
+            t for t in threading.enumerate()
+            if t.ident not in before and t.name == "fastz-stream-seed"
+        ]
+        assert leaked == []
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"chunk_bp": 0}, {"queue_depth": 0}, {"max_batch_anchors": -1}],
+    )
+    def test_bad_knobs_rejected(self, small_pair, small_config, kwargs):
+        with pytest.raises(ValueError):
+            run_fastz_streaming(
+                small_pair.target, small_pair.query, small_config, FASTZ_FULL,
+                **kwargs,
+            )
+
+
+class TestIncrementalCollapser:
+    """Segmented drains reproduce the one-shot collapse scan exactly."""
+
+    @pytest.mark.parametrize("diag_band", [0, 150])
+    @pytest.mark.parametrize("seed_rng", [0, 1, 2])
+    def test_segmented_equals_one_shot(self, diag_band, seed_rng):
+        rng = np.random.default_rng(seed_rng)
+        n = 4000
+        span = 19
+        t = rng.integers(0, 30_000, size=n, dtype=np.int64)
+        q = rng.integers(0, 30_000, size=n, dtype=np.int64)
+        seeds = SeedMatches(target_pos=t, query_pos=q, span=span)
+        one_shot = collapse_diagonal(seeds, window=500, diag_band=diag_band)
+
+        # Feed in ascending-diagonal groups with a drain between each —
+        # the streaming contract (everything added after a drain lies at
+        # or above its frontier).
+        diag = t - q
+        order = np.argsort(diag, kind="stable")
+        t_sorted, q_sorted, diag_sorted = t[order], q[order], diag[order]
+        collapser = IncrementalCollapser(window=500, diag_band=diag_band, span=span)
+        out_t, out_q = [], []
+        cuts = [-25_000, -10_000, 0, 4_000, 17_000]
+        lo = 0
+        for frontier in cuts:
+            hi = int(np.searchsorted(diag_sorted, frontier, side="left"))
+            collapser.add(t_sorted[lo:hi], q_sorted[lo:hi])
+            drained = collapser.drain(frontier)
+            out_t.append(drained.target_pos)
+            out_q.append(drained.query_pos)
+            lo = hi
+        collapser.add(t_sorted[lo:], q_sorted[lo:])
+        final = collapser.drain(None)
+        out_t.append(final.target_pos)
+        out_q.append(final.query_pos)
+
+        assert np.concatenate(out_t).tolist() == one_shot.target_pos.tolist()
+        assert np.concatenate(out_q).tolist() == one_shot.query_pos.tolist()
+
+    def test_pending_counts(self):
+        collapser = IncrementalCollapser(window=500, diag_band=0, span=19)
+        assert collapser.pending == 0
+        collapser.add(np.array([5, 6], dtype=np.int64), np.array([1, 2], dtype=np.int64))
+        assert collapser.pending == 2
+        collapser.drain(None)
+        assert collapser.pending == 0

@@ -5,7 +5,12 @@ import random
 import pytest
 
 from repro.align import Alignment
-from repro.jobs import dedupe_records, ops_from_cigar, sort_canonical
+from repro.jobs import (
+    IncrementalMerger,
+    dedupe_records,
+    ops_from_cigar,
+    sort_canonical,
+)
 
 
 def aln(ts, te, qs, qe, score=100, ops=()):
@@ -76,3 +81,98 @@ class TestSortCanonical:
             shuffled = alignments[:]
             rng.shuffle(shuffled)
             assert sort_canonical(shuffled) == baseline
+
+
+def random_tasks(rng, n_tasks=12, max_records=8):
+    """Synthetic task set: each task's records respect its min anchor key."""
+    tasks = {}
+    for i in range(n_tasks):
+        base_q = rng.randrange(0, 400)
+        base_t = rng.randrange(0, 400)
+        records = []
+        for _ in range(rng.randrange(0, max_records)):
+            q = base_q + rng.randrange(0, 200)
+            t = base_t + rng.randrange(0, 200) if q > base_q else base_t + rng.randrange(0, 200)
+            # Duplicate intervals across tasks on purpose (~1 in 3).
+            if records and rng.random() < 0.3:
+                prev = rng.choice(records)[2]
+                a = aln(
+                    prev.target_start, prev.target_end,
+                    prev.query_start, prev.query_end, score=prev.score,
+                )
+            else:
+                a = aln(t, t + 25, q, q + 25, score=rng.randrange(1, 500))
+            records.append((t, q, a))
+        tasks[f"task-{i}"] = ((base_q, base_t), records)
+    return tasks
+
+
+class TestIncrementalMerger:
+    def test_completion_order_irrelevant(self):
+        rng = random.Random(7)
+        tasks = random_tasks(rng)
+        all_records = [r for _, records in tasks.values() for r in records]
+        baseline = sort_canonical(dedupe_records(all_records))
+        for trial in range(6):
+            order = list(tasks)
+            rng.shuffle(order)
+            merger = IncrementalMerger(
+                {tid: key for tid, (key, _) in tasks.items()}
+            )
+            for tid in order:
+                merger.complete(tid, tasks[tid][1])
+            assert merger.finalize() == baseline, f"trial {trial}"
+
+    def test_on_alignment_fires_incrementally_in_anchor_order(self):
+        rng = random.Random(19)
+        tasks = random_tasks(rng)
+        emitted = []
+        merger = IncrementalMerger(
+            {tid: key for tid, (key, _) in tasks.items()},
+            on_alignment=emitted.append,
+        )
+        order = sorted(tasks, key=lambda tid: rng.random())
+        fired_before_last = 0
+        for tid in order[:-1]:
+            merger.complete(tid, tasks[tid][1])
+            fired_before_last = len(emitted)
+        merger.complete(order[-1], tasks[order[-1]][1])
+        final = merger.finalize()
+        # Every record fires exactly once, and the stream is the dedupe
+        # output in ascending (anchor_q, anchor_t) emission order.
+        assert sorted(map(id, emitted)) == sorted(map(id, final))
+        assert merger.emitted == len(final)
+        assert fired_before_last <= len(final)
+
+    def test_watermark_advances_and_buffers_shrink(self):
+        merger = IncrementalMerger({"a": (0, 0), "b": (100, 0), "c": (200, 0)})
+        assert merger.watermark() == (0, 0)
+        # Task c's record is above b's min key: it must buffer, not emit.
+        merger.complete("c", [(0, 250, aln(0, 25, 250, 275))])
+        assert merger.watermark() == (0, 0)
+        assert merger.emitted == 0
+        # Completing a (empty) raises the watermark past nothing buffered.
+        merger.complete("a", [])
+        assert merger.watermark() == (100, 0)
+        assert merger.emitted == 0
+        merger.complete("b", [(0, 120, aln(0, 25, 120, 145))])
+        assert merger.watermark() is None
+        assert merger.emitted == 2
+
+    def test_duplicate_completion_ignored(self):
+        merger = IncrementalMerger({"a": (0, 0)})
+        merger.complete("a", [(0, 0, aln(0, 25, 0, 25))])
+        merger.complete("a", [(0, 0, aln(500, 525, 500, 525))])
+        assert merger.finalize() == [aln(0, 25, 0, 25)]
+
+    def test_finalize_with_pending_raises(self):
+        merger = IncrementalMerger({"a": (0, 0), "b": (5, 5)})
+        merger.complete("a", [])
+        with pytest.raises(RuntimeError, match="pending"):
+            merger.finalize()
+
+    def test_unknown_task_ignored(self):
+        merger = IncrementalMerger({"a": (0, 0)})
+        merger.complete("ghost", [(0, 0, aln(0, 25, 0, 25))])
+        assert merger.pending == 1
+        assert merger.emitted == 0

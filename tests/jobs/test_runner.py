@@ -139,6 +139,43 @@ class TestResume:
         assert not report.resumed
         assert list(tmp_path.glob("journal.jsonl.stale-*"))
 
+    def test_stale_rotation_names_never_collide(self, tmp_path):
+        # A wall-clock-seconds stamp collides when two fresh runs rotate
+        # within the same second; the digest+pid+monotonic stamp must not.
+        from repro.jobs.runner import _stale_journal_name
+
+        journal = tmp_path / "journal.jsonl"
+        digest = "abcdef0123456789"
+        names = {_stale_journal_name(journal, digest) for _ in range(64)}
+        assert len(names) == 64
+        for name in names:
+            assert digest[:12] in name.name
+
+    def test_back_to_back_fresh_runs_keep_both_rotations(
+        self, pair, config, tmp_path
+    ):
+        run_wga(pair.target, pair.query, config, job=options(), job_dir=tmp_path)
+        for _ in range(2):
+            run_wga(
+                pair.target, pair.query, config,
+                job=options(), job_dir=tmp_path, fresh=True,
+            )
+        # Three journals existed; the two discarded ones both survive.
+        assert len(list(tmp_path.glob("journal.jsonl.stale-*"))) == 2
+
+
+class TestIncrementalAlignments:
+    def test_on_alignment_streams_the_final_set(
+        self, pair, config, reference, tmp_path
+    ):
+        streamed = []
+        report = run_wga(
+            pair.target, pair.query, config,
+            job=options(), job_dir=tmp_path, on_alignment=streamed.append,
+        )
+        assert report.alignments == reference
+        assert sort_canonical(streamed) == report.alignments
+
 
 class TestFaultTolerance:
     @pytest.fixture()

@@ -176,6 +176,149 @@ class TestLegacyRedirects:
         assert excinfo.value.headers["Deprecation"] == "true"
 
 
+class TestStreaming:
+    def _stream(self, url, payload, query="stream=1", timeout=300):
+        data = json.dumps(payload).encode()
+        request = urllib.request.Request(
+            f"{url}/v1/align?{query}",
+            data=data,
+            headers={"Content-Type": "application/json"},
+        )
+        response = urllib.request.urlopen(request, timeout=timeout)
+        return response
+
+    def test_ndjson_partials_then_summary_matches_barrier(self, endpoint):
+        url, _ = endpoint
+        pair = build_pair(
+            "http-stream",
+            target_length=12_000,
+            query_length=12_000,
+            classes=[SegmentClass("s", 6, 80, 250, divergence=0.05)],
+            rng=13,
+        )
+        body = {"target": pair.target.text(), "query": pair.query.text()}
+        _, barrier = _post(url, body)
+
+        with self._stream(url, body) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == "application/x-ndjson"
+            records = [json.loads(line) for line in response if line.strip()]
+
+        assert [r["type"] for r in records[:-1]] == ["partial"] * (
+            len(records) - 1
+        )
+        assert len(records) >= 2  # at least one partial before the summary
+        summary = records[-1]
+        assert summary["type"] == "summary"
+        # The terminal summary is byte-for-byte the barrier endpoint's body.
+        assert {k: v for k, v in summary.items() if k != "type"} == barrier
+        # Union of partial alignments == the summary's alignment set.
+        streamed = [a for r in records[:-1] for a in r["alignments"]]
+        assert sorted(map(repr, streamed)) == sorted(
+            map(repr, barrier["alignments"])
+        )
+        for r in records[:-1]:
+            assert r["seq"] >= 0
+            assert r["done_anchors"] >= r["anchors"] >= 1
+
+    def test_stream_zero_is_the_barrier_endpoint(self, endpoint):
+        url, _ = endpoint
+        body = {"target": "ACGT" * 600, "query": "ACGT" * 600}
+        with self._stream(url, body, query="stream=0") as response:
+            payload = json.loads(response.read())
+        assert "alignments" in payload and "type" not in payload
+
+    def test_timeout_s_rejected_with_stream(self, endpoint):
+        url, _ = endpoint
+        body = {"target": "ACGT", "query": "ACGT", "timeout_s": 5}
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._stream(url, body)
+        assert excinfo.value.code == 400
+        assert "timeout_s" in _error_body(excinfo)["message"]
+
+    def test_unknown_reference_streams_an_error_status(self, endpoint):
+        url, _ = endpoint
+        body = {"target_ref": "0" * 64, "query": "ACGT"}
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._stream(url, body)
+        # No store configured: the ref is a 400 before the stream starts.
+        assert excinfo.value.code in (400, 404)
+
+
+class TestGracefulDrain:
+    @pytest.fixture()
+    def drain_endpoint(self):
+        service = AlignmentService(
+            max_wait_ms=1.0, config=CONFIG, stream_chunk_bp=1024
+        )
+        server = make_server(service, "127.0.0.1", 0, grace_s=30.0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}", server, thread
+        server.server_close()
+        service.shutdown(timeout=60)
+
+    def test_mid_stream_drain_sends_terminal_error(self, drain_endpoint):
+        url, server, thread = drain_endpoint
+        pair = build_pair(
+            "http-drain",
+            target_length=30_000,
+            query_length=30_000,
+            classes=[SegmentClass("s", 12, 80, 250, divergence=0.05)],
+            rng=17,
+        )
+        data = json.dumps(
+            {"target": pair.target.text(), "query": pair.query.text()}
+        ).encode()
+        request = urllib.request.Request(
+            f"{url}/v1/align?stream=1",
+            data=data,
+            headers={"Content-Type": "application/json"},
+        )
+        records = []
+        probes = {}
+        with urllib.request.urlopen(request, timeout=300) as response:
+            for line in response:
+                if not line.strip():
+                    continue
+                records.append(json.loads(line))
+                if len(records) == 1:
+                    # First partial arrived: begin the graceful drain.
+                    # The open stream keeps the accept loop alive, so the
+                    # probes below exercise the mid-drain server state.
+                    server.initiate_shutdown()
+                    probes["healthz"] = _get(url, "/v1/healthz")[1]
+                    try:
+                        req = urllib.request.Request(
+                            f"{url}/v1/align",
+                            data=json.dumps(
+                                {"target": "ACGT", "query": "ACGT"}
+                            ).encode(),
+                            headers={"Content-Type": "application/json"},
+                        )
+                        urllib.request.urlopen(req, timeout=30)
+                        probes["align"] = None
+                    except urllib.error.HTTPError as exc:
+                        probes["align"] = (exc.code, json.loads(exc.read()))
+
+        assert records[0]["type"] == "partial"
+        assert records[-1]["type"] == "error"
+        assert records[-1]["error"]["code"] == "shutting_down"
+
+        # Mid-drain, the health probe reports the state change...
+        assert probes["healthz"] == {"status": "draining"}
+        # ...and a new request gets an immediate 503, not a hang.
+        assert probes["align"] is not None
+        status, body = probes["align"]
+        assert status == 503
+        assert body["error"]["code"] == "shutting_down"
+
+        # With its streams gone, the server stops within the grace window.
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+
 class TestBadRequests:
     def test_invalid_json_400(self, endpoint):
         url, _ = endpoint

@@ -50,3 +50,33 @@ class TestPublishAttach:
         pub.close()
         with pytest.raises(FileNotFoundError):
             attach_codes(handle[0], handle[1])
+
+
+class TestUnregisterFailureObservability:
+    def test_failed_unregister_counts_and_warns_once(
+        self, publisher, rng, monkeypatch
+    ):
+        from multiprocessing import resource_tracker
+
+        from repro import obs
+        from repro.store import shm
+
+        registry, _tracer = obs.enable()
+        try:
+            monkeypatch.setattr(shm, "_unregister_warned", False)
+
+            def boom(*_args, **_kwargs):
+                raise RuntimeError("tracker gone")
+
+            monkeypatch.setattr(resource_tracker, "unregister", boom)
+            codes = rng.integers(0, 4, size=512).astype(np.uint8)
+            name, length = publisher.publish("k-fail", codes)
+            counter = registry.counter("repro_shm_attach_errors_total")
+            before = counter.value()
+            with pytest.warns(RuntimeWarning, match="could not unregister"):
+                view = attach_codes(name, length)
+            # The attach itself still succeeds.
+            np.testing.assert_array_equal(view, codes)
+            assert counter.value() == before + 1
+        finally:
+            obs.disable()

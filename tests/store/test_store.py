@@ -181,3 +181,58 @@ class TestSeedCache:
         assert fresh.load_seed_table(digest, k=13) is None
         rebuilt = fresh.seed_table(digest, k=13)
         np.testing.assert_array_equal(rebuilt.words, table.words)
+
+
+class TestDegradeObservability:
+    """Cache degrades are advisory but must be counted and warned once."""
+
+    @pytest.fixture()
+    def live_obs(self, monkeypatch):
+        from repro import obs
+        from repro.store import seedcache
+
+        registry, _tracer = obs.enable()
+        monkeypatch.setattr(seedcache, "_degrade_warned", False)
+        yield registry
+        obs.disable()
+
+    def _degrade_count(self, registry):
+        return registry.counter("repro_store_seed_cache_degraded_total").value()
+
+    def test_corrupt_cache_counts_and_warns_once(self, store, rng, live_obs):
+        codes = rng.integers(0, 4, size=4000).astype(np.uint8)
+        digest = store.add(codes)
+        store.seed_table(digest, k=13)
+        cache = next((store.root / digest[:2]).glob("*.seeds-*.npz"))
+        cache.write_bytes(b"not an npz")
+        before = self._degrade_count(live_obs)
+        fresh = ReferenceStore(store.root)
+        with pytest.warns(RuntimeWarning, match="degraded to a rebuild"):
+            assert fresh.load_seed_table(digest, k=13) is None
+        assert self._degrade_count(live_obs) == before + 1
+        # Second degrade: counted again, but silent.
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert fresh.load_seed_table(digest, k=13) is None
+        assert self._degrade_count(live_obs) == before + 2
+
+    def test_span_mismatch_counts(self, store, rng, live_obs):
+        from repro.store.seedcache import load_table
+
+        codes = rng.integers(0, 4, size=4000).astype(np.uint8)
+        digest = store.add(codes)
+        store.seed_table(digest, k=13)
+        cache = next((store.root / digest[:2]).glob("*.seeds-*.npz"))
+        before = self._degrade_count(live_obs)
+        with pytest.warns(RuntimeWarning):
+            assert load_table(cache, expect_span=19) is None
+        assert self._degrade_count(live_obs) == before + 1
+
+    def test_missing_file_is_a_silent_cold_miss(self, store, rng, live_obs):
+        codes = rng.integers(0, 4, size=1000).astype(np.uint8)
+        digest = store.add(codes)
+        before = self._degrade_count(live_obs)
+        assert store.load_seed_table(digest, k=13) is None
+        assert self._degrade_count(live_obs) == before

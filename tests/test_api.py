@@ -68,6 +68,22 @@ class TestAlign:
             a.cigar() for a in full.unique_alignments()
         }
 
+    def test_streaming_matches_barrier(self):
+        pair = _pair(seed=53)
+        barrier = api.align(pair.target, pair.query, CONFIG)
+        partials = []
+        streamed = api.align(
+            pair.target,
+            pair.query,
+            CONFIG,
+            streaming=True,
+            on_partial=partials.append,
+            stream_chunk_bp=2048,
+        )
+        assert streamed.alignments == barrier.alignments
+        assert len(partials) >= 1
+        assert partials[-1].done_anchors == len(streamed.tasks)
+
     def test_align_chunked_temp_job_dir(self):
         pair = _pair(seed=37, length=20_000)
         report = api.align_chunked(
@@ -82,6 +98,47 @@ class TestAlign:
         assert {a.cigar() for a in report.alignments} == {
             a.cigar() for a in direct.unique_alignments()
         }
+
+
+class TestParseRetryAfter:
+    """RFC 9110 Retry-After: delta-seconds and HTTP-date, never an error."""
+
+    def test_delta_seconds(self):
+        assert api._parse_retry_after("120") == 120.0
+        assert api._parse_retry_after("0") == 0.0
+        assert api._parse_retry_after(" 2.5 ") == 2.5
+
+    def test_negative_delta_clamped(self):
+        assert api._parse_retry_after("-30") == 0.0
+
+    def test_http_date_in_future(self):
+        from datetime import datetime, timedelta, timezone
+        from email.utils import format_datetime
+
+        when = datetime.now(timezone.utc) + timedelta(seconds=90)
+        parsed = api._parse_retry_after(format_datetime(when, usegmt=True))
+        assert parsed is not None
+        assert 80.0 <= parsed <= 91.0
+
+    def test_http_date_in_past_clamped_to_zero(self):
+        assert (
+            api._parse_retry_after("Sun, 06 Nov 1994 08:49:37 GMT") == 0.0
+        )
+
+    def test_naive_date_treated_as_utc(self):
+        from datetime import datetime, timedelta, timezone
+
+        when = datetime.now(timezone.utc) + timedelta(seconds=60)
+        # asctime form carries no zone; RFC 9110 says it is GMT.
+        parsed = api._parse_retry_after(when.strftime("%a %b %d %H:%M:%S %Y"))
+        assert parsed is not None
+        assert 50.0 <= parsed <= 61.0
+
+    @pytest.mark.parametrize(
+        "value", [None, "", "soon", "Banday, 99 Foo 12345", "1e", "inf days"]
+    )
+    def test_garbage_yields_none(self, value):
+        assert api._parse_retry_after(value) is None
 
 
 @pytest.fixture(scope="module")
@@ -130,6 +187,23 @@ class TestClient:
         )
         assert mapped["alignments"] == base["alignments"]
         assert typed["alignments"] == base["alignments"]
+
+    def test_align_stream_matches_align(self, endpoint):
+        client = api.Client(endpoint)
+        pair = _pair(seed=47)
+        barrier = client.align(pair.target, pair.query, timeout_s=300)
+        records = list(client.align_stream(pair.target, pair.query))
+        assert records, "stream yielded nothing"
+        partials = [r for r in records if r["type"] == "partial"]
+        summary = records[-1]
+        assert summary["type"] == "summary"
+        assert len(partials) >= 1
+        # The terminal summary is exactly the barrier endpoint's payload.
+        assert {k: v for k, v in summary.items() if k != "type"} == barrier
+        streamed_rows = [a for p in partials for a in p["alignments"]]
+        assert sorted(map(repr, streamed_rows)) == sorted(
+            map(repr, barrier["alignments"])
+        )
 
     def test_stats_and_metrics(self, endpoint):
         client = api.Client(endpoint)
