@@ -23,12 +23,13 @@ same validation path the HTTP body and the CLI flags go through.
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import threading
 from collections.abc import Mapping
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
+from urllib.parse import urlsplit
 
 import numpy as np
 
@@ -293,30 +294,115 @@ class Client:
     ``GET /v1/stats``, ``GET /v1/metrics``, ``GET /v1/healthz``) and
     turns error envelopes into :class:`ApiError`.
 
+    The client holds **one persistent connection** per server: both
+    ``repro serve`` front ends speak HTTP/1.1 keep-alive, so consecutive
+    calls reuse the socket instead of paying a TCP handshake each —
+    exactly what a submit loop against the service wants.  The
+    connection is re-established transparently when the server closed it
+    (drain, idle timeout, an error that forced a close); thread safety
+    comes from one lock around the request/response exchange.  Streaming
+    calls (:meth:`align_stream`) use a dedicated connection so a
+    long-lived stream never blocks the client's other calls.
+
+    ``api_key`` (sent as ``X-API-Key``) names the tenant for the fleet
+    front door's quota accounting; it is harmless elsewhere.
+
     >>> client = Client("http://127.0.0.1:8642")
     >>> client.healthz()
     {'status': 'ok'}
     """
 
-    def __init__(self, base_url: str, *, timeout_s: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout_s: float = 60.0,
+        api_key: str | None = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.api_key = api_key
+        parts = urlsplit(self.base_url)
+        if parts.scheme not in ("http", "https"):
+            raise ValueError(f"unsupported URL scheme {parts.scheme!r}")
+        self._https = parts.scheme == "https"
+        self._host = parts.hostname or "127.0.0.1"
+        self._port = parts.port or (443 if self._https else 80)
+        self._conn: http.client.HTTPConnection | None = None
+        self._lock = threading.Lock()
 
     # -- plumbing ------------------------------------------------------------
 
-    def _request(self, method: str, path: str, body: dict | None = None):
-        data = None if body is None else json.dumps(body).encode()
-        req = urllib.request.Request(
-            f"{self.base_url}/v1{path}",
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+    def _new_connection(self) -> http.client.HTTPConnection:
+        cls = (
+            http.client.HTTPSConnection if self._https else http.client.HTTPConnection
         )
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
-                return resp.read(), resp.headers
-        except urllib.error.HTTPError as exc:
-            raw = exc.read()
+        return cls(self._host, self._port, timeout=self.timeout_s)
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+
+    def close(self) -> None:
+        """Drop the persistent connection (idempotent)."""
+        with self._lock:
+            self._drop_connection()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _headers(self, extra: dict | None = None, *, has_body: bool) -> dict:
+        headers: dict = {}
+        if has_body:
+            headers["Content-Type"] = "application/json"
+        if self.api_key is not None:
+            headers["X-API-Key"] = self.api_key
+        if extra:
+            headers.update({k: v for k, v in extra.items() if v is not None})
+        return headers
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        extra_headers: dict | None = None,
+    ):
+        data = None if body is None else json.dumps(body).encode()
+        headers = self._headers(extra_headers, has_body=data is not None)
+        with self._lock:
+            # One retry: a keep-alive socket the server closed between
+            # calls fails on write (or with an empty response); that is
+            # staleness, not an error, so reconnect once and repeat.
+            for attempt in (0, 1):
+                was_fresh = self._conn is None
+                if self._conn is None:
+                    self._conn = self._new_connection()
+                try:
+                    self._conn.request(method, f"/v1{path}", body=data, headers=headers)
+                    resp = self._conn.getresponse()
+                    raw = resp.read()
+                except TimeoutError:
+                    # A timeout is not staleness — the server may have
+                    # accepted the request; re-sending could run it twice.
+                    self._drop_connection()
+                    raise
+                except (http.client.HTTPException, ConnectionError, OSError):
+                    self._drop_connection()
+                    if attempt or was_fresh:
+                        raise
+                    continue
+                if resp.will_close:
+                    self._drop_connection()
+                break
+        if resp.status >= 400:
             try:
                 envelope = json.loads(raw)["error"]
                 code = str(envelope["code"])
@@ -324,11 +410,12 @@ class Client:
             except Exception:
                 code, message = "internal", raw.decode(errors="replace")
             raise ApiError(
-                exc.code,
+                resp.status,
                 code,
                 message,
-                retry_after_s=_parse_retry_after(exc.headers.get("Retry-After")),
-            ) from None
+                retry_after_s=_parse_retry_after(resp.getheader("Retry-After")),
+            )
+        return raw, resp.headers
 
     def _get_json(self, path: str) -> dict:
         raw, _ = self._request("GET", path)
@@ -377,6 +464,8 @@ class Client:
         query_ref: str | None = None,
         options: FastzOptions | Mapping | None = None,
         timeout_s: float | None = None,
+        priority: str | None = None,
+        deadline_ms: float | None = None,
     ) -> dict:
         """POST one alignment; returns the response payload as a dict.
 
@@ -385,11 +474,26 @@ class Client:
         exactly one per side.  ``options`` overrides the server's
         defaults field-by-field; a :class:`FastzOptions` is serialised
         whole, a mapping is sent as-is (the server validates it).
+
+        ``priority`` (``"interactive"`` or ``"batch"``) and
+        ``deadline_ms`` map to the fleet front door's ``X-Priority`` /
+        ``X-Deadline-Ms`` headers — dispatch class and deadline-aware
+        admission; the threaded server ignores them.
         """
         body = self._align_body(
             target, query, target_ref, query_ref, options, timeout_s
         )
-        raw, _ = self._request("POST", "/align", body)
+        raw, _ = self._request(
+            "POST",
+            "/align",
+            body,
+            extra_headers={
+                "X-Priority": priority,
+                "X-Deadline-Ms": (
+                    None if deadline_ms is None else repr(float(deadline_ms))
+                ),
+            },
+        )
         return json.loads(raw)
 
     def align_stream(
@@ -400,6 +504,7 @@ class Client:
         target_ref: str | None = None,
         query_ref: str | None = None,
         options: FastzOptions | Mapping | None = None,
+        priority: str | None = None,
     ):
         """POST one alignment to ``/v1/align?stream=1``; yields NDJSON records.
 
@@ -410,33 +515,37 @@ class Client:
         :meth:`align` response (streamed and barrier results are
         bit-identical).  A terminal ``{"type": "error", ...}`` record —
         e.g. the server draining mid-stream — raises :class:`ApiError`.
+
+        Streams get their own connection (both servers close it when the
+        stream ends), so the client's persistent connection stays free
+        for other calls while the stream is being consumed.
         """
         body = self._align_body(
             target, query, target_ref, query_ref, options, None
         )
-        req = urllib.request.Request(
-            f"{self.base_url}/v1/align?stream=1",
-            data=json.dumps(body).encode(),
-            method="POST",
-            headers={"Content-Type": "application/json"},
-        )
+        conn = self._new_connection()
         try:
-            resp = urllib.request.urlopen(req, timeout=self.timeout_s)
-        except urllib.error.HTTPError as exc:
-            raw = exc.read()
-            try:
-                envelope = json.loads(raw)["error"]
-                code = str(envelope["code"])
-                message = str(envelope["message"])
-            except Exception:
-                code, message = "internal", raw.decode(errors="replace")
-            raise ApiError(
-                exc.code,
-                code,
-                message,
-                retry_after_s=_parse_retry_after(exc.headers.get("Retry-After")),
-            ) from None
-        with resp:
+            conn.request(
+                "POST",
+                "/v1/align?stream=1",
+                body=json.dumps(body).encode(),
+                headers=self._headers({"X-Priority": priority}, has_body=True),
+            )
+            resp = conn.getresponse()
+            if resp.status >= 400:
+                raw = resp.read()
+                try:
+                    envelope = json.loads(raw)["error"]
+                    code = str(envelope["code"])
+                    message = str(envelope["message"])
+                except Exception:
+                    code, message = "internal", raw.decode(errors="replace")
+                raise ApiError(
+                    resp.status,
+                    code,
+                    message,
+                    retry_after_s=_parse_retry_after(resp.getheader("Retry-After")),
+                )
             for line in resp:
                 line = line.strip()
                 if not line:
@@ -450,6 +559,8 @@ class Client:
                         str(envelope.get("message", "stream failed")),
                     )
                 yield record
+        finally:
+            conn.close()
 
     @staticmethod
     def _align_body(

@@ -288,6 +288,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="graceful-drain bound on SIGTERM/SIGINT: seconds to wait for "
         "in-flight requests before force-closing their connections",
     )
+    serve.add_argument(
+        "--fleet",
+        action="store_true",
+        help="serve through the asyncio front door and fleet scheduler: "
+        "extension batches are placed across named backend queues "
+        "(in-process + simulated GPUs + the worker pool when --workers>0) "
+        "with least-loaded placement and hedged re-dispatch",
+    )
+    serve.add_argument(
+        "--fleet-gpus",
+        type=int,
+        default=2,
+        help="simulated-GPU backends in the fleet (--fleet only)",
+    )
+    serve.add_argument(
+        "--fleet-gpu-device",
+        default="qv100",
+        help="device spec for simulated-GPU backends, e.g. qv100, "
+        "titanx, rtx3080 (--fleet only)",
+    )
+    serve.add_argument(
+        "--fleet-hedge-ms",
+        type=float,
+        default=500.0,
+        help="straggler threshold before a unit is hedged onto an idle "
+        "backend; 0 disables hedging (--fleet only)",
+    )
+    serve.add_argument(
+        "--quota",
+        default=None,
+        help="per-tenant admission quotas as tenant=rate/burst pairs, "
+        "e.g. 'default=10/20,alice=100/200'; tenants come from the "
+        "X-API-Key header (--fleet only)",
+    )
     _add_scoring_args(serve)
     serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
@@ -568,6 +602,21 @@ def _bench_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_fleet(args: argparse.Namespace):
+    """Assemble the backend roster + scheduler for ``serve --fleet``."""
+    from .fleet import FleetScheduler, InProcessBackend, PoolBackend, SimGpuBackend
+    from .gpusim import device_by_name
+
+    backends = [InProcessBackend("cpu0")]
+    if args.workers > 0:
+        backends.append(PoolBackend("pool0", workers=args.workers))
+    device = device_by_name(args.fleet_gpu_device)
+    for i in range(max(0, args.fleet_gpus)):
+        backends.append(SimGpuBackend(f"gpu{i}", device=device))
+    hedge_s = args.fleet_hedge_ms / 1000.0 if args.fleet_hedge_ms > 0 else None
+    return FleetScheduler(backends, hedge_after_s=hedge_s)
+
+
 def _serve_command(args: argparse.Namespace) -> int:
     from . import obs
     from .service import AlignmentService, make_server
@@ -578,17 +627,21 @@ def _serve_command(args: argparse.Namespace) -> int:
     # 32 root spans, so a long-lived server cannot grow without limit.
     obs.enable()
     config = _config_from_args(args)
+    fleet = _build_fleet(args) if args.fleet else None
     service = AlignmentService(
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         max_queue=args.max_queue,
         max_inflight_bytes=(args.max_inflight_mb * 1024 * 1024) or None,
         cache_entries=args.cache_entries,
-        pool_workers=args.workers,
+        pool_workers=0 if args.fleet else args.workers,
         config=config,
         store=args.store,
         stream_chunk_bp=args.stream_chunk_bp,
+        fleet=fleet,
     )
+    if args.fleet:
+        return _serve_fleet_front_door(args, service, fleet)
     server = make_server(
         service,
         args.host,
@@ -624,6 +677,37 @@ def _serve_command(args: argparse.Namespace) -> int:
         server.serve_forever()
     finally:
         server.server_close()
+        service.shutdown(drain=True)
+    return 0
+
+
+def _serve_fleet_front_door(args: argparse.Namespace, service, fleet) -> int:
+    """``serve --fleet``: asyncio front door over the fleet scheduler."""
+    from .fleet import TenantQuotas, serve_fleet
+
+    quotas = TenantQuotas.from_spec(args.quota) if args.quota else None
+
+    def _on_ready(host: str, port: int) -> None:
+        roster = ",".join(fleet.backend_names())
+        print(
+            f"serving alignments on http://{host}:{port}/v1 "
+            f"(fleet=[{roster}], hedge={args.fleet_hedge_ms:g}ms, "
+            f"quota={args.quota or 'off'}, max_batch={args.max_batch}, "
+            f"store={args.store or 'none'})",
+            file=sys.stderr,
+        )
+
+    try:
+        serve_fleet(
+            service,
+            args.host,
+            args.port,
+            quotas=quotas,
+            max_align_body=args.max_body_mb * 1024 * 1024,
+            grace_s=args.grace_s,
+            on_ready=_on_ready,
+        )
+    finally:
         service.shutdown(drain=True)
     return 0
 

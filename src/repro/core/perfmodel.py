@@ -37,7 +37,58 @@ from .binning import assign_bins
 from .options import FASTZ_FULL, FastzOptions, ablation_ladder
 from .task import TaskArrays
 
-__all__ = ["FastzTiming", "time_fastz", "time_feng_baseline", "ablation_times"]
+__all__ = [
+    "FastzTiming",
+    "ablation_times",
+    "estimate_extension_seconds",
+    "extension_weight",
+    "time_fastz",
+    "time_feng_baseline",
+]
+
+#: Modelled host throughput for the quick cost estimate, in extension
+#: weight units (wavefront-extent bases) per second.  Calibrated against
+#: the lockstep NumPy engine on one core; the absolute value only
+#: anchors the scale — fleet placement compares backends *relatively*.
+HOST_WEIGHT_PER_SECOND = 5.0e6
+
+
+def extension_weight(suffixes) -> float:
+    """Total extension weight of an interleaved right/left suffix list.
+
+    The same per-anchor weight :func:`~repro.core.pipeline
+    .shard_anchor_suffixes` balances on — the wavefront's reachable
+    extent, ``min(len(t), len(q))`` per one-sided problem — summed over
+    the batch.  One number, computed from lengths alone, that every
+    admission/placement decision can share without touching the codes.
+    """
+    return float(sum(min(len(t), len(q)) for t, q in suffixes))
+
+
+def estimate_extension_seconds(
+    weight: float,
+    device: DeviceSpec | None = None,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> float:
+    """Closed-form cost estimate for ``weight`` units of extension work.
+
+    The fleet scheduler's placement policy runs this per submission, so
+    it must stay O(1): no TaskArrays, no stream simulation.  On a GPU
+    backend each weight unit is one cell of a 32-lane warp strip —
+    issue-bound at ``step_cycles_cyclic`` cycles per 32-cell strip step
+    across ``sms x warp_issue_width`` concurrent warp slots.  On the
+    host (``device=None``) the lockstep NumPy engine is modelled as a
+    flat :data:`HOST_WEIGHT_PER_SECOND` throughput.  Both are estimates
+    of *relative* load, not promises of wall-clock.
+    """
+    if weight < 0:
+        raise ValueError("weight must be non-negative")
+    if device is None:
+        return weight / HOST_WEIGHT_PER_SECOND
+    strip_steps = weight / 32.0
+    cycles = strip_steps * calib.step_cycles_cyclic
+    issue_rate = device.sms * device.warp_issue_width * device.clock_ghz * 1e9
+    return cycles / issue_rate
 
 
 @dataclass(frozen=True)

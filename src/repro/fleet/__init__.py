@@ -1,0 +1,45 @@
+"""Heterogeneous fleet serving: device queues, placement, async front door.
+
+``repro.fleet`` turns the single in-process alignment service into a
+fleet: named backend queues (in-process engine, worker pools, simulated
+GPUs) behind a placement/hedging scheduler, fronted by an asyncio HTTP
+server that multiplexes thousands of connections on one event loop while
+preserving the ``/v1`` contract byte for byte.
+"""
+
+from .asgi import FleetApp
+from .backends import (
+    BackendUnavailable,
+    FleetBackend,
+    InProcessBackend,
+    PoolBackend,
+    SimGpuBackend,
+)
+from .quota import QuotaExceeded, TenantQuotas, TokenBucket
+from .scheduler import (
+    FleetError,
+    FleetScheduler,
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    PRIORITY_NAMES,
+)
+from .server import FleetHTTPServer, serve_fleet
+
+__all__ = [
+    "BackendUnavailable",
+    "FleetApp",
+    "FleetBackend",
+    "FleetError",
+    "FleetHTTPServer",
+    "FleetScheduler",
+    "InProcessBackend",
+    "PRIORITY_BATCH",
+    "PRIORITY_INTERACTIVE",
+    "PRIORITY_NAMES",
+    "PoolBackend",
+    "QuotaExceeded",
+    "SimGpuBackend",
+    "TenantQuotas",
+    "TokenBucket",
+    "serve_fleet",
+]

@@ -1,0 +1,530 @@
+"""The asyncio front door's application layer (ASGI-shaped, stdlib only).
+
+:class:`FleetApp` is an ASGI-style callable — ``await app(scope, receive,
+send)`` — implementing the same versioned ``/v1`` surface as the threaded
+server (:mod:`repro.service.http`), byte for byte: same routes, same
+error envelope ``{"error": {"code", "message"}}``, same NDJSON streaming
+records, same legacy 307s.  The request-body contract is literally
+shared code (:func:`~repro.service.http.parse_align_request`,
+:func:`~repro.service.http.register_reference_payload`,
+:func:`~repro.service.http.classify_align_error`), so the two front ends
+cannot drift.
+
+What the async layer adds over the threaded one:
+
+* **non-blocking multiplexing** — one event loop serves every
+  connection; an ``/v1/align`` awaits the service future
+  (``asyncio.wrap_future``) instead of parking a thread, so thousands of
+  in-flight requests cost one task each.
+* **tenancy** — per-tenant token-bucket quotas keyed on ``X-API-Key``
+  (:mod:`repro.fleet.quota`); an empty bucket answers ``429
+  quota_exceeded`` with ``Retry-After``.
+* **priority classes** — ``X-Priority: interactive|batch`` maps to the
+  fleet scheduler's dispatch classes; interactive requests overtake
+  batch work at every queue.  Unknown values are a 400.
+* **deadline-aware admission** — ``X-Deadline-Ms`` is compared against
+  the fleet's modelled completion estimate
+  (:meth:`~repro.fleet.scheduler.FleetScheduler.estimated_wait_s`); a
+  request that cannot make its deadline is refused up front with ``504
+  deadline_exceeded`` instead of burning a backend on a result nobody
+  will read.  The deadline also bounds queue time like ``timeout_s``.
+
+CPU-bearing request work (JSON parse + DNA validation, reference-store
+writes, the streaming pipeline) runs on the default executor so the loop
+never stalls behind one request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import threading
+
+from ..service.http import (
+    API_PREFIX,
+    DEFAULT_MAX_ALIGN_BODY,
+    LEGACY_PATHS,
+    RequestError,
+    _MAX_REGISTER_BODY,
+    _alignment_payload,
+    _alignment_rows,
+    _classify_stream_error,
+    classify_align_error,
+    parse_align_request,
+    register_reference_payload,
+)
+from ..service.service import AlignmentService
+from .quota import QuotaExceeded, TenantQuotas
+from .scheduler import PRIORITY_INTERACTIVE, PRIORITY_NAMES
+
+__all__ = ["FleetApp"]
+
+#: Queue marker: the streaming worker finished; payload is the outcome.
+_STREAM_END = object()
+
+
+def _partial_record(partial) -> dict:
+    return {
+        "type": "partial",
+        "seq": partial.seq,
+        "anchors": partial.n_anchors,
+        "done_anchors": partial.done_anchors,
+        "eager": partial.eager,
+        "wall_s": partial.wall_s,
+        "alignments": _alignment_rows(partial.alignments),
+    }
+
+
+def _parse_body(body: bytes) -> dict:
+    """JSON-object body or :class:`RequestError` (shared 400 semantics)."""
+    if not body:
+        raise RequestError(400, "bad_request", "body must not be empty")
+    try:
+        payload = json.loads(body)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        raise RequestError(400, "bad_request", "body is not valid JSON") from None
+    if not isinstance(payload, dict):
+        raise RequestError(400, "bad_request", "body must be a JSON object")
+    return payload
+
+
+class FleetApp:
+    """The ``/v1`` surface as one ASGI-style callable.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.service.AlignmentService` behind the surface —
+        typically fleet-backed (``fleet=[...]``), but any service works;
+        tenancy/priority/deadline headers degrade gracefully without a
+        scheduler.
+    draining:
+        Shared shutdown flag: once set, new POSTs get 503
+        ``shutting_down`` and in-flight streams abort with a terminal
+        error record.  The server owns (and sets) it.
+    quotas:
+        Per-tenant admission policy; ``None`` (or an empty policy)
+        disables quota checks.
+    max_align_body:
+        Cap on raw-sequence align bodies, refused 413 *before* the body
+        is read off the socket.
+    """
+
+    def __init__(
+        self,
+        service: AlignmentService,
+        *,
+        draining: threading.Event | None = None,
+        quotas: TenantQuotas | None = None,
+        max_align_body: int | None = None,
+    ) -> None:
+        self.service = service
+        self.draining = draining if draining is not None else threading.Event()
+        self.quotas = quotas if quotas is not None else TenantQuotas()
+        self.max_align_body = (
+            DEFAULT_MAX_ALIGN_BODY if max_align_body is None else int(max_align_body)
+        )
+        if self.max_align_body < 1:
+            raise ValueError("max_align_body must be positive")
+
+    # -- replies -------------------------------------------------------------
+
+    @staticmethod
+    async def _reply_raw(
+        send, status: int, body: bytes, content_type: str, headers=None
+    ) -> None:
+        out = [("Content-Type", content_type), ("Content-Length", str(len(body)))]
+        for name, value in (headers or {}).items():
+            out.append((name, value))
+        await send({"type": "http.response.start", "status": status, "headers": out})
+        await send({"type": "http.response.body", "body": body})
+
+    async def _reply(self, send, status: int, payload: dict, headers=None) -> None:
+        await self._reply_raw(
+            send, status, json.dumps(payload).encode(), "application/json", headers
+        )
+
+    async def _error(
+        self, send, status: int, code: str, message: str, headers=None
+    ) -> None:
+        body = json.dumps({"error": {"code": code, "message": message}}).encode()
+        await self._reply_raw(send, status, body, "application/json", headers)
+
+    # -- routing -------------------------------------------------------------
+
+    async def __call__(self, scope: dict, receive, send) -> None:
+        method = scope["method"]
+        path = scope["path"]
+        if path in LEGACY_PATHS:
+            target = API_PREFIX + path
+            query = scope.get("raw_query", "")
+            if query:
+                target += "?" + query
+            await send(
+                {
+                    "type": "http.response.start",
+                    "status": 307,
+                    "headers": [
+                        ("Location", target),
+                        ("Deprecation", "true"),
+                        ("Content-Length", "0"),
+                    ],
+                }
+            )
+            await send({"type": "http.response.body", "body": b""})
+            return
+        if method in ("GET", "HEAD"):
+            await self._get(scope, send, head=method == "HEAD")
+        elif method == "POST":
+            await self._post(scope, receive, send)
+        else:
+            await self._error(
+                send, 405, "bad_request", f"method {method} not supported"
+            )
+
+    async def _get(self, scope: dict, send, *, head: bool = False) -> None:
+        path = scope["path"]
+        if head:
+            known = {API_PREFIX + p for p in ("/healthz", "/stats", "/metrics")}
+            status = 200 if path in known else 404
+            await send(
+                {
+                    "type": "http.response.start",
+                    "status": status,
+                    "headers": [("Content-Length", "0")],
+                }
+            )
+            await send({"type": "http.response.body", "body": b""})
+            return
+        if path == API_PREFIX + "/healthz":
+            status = "draining" if self.draining.is_set() else "ok"
+            await self._reply(send, 200, {"status": status})
+        elif path == API_PREFIX + "/stats":
+            await self._reply(send, 200, self.service.stats().as_dict())
+        elif path == API_PREFIX + "/metrics":
+            await self._reply_raw(
+                send,
+                200,
+                self.service.metrics_text().encode(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif path == API_PREFIX + "/references":
+            store = self.service.store
+            if store is None:
+                await self._error(
+                    send,
+                    400,
+                    "bad_request",
+                    "this server has no reference store (serve --store)",
+                )
+                return
+            await self._reply(send, 200, {"references": store.list()})
+        else:
+            await self._error(send, 404, "not_found", f"unknown path {path!r}")
+
+    async def _post(self, scope: dict, receive, send) -> None:
+        path = scope["path"]
+        if self.draining.is_set():
+            await self._error(
+                send, 503, "shutting_down", "server is draining; no new requests"
+            )
+            return
+        if path == API_PREFIX + "/align":
+            raw = scope.get("query", {}).get("stream", ["0"])[-1]
+            await self._post_align(
+                scope, receive, send, stream=raw not in ("", "0", "false")
+            )
+        elif path == API_PREFIX + "/references":
+            await self._post_references(scope, receive, send)
+        else:
+            await self._error(send, 404, "not_found", f"unknown path {path!r}")
+
+    # -- request plumbing ----------------------------------------------------
+
+    async def _read_payload(
+        self, scope: dict, receive, send, limit: int, over_limit_message: str
+    ) -> dict | None:
+        """Body → JSON object, or a reply + ``None`` (mirrors ``_read_json``).
+
+        The size check runs on the scope's Content-Length before the body
+        is pulled off the socket, so oversize uploads are refused unread
+        (the server then drops the connection rather than skip the bytes).
+        """
+        length = scope.get("content_length", 0)
+        if length <= 0:
+            await self._error(send, 400, "bad_request", "body must not be empty")
+            return None
+        if length > limit:
+            await self._error(
+                send,
+                413,
+                "payload_too_large",
+                f"body is {length} bytes (limit {limit}); " + over_limit_message,
+            )
+            return None
+        body = await receive()
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(None, _parse_body, body)
+        except RequestError as exc:
+            await self._error(send, exc.status, exc.code, exc.message)
+            return None
+
+    def _admission_headers(self, scope: dict):
+        """(priority, deadline_ms) from headers; :class:`RequestError` on junk."""
+        headers = scope.get("headers", {})
+        priority = PRIORITY_INTERACTIVE
+        raw_priority = headers.get("x-priority")
+        if raw_priority is not None:
+            try:
+                priority = PRIORITY_NAMES[raw_priority.strip().lower()]
+            except KeyError:
+                raise RequestError(
+                    400,
+                    "bad_request",
+                    f"unknown X-Priority {raw_priority!r} "
+                    f"(want one of {sorted(PRIORITY_NAMES)})",
+                ) from None
+        deadline_ms = None
+        raw_deadline = headers.get("x-deadline-ms")
+        if raw_deadline is not None:
+            try:
+                deadline_ms = float(raw_deadline)
+            except ValueError:
+                raise RequestError(
+                    400, "bad_request", "X-Deadline-Ms must be a number"
+                ) from None
+            if deadline_ms <= 0:
+                raise RequestError(
+                    400, "bad_request", "X-Deadline-Ms must be positive"
+                )
+        return priority, deadline_ms
+
+    def _check_quota(self, scope: dict) -> None:
+        if not self.quotas.enabled:
+            return
+        self.quotas.check(scope.get("headers", {}).get("x-api-key"))
+
+    def _check_deadline(self, fields: dict, deadline_ms: float | None) -> None:
+        """Refuse requests the fleet's cost model says cannot make it."""
+        fleet = self.service.fleet
+        if deadline_ms is None or fleet is None:
+            return
+        sides = [
+            len(codes)
+            for codes in (fields["target_codes"], fields["query_codes"])
+            if codes is not None
+        ]
+        # By-ref sides have unknown length here; admission then only
+        # charges the backlog, which still catches a saturated fleet.
+        weight = float(min(sides)) if len(sides) == 2 else 0.0
+        estimate_s = fleet.estimated_wait_s(weight)
+        if estimate_s * 1e3 > deadline_ms:
+            raise RequestError(
+                504,
+                "deadline_exceeded",
+                f"estimated completion in {estimate_s * 1e3:.0f}ms exceeds "
+                f"the {deadline_ms:.0f}ms deadline; not admitted",
+            )
+
+    # -- /v1/align -----------------------------------------------------------
+
+    async def _post_align(self, scope, receive, send, *, stream: bool) -> None:
+        try:
+            self._check_quota(scope)
+        except QuotaExceeded as exc:
+            await self._error(
+                send,
+                429,
+                "quota_exceeded",
+                str(exc),
+                headers={"Retry-After": str(max(1, math.ceil(exc.retry_after_s)))},
+            )
+            return
+        try:
+            priority, deadline_ms = self._admission_headers(scope)
+        except RequestError as exc:
+            await self._error(send, exc.status, exc.code, exc.message)
+            return
+        payload = await self._read_payload(
+            scope,
+            receive,
+            send,
+            self.max_align_body,
+            "register large sequences once via POST /v1/references and "
+            "align by digest ('target_ref'/'query_ref') instead",
+        )
+        if payload is None:
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            fields = await loop.run_in_executor(
+                None, parse_align_request, payload, self.service
+            )
+            self._check_deadline(fields, deadline_ms)
+        except RequestError as exc:
+            await self._error(
+                send, exc.status, exc.code, exc.message, exc.headers or None
+            )
+            return
+
+        if stream:
+            if fields["timeout_s"] is not None:
+                await self._error(
+                    send,
+                    400,
+                    "bad_request",
+                    "'timeout_s' is not supported with stream=1",
+                )
+                return
+            await self._stream_align(send, fields)
+            return
+
+        timeout_s = fields["timeout_s"]
+        if deadline_ms is not None:
+            deadline_s = deadline_ms / 1e3
+            timeout_s = deadline_s if timeout_s is None else min(timeout_s, deadline_s)
+        try:
+            future = self.service.submit(
+                fields["target_codes"],
+                fields["query_codes"],
+                options=fields["options"],
+                timeout_s=timeout_s,
+                target_ref=fields["target_ref"],
+                query_ref=fields["query_ref"],
+                priority=priority,
+            )
+            result = await asyncio.wrap_future(future)
+        except Exception as exc:
+            status, code, message, headers = classify_align_error(exc)
+            await self._error(send, status, code, message, headers or None)
+        else:
+            await self._reply(send, 200, _alignment_payload(result))
+
+    # -- streaming -----------------------------------------------------------
+
+    async def _stream_align(self, send, fields: dict) -> None:
+        """Chunk-encode NDJSON records as the streaming pipeline produces them.
+
+        The pipeline runs on an executor thread; ``on_partial`` trampolines
+        each record onto the loop through an :class:`asyncio.Queue`.  The
+        contract matches the threaded server exactly: errors before the
+        first record use the plain envelope + status, errors after
+        streaming began become a terminal ``{"type": "error"}`` record,
+        and the terminal ``summary`` equals the non-streaming payload.
+        """
+        loop = asyncio.get_running_loop()
+        records: asyncio.Queue = asyncio.Queue()
+        client_gone = threading.Event()
+
+        def push(item) -> None:
+            loop.call_soon_threadsafe(records.put_nowait, item)
+
+        def should_abort() -> bool:
+            return self.draining.is_set() or client_gone.is_set()
+
+        def worker() -> None:
+            try:
+                result = self.service.align_stream(
+                    fields["target_codes"],
+                    fields["query_codes"],
+                    options=fields["options"],
+                    target_ref=fields["target_ref"],
+                    query_ref=fields["query_ref"],
+                    on_partial=lambda p: push(_partial_record(p)),
+                    should_abort=should_abort,
+                )
+            except BaseException as exc:  # noqa: BLE001 - forwarded to loop
+                push((_STREAM_END, exc))
+            else:
+                push((_STREAM_END, result))
+
+        loop.run_in_executor(None, worker)
+        started = False
+
+        async def send_record(record: dict) -> None:
+            nonlocal started
+            if not started:
+                await send(
+                    {
+                        "type": "http.response.start",
+                        "status": 200,
+                        "headers": [("Content-Type", "application/x-ndjson")],
+                    }
+                )
+                started = True
+            await send(
+                {
+                    "type": "http.response.body",
+                    "body": json.dumps(record).encode() + b"\n",
+                    "more_body": True,
+                }
+            )
+
+        try:
+            while True:
+                item = await records.get()
+                if isinstance(item, tuple) and item[0] is _STREAM_END:
+                    outcome = item[1]
+                    if isinstance(outcome, BaseException):
+                        status, code, message = _classify_stream_error(outcome)
+                        if not started:
+                            await self._error(send, status, code, message)
+                        else:
+                            await send_record(
+                                {
+                                    "type": "error",
+                                    "error": {"code": code, "message": message},
+                                }
+                            )
+                            await send({"type": "http.response.body", "body": b""})
+                    else:
+                        await send_record(
+                            {"type": "summary", **_alignment_payload(outcome)}
+                        )
+                        await send({"type": "http.response.body", "body": b""})
+                    return
+                await send_record(item)
+        except (ConnectionError, asyncio.CancelledError):
+            # Client went away (or the server is tearing down): flag the
+            # producer to stop at its next batch boundary.  Its pushes go
+            # through call_soon_threadsafe, so it can never block on this
+            # abandoned consumer; no need to await it here.
+            client_gone.set()
+            raise
+        finally:
+            client_gone.set()
+
+    # -- /v1/references ------------------------------------------------------
+
+    async def _post_references(self, scope, receive, send) -> None:
+        store = self.service.store
+        if store is None:
+            await self._error(
+                send,
+                400,
+                "bad_request",
+                "this server has no reference store (serve --store)",
+            )
+            return
+        payload = await self._read_payload(
+            scope,
+            receive,
+            send,
+            _MAX_REGISTER_BODY,
+            "split the FASTA and register per chromosome",
+        )
+        if payload is None:
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            reply = await loop.run_in_executor(
+                None, register_reference_payload, store, payload
+            )
+        except RequestError as exc:
+            await self._error(
+                send, exc.status, exc.code, exc.message, exc.headers or None
+            )
+            return
+        await self._reply(send, 200, reply)

@@ -1,0 +1,296 @@
+"""Fleet execution backends: one named device behind one ``run`` call.
+
+A backend is the unit the :class:`~repro.fleet.scheduler.FleetScheduler`
+routes work to: it executes one fused extension batch — the interleaved
+right/left suffix list of one or more alignment requests — and returns
+per-anchor extension records.  Every backend ultimately calls
+:func:`repro.core.pipeline.extend_suffixes_shard` on the same inputs, so
+**records are bit-identical whichever backend ran them**; backends differ
+only in *where* the arithmetic happens and what it costs:
+
+* :class:`InProcessBackend` — the lockstep NumPy engine on a scheduler
+  worker thread (the pre-fleet in-process path, kept warm via the
+  thread-local arenas);
+* :class:`PoolBackend` — a :class:`~repro.service.pool.WorkerPool` of
+  persistent worker processes; the batch is LPT-sharded across them
+  (multiple cores, same bytes);
+* :class:`SimGpuBackend` — one simulated GPU: the arithmetic still runs
+  on the host (there is no real device), but the backend *accounts* the
+  batch at the device's modelled rate
+  (:func:`repro.core.perfmodel.estimate_extension_seconds` over a
+  :class:`~repro.gpusim.DeviceSpec`) and can optionally pace execution to
+  that rate, so N of them behave like N independent devices with
+  realistic relative speeds for the placement policy to balance.
+
+Failure contract: a backend whose *substrate* is gone (closed, killed,
+worker pool unrecoverable) raises :class:`BackendUnavailable` — the
+scheduler re-dispatches the unit elsewhere and retires the backend.  Any
+other exception is the work's own (poisoned batch) and propagates to the
+submitter.
+
+Test hook (inert unless set): ``REPRO_FLEET_TEST_SLOW_BACKEND`` is
+``name:seconds`` (comma-separated pairs) — the named backend sleeps that
+long per unit before computing, deterministically creating the straggler
+the hedging policy exists for.  The sleep polls the unit's cancel event,
+so a hedge winner releases the loser immediately.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from ..align.arena import release_thread_arenas
+from ..core.perfmodel import estimate_extension_seconds, extension_weight
+from ..gpusim.device import DeviceSpec, QV100_VOLTA
+from ..service.pool import PoolError, WorkerPool
+
+__all__ = [
+    "BackendUnavailable",
+    "FleetBackend",
+    "InProcessBackend",
+    "PoolBackend",
+    "SimGpuBackend",
+]
+
+#: Test hook: ``backend:seconds`` pairs injecting a per-run straggler delay.
+_SLOW_ENV = "REPRO_FLEET_TEST_SLOW_BACKEND"
+
+
+class BackendUnavailable(RuntimeError):
+    """This backend cannot run work any more; re-dispatch elsewhere."""
+
+
+def _injected_delay(name: str) -> float:
+    raw = os.environ.get(_SLOW_ENV, "")
+    for part in raw.split(","):
+        part = part.strip()
+        if not part or ":" not in part:
+            continue
+        backend, _, seconds = part.partition(":")
+        if backend.strip() == name:
+            try:
+                return max(0.0, float(seconds))
+            except ValueError:
+                return 0.0
+    return 0.0
+
+
+def _interruptible_sleep(seconds: float, cancelled: threading.Event | None) -> None:
+    """Sleep ``seconds`` unless ``cancelled`` fires first."""
+    if seconds <= 0:
+        return
+    if cancelled is None:
+        time.sleep(seconds)
+    else:
+        cancelled.wait(seconds)
+
+
+class FleetBackend:
+    """One named execution target with a capacity and a cost model.
+
+    Subclasses implement :meth:`_execute`; the base class owns the shared
+    bookkeeping — liveness, busy-seconds accounting and the injected
+    straggler delay of the test hook.
+
+    Parameters
+    ----------
+    name:
+        The queue name the scheduler addresses this backend by.
+    max_inflight:
+        How many units may run on this backend concurrently (its number
+        of scheduler worker threads).
+    """
+
+    #: Human-readable backend family for stats (``inprocess``/``pool``/...).
+    kind = "backend"
+
+    def __init__(self, name: str, *, max_inflight: int = 1) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        self.name = name
+        self.max_inflight = max_inflight
+        self._closed = threading.Event()
+        self._lock = threading.Lock()
+        self.busy_seconds = 0.0
+        self.completed = 0
+
+    # -- cost model ----------------------------------------------------------
+
+    def estimate_seconds(self, weight: float) -> float:
+        """Modelled seconds this backend needs for ``weight`` units."""
+        return estimate_extension_seconds(weight)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, suffixes, scheme, options, tile: int, *, key: str,
+            cancelled: threading.Event | None = None):
+        """Execute one fused batch; returns per-anchor extension records.
+
+        Raises :class:`BackendUnavailable` once :meth:`close` ran.
+        ``cancelled`` (set when another dispatch of the same unit already
+        won) lets slow paths bail out early — results after cancellation
+        are discarded by the scheduler either way.
+        """
+        if self._closed.is_set():
+            raise BackendUnavailable(f"backend {self.name!r} is closed")
+        delay = _injected_delay(self.name)
+        if delay:
+            _interruptible_sleep(delay, cancelled)
+            if self._closed.is_set():
+                raise BackendUnavailable(f"backend {self.name!r} is closed")
+        start = time.perf_counter()
+        records = self._execute(suffixes, scheme, options, tile, key=key,
+                                cancelled=cancelled)
+        with self._lock:
+            self.busy_seconds += time.perf_counter() - start
+            self.completed += 1
+        return records
+
+    def _execute(self, suffixes, scheme, options, tile, *, key, cancelled):
+        raise NotImplementedError
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def close(self) -> None:
+        """Stop accepting work; in-flight runs finish (or fail) on their own.
+
+        Idempotent, callable from any thread — this is also the
+        kill-a-backend-mid-batch admin/test entry point.
+        """
+        self._closed.set()
+
+    def describe(self) -> dict:
+        """JSON-ready identity + health for fleet stats."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "max_inflight": self.max_inflight,
+            "closed": self.closed,
+            "completed": self.completed,
+            "busy_seconds": round(self.busy_seconds, 4),
+        }
+
+
+class InProcessBackend(FleetBackend):
+    """The lockstep engine on the scheduler's own worker threads."""
+
+    kind = "inprocess"
+
+    def __init__(self, name: str = "cpu0", *, max_inflight: int = 1) -> None:
+        super().__init__(name, max_inflight=max_inflight)
+
+    def _execute(self, suffixes, scheme, options, tile, *, key, cancelled):
+        from ..core.pipeline import extend_suffixes_shard
+
+        return extend_suffixes_shard(suffixes, scheme, options, tile)
+
+
+class PoolBackend(FleetBackend):
+    """A persistent multiprocess worker pool behind one fleet queue.
+
+    Owns its :class:`~repro.service.pool.WorkerPool` (or adopts one);
+    each run LPT-shards the batch across the pool's workers.  A
+    :class:`~repro.service.pool.PoolError` — workers dying faster than
+    they can be respawned, or the pool closed under us — becomes
+    :class:`BackendUnavailable` so the scheduler re-routes the unit
+    instead of failing it.
+    """
+
+    kind = "pool"
+
+    def __init__(
+        self,
+        name: str = "pool0",
+        *,
+        workers: int = 2,
+        pool: WorkerPool | None = None,
+        max_inflight: int = 1,
+        registry=None,
+    ) -> None:
+        super().__init__(name, max_inflight=max_inflight)
+        self._own_pool = pool is None
+        self.pool = pool if pool is not None else WorkerPool(
+            workers, registry=registry
+        )
+
+    def _execute(self, suffixes, scheme, options, tile, *, key, cancelled):
+        try:
+            return self.pool.extend(suffixes, scheme, options, tile, key=key)
+        except PoolError as exc:
+            raise BackendUnavailable(
+                f"backend {self.name!r}: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        super().close()
+        if self._own_pool:
+            self.pool.close()
+
+
+class SimGpuBackend(FleetBackend):
+    """One simulated GPU: host arithmetic, device-rate accounting.
+
+    The records are computed by the same lockstep engine as everywhere
+    else (there is no real device to ship to), so results stay
+    bit-identical; what the simulation adds is the *schedule*: the
+    backend books each batch at the device's modelled execution rate and,
+    when ``pace=True``, actually holds the unit for the modelled seconds
+    (minus the host compute it already spent) — giving the fleet N
+    queues whose relative speeds follow the device specs, exactly what
+    the placement policy and the hedging monitor need exercised against.
+    """
+
+    kind = "gpusim"
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        device: DeviceSpec = QV100_VOLTA,
+        max_inflight: int = 1,
+        pace: bool = False,
+    ) -> None:
+        super().__init__(name, max_inflight=max_inflight)
+        self.device = device
+        self.pace = pace
+        self.sim_seconds = 0.0
+
+    def estimate_seconds(self, weight: float) -> float:
+        return estimate_extension_seconds(weight, self.device)
+
+    def _execute(self, suffixes, scheme, options, tile, *, key, cancelled):
+        from ..core.pipeline import extend_suffixes_shard
+
+        modelled = estimate_extension_seconds(
+            extension_weight(suffixes), self.device
+        )
+        start = time.perf_counter()
+        records = extend_suffixes_shard(suffixes, scheme, options, tile)
+        host_spent = time.perf_counter() - start
+        with self._lock:
+            self.sim_seconds += modelled
+        if self.pace:
+            _interruptible_sleep(modelled - host_spent, cancelled)
+        return records
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out["device"] = self.device.name
+        out["sim_seconds"] = round(self.sim_seconds, 6)
+        return out
+
+
+def release_backend_thread_state() -> None:
+    """Drop per-thread engine state a scheduler worker accumulated.
+
+    Scheduler worker threads run lockstep batches in-process (the
+    in-process and simulated-GPU backends), which warms thread-local
+    arenas; call this when a worker retires so the slabs die with it.
+    """
+    release_thread_arenas()

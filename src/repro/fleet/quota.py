@@ -1,0 +1,139 @@
+"""Per-tenant token-bucket quotas for the asyncio front door.
+
+One bucket per tenant (the ``X-API-Key`` header; requests without a key
+share the ``anonymous`` tenant).  A bucket holds at most ``burst``
+tokens and refills at ``rate`` tokens/second; each admitted request
+spends one token, and an empty bucket answers with the seconds until the
+next token — the front door surfaces that as ``429 quota_exceeded`` plus
+``Retry-After``.
+
+Buckets are lazily created and mutate under one lock: the front door is
+a single event loop, but quotas are also consulted from tests and must
+not care which thread asks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["QuotaExceeded", "TenantQuotas", "TokenBucket"]
+
+#: Tenant requests without an ``X-API-Key`` header are accounted under.
+ANONYMOUS_TENANT = "anonymous"
+
+
+class QuotaExceeded(Exception):
+    """Tenant is out of tokens; retry after ``retry_after_s`` seconds."""
+
+    def __init__(self, tenant: str, retry_after_s: float) -> None:
+        super().__init__(
+            f"tenant {tenant!r} exceeded its request quota; "
+            f"retry in {retry_after_s:.2f}s"
+        )
+        self.tenant = tenant
+        self.retry_after_s = retry_after_s
+
+
+class TokenBucket:
+    """The classic token bucket: ``burst`` capacity, ``rate``/s refill."""
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp = time.monotonic()
+
+    def try_acquire(self, now: float | None = None) -> float:
+        """Spend one token; returns 0.0, or the seconds until one exists.
+
+        Not thread-safe on its own — :class:`TenantQuotas` serialises.
+        """
+        if now is None:
+            now = time.monotonic()
+        elapsed = max(0.0, now - self._stamp)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+class TenantQuotas:
+    """Admission ledger: one :class:`TokenBucket` per tenant.
+
+    ``tenants`` maps tenant name to ``(rate, burst)``; ``default`` is the
+    policy for tenants not named (``None`` = unnamed tenants are
+    unlimited).  An instance with no default and no tenants admits
+    everything — the front door treats that as quotas-off.
+    """
+
+    def __init__(
+        self,
+        default: tuple[float, float] | None = None,
+        tenants: dict[str, tuple[float, float]] | None = None,
+    ) -> None:
+        self.default = default
+        self.policies = dict(tenants or {})
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.default is not None or bool(self.policies)
+
+    def check(self, tenant: str | None) -> None:
+        """Spend one token for ``tenant``; raises :class:`QuotaExceeded`."""
+        tenant = tenant or ANONYMOUS_TENANT
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                policy = self.policies.get(tenant, self.default)
+                if policy is None:
+                    return
+                bucket = TokenBucket(*policy)
+                self._buckets[tenant] = bucket
+            wait = bucket.try_acquire()
+        if wait > 0.0:
+            raise QuotaExceeded(tenant, wait)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "TenantQuotas":
+        """Parse the CLI form: ``default=10/20,alice=100/200``.
+
+        Each entry is ``tenant=rate/burst`` (requests per second / burst
+        capacity); ``default`` names the policy for unnamed tenants.
+        """
+        default = None
+        tenants: dict[str, tuple[float, float]] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, eq, policy = part.partition("=")
+            name = name.strip()
+            if not eq or not name:
+                raise ValueError(
+                    f"bad quota entry {part!r} (want tenant=rate/burst)"
+                )
+            rate_s, slash, burst_s = policy.partition("/")
+            try:
+                rate = float(rate_s)
+                burst = float(burst_s) if slash else rate
+            except ValueError:
+                raise ValueError(
+                    f"bad quota policy {policy!r} for tenant {name!r} "
+                    "(want rate/burst numbers)"
+                ) from None
+            if rate <= 0 or burst <= 0:
+                raise ValueError(
+                    f"quota for tenant {name!r} must be positive, got {policy!r}"
+                )
+            if name == "default":
+                default = (rate, burst)
+            else:
+                tenants[name] = (rate, burst)
+        return cls(default=default, tenants=tenants)

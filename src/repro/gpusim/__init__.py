@@ -12,6 +12,7 @@ from .device import (
     QV100_VOLTA,
     RTX_3080_AMPERE,
     TITAN_X_PASCAL,
+    device_by_name,
 )
 from .kernel import KernelTiming, TaskCost, occupancy_factor, simulate_kernel
 from .report import render_utilization, utilization_summary
@@ -30,6 +31,7 @@ __all__ = [
     "StreamSchedule",
     "TITAN_X_PASCAL",
     "TaskCost",
+    "device_by_name",
     "occupancy_factor",
     "render_utilization",
     "utilization_summary",

@@ -11,7 +11,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["DeviceSpec", "TITAN_X_PASCAL", "QV100_VOLTA", "RTX_3080_AMPERE", "ALL_DEVICES"]
+__all__ = [
+    "DeviceSpec",
+    "TITAN_X_PASCAL",
+    "QV100_VOLTA",
+    "RTX_3080_AMPERE",
+    "ALL_DEVICES",
+    "device_by_name",
+]
 
 
 @dataclass(frozen=True)
@@ -122,3 +129,21 @@ RTX_3080_AMPERE = DeviceSpec(
 )
 
 ALL_DEVICES = (TITAN_X_PASCAL, QV100_VOLTA, RTX_3080_AMPERE)
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Resolve a device spec by (case/space/underscore-insensitive) name.
+
+    Accepts the display name (``"RTX 3080"``), the arch (``"ampere"``) or
+    a squashed form (``"rtx3080"``) — what a CLI flag naturally carries.
+    """
+    wanted = name.replace(" ", "").replace("_", "").replace("-", "").lower()
+    for spec in ALL_DEVICES:
+        candidates = {
+            spec.name.replace(" ", "").lower(),
+            spec.arch.lower(),
+        }
+        if wanted in candidates:
+            return spec
+    known = ", ".join(spec.name for spec in ALL_DEVICES)
+    raise ValueError(f"unknown device {name!r} (known: {known})")

@@ -19,7 +19,14 @@ The dispatcher is one daemon thread looping over a bounded request queue:
    fused list is instead sharded LPT-balanced across persistent worker
    processes — bit-identical records, multiple cores; a broken pool
    (:class:`~repro.service.pool.PoolError`) degrades the batch back to
-   the in-process path instead of failing it.
+   the in-process path instead of failing it.  With a
+   :class:`~repro.fleet.scheduler.FleetScheduler` attached, the fused
+   group is *submitted* rather than run: the scheduler places it on the
+   least-loaded backend (in-process, pool, or simulated GPU) and the
+   dispatcher moves straight on to draining the next batch — resolution
+   happens from the fleet's completion callback.  Because every backend
+   ultimately calls the same shard kernel on identical inputs, the
+   records stay bit-identical regardless of placement.
 4. **Resolve** — split the per-anchor records back per request, fold each
    into a :class:`~repro.core.pipeline.FastzResult` and resolve its
    future.  Results are bit-identical to a direct ``run_fastz`` call
@@ -83,6 +90,9 @@ class Pending:
     #: timed out after dispatch began: the work still runs (and is
     #: cached), but it is recorded ``abandoned`` instead of ``completed``.
     abandoned: bool = False
+    #: Fleet dispatch class (interactive=0 overtakes batch=1); ordering
+    #: only, never results.  Ignored without a fleet scheduler.
+    priority: int = 0
 
     @property
     def expired(self) -> bool:
@@ -105,12 +115,18 @@ class Dispatcher:
         recorder: StatsRecorder,
         *,
         pool: WorkerPool | None = None,
+        fleet=None,
     ) -> None:
         self._queue = requests
         self._policy = policy
         self._cache = cache
         self._recorder = recorder
         self._pool = pool
+        #: A :class:`~repro.fleet.scheduler.FleetScheduler`; when set,
+        #: fused extension batches are submitted to it and resolved from
+        #: completion callbacks, so the dispatcher pipelines group after
+        #: group across the fleet's backends instead of blocking on each.
+        self._fleet = fleet
         #: When set, drained requests are cancelled instead of executed.
         self.abort = threading.Event()
         self.thread = threading.Thread(
@@ -136,6 +152,7 @@ class Dispatcher:
                 item = self._queue.get()
                 if item is _SENTINEL:
                     return
+                self._recorder.note_dequeued()
                 batch, saw_sentinel = self._collect(item)
                 try:
                     self._dispatch(batch)
@@ -163,6 +180,7 @@ class Dispatcher:
                 break
             if item is _SENTINEL:
                 return batch, True
+            self._recorder.note_dequeued()
             batch.append(item)
         return batch, False
 
@@ -232,6 +250,9 @@ class Dispatcher:
         scheme = prepared[0][1].scheme
         options = prepared[0][1].options
         tile = prepared[0][1].tile
+        if self._fleet is not None:
+            self._submit_group_to_fleet(prepared, scheme, options, tile)
+            return
         n_tasks = 2 * sum(prep.n_anchors for _, prep in prepared)
         try:
             with obs.span("service.extend", tasks=n_tasks):
@@ -259,6 +280,67 @@ class Dispatcher:
                 self._resolve(pending, prep, per_anchor)
             except Exception as exc:
                 self._fail(pending, exc)
+
+    def _submit_group_to_fleet(self, prepared, scheme, options, tile) -> None:
+        """Hand one fused group to the fleet; resolve from its callback.
+
+        The dispatcher thread does not wait: the group's future carries a
+        completion callback (running on a fleet worker thread) that
+        slices the fused records back per request and resolves each
+        future, so consecutive groups pipeline across the fleet's
+        backends.  A group with any interactive member dispatches at
+        interactive priority — one batch request must not demote the
+        interactive requests fused with it.
+
+        Failure degrades, never loses work: a fleet-level failure
+        (:class:`~repro.fleet.scheduler.FleetError`, every backend gone)
+        or a poisoned fused batch re-runs the group one request at a time
+        in-process, so the exception lands on the culprit alone — the
+        same isolation contract as the non-fleet path.
+        """
+        suffixes: list = []
+        for _, prep in prepared:
+            suffixes.extend(prep.suffixes())
+        priority = min(pending.priority for pending, _ in prepared)
+        fuse_key = prepared[0][0].request.fuse_key
+
+        def finish(fused) -> None:
+            offset = 0
+            for pending, prep in prepared:
+                per_anchor = fused[offset : offset + prep.n_anchors]
+                offset += prep.n_anchors
+                try:
+                    self._resolve(pending, prep, per_anchor)
+                except Exception as exc:
+                    self._fail(pending, exc)
+
+        def degrade() -> None:
+            for pending, prep in prepared:
+                try:
+                    per_anchor = extend_suffixes_batched(
+                        prep.suffixes(), scheme, options, tile
+                    )
+                    self._resolve(pending, prep, per_anchor)
+                except Exception as exc:
+                    self._fail(pending, exc)
+
+        try:
+            future = self._fleet.submit(
+                suffixes, scheme, options, tile, key=fuse_key, priority=priority
+            )
+        except Exception:
+            degrade()
+            return
+
+        def on_done(fut) -> None:
+            try:
+                fused = fut.result()
+            except BaseException:
+                degrade()
+            else:
+                finish(fused)
+
+        future.add_done_callback(on_done)
 
     def _extend_fused(self, fuse_key, prepared, scheme, options, tile):
         """Run one fused group's extensions on the pool or in-process.

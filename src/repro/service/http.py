@@ -79,7 +79,16 @@ from ..store.twobit import runs_from_mask
 from .batcher import DeadlineExceeded
 from .service import AlignmentService, ServiceClosed, ServiceOverloaded
 
-__all__ = ["API_PREFIX", "LEGACY_PATHS", "ServiceHTTPServer", "make_server"]
+__all__ = [
+    "API_PREFIX",
+    "LEGACY_PATHS",
+    "RequestError",
+    "ServiceHTTPServer",
+    "classify_align_error",
+    "make_server",
+    "parse_align_request",
+    "register_reference_payload",
+]
 
 #: Version prefix of the current HTTP surface.
 API_PREFIX = "/v1"
@@ -96,6 +105,176 @@ DEFAULT_MAX_ALIGN_BODY = 64 * 1024 * 1024
 #: Registration bodies may legitimately carry whole chromosomes; this is
 #: an absolute backstop, not a tuning knob.
 _MAX_REGISTER_BODY = 1024 * 1024 * 1024
+
+
+class RequestError(Exception):
+    """A request failed validation; carries the full error-envelope triple.
+
+    Raised by the parsing helpers shared between the threaded handler and
+    the asyncio front door (:mod:`repro.fleet.asgi`), so both surfaces
+    reject bad input with byte-identical envelopes.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.headers = headers or {}
+
+
+def parse_align_request(payload: dict, service: AlignmentService) -> dict:
+    """Validate a ``/v1/align`` body into submit-ready fields.
+
+    Returns ``{"target_codes", "query_codes", "options", "timeout_s",
+    "target_ref", "query_ref"}`` (codes/refs are ``None`` for the unused
+    form of each side).  Raises :class:`RequestError` on any violation —
+    the single source of truth for the align-body contract, shared by the
+    threaded and asyncio servers.
+    """
+    target = payload.get("target")
+    query = payload.get("query")
+    target_ref = payload.get("target_ref")
+    query_ref = payload.get("query_ref")
+    for field, value in (("target_ref", target_ref), ("query_ref", query_ref)):
+        if value is not None and not isinstance(value, str):
+            raise RequestError(
+                400, "bad_request", f"'{field}' must be a digest string"
+            )
+    if (target is None) == (target_ref is None):
+        raise RequestError(
+            400,
+            "bad_request",
+            "give exactly one of 'target' (DNA string) or 'target_ref' (digest)",
+        )
+    if (query is None) == (query_ref is None):
+        raise RequestError(
+            400,
+            "bad_request",
+            "give exactly one of 'query' (DNA string) or 'query_ref' (digest)",
+        )
+    if target is not None and not isinstance(target, str):
+        raise RequestError(400, "bad_request", "'target' must be a DNA string")
+    if query is not None and not isinstance(query, str):
+        raise RequestError(400, "bad_request", "'query' must be a DNA string")
+    timeout_s = payload.get("timeout_s")
+    # bool is a subclass of int, so isinstance alone would accept
+    # ``"timeout_s": true`` and treat it as a 1-second deadline.
+    if timeout_s is not None and (
+        isinstance(timeout_s, bool) or not isinstance(timeout_s, (int, float))
+    ):
+        raise RequestError(400, "bad_request", "'timeout_s' must be a number")
+
+    options = None
+    raw_options = payload.get("options")
+    if raw_options is not None:
+        if not isinstance(raw_options, dict):
+            raise RequestError(400, "bad_request", "'options' must be a JSON object")
+        try:
+            options = FastzOptions.from_mapping(
+                {**service.default_options.to_mapping(), **raw_options}
+            )
+        except (TypeError, ValueError) as exc:
+            raise RequestError(400, "bad_request", f"bad 'options': {exc}") from None
+
+    # Validate before dispatch: the encoding LUT maps junk to N, so a
+    # malformed body would otherwise be aligned-as-N (or, for other
+    # input bugs, surface as a 500 from deep inside the pipeline).
+    target_codes = query_codes = None
+    if target is not None:
+        try:
+            target_codes = encode(target, strict=True)
+        except ValueError as exc:
+            raise RequestError(
+                400, "bad_request", f"'target' is not a DNA sequence: {exc}"
+            ) from None
+    if query is not None:
+        try:
+            query_codes = encode(query, strict=True)
+        except ValueError as exc:
+            raise RequestError(
+                400, "bad_request", f"'query' is not a DNA sequence: {exc}"
+            ) from None
+    return {
+        "target_codes": target_codes,
+        "query_codes": query_codes,
+        "options": options,
+        "timeout_s": timeout_s,
+        "target_ref": target_ref,
+        "query_ref": query_ref,
+    }
+
+
+def register_reference_payload(store, payload: dict) -> dict:
+    """Validate + apply a ``POST /v1/references`` body; returns the reply.
+
+    Raises :class:`RequestError` on bad input or store write failure.
+    Shared by both server front ends, like :func:`parse_align_request`.
+    """
+    sequence = payload.get("sequence")
+    if not isinstance(sequence, str):
+        raise RequestError(400, "bad_request", "'sequence' must be a DNA string")
+    name = payload.get("name", "reference")
+    if not isinstance(name, str) or not name:
+        raise RequestError(400, "bad_request", "'name' must be a non-empty string")
+    try:
+        encode(sequence, strict=True)
+    except ValueError as exc:
+        raise RequestError(
+            400, "bad_request", f"'sequence' is not a DNA sequence: {exc}"
+        ) from None
+    # Lowercase input is FASTA soft-masking; keep it in the sidecar.
+    codes, mask = encode_with_mask(sequence)
+    digest = reference_digest(codes, runs_from_mask(mask))
+    existed = store.contains(digest)
+    try:
+        store.add(codes, name=name, mask=mask)
+    except OSError as exc:
+        raise RequestError(
+            500, "internal", f"cannot write store files: {exc}"
+        ) from None
+    return {
+        "digest": digest,
+        "name": name,
+        "length": len(codes),
+        "registered": not existed,
+    }
+
+
+def classify_align_error(exc: BaseException) -> tuple[int, str, str, dict]:
+    """(status, code, message, headers) for a failed align submission.
+
+    The one mapping from service-level exceptions to the error envelope,
+    applied to both the synchronous submit path and the future's result.
+    """
+    if isinstance(exc, UnknownReference):
+        return 404, "not_found", str(exc), {}
+    if isinstance(exc, StoreCorrupt):
+        return 500, "store_corrupt", str(exc), {}
+    if isinstance(exc, ValueError):
+        # e.g. align-by-ref against a server without a store.
+        return 400, "bad_request", str(exc), {}
+    if isinstance(exc, ServiceOverloaded):
+        retry = str(max(1, round(getattr(exc, "retry_after_s", 1.0))))
+        return 503, "overloaded", str(exc), {"Retry-After": retry}
+    if isinstance(exc, ServiceClosed):
+        return 503, "shutting_down", str(exc), {}
+    if isinstance(exc, (DeadlineExceeded, TimeoutError)):
+        return (
+            504,
+            "deadline_exceeded",
+            str(exc) or "request deadline exceeded",
+            {},
+        )
+    if isinstance(exc, CancelledError):
+        return 503, "cancelled", "request cancelled during shutdown", {}
+    return 500, "internal", f"{type(exc).__name__}: {exc}", {}
 
 
 def _alignment_rows(alignments) -> list[dict]:
@@ -239,6 +418,11 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 class _Handler(BaseHTTPRequestHandler):
     server: ServiceHTTPServer
 
+    #: HTTP/1.1 so connections persist across requests: every non-stream
+    #: reply carries Content-Length, which is all keep-alive needs, and
+    #: the :class:`~repro.api.Client` reuses one connection per server.
+    protocol_version = "HTTP/1.1"
+
     # -- plumbing ------------------------------------------------------------
 
     def setup(self) -> None:  # noqa: D102 - stdlib hook
@@ -352,12 +536,18 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
+            # Refusals that skip the body must also drop the connection:
+            # on a keep-alive socket the unread bytes would otherwise be
+            # parsed as the next request line.
+            self.close_connection = True
             self._error(400, "bad_request", "bad Content-Length")
             return None
         if length <= 0:
+            self.close_connection = True
             self._error(400, "bad_request", "body must not be empty")
             return None
         if length > limit:
+            self.close_connection = True
             self._error(
                 413,
                 "payload_too_large",
@@ -406,39 +596,12 @@ class _Handler(BaseHTTPRequestHandler):
         )
         if payload is None:
             return
-        sequence = payload.get("sequence")
-        if not isinstance(sequence, str):
-            self._error(400, "bad_request", "'sequence' must be a DNA string")
-            return
-        name = payload.get("name", "reference")
-        if not isinstance(name, str) or not name:
-            self._error(400, "bad_request", "'name' must be a non-empty string")
-            return
         try:
-            encode(sequence, strict=True)
-        except ValueError as exc:
-            self._error(
-                400, "bad_request", f"'sequence' is not a DNA sequence: {exc}"
-            )
+            reply = register_reference_payload(store, payload)
+        except RequestError as exc:
+            self._error(exc.status, exc.code, exc.message, exc.headers or None)
             return
-        # Lowercase input is FASTA soft-masking; keep it in the sidecar.
-        codes, mask = encode_with_mask(sequence)
-        digest = reference_digest(codes, runs_from_mask(mask))
-        existed = store.contains(digest)
-        try:
-            store.add(codes, name=name, mask=mask)
-        except OSError as exc:
-            self._error(500, "internal", f"cannot write store files: {exc}")
-            return
-        self._reply(
-            200,
-            {
-                "digest": digest,
-                "name": name,
-                "length": len(codes),
-                "registered": not existed,
-            },
-        )
+        self._reply(200, reply)
 
     def _post_align(self, stream: bool = False) -> None:
         payload = self._read_json(
@@ -448,83 +611,15 @@ class _Handler(BaseHTTPRequestHandler):
         )
         if payload is None:
             return
-        target = payload.get("target")
-        query = payload.get("query")
-        target_ref = payload.get("target_ref")
-        query_ref = payload.get("query_ref")
-        for field, value in (("target_ref", target_ref), ("query_ref", query_ref)):
-            if value is not None and not isinstance(value, str):
-                self._error(400, "bad_request", f"'{field}' must be a digest string")
-                return
-        if (target is None) == (target_ref is None):
-            self._error(
-                400,
-                "bad_request",
-                "give exactly one of 'target' (DNA string) or 'target_ref' (digest)",
-            )
-            return
-        if (query is None) == (query_ref is None):
-            self._error(
-                400,
-                "bad_request",
-                "give exactly one of 'query' (DNA string) or 'query_ref' (digest)",
-            )
-            return
-        if target is not None and not isinstance(target, str):
-            self._error(400, "bad_request", "'target' must be a DNA string")
-            return
-        if query is not None and not isinstance(query, str):
-            self._error(400, "bad_request", "'query' must be a DNA string")
-            return
-        timeout_s = payload.get("timeout_s")
-        # bool is a subclass of int, so isinstance alone would accept
-        # ``"timeout_s": true`` and treat it as a 1-second deadline.
-        if timeout_s is not None and (
-            isinstance(timeout_s, bool) or not isinstance(timeout_s, (int, float))
-        ):
-            self._error(400, "bad_request", "'timeout_s' must be a number")
-            return
-
         service = self.server.service
-        options = None
-        raw_options = payload.get("options")
-        if raw_options is not None:
-            if not isinstance(raw_options, dict):
-                self._error(
-                    400, "bad_request", "'options' must be a JSON object"
-                )
-                return
-            try:
-                options = FastzOptions.from_mapping(
-                    {**service.default_options.to_mapping(), **raw_options}
-                )
-            except (TypeError, ValueError) as exc:
-                self._error(400, "bad_request", f"bad 'options': {exc}")
-                return
-
-        # Validate before dispatch: the encoding LUT maps junk to N, so a
-        # malformed body would otherwise be aligned-as-N (or, for other
-        # input bugs, surface as a 500 from deep inside the pipeline).
-        target_codes = query_codes = None
-        if target is not None:
-            try:
-                target_codes = encode(target, strict=True)
-            except ValueError as exc:
-                self._error(
-                    400, "bad_request", f"'target' is not a DNA sequence: {exc}"
-                )
-                return
-        if query is not None:
-            try:
-                query_codes = encode(query, strict=True)
-            except ValueError as exc:
-                self._error(
-                    400, "bad_request", f"'query' is not a DNA sequence: {exc}"
-                )
-                return
+        try:
+            fields = parse_align_request(payload, service)
+        except RequestError as exc:
+            self._error(exc.status, exc.code, exc.message, exc.headers or None)
+            return
 
         if stream:
-            if timeout_s is not None:
+            if fields["timeout_s"] is not None:
                 self._error(
                     400,
                     "bad_request",
@@ -532,47 +627,26 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 return
             self._stream_align(
-                target_codes, query_codes, options, target_ref, query_ref
+                fields["target_codes"],
+                fields["query_codes"],
+                fields["options"],
+                fields["target_ref"],
+                fields["query_ref"],
             )
             return
 
         try:
             result = service.align(
-                target_codes,
-                query_codes,
-                options=options,
-                timeout_s=timeout_s,
-                target_ref=target_ref,
-                query_ref=query_ref,
+                fields["target_codes"],
+                fields["query_codes"],
+                options=fields["options"],
+                timeout_s=fields["timeout_s"],
+                target_ref=fields["target_ref"],
+                query_ref=fields["query_ref"],
             )
-        except UnknownReference as exc:
-            self._error(404, "not_found", str(exc))
-        except StoreCorrupt as exc:
-            self._error(500, "store_corrupt", str(exc))
-        except ValueError as exc:
-            # e.g. align-by-ref against a server without a store.
-            self._error(400, "bad_request", str(exc))
-        except ServiceOverloaded as exc:
-            self._error(
-                503,
-                "overloaded",
-                str(exc),
-                headers={
-                    "Retry-After": str(
-                        max(1, round(getattr(exc, "retry_after_s", 1.0)))
-                    )
-                },
-            )
-        except ServiceClosed as exc:
-            self._error(503, "shutting_down", str(exc))
-        except (DeadlineExceeded, TimeoutError) as exc:
-            self._error(
-                504, "deadline_exceeded", str(exc) or "request deadline exceeded"
-            )
-        except CancelledError:
-            self._error(503, "cancelled", "request cancelled during shutdown")
         except Exception as exc:
-            self._error(500, "internal", f"{type(exc).__name__}: {exc}")
+            status, code, message, headers = classify_align_error(exc)
+            self._error(status, code, message, headers or None)
         else:
             self._reply(200, _alignment_payload(result))
 
@@ -583,11 +657,12 @@ class _Handler(BaseHTTPRequestHandler):
     ) -> None:
         """Run the streaming pipeline and chunk-encode NDJSON records.
 
-        The response status line is forced to HTTP/1.1 (chunked transfer
-        needs it) with ``Connection: close``, so the rest of the server
-        can stay on per-request HTTP/1.0 semantics.  Errors before the
-        first record use the normal error envelope + status; errors after
-        streaming began become a terminal ``{"type": "error"}`` record.
+        The response closes the connection when done (``Connection:
+        close``): the stream has no Content-Length, so ending the
+        connection keeps framing unambiguous even for clients that do not
+        decode chunked transfer.  Errors before the first record use the
+        normal error envelope + status; errors after streaming began
+        become a terminal ``{"type": "error"}`` record.
         """
         service = self.server.service
         started = False

@@ -127,6 +127,14 @@ class AlignmentService:
         Default seeding-chunk size (target bases) for
         :meth:`align_stream`; tunes partial-result granularity only —
         streamed results stay bit-identical at any value.
+    fleet:
+        Route fused extension batches through a
+        :class:`~repro.fleet.scheduler.FleetScheduler` instead of running
+        them on the dispatcher thread.  Either a ready scheduler (adopted;
+        closed on shutdown) or a list of
+        :class:`~repro.fleet.backends.FleetBackend`\\ s to build one from
+        (its metrics then share this service's registry).  Results are
+        bit-identical to the in-process path for any backend mix.
 
     Usable as a context manager; exit drains and shuts down.
     """
@@ -144,6 +152,7 @@ class AlignmentService:
         config: LastzConfig | None = None,
         options: FastzOptions = _DEFAULT_OPTIONS,
         stream_chunk_bp: int | None = None,
+        fleet=None,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be at least 1")
@@ -180,8 +189,27 @@ class AlignmentService:
             if pool_workers > 0
             else None
         )
+        # ``fleet`` is either a ready FleetScheduler (adopted: the service
+        # closes it on shutdown) or a list of FleetBackends, in which case
+        # the scheduler is built here so its counters land in the same
+        # registry /v1/metrics renders.
+        self._fleet = None
+        if fleet is not None:
+            from ..fleet.scheduler import FleetScheduler
+
+            if isinstance(fleet, FleetScheduler):
+                self._fleet = fleet
+            else:
+                self._fleet = FleetScheduler(
+                    list(fleet), registry=self._recorder.registry
+                )
         self._dispatcher = Dispatcher(
-            self._queue, self.policy, self._cache, self._recorder, pool=self._pool
+            self._queue,
+            self.policy,
+            self._cache,
+            self._recorder,
+            pool=self._pool,
+            fleet=self._fleet,
         )
         self._dispatcher.start()
 
@@ -198,6 +226,7 @@ class AlignmentService:
         timeout_s: float | None = None,
         target_ref: str | None = None,
         query_ref: str | None = None,
+        priority: int = 0,
     ) -> Future:
         """Enqueue one alignment job; returns a future of ``FastzResult``.
 
@@ -207,7 +236,10 @@ class AlignmentService:
         Raises :class:`ServiceOverloaded` when the queue is full and
         :class:`ServiceClosed` after shutdown began.  ``timeout_s`` bounds
         how long the request may sit in the queue before it is expired
-        with :class:`DeadlineExceeded`.
+        with :class:`DeadlineExceeded`.  ``priority`` is the fleet
+        dispatch class (:data:`~repro.fleet.scheduler.PRIORITY_INTERACTIVE`
+        or :data:`~repro.fleet.scheduler.PRIORITY_BATCH`); it only affects
+        ordering on a fleet-backed service, never results.
         """
         return self._submit(
             target,
@@ -218,6 +250,7 @@ class AlignmentService:
             timeout_s=timeout_s,
             target_ref=target_ref,
             query_ref=query_ref,
+            priority=priority,
         )[0]
 
     def _resolve_side(
@@ -271,6 +304,7 @@ class AlignmentService:
         timeout_s: float | None = None,
         target_ref: str | None = None,
         query_ref: str | None = None,
+        priority: int = 0,
     ) -> tuple[Future, Pending | None]:
         """Submission core: returns the future plus its queue entry.
 
@@ -325,7 +359,7 @@ class AlignmentService:
                     f"(bound {self.max_inflight_bytes}); retry later",
                     retry_after_s=1.0,
                 )
-            pending = Pending(request=request)
+            pending = Pending(request=request, priority=priority)
             if timeout_s is not None:
                 pending.deadline = pending.enqueued_at + timeout_s
             try:
@@ -338,6 +372,7 @@ class AlignmentService:
             self._inflight_bytes += cost
             self._inflight_gauge.set(self._inflight_bytes)
             self._recorder.record_submitted()
+            self._recorder.note_enqueued()
         # The future resolves exactly once (result, exception or
         # cancellation), whatever path the request takes — release the
         # admission budget there, not at N scattered outcome sites.
@@ -487,15 +522,21 @@ class AlignmentService:
     def stats(self) -> ServiceStats:
         """A consistent snapshot of queue depth, latency and cache health."""
         return self._recorder.snapshot(
-            queue_depth=self._queue.qsize(),
+            queue_depth=self._recorder.queue_depth,
             cache=self._cache.stats,
             pool=self._pool.stats() if self._pool is not None else None,
+            fleet=self._fleet.stats() if self._fleet is not None else None,
         )
 
     @property
     def pool(self) -> WorkerPool | None:
         """The multiprocess backend, or None on the in-process backend."""
         return self._pool
+
+    @property
+    def fleet(self):
+        """The fleet scheduler extensions route through, or None."""
+        return self._fleet
 
     @property
     def store(self) -> ReferenceStore | None:
@@ -510,9 +551,6 @@ class AlignmentService:
         global :mod:`repro.obs` registry (pipeline/gpusim families).
         """
         registry = self._recorder.registry
-        registry.gauge(
-            "repro_service_queue_depth", "Requests currently queued."
-        ).set(self._queue.qsize())
         cache = self._cache.stats
         cache_gauge = registry.gauge(
             "repro_service_cache", "Result-cache state by field."
@@ -523,6 +561,10 @@ class AlignmentService:
         cache_gauge.labels(field="size").set(cache.size)
         cache_gauge.labels(field="capacity").set(cache.capacity)
         text = registry.render()
+        if self._fleet is not None and self._fleet.registry is not registry:
+            # An externally-built scheduler keeps its own registry; splice
+            # its families in so /v1/metrics stays the one scrape target.
+            text += self._fleet.registry.render()
         global_registry = obs.get_registry()
         if global_registry.enabled and global_registry is not registry:
             text += global_registry.render()
@@ -551,6 +593,8 @@ class AlignmentService:
         self._dispatcher.thread.join(timeout)
         if self._pool is not None:
             self._pool.close()
+        if self._fleet is not None:
+            self._fleet.close()
 
     def __enter__(self) -> "AlignmentService":
         return self

@@ -85,6 +85,9 @@ class ServiceStats:
     #: Multiprocess-backend health (None on the in-process backend):
     #: workers/alive/dispatches/respawns/redispatches/degraded.
     pool: dict | None = None
+    #: Fleet-scheduler health (None when extensions run on the dispatcher):
+    #: submitted/hedges/redispatched plus one entry per backend queue.
+    fleet: dict | None = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -123,6 +126,7 @@ class ServiceStats:
                 "hit_rate": round(self.cache.hit_rate, 4),
             },
             "pool": self.pool,
+            "fleet": self.fleet,
         }
 
 
@@ -156,8 +160,35 @@ class StatsRecorder:
         self._queue_depth = self.registry.gauge(
             "repro_service_queue_depth", "Requests currently queued."
         )
+        self._queue_depth.set(0)
         self._lock = threading.Lock()
         self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._depth = 0
+
+    # -- queue-depth gauge ---------------------------------------------------
+    #
+    # The gauge moves with the queue, not with the scraper: enqueue and
+    # dequeue each update it immediately, so a ``/metrics`` scrape between
+    # dispatches sees the real backlog instead of whatever the last
+    # snapshot happened to capture.
+
+    def note_enqueued(self) -> None:
+        with self._lock:
+            self._depth += 1
+            depth = self._depth
+        self._queue_depth.set(depth)
+
+    def note_dequeued(self, n: int = 1) -> None:
+        with self._lock:
+            self._depth = max(0, self._depth - n)
+            depth = self._depth
+        self._queue_depth.set(depth)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently enqueued (live, not snapshot-time)."""
+        with self._lock:
+            return self._depth
 
     # -- event recording -----------------------------------------------------
 
@@ -215,8 +246,8 @@ class StatsRecorder:
         queue_depth: int,
         cache: CacheStats,
         pool: dict | None = None,
+        fleet: dict | None = None,
     ) -> ServiceStats:
-        self._queue_depth.set(queue_depth)
         with self._lock:
             latencies = list(self._latencies)
         counts = {kind: int(self._events.value(kind=kind)) for kind in _EVENT_KINDS}
@@ -236,4 +267,5 @@ class StatsRecorder:
             latency_p95_ms=_percentile(latencies, 0.95) * 1e3,
             cache=cache,
             pool=pool,
+            fleet=fleet,
         )

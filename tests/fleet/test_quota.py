@@ -1,0 +1,97 @@
+"""Token-bucket quota tests: refill arithmetic, tenancy, spec parsing."""
+
+import pytest
+
+from repro.fleet import QuotaExceeded, TenantQuotas, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        now = 100.0
+        for _ in range(3):
+            assert bucket.try_acquire(now) == 0.0
+        wait = bucket.try_acquire(now)
+        assert wait == pytest.approx(1.0)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=1)
+        assert bucket.try_acquire(100.0) == 0.0
+        assert bucket.try_acquire(100.0) > 0.0
+        # Half a second at 2 tokens/s refills the one token.
+        assert bucket.try_acquire(100.5) == 0.0
+
+    def test_never_exceeds_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2)
+        # A long idle period must not bank more than `burst` tokens.
+        for _ in range(2):
+            assert bucket.try_acquire(1000.0) == 0.0
+        assert bucket.try_acquire(1000.0) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+
+class TestTenantQuotas:
+    def test_disabled_admits_everything(self):
+        quotas = TenantQuotas()
+        assert not quotas.enabled
+        for _ in range(1000):
+            quotas.check("anyone")
+
+    def test_default_policy_applies_per_tenant(self):
+        quotas = TenantQuotas(default=(1000.0, 1))
+        quotas.check("alice")
+        with pytest.raises(QuotaExceeded) as excinfo:
+            quotas.check("alice")
+        assert excinfo.value.tenant == "alice"
+        assert excinfo.value.retry_after_s > 0
+        # Buckets are per tenant: bob still has his burst.
+        quotas.check("bob")
+
+    def test_named_policy_overrides_default(self):
+        quotas = TenantQuotas(default=(1000.0, 1), tenants={"vip": (1000.0, 3)})
+        for _ in range(3):
+            quotas.check("vip")
+        with pytest.raises(QuotaExceeded):
+            quotas.check("vip")
+
+    def test_no_default_means_unnamed_unlimited(self):
+        quotas = TenantQuotas(tenants={"metered": (1000.0, 1)})
+        assert quotas.enabled
+        for _ in range(10):
+            quotas.check(None)  # anonymous, no policy -> admitted
+        quotas.check("metered")
+        with pytest.raises(QuotaExceeded):
+            quotas.check("metered")
+
+    def test_anonymous_shares_one_bucket(self):
+        quotas = TenantQuotas(default=(1000.0, 1))
+        quotas.check(None)
+        with pytest.raises(QuotaExceeded) as excinfo:
+            quotas.check("")
+        assert excinfo.value.tenant == "anonymous"
+
+
+class TestFromSpec:
+    def test_full_spec(self):
+        quotas = TenantQuotas.from_spec("default=10/20, alice=100/200,bob=5")
+        assert quotas.default == (10.0, 20.0)
+        assert quotas.policies["alice"] == (100.0, 200.0)
+        # Burst defaults to the rate when omitted.
+        assert quotas.policies["bob"] == (5.0, 5.0)
+
+    def test_empty_entries_skipped(self):
+        quotas = TenantQuotas.from_spec("alice=1/2,,")
+        assert quotas.policies == {"alice": (1.0, 2.0)}
+        assert quotas.default is None
+
+    @pytest.mark.parametrize(
+        "spec", ["alice", "=1/2", "alice=fast/2", "alice=0/2", "alice=1/-3"]
+    )
+    def test_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            TenantQuotas.from_spec(spec)
