@@ -3,7 +3,7 @@
 from .alignment import Alignment, merge_ops
 from .arena import LockstepArena, release_thread_arenas, thread_arena
 from .banded import banded_extend
-from .batch import batch_wavefront_extend
+from .batch import batch_wavefront_extend, wholebin_wavefront_extend
 from .diagonal import (
     DiagonalLayout,
     diagonal_span,
@@ -11,6 +11,13 @@ from .diagonal import (
     skew_matrix,
     to_diagonal,
     unskew_matrix,
+)
+from .engines import (
+    ExtensionEngine,
+    get_engine,
+    register_engine,
+    registered_engines,
+    unregister_engine,
 )
 from .extend import AnchorExtension, combine_alignment, extend_anchor
 from .gotoh import GotohResult, gotoh_extend, gotoh_matrices
@@ -40,6 +47,7 @@ __all__ = [
     "extend_anchor",
     "DiagTraceback",
     "DiagonalLayout",
+    "ExtensionEngine",
     "ExtensionResult",
     "ExtensionStats",
     "GotohResult",
@@ -52,18 +60,23 @@ __all__ = [
     "diag_width_profile",
     "diagonal_span",
     "from_diagonal",
+    "get_engine",
     "gotoh_extend",
     "gotoh_matrices",
     "merge_ops",
     "pack",
+    "register_engine",
+    "registered_engines",
     "release_thread_arenas",
     "skew_matrix",
     "thread_arena",
     "to_diagonal",
     "ungapped_extend",
     "ungapped_extend_one_sided",
+    "unregister_engine",
     "unskew_matrix",
     "walk_traceback",
     "wavefront_extend",
+    "wholebin_wavefront_extend",
     "ydrop_extend",
 ]

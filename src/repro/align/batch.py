@@ -46,6 +46,14 @@ recurrences, window masking and y-drop pruning write into the arena
 planes with ``out=``/``where=`` ufuncs — the hot loop allocates only
 O(N)-sized vectors, never O(N x width) temporaries.
 
+Two entry points drive the same sweep core: :func:`batch_wavefront_extend`
+splits the task list into ``batch_size`` chunks, each advanced by its own
+anti-diagonal loop; :func:`wholebin_wavefront_extend` packs an entire
+length bin into one block and advances it with a single loop, sweeping
+rows in cache-sized tiles (``REPRO_WHOLEBIN_TILE_ROWS``) that each mask
+their own dead lanes — per-step Python dispatch cost is then paid once
+per bin instead of once per chunk.
+
 The engine reproduces the scalar engine *bit-identically*: same scores,
 same optimal cells (same tie-breaks — the masked out-of-window cells are
 held at exactly ``NEG_INF``, matching the scalar buffers' scrubbed edges),
@@ -72,7 +80,7 @@ from .wavefront import (
     pick_score_dtype,
 )
 
-__all__ = ["batch_wavefront_extend"]
+__all__ = ["batch_wavefront_extend", "wholebin_wavefront_extend"]
 
 #: Window sentinels for tombstoned (retired) rows: ``lo`` is pushed above
 #: any reachable diagonal and ``hi`` below zero, so a dead row's window can
@@ -82,6 +90,9 @@ _DEAD_HI = np.int64(-3)
 
 _COMPACT_ENV = "REPRO_BATCH_COMPACT_THRESHOLD"
 _DEFAULT_COMPACT_THRESHOLD = 0.5
+
+_TILE_ROWS_ENV = "REPRO_WHOLEBIN_TILE_ROWS"
+_DEFAULT_TILE_ROWS = 1024
 
 _OCC_BUCKETS = tuple(i / 10 for i in range(1, 11))
 
@@ -98,6 +109,29 @@ def _compact_threshold() -> float:
         except ValueError:
             pass
     return _DEFAULT_COMPACT_THRESHOLD
+
+
+def _wholebin_tile_rows() -> int:
+    """Rows per cache tile for whole-bin sweeps (env-overridable)."""
+    raw = os.environ.get(_TILE_ROWS_ENV)
+    if raw:
+        try:
+            rows = int(raw)
+            if rows > 0:
+                return rows
+        except ValueError:
+            pass
+    return _DEFAULT_TILE_ROWS
+
+
+def _coerce_forced_dtype(score_dtype: str | np.dtype | None) -> np.dtype | None:
+    """Validate a caller dtype override (int32/int64 only)."""
+    if score_dtype is None:
+        return None
+    forced = np.dtype(score_dtype)
+    if forced not in (np.dtype(np.int32), np.dtype(np.int64)):
+        raise ValueError("score_dtype must be int32 or int64")
+    return forced
 
 
 def batch_wavefront_extend(
@@ -144,11 +178,7 @@ def batch_wavefront_extend(
         return []
     if batch_size is not None and batch_size <= 0:
         raise ValueError("batch_size must be positive")
-    forced: np.dtype | None = None
-    if score_dtype is not None:
-        forced = np.dtype(score_dtype)
-        if forced not in (np.dtype(np.int32), np.dtype(np.int64)):
-            raise ValueError("score_dtype must be int32 or int64")
+    forced = _coerce_forced_dtype(score_dtype)
     if arena is None:
         arena = LockstepArena()
     step = int(batch_size) if batch_size else len(pairs)
@@ -180,6 +210,75 @@ def batch_wavefront_extend(
     return results  # type: ignore[return-value]
 
 
+def wholebin_wavefront_extend(
+    pairs: list[tuple[np.ndarray, np.ndarray]],
+    scheme: ScoringScheme,
+    *,
+    eager_tile: int = 0,
+    traceback: bool = False,
+    prune: bool = True,
+    arena: LockstepArena | None = None,
+    score_dtype: str | np.dtype | None = None,
+    presorted: bool = False,
+    tile_rows: int | None = None,
+) -> list[WavefrontResult]:
+    """Extend an *entire bin* of suffix pairs as one lockstep SoA block.
+
+    Same contract and bit-identical results as
+    :func:`batch_wavefront_extend`, but the composition is inverted: where
+    the batched entry splits the task list into ``batch_size`` chunks and
+    drives one Python anti-diagonal loop *per chunk*, this entry packs
+    every pair into a single arena-backed score block and advances the
+    whole bin with one anti-diagonal loop — one NumPy sweep per diagonal
+    per row tile, the CPU analogue of launching one bulk-synchronous
+    kernel per wavefront step for the whole bin (paper §3.3).  The
+    per-step Python/ufunc dispatch overhead is amortised over every live
+    task at once instead of ``batch_size`` of them, which is where the
+    engine's remaining time went (``repro trace`` on the batched engine).
+
+    Inside each step the bin is swept in row tiles of ``tile_rows``
+    (default ``REPRO_WHOLEBIN_TILE_ROWS`` or 1024): each tile computes
+    its own union column range, so one monster alignment widens only its
+    own tile's sweep — the cache-locality/dead-lane-masking tradeoff is
+    per tile, not per bin.  Dead rows are masked tombstones exactly as in
+    the batched engine (all-dead tiles are skipped outright), dtype
+    promotion stays per block, and retirement/compaction fold into the
+    sweep unchanged.  Slab memory is O(len(pairs) x max_extent) — callers
+    feed length-binned task sets (the pipeline executor) so extents are
+    homogeneous by construction.
+    """
+    results: list[WavefrontResult | None] = [None] * len(pairs)
+    if not pairs:
+        return []
+    if tile_rows is not None and tile_rows <= 0:
+        raise ValueError("tile_rows must be positive")
+    forced = _coerce_forced_dtype(score_dtype)
+    if arena is None:
+        arena = LockstepArena()
+    # Extent-similar neighbours keep each row tile's union window tight;
+    # executors pass inspector-measured orderings via presorted=True.
+    if len(pairs) > 1 and not presorted:
+        order = sorted(
+            range(len(pairs)),
+            key=lambda i: len(pairs[i][0]) + len(pairs[i][1]),
+        )
+    else:
+        order = list(range(len(pairs)))
+    _extend_lockstep(
+        [pairs[i] for i in order],
+        scheme,
+        eager_tile,
+        traceback,
+        prune,
+        results,
+        order,
+        arena,
+        forced,
+        tile_rows=tile_rows if tile_rows is not None else _wholebin_tile_rows(),
+    )
+    return results  # type: ignore[return-value]
+
+
 def _extend_lockstep(
     pairs: list[tuple[np.ndarray, np.ndarray]],
     scheme: ScoringScheme,
@@ -190,7 +289,17 @@ def _extend_lockstep(
     out_index: list[int],
     arena: LockstepArena,
     forced_dtype: np.dtype | None,
+    tile_rows: int | None = None,
 ) -> None:
+    """Advance one lockstep slab to completion.
+
+    ``tile_rows=None`` sweeps the slab as a single row tile per step (the
+    batched engine's behaviour); an integer partitions each step's sweep
+    into contiguous row tiles of that size, each with its own union column
+    range (the whole-bin engine).  Tiling never changes results — every
+    per-row recurrence, mask, seal and prune is computed from the row's
+    own window, and a tile's column range always covers its rows' windows.
+    """
     targets = [np.asarray(t, dtype=np.uint8) for t, _ in pairs]
     queries = [np.asarray(q, dtype=np.uint8) for _, q in pairs]
     R = len(pairs)
@@ -270,6 +379,9 @@ def _extend_lockstep(
     d_best = np.empty(R, dtype=sdt)
     lo = np.zeros(R, dtype=np.int64)
     hi = np.zeros(R, dtype=np.int64)
+    lo_nb = np.empty(R, dtype=np.int64)  # pruned next-window buffers
+    hi_nb = np.empty(R, dtype=np.int64)
+    has_alive = np.zeros(R, dtype=bool)
     dmn = np.subtract(0, n)  # maintained incrementally as d - n
     width = np.empty(R, dtype=np.int64)
     strips = np.empty(R, dtype=np.int64)
@@ -289,6 +401,8 @@ def _extend_lockstep(
     compact_frac = _compact_threshold()
     slab_cells = 0
     live_cells = 0
+    sweep_steps = 0
+    tile_sweeps = 0
 
     tile_tb: np.ndarray | None = None
     if tile > 0:
@@ -364,6 +478,7 @@ def _extend_lockstep(
         nonlocal best, best_i, best_j, thr, d_best, live
         nonlocal dmn, width, strips, improved, scr_b, rows_all
         nonlocal diagonals, cells, warp_steps, max_width
+        nonlocal lo_nb, hi_nb, has_alive
         keep = np.flatnonzero(live)
         k = keep.shape[0]
         blk[:7, :k] = blk[:7, keep]
@@ -389,6 +504,9 @@ def _extend_lockstep(
         warp_steps, max_width = warp_steps[keep], max_width[keep]
         thr = thr[:k]
         d_best = d_best[:k]
+        lo_nb = lo_nb[:k]
+        hi_nb = hi_nb[:k]
+        has_alive = has_alive[:k]
         dmn = dmn[keep]
         width = width[:k]
         strips = strips[:k]
@@ -432,7 +550,6 @@ def _extend_lockstep(
         H = int(hi.max())
         np.subtract(hi, lo, out=width)
         np.add(width, 1, out=width)
-        W = H - L + 1
 
         if H + 3 > cap:
             new_cap = max(H + 3, 2 * cap)
@@ -473,190 +590,220 @@ def _extend_lockstep(
         S_pp, S_p, S_c = blk[p_spp], blk[p_sp], blk[p_sc]
         I_p, I_c = blk[p_ip], blk[p_ic]
         D_p, D_c = blk[p_dp], blk[p_dc]
-        sc0 = blk[7, :, :W]
-        sc1 = blk[8, :, :W]
-        b_in = bool_blk[0, :, :W]
-        b_dv = bool_blk[1, :, :W]
-        b_a = bool_blk[2, :, :W]
-        b_b = bool_blk[3, :, :W]
-        s_ch = u8_blk[0, :, :W]
-        u8a = u8_blk[1, :, :W]
 
-        # Scrub the recycled buffer's union-window edges (windows move by at
-        # most one column per step; interior columns are overwritten below).
-        if L >= 1:
-            S_c[:, L - 1] = I_c[:, L - 1] = D_c[:, L - 1] = NEG
-        S_c[:, H + 1] = I_c[:, H + 1] = D_c[:, H + 1] = NEG
-
-        Sp = S_p[:, L : H + 1]
-        Ip = I_p[:, L : H + 1]
-        Icur = I_c[:, L : H + 1]
-        Dcur = D_c[:, L : H + 1]
-        Scur = S_c[:, L : H + 1]
-
-        # --- I(i, j): from diagonal d-1, same index -------------------------
-        np.subtract(Ip, e, out=Icur)
-        np.subtract(Sp, oe, out=sc0)
-        np.maximum(Icur, sc0, out=Icur)
-        if H == d:  # cell (d, 0) has no insertion parent
-            top = np.flatnonzero(hi == d)
-            if top.shape[0]:
-                Icur[top, hi[top] - L] = NEG
-
-        # --- D(i, j): from diagonal d-1, index i-1 --------------------------
-        if L >= 1:
-            np.subtract(D_p[:, L - 1 : H], e, out=Dcur)
-            np.subtract(S_p[:, L - 1 : H], oe, out=sc0)
-            np.maximum(Dcur, sc0, out=Dcur)
-        else:
-            Dcur[:, 0] = NEG  # cell (0, d) has no deletion parent
-            np.subtract(D_p[:, 0:H], e, out=Dcur[:, 1:])
-            np.subtract(S_p[:, 0:H], oe, out=sc0[:, 1:])
-            np.maximum(Dcur[:, 1:], sc0[:, 1:], out=Dcur[:, 1:])
-
-        # --- S = max(I, D, diag) --------------------------------------------
-        np.maximum(Icur, Dcur, out=Scur)
-        if L >= 1:
-            tg = Tpad[:, L - 1 : H]
-        else:
-            tg = u8_blk[2, :, :W]
-            tg[:, 0] = 0
-            tg[:, 1:] = Tpad[:, 0:H]
-        if H == d:
-            qg = u8_blk[3, :, :W]
-            qg[:, -1] = 0
-            if W > 1:
-                qg[:, :-1] = Qpad[:, 0 : d - L][:, ::-1]
-        else:
-            qg = Qpad[:, d - H - 1 : d - L][:, ::-1]
-        # Substitution lookup: flat 5x5 take via a uint8 index plane.
-        np.multiply(tg, 5, out=u8a)
-        np.add(u8a, qg, out=u8a)
-        np.take(sub_f, u8a, out=sc1, mode="clip")
-        if L >= 1:
-            np.add(sc1, S_pp[:, L - 1 : H], out=sc1)
-        else:
-            np.add(sc1[:, 1:], S_pp[:, 0:H], out=sc1[:, 1:])
-        # The matrix-edge cells (i == 0, present iff L == 0; i == d, present
-        # iff H == d) have no diagonal parent: neutralise the candidate at
-        # the two union-edge columns (in-window edge cells always have a
-        # real I or D parent, so the NEG candidate never wins there).  The
-        # max itself must stay gated to each row's window: the diag parent
-        # plane was masked by *its own* (wider, pre-prune) window two steps
-        # ago, so outside [lo, hi] it can still hold real values that an
-        # ungated max would resurrect past the y-drop threshold.
-        if L == 0:
-            sc1[:, 0] = NEG
-        if H == d:
-            sc1[:, -1] = NEG
-        cols = cols_all[L : H + 1]
-        np.greater_equal(cols, lo[:, None], out=b_in)
-        np.less_equal(cols, hi[:, None], out=b_b)
-        np.logical_and(b_in, b_b, out=b_in)
-        np.maximum(Scur, sc1, out=Scur, where=b_in)
-
-        # --- traceback recording --------------------------------------------
         record_tile = tile_tb is not None and d <= 2 * tile
-        if full_tbs is not None or record_tile:
-            # b_in still holds the in-window mask from the S max above;
-            # diag_valid differs from it only at the matrix edges.
-            np.copyto(b_dv, b_in)
-            if L == 0:
-                b_dv[:, 0] = False
-            if H == d:
-                b_dv[:, -1] = False
-            np.copyto(s_ch, np.uint8(S_FROM_D))
-            np.equal(Scur, Icur, out=b_a)
-            np.copyto(s_ch, np.uint8(S_FROM_I), where=b_a)
-            np.equal(Scur, sc1, out=b_a)
-            np.logical_and(b_a, b_dv, out=b_a)
-            np.copyto(s_ch, np.uint8(S_DIAG), where=b_a)
-            np.subtract(Ip, e, out=sc0)
-            np.subtract(Sp, oe, out=sc1)
-            np.greater(sc0, sc1, out=b_a)  # i_from_i
-            if L >= 1:
-                np.subtract(D_p[:, L - 1 : H], e, out=sc0)
-                np.subtract(S_p[:, L - 1 : H], oe, out=sc1)
-                np.greater(sc0, sc1, out=b_b)  # d_from_d
-            else:
-                b_b[:, 0] = False
-                np.subtract(D_p[:, 0:H], e, out=sc0[:, 1:])
-                np.subtract(S_p[:, 0:H], oe, out=sc1[:, 1:])
-                np.greater(sc0[:, 1:], sc1[:, 1:], out=b_b[:, 1:])
-            # Pack parent bits into s_ch; bits are disjoint so add == OR.
-            np.add(s_ch, np.uint8(4), out=s_ch, where=b_a)
-            np.add(s_ch, np.uint8(8), out=s_ch, where=b_b)
-            if full_tbs is not None:
-                off = (lo - L).tolist()
-                w_l = width.tolist()
-                lo_l = lo.tolist()
-                for row in np.flatnonzero(live).tolist():
-                    start = off[row]
-                    full_tbs[row].append_diag(
-                        lo_l[row], s_ch[row, start : start + w_l[row]].copy()
-                    )
-            else:
-                t_lo = max(L, d - tile)
-                t_hi = min(H, tile)
-                if t_lo <= t_hi:
-                    rr, pp = np.nonzero(b_in[:, t_lo - L : t_hi - L + 1])
-                    if rr.shape[0]:
-                        ii = pp + t_lo
-                        tile_tb[rr, ii, d - ii] = s_ch[rr, pp + (t_lo - L)]
-
-        # --- prune window edges against completed-diagonal best -------------
-        # The alive test is gated to each row's window (b_in), so stale
-        # plane values and out-of-window garbage never keep a row alive.
         if ydrop is not None:
             np.subtract(best, ydrop, out=thr)
-            np.greater_equal(Scur, thr[:, None], out=b_a)
-            np.logical_and(b_a, b_in, out=b_a)
-            first = b_a.argmax(axis=1)
-            has_alive = b_a[rows_all, first]
-            last = W - 1 - b_a[:, ::-1].argmax(axis=1)
-            lo_next = L + first
-            hi_next = L + last
-            seal_rows = np.flatnonzero(has_alive)
+            lo_next, hi_next = lo_nb, hi_nb
         else:
-            has_alive = None
             lo_next, hi_next = lo, hi
-            seal_rows = np.flatnonzero(live)
-        # Seal each surviving row's window in the planes.  Later steps read
-        # outside [lo_next, hi_next] only at the two boundary columns (the
-        # window can move by at most one column per step), so pin exactly
-        # those cells to NEG_INF — mirroring the scalar engine's scrubbed
-        # buffer edges — instead of masking the whole slab.  S is read both
-        # as gap and diagonal parent on either side; I is read one column
-        # past the top edge, D one past the bottom.  Everything further out
-        # is never read again: stale pruned-away values decay in place and
-        # stay strictly below ``best``, so they can't disturb the alive
-        # test (window-gated) or the best-cell argmax (a new optimum
-        # strictly exceeds every stale or pruned cell).
-        if seal_rows.shape[0]:
-            hcol = hi_next[seal_rows] + 1
-            S_c[seal_rows, hcol] = NEG
-            I_c[seal_rows, hcol] = NEG
-            lcol = lo_next[seal_rows] - 1
-            inb = lcol >= 0
-            if not inb.all():
-                lrows, lcol = seal_rows[inb], lcol[inb]
-            else:
-                lrows = seal_rows
-            S_c[lrows, lcol] = NEG
-            D_c[lrows, lcol] = NEG
+        sweep_steps += 1
+        t_step = R if tile_rows is None else tile_rows
 
-        # --- best-cell tracking (ties: smallest i+j, then smallest i) -------
-        np.maximum.reduce(Scur, axis=1, out=d_best)
-        np.greater(d_best, best, out=improved)
-        if has_alive is None:
-            np.logical_and(improved, live, out=improved)
-        else:
-            np.logical_and(improved, has_alive, out=improved)
-        if improved.any():
-            w_idx = Scur.argmax(axis=1)
-            np.copyto(best, d_best, where=improved)
-            np.copyto(best_i, w_idx + L, where=improved)
-            np.copyto(best_j, d - best_i, where=improved)
+        # One sweep per row tile: each tile computes its own union column
+        # range [Lt, Ht], so the per-row recurrences, window masks, seals
+        # and prunes below are exactly the single-tile computation applied
+        # to a row subset — tiling changes locality and masked-lane waste,
+        # never values.  With tile_rows=None the loop body runs once with
+        # [Lt, Ht] == [L, H]: the classic batched sweep.
+        for r0 in range(0, R, t_step):
+            r1 = min(r0 + t_step, R)
+            lo_t = lo[r0:r1]
+            hi_t = hi[r0:r1]
+            Lt = int(lo_t.min())
+            Ht = int(hi_t.max())
+            if Lt > Ht:  # every row in this tile is a tombstone
+                continue
+            tile_sweeps += 1
+            nt = r1 - r0
+            Wt = Ht - Lt + 1
+            slab_cells += nt * Wt
+            sc0 = blk[7, r0:r1, :Wt]
+            sc1 = blk[8, r0:r1, :Wt]
+            b_in = bool_blk[0, r0:r1, :Wt]
+            b_dv = bool_blk[1, r0:r1, :Wt]
+            b_a = bool_blk[2, r0:r1, :Wt]
+            b_b = bool_blk[3, r0:r1, :Wt]
+            s_ch = u8_blk[0, r0:r1, :Wt]
+            u8a = u8_blk[1, r0:r1, :Wt]
+
+            # Scrub the recycled buffer's union-window edges (windows move
+            # by at most one column per step; interior columns are
+            # overwritten below).
+            if Lt >= 1:
+                S_c[r0:r1, Lt - 1] = I_c[r0:r1, Lt - 1] = D_c[r0:r1, Lt - 1] = NEG
+            S_c[r0:r1, Ht + 1] = I_c[r0:r1, Ht + 1] = D_c[r0:r1, Ht + 1] = NEG
+
+            Sp = S_p[r0:r1, Lt : Ht + 1]
+            Ip = I_p[r0:r1, Lt : Ht + 1]
+            Icur = I_c[r0:r1, Lt : Ht + 1]
+            Dcur = D_c[r0:r1, Lt : Ht + 1]
+            Scur = S_c[r0:r1, Lt : Ht + 1]
+
+            # --- I(i, j): from diagonal d-1, same index ---------------------
+            np.subtract(Ip, e, out=Icur)
+            np.subtract(Sp, oe, out=sc0)
+            np.maximum(Icur, sc0, out=Icur)
+            if Ht == d:  # cell (d, 0) has no insertion parent
+                top = np.flatnonzero(hi_t == d)
+                if top.shape[0]:
+                    Icur[top, hi_t[top] - Lt] = NEG
+
+            # --- D(i, j): from diagonal d-1, index i-1 ----------------------
+            if Lt >= 1:
+                np.subtract(D_p[r0:r1, Lt - 1 : Ht], e, out=Dcur)
+                np.subtract(S_p[r0:r1, Lt - 1 : Ht], oe, out=sc0)
+                np.maximum(Dcur, sc0, out=Dcur)
+            else:
+                Dcur[:, 0] = NEG  # cell (0, d) has no deletion parent
+                np.subtract(D_p[r0:r1, 0:Ht], e, out=Dcur[:, 1:])
+                np.subtract(S_p[r0:r1, 0:Ht], oe, out=sc0[:, 1:])
+                np.maximum(Dcur[:, 1:], sc0[:, 1:], out=Dcur[:, 1:])
+
+            # --- S = max(I, D, diag) ----------------------------------------
+            np.maximum(Icur, Dcur, out=Scur)
+            if Lt >= 1:
+                tg = Tpad[r0:r1, Lt - 1 : Ht]
+            else:
+                tg = u8_blk[2, r0:r1, :Wt]
+                tg[:, 0] = 0
+                tg[:, 1:] = Tpad[r0:r1, 0:Ht]
+            if Ht == d:
+                qg = u8_blk[3, r0:r1, :Wt]
+                qg[:, -1] = 0
+                if Wt > 1:
+                    qg[:, :-1] = Qpad[r0:r1, 0 : d - Lt][:, ::-1]
+            else:
+                qg = Qpad[r0:r1, d - Ht - 1 : d - Lt][:, ::-1]
+            # Substitution lookup: flat 5x5 take via a uint8 index plane.
+            np.multiply(tg, 5, out=u8a)
+            np.add(u8a, qg, out=u8a)
+            np.take(sub_f, u8a, out=sc1, mode="clip")
+            if Lt >= 1:
+                np.add(sc1, S_pp[r0:r1, Lt - 1 : Ht], out=sc1)
+            else:
+                np.add(sc1[:, 1:], S_pp[r0:r1, 0:Ht], out=sc1[:, 1:])
+            # The matrix-edge cells (i == 0, present iff Lt == 0; i == d,
+            # present iff Ht == d) have no diagonal parent: neutralise the
+            # candidate at the two union-edge columns (in-window edge cells
+            # always have a real I or D parent, so the NEG candidate never
+            # wins there).  The max itself must stay gated to each row's
+            # window: the diag parent plane was masked by *its own* (wider,
+            # pre-prune) window two steps ago, so outside [lo, hi] it can
+            # still hold real values that an ungated max would resurrect
+            # past the y-drop threshold.
+            if Lt == 0:
+                sc1[:, 0] = NEG
+            if Ht == d:
+                sc1[:, -1] = NEG
+            cols = cols_all[Lt : Ht + 1]
+            np.greater_equal(cols, lo_t[:, None], out=b_in)
+            np.less_equal(cols, hi_t[:, None], out=b_b)
+            np.logical_and(b_in, b_b, out=b_in)
+            np.maximum(Scur, sc1, out=Scur, where=b_in)
+
+            # --- traceback recording ----------------------------------------
+            if full_tbs is not None or record_tile:
+                # b_in still holds the in-window mask from the S max above;
+                # diag_valid differs from it only at the matrix edges.
+                np.copyto(b_dv, b_in)
+                if Lt == 0:
+                    b_dv[:, 0] = False
+                if Ht == d:
+                    b_dv[:, -1] = False
+                np.copyto(s_ch, np.uint8(S_FROM_D))
+                np.equal(Scur, Icur, out=b_a)
+                np.copyto(s_ch, np.uint8(S_FROM_I), where=b_a)
+                np.equal(Scur, sc1, out=b_a)
+                np.logical_and(b_a, b_dv, out=b_a)
+                np.copyto(s_ch, np.uint8(S_DIAG), where=b_a)
+                np.subtract(Ip, e, out=sc0)
+                np.subtract(Sp, oe, out=sc1)
+                np.greater(sc0, sc1, out=b_a)  # i_from_i
+                if Lt >= 1:
+                    np.subtract(D_p[r0:r1, Lt - 1 : Ht], e, out=sc0)
+                    np.subtract(S_p[r0:r1, Lt - 1 : Ht], oe, out=sc1)
+                    np.greater(sc0, sc1, out=b_b)  # d_from_d
+                else:
+                    b_b[:, 0] = False
+                    np.subtract(D_p[r0:r1, 0:Ht], e, out=sc0[:, 1:])
+                    np.subtract(S_p[r0:r1, 0:Ht], oe, out=sc1[:, 1:])
+                    np.greater(sc0[:, 1:], sc1[:, 1:], out=b_b[:, 1:])
+                # Pack parent bits into s_ch; bits are disjoint so add == OR.
+                np.add(s_ch, np.uint8(4), out=s_ch, where=b_a)
+                np.add(s_ch, np.uint8(8), out=s_ch, where=b_b)
+                if full_tbs is not None:
+                    off = (lo_t - Lt).tolist()
+                    w_l = width[r0:r1].tolist()
+                    lo_l = lo_t.tolist()
+                    for row in np.flatnonzero(live[r0:r1]).tolist():
+                        start = off[row]
+                        full_tbs[r0 + row].append_diag(
+                            lo_l[row], s_ch[row, start : start + w_l[row]].copy()
+                        )
+                else:
+                    t_lo = max(Lt, d - tile)
+                    t_hi = min(Ht, tile)
+                    if t_lo <= t_hi:
+                        rr, pp = np.nonzero(b_in[:, t_lo - Lt : t_hi - Lt + 1])
+                        if rr.shape[0]:
+                            ii = pp + t_lo
+                            tile_tb[rr + r0, ii, d - ii] = s_ch[rr, pp + (t_lo - Lt)]
+
+            # --- prune window edges against completed-diagonal best ---------
+            # The alive test is gated to each row's window (b_in), so stale
+            # plane values and out-of-window garbage never keep a row alive.
+            if ydrop is not None:
+                np.greater_equal(Scur, thr[r0:r1, None], out=b_a)
+                np.logical_and(b_a, b_in, out=b_a)
+                first = b_a.argmax(axis=1)
+                alive_t = b_a[rows_all[:nt], first]
+                last = Wt - 1 - b_a[:, ::-1].argmax(axis=1)
+                has_alive[r0:r1] = alive_t
+                np.add(first, Lt, out=lo_next[r0:r1])
+                np.add(last, Lt, out=hi_next[r0:r1])
+                seal_rows = np.flatnonzero(alive_t) + r0
+            else:
+                seal_rows = np.flatnonzero(live[r0:r1]) + r0
+            # Seal each surviving row's window in the planes.  Later steps
+            # read outside [lo_next, hi_next] only at the two boundary
+            # columns (the window can move by at most one column per step),
+            # so pin exactly those cells to NEG_INF — mirroring the scalar
+            # engine's scrubbed buffer edges — instead of masking the whole
+            # slab.  S is read both as gap and diagonal parent on either
+            # side; I is read one column past the top edge, D one past the
+            # bottom.  Everything further out is never read again: stale
+            # pruned-away values decay in place and stay strictly below
+            # ``best``, so they can't disturb the alive test (window-gated)
+            # or the best-cell argmax (a new optimum strictly exceeds every
+            # stale or pruned cell).
+            if seal_rows.shape[0]:
+                hcol = hi_next[seal_rows] + 1
+                S_c[seal_rows, hcol] = NEG
+                I_c[seal_rows, hcol] = NEG
+                lcol = lo_next[seal_rows] - 1
+                inb = lcol >= 0
+                if not inb.all():
+                    lrows, lcol = seal_rows[inb], lcol[inb]
+                else:
+                    lrows = seal_rows
+                S_c[lrows, lcol] = NEG
+                D_c[lrows, lcol] = NEG
+
+            # --- best-cell tracking (ties: smallest i+j, then smallest i) ---
+            d_best_t = d_best[r0:r1]
+            np.maximum.reduce(Scur, axis=1, out=d_best_t)
+            imp_t = improved[r0:r1]
+            np.greater(d_best_t, best[r0:r1], out=imp_t)
+            if ydrop is not None:
+                np.logical_and(imp_t, has_alive[r0:r1], out=imp_t)
+            else:
+                np.logical_and(imp_t, live[r0:r1], out=imp_t)
+            if imp_t.any():
+                w_idx = Scur.argmax(axis=1)
+                np.copyto(best[r0:r1], d_best_t, where=imp_t)
+                np.copyto(best_i[r0:r1], w_idx + Lt, where=imp_t)
+                np.copyto(best_j[r0:r1], d - best_i[r0:r1], where=imp_t)
 
         # Retired rows are never read after finalize, so the per-row stats
         # run ungated (tombstones accumulate garbage that compaction drops).
@@ -666,7 +813,6 @@ def _extend_lockstep(
         np.floor_divide(strips, WARP_WIDTH, out=strips)
         np.add(warp_steps, strips, out=warp_steps)
         np.maximum(max_width, width, out=max_width)
-        slab_cells += R * W
 
         p_spp, p_sp, p_sc = p_sp, p_sc, p_spp
         p_ip, p_ic = p_ic, p_ip
@@ -675,7 +821,7 @@ def _extend_lockstep(
         np.copyto(hi_prev, hi_next, where=live)
 
         # --- retire tasks whose whole window fell below threshold -----------
-        if has_alive is not None:
+        if ydrop is not None:
             dying = live & ~has_alive
             if dying.any():
                 _retire(np.flatnonzero(dying))
@@ -689,3 +835,23 @@ def _extend_lockstep(
             "Live cells / union-window slab cells per lockstep sweep.",
             buckets=_OCC_BUCKETS,
         ).observe(live_cells / slab_cells)
+    # Sweep accounting: steps is the anti-diagonal loop count, tiles the
+    # row-tile vector sweeps executed inside them; slab vs live cells is
+    # the masked-lane (dead-work) ledger the executor turns into per-bin
+    # occupancy and ``repro trace`` prints as a masked fraction.
+    obs.counter(
+        "repro_batch_sweep_steps_total",
+        "Anti-diagonal lockstep sweep steps advanced.",
+    ).inc(sweep_steps)
+    obs.counter(
+        "repro_batch_sweep_tiles_total",
+        "Row-tile vector sweeps executed within lockstep steps.",
+    ).inc(tile_sweeps)
+    obs.counter(
+        "repro_batch_sweep_slab_cells_total",
+        "Union-window slab cells swept (live work plus masked dead lanes).",
+    ).inc(slab_cells)
+    obs.counter(
+        "repro_batch_sweep_live_cells_total",
+        "In-window live cells among swept slab cells.",
+    ).inc(live_cells)

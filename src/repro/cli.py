@@ -56,6 +56,7 @@ import os
 import sys
 from typing import Sequence as Seq
 
+from .align.engines import registered_engines
 from .core import run_fastz, time_fastz, time_feng_baseline
 from .genome import SegmentClass, build_pair, read_fasta, write_fasta
 from .gpusim import ALL_DEVICES
@@ -155,18 +156,22 @@ def build_parser() -> argparse.ArgumentParser:
         "query", help="query FASTA (first record used) or ref:<digest>"
     )
     _add_store_arg(align)
+    fastz_variants = tuple(f"fastz-{name}" for name in registered_engines())
     align.add_argument(
         "--engine",
-        choices=("lastz", "fastz", "fastz-batched", "ungapped"),
+        choices=("lastz", "fastz", "ungapped") + fastz_variants,
         default="lastz",
         help="pipeline variant (default: sequential gapped LASTZ; "
-        "fastz-batched runs the lockstep struct-of-arrays engine)",
+        "fastz-<engine> picks a registered extension engine, e.g. "
+        "fastz-batched for lockstep chunks, fastz-wholebin for "
+        "single-block bin sweeps)",
     )
     align.add_argument(
         "--batch-size",
         type=int,
         default=256,
-        help="extensions per lockstep batch (fastz-batched only)",
+        help="extensions per lockstep batch (fastz-batched only; "
+        "fastz-wholebin sweeps each bin as one block)",
     )
     align.add_argument(
         "--workers",
@@ -340,7 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_arg(trace)
     trace.add_argument(
         "--engine",
-        choices=("scalar", "batched"),
+        choices=registered_engines(),
         default="batched",
         help="extension engine to trace (default: batched)",
     )
@@ -412,7 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     wga.add_argument(
         "--engine",
-        choices=("scalar", "batched"),
+        choices=registered_engines(),
         default="scalar",
         help="extension engine inside each chunk task",
     )
@@ -485,13 +490,14 @@ def _align_command(args: argparse.Namespace) -> int:
     query, _ = _load_side(args.query, args)
     config = _config_from_args(args, traceback=not args.no_cigar)
 
-    if args.stream and args.engine not in ("fastz", "fastz-batched"):
+    fastz_like = args.engine == "fastz" or args.engine.startswith("fastz-")
+    if args.stream and not fastz_like:
         print(
-            "error: --stream requires --engine fastz or fastz-batched",
+            "error: --stream requires a fastz engine (--engine fastz[-<name>])",
             file=sys.stderr,
         )
         return 2
-    if args.engine in ("fastz", "fastz-batched"):
+    if fastz_like:
         from . import api
 
         on_partial = None
@@ -510,7 +516,7 @@ def _align_command(args: argparse.Namespace) -> int:
             query,
             config,
             {
-                "engine": "batched" if args.engine == "fastz-batched" else "scalar",
+                "engine": args.engine[6:] if args.engine.startswith("fastz-") else "scalar",
                 "batch_size": args.batch_size,
             },
             workers=args.workers or None,
@@ -804,6 +810,45 @@ def _trace_command(args: argparse.Namespace) -> int:
             f"mean live/slab cells over {occupancy.count()} lockstep sweeps; "
             f"arena: {int(allocs)} allocs / {int(acquires)} slab checkouts"
         )
+    steps = registry.counter("repro_batch_sweep_steps_total").value()
+    if steps:
+        tiles = registry.counter("repro_batch_sweep_tiles_total").value()
+        slab = registry.counter("repro_batch_sweep_slab_cells_total").value()
+        alive = registry.counter("repro_batch_sweep_live_cells_total").value()
+        masked = (1.0 - alive / slab) if slab else 0.0
+        print(
+            f"lockstep sweeps:    {int(steps)} anti-diagonal steps / "
+            f"{int(tiles)} row-tile sweeps; masked dead-lane fraction "
+            f"{100 * masked:.1f}% of {int(slab)} slab cells"
+        )
+    # Per-bin executor sweep ledger (the whole-bin tiling/masking tradeoff,
+    # visible without a profiler): sweeps per bin and the dead-work share.
+    bin_sweeps = {
+        dict(key).get("bin", "?"): child.value
+        for key, child in registry.counter("repro_batch_bin_sweeps_total").samples()
+    }
+    if bin_sweeps:
+        bin_slab = {
+            dict(key).get("bin", "?"): child.value
+            for key, child in registry.counter(
+                "repro_batch_bin_slab_cells_total"
+            ).samples()
+        }
+        bin_masked = {
+            dict(key).get("bin", "?"): child.value
+            for key, child in registry.counter(
+                "repro_batch_bin_masked_cells_total"
+            ).samples()
+        }
+        parts = []
+        for bin_id in sorted(bin_sweeps, key=str):
+            slab = bin_slab.get(bin_id, 0.0)
+            frac = (bin_masked.get(bin_id, 0.0) / slab) if slab else 0.0
+            parts.append(
+                f"bin {bin_id}: {int(bin_sweeps[bin_id])} sweeps, "
+                f"{100 * frac:.1f}% masked"
+            )
+        print(f"executor bins:      {'; '.join(parts)}")
     if args.metrics:
         print()
         print(registry.render(), end="")

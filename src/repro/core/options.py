@@ -50,11 +50,13 @@ class FastzOptions:
     bin_edges: tuple[int, ...] = DEFAULT_BIN_EDGES
     #: Number of CUDA streams (1 disables cross-kernel overlap).
     streams: int = 32
-    #: Host DP engine driving the functional pipeline: ``"scalar"`` runs
-    #: one extension at a time (the original per-anchor Python loop),
-    #: ``"batched"`` advances whole struct-of-arrays batches of extensions
-    #: in lockstep (:mod:`repro.align.batch`) — bit-identical results,
-    #: much faster profile builds.
+    #: Host DP engine driving the functional pipeline, resolved through
+    #: the :mod:`repro.align.engines` registry: ``"scalar"`` runs one
+    #: extension at a time (the original per-anchor Python loop),
+    #: ``"batched"`` advances struct-of-arrays batches of extensions in
+    #: lockstep (:mod:`repro.align.batch`), ``"wholebin"`` advances each
+    #: length bin as one tiled lockstep block — bit-identical results
+    #: across all registered engines, only wall-clock differs.
     engine: str = "scalar"
     #: Max extensions sharing one lockstep batch under the batched engine
     #: (bounds slab memory; executor batches are additionally composed
@@ -71,8 +73,14 @@ class FastzOptions:
             raise ValueError("eager_tile must be positive")
         if self.streams <= 0:
             raise ValueError("streams must be positive")
-        if self.engine not in ("scalar", "batched"):
-            raise ValueError("engine must be 'scalar' or 'batched'")
+        # The engine-registry import is deferred: this validator runs at
+        # module import time (FASTZ_FULL below), potentially while the
+        # pipeline module registering the built-ins is still importing.
+        from ..align.engines import registered_engines
+
+        if self.engine not in registered_engines():
+            names = ", ".join(repr(n) for n in registered_engines())
+            raise ValueError(f"engine must be one of {names}")
         if self.batch_size <= 0:
             raise ValueError("batch_size must be positive")
         if self.score_dtype not in ("auto", "int32", "int64"):

@@ -11,16 +11,23 @@ occasionally longer ones (the wavefront's conservative pruning explores a
 superset; paper §3.4), and records a :class:`~repro.core.task.FastzTask`
 profile per anchor for the performance model.
 
-Two host engines drive the extensions (``FastzOptions.engine``):
+Host engines drive the extensions (``FastzOptions.engine``), dispatched
+through the :mod:`repro.align.engines` registry — every name below is a
+``@register_engine`` entry here, and callers (service, pool workers,
+fleet backends, streaming, jobs) resolve names with ``get_engine``:
 
 * ``"scalar"`` — the original per-anchor loop over
   :func:`~repro.align.wavefront.wavefront_extend`;
 * ``"batched"`` — the struct-of-arrays lockstep engine
   (:mod:`repro.align.batch`): the inspector advances all anchors' wavefronts
   together, and executor tasks are composed into per-length-bin batches
-  (§3.3's inter-task parallelism) before being advanced in lockstep.
+  (§3.3's inter-task parallelism) before being advanced in lockstep;
+* ``"wholebin"`` — the same lockstep core, but each length bin advances
+  as *one* block of anti-diagonal sweeps
+  (:func:`~repro.align.batch.wholebin_wavefront_extend`): no per-chunk
+  Python loops, rows swept in cache tiles with dead lanes masked.
 
-Both engines produce bit-identical results; ``run_fastz(..., workers=N)``
+All engines produce bit-identical results; ``run_fastz(..., workers=N)``
 additionally shards the anchor set across a ``multiprocessing`` pool for
 big profile builds.
 """
@@ -35,7 +42,8 @@ import numpy as np
 from .. import obs
 from ..align.alignment import Alignment
 from ..align.arena import thread_arena
-from ..align.batch import batch_wavefront_extend
+from ..align.batch import batch_wavefront_extend, wholebin_wavefront_extend
+from ..align.engines import get_engine, register_engine
 from ..align.extend import combine_alignment
 from ..align.wavefront import WavefrontResult, wavefront_extend
 from ..genome.sequence import Sequence
@@ -51,7 +59,9 @@ __all__ = [
     "ChunkResult",
     "FastzResult",
     "PreparedRequest",
+    "extend_suffixes_batched",
     "extend_suffixes_shard",
+    "extend_suffixes_wholebin",
     "finish_fastz",
     "prepare_fastz",
     "run_fastz",
@@ -164,6 +174,7 @@ def _extend_one_suffix_pair(
     return (insp_l, insp_r, final_l, final_r, fb)
 
 
+@register_engine("scalar")
 def _extend_suffixes_scalar(
     suffixes: list[tuple[np.ndarray, np.ndarray]],
     scheme: ScoringScheme,
@@ -181,21 +192,6 @@ def _extend_suffixes_scalar(
             )
         sp.set(eager=sum(1 for r in out if r[0].eager_hit and r[1].eager_hit))
     return out
-
-
-def _extend_anchors_scalar(
-    t_codes: np.ndarray,
-    q_codes: np.ndarray,
-    scheme: ScoringScheme,
-    options: FastzOptions,
-    tile: int,
-    t_pos: list[int],
-    q_pos: list[int],
-) -> list[_AnchorExtension]:
-    """Scalar extension of one request's anchors (full-sequence suffixes)."""
-    return _extend_suffixes_scalar(
-        _anchor_suffixes(t_codes, q_codes, t_pos, q_pos), scheme, options, tile
-    )
 
 
 def _anchor_suffixes(
@@ -217,6 +213,7 @@ def _anchor_suffixes(
     return suffixes
 
 
+@register_engine("batched")
 def extend_suffixes_batched(
     suffixes: list[tuple[np.ndarray, np.ndarray]],
     scheme: ScoringScheme,
@@ -241,26 +238,119 @@ def extend_suffixes_batched(
     with obs.span(
         "fastz.extend", engine="batched", anchors=len(suffixes) // 2
     ) as sp:
-        return _extend_suffixes_batched_impl(suffixes, scheme, options, tile, sp)
+        return _extend_suffixes_lockstep_impl(
+            suffixes, scheme, options, tile, sp, wholebin=False
+        )
 
 
-def _extend_suffixes_batched_impl(
+@register_engine("wholebin")
+def extend_suffixes_wholebin(
+    suffixes: list[tuple[np.ndarray, np.ndarray]],
+    scheme: ScoringScheme,
+    options: FastzOptions,
+    tile: int,
+) -> list[_AnchorExtension]:
+    """Whole-bin lockstep extension: one SoA sweep block per length bin.
+
+    Same inspector -> bin-aware executor composition as
+    :func:`extend_suffixes_batched`, but each stage feeds the engine
+    *whole bins*: the inspector advances every anchor's wavefronts in one
+    :func:`~repro.align.batch.wholebin_wavefront_extend` block, and each
+    executor bin becomes a single block too (extent-ordered, rows swept
+    in cache tiles with dead lanes masked) instead of ``batch_size``
+    chunks each driving their own Python loop.  Per-bin sweep counts and
+    the masked-lane fraction are recorded on the ``fastz.executor`` span
+    and the ``repro_batch_bin_*`` counters, so ``repro trace`` shows the
+    tiling/masking tradeoff directly.  Results are bit-identical to the
+    other engines.
+    """
+    with obs.span(
+        "fastz.extend", engine="wholebin", anchors=len(suffixes) // 2
+    ) as sp:
+        return _extend_suffixes_lockstep_impl(
+            suffixes, scheme, options, tile, sp, wholebin=True
+        )
+
+
+def _sweep_snapshot() -> tuple[float, float, float]:
+    """Current values of the engine's global sweep ledger counters."""
+    return (
+        obs.counter(
+            "repro_batch_sweep_steps_total",
+            "Anti-diagonal lockstep sweep steps advanced.",
+        ).value(),
+        obs.counter(
+            "repro_batch_sweep_slab_cells_total",
+            "Union-window slab cells swept (live work plus masked dead lanes).",
+        ).value(),
+        obs.counter(
+            "repro_batch_sweep_live_cells_total",
+            "In-window live cells among swept slab cells.",
+        ).value(),
+    )
+
+
+def _record_bin_sweeps(ex_sp, bin_id: int, before: tuple[float, float, float]) -> None:
+    """Attribute the sweep-ledger delta around one executor bin to that bin.
+
+    The delta is read from thread-shared counters, so under concurrent
+    engine calls (service threads) the per-bin attribution is approximate;
+    on the single-threaded paths ``repro trace`` reports it is exact.
+    """
+    steps0, cells0, live0 = before
+    steps1, cells1, live1 = _sweep_snapshot()
+    sweeps = steps1 - steps0
+    cells = cells1 - cells0
+    live = live1 - live0
+    if cells <= 0:
+        return
+    obs.counter(
+        "repro_batch_bin_sweeps_total",
+        "Anti-diagonal sweep steps per executor length bin.",
+    ).labels(bin=bin_id).inc(sweeps)
+    obs.counter(
+        "repro_batch_bin_slab_cells_total",
+        "Slab cells swept per executor length bin.",
+    ).labels(bin=bin_id).inc(cells)
+    obs.counter(
+        "repro_batch_bin_masked_cells_total",
+        "Masked dead-lane cells swept per executor length bin.",
+    ).labels(bin=bin_id).inc(max(cells - live, 0))
+    ex_sp.set(
+        sweeps=int(sweeps),
+        occupancy=round(live / cells, 4),
+        masked_fraction=round(1.0 - live / cells, 4),
+    )
+
+
+def _extend_suffixes_lockstep_impl(
     suffixes: list[tuple[np.ndarray, np.ndarray]],
     scheme: ScoringScheme,
     options: FastzOptions,
     tile: int,
     sp,
+    *,
+    wholebin: bool,
 ) -> list[_AnchorExtension]:
     n_anchors = len(suffixes) // 2
     with obs.span("fastz.inspector", tasks=len(suffixes)):
-        insp = batch_wavefront_extend(
-            suffixes,
-            scheme,
-            eager_tile=tile,
-            batch_size=options.batch_size,
-            arena=thread_arena("inspector"),
-            score_dtype=options.score_dtype_override,
-        )
+        if wholebin:
+            insp = wholebin_wavefront_extend(
+                suffixes,
+                scheme,
+                eager_tile=tile,
+                arena=thread_arena("inspector"),
+                score_dtype=options.score_dtype_override,
+            )
+        else:
+            insp = batch_wavefront_extend(
+                suffixes,
+                scheme,
+                eager_tile=tile,
+                batch_size=options.batch_size,
+                arena=thread_arena("inspector"),
+                score_dtype=options.score_dtype_override,
+            )
     insp_r = insp[0::2]
     insp_l = insp[1::2]
 
@@ -318,11 +408,13 @@ def _extend_suffixes_batched_impl(
                     job_extents.append(ins.end_i + ins.end_j)
             # Occupancy-aware composition: order the bin's jobs by the
             # inspector-measured extent (not raw suffix length) so the
-            # engine's lockstep chunks pack tasks of similar true depth —
+            # engine's lockstep rows pack tasks of similar true depth —
             # with trimming off, suffix lengths say nothing about how far
             # the y-drop wavefront actually reaches.  Results are keyed by
-            # (anchor, side), so ordering never changes output.
-            if len(jobs) > options.batch_size:
+            # (anchor, side), so ordering never changes output.  The
+            # whole-bin engine always sorts: extent neighbours share a row
+            # tile, keeping each tile's union window tight.
+            if wholebin or len(jobs) > options.batch_size:
                 by_extent = sorted(
                     range(len(jobs)), key=job_extents.__getitem__
                 )
@@ -330,16 +422,28 @@ def _extend_suffixes_batched_impl(
                 job_pairs = [job_pairs[i] for i in by_extent]
             with obs.span(
                 "fastz.executor", bin=int(bin_id), tasks=len(job_pairs)
-            ):
-                ran = batch_wavefront_extend(
-                    job_pairs,
-                    scheme,
-                    traceback=True,
-                    batch_size=options.batch_size,
-                    arena=thread_arena(f"executor:{int(bin_id)}"),
-                    score_dtype=options.score_dtype_override,
-                    presorted=True,
-                )
+            ) as ex_sp:
+                before = _sweep_snapshot()
+                if wholebin:
+                    ran = wholebin_wavefront_extend(
+                        job_pairs,
+                        scheme,
+                        traceback=True,
+                        arena=thread_arena(f"executor:{int(bin_id)}"),
+                        score_dtype=options.score_dtype_override,
+                        presorted=True,
+                    )
+                else:
+                    ran = batch_wavefront_extend(
+                        job_pairs,
+                        scheme,
+                        traceback=True,
+                        batch_size=options.batch_size,
+                        arena=thread_arena(f"executor:{int(bin_id)}"),
+                        score_dtype=options.score_dtype_override,
+                        presorted=True,
+                    )
+                _record_bin_sweeps(ex_sp, int(bin_id), before)
             obs.counter(
                 "repro_pipeline_executor_tasks_total",
                 "Executor extension tasks dispatched, by length bin.",
@@ -432,16 +536,15 @@ def extend_suffixes_shard(
     """Engine-dispatching extension of one suffix shard (picklable entry).
 
     Module-level so pool workers can receive it by reference: one shard
-    of a fused batch runs the configured engine exactly as the in-process
-    path would, and because every extension task is independent the
-    per-anchor records are bit-identical however the batch was sharded.
+    of a fused batch runs the configured engine — resolved through the
+    :mod:`repro.align.engines` registry — exactly as the in-process path
+    would, and because every extension task is independent the per-anchor
+    records are bit-identical however the batch was sharded.
     """
-    if options.engine == "batched":
-        return extend_suffixes_batched(suffixes, scheme, options, tile)
-    return _extend_suffixes_scalar(suffixes, scheme, options, tile)
+    return get_engine(options.engine)(suffixes, scheme, options, tile)
 
 
-def _extend_anchors_batched(
+def _extend_anchors(
     t_codes: np.ndarray,
     q_codes: np.ndarray,
     scheme: ScoringScheme,
@@ -450,8 +553,8 @@ def _extend_anchors_batched(
     t_pos: list[int],
     q_pos: list[int],
 ) -> list[_AnchorExtension]:
-    """Batched extension of one request's anchors (see the suffix variant)."""
-    return extend_suffixes_batched(
+    """Extend one request's anchors with the configured registry engine."""
+    return get_engine(options.engine)(
         _anchor_suffixes(t_codes, q_codes, t_pos, q_pos), scheme, options, tile
     )
 
@@ -459,10 +562,7 @@ def _extend_anchors_batched(
 def _extend_chunk(args) -> list[_AnchorExtension]:
     """Top-level pool worker: extend one contiguous anchor chunk."""
     t_codes, q_codes, scheme, options, tile, t_pos, q_pos = args
-    extend = (
-        _extend_anchors_batched if options.engine == "batched" else _extend_anchors_scalar
-    )
-    return extend(t_codes, q_codes, scheme, options, tile, t_pos, q_pos)
+    return _extend_anchors(t_codes, q_codes, scheme, options, tile, t_pos, q_pos)
 
 
 def _extend_anchors_pool(
@@ -722,12 +822,8 @@ def run_fastz(
             per_anchor = _extend_anchors_pool(
                 t_codes, q_codes, scheme, options, tile, t_pos, q_pos, int(workers)
             )
-        elif options.engine == "batched":
-            per_anchor = _extend_anchors_batched(
-                t_codes, q_codes, scheme, options, tile, t_pos, q_pos
-            )
         else:
-            per_anchor = _extend_anchors_scalar(
+            per_anchor = _extend_anchors(
                 t_codes, q_codes, scheme, options, tile, t_pos, q_pos
             )
 
@@ -832,10 +928,7 @@ def run_fastz_chunk(
             suffixes.append((t_codes[t:t_hi], q_codes[q:q_hi]))
             suffixes.append((t_codes[t_lo:t][::-1], q_codes[q_lo:q][::-1]))
 
-        if options.engine == "batched":
-            per_anchor = extend_suffixes_batched(suffixes, scheme, options, tile)
-        else:
-            per_anchor = _extend_suffixes_scalar(suffixes, scheme, options, tile)
+        per_anchor = extend_suffixes_shard(suffixes, scheme, options, tile)
 
         # --- seam guard ----------------------------------------------------
         t_cut_hi = t_hi < len(t_codes)

@@ -284,7 +284,7 @@ class FleetScheduler:
         """Place one fused batch; returns a future of per-anchor records.
 
         The records are bit-identical to
-        :func:`repro.core.pipeline.extend_suffixes_batched` on the same
+        :func:`repro.core.pipeline.extend_suffixes_shard` on the same
         list, whichever backend (or backends, after re-dispatch) ran it.
         """
         with self._lock:

@@ -12,10 +12,11 @@ The dispatcher is one daemon thread looping over a bounded request queue:
    selection) and concatenate every anchor's left/right extension
    problems into one suffix list.
 3. **Extend** — run the fused list through
-   :func:`~repro.core.pipeline.extend_suffixes_batched`: the shared
-   struct-of-arrays inspector plus the bin-aware executor, so short and
-   long extensions from *different requests* still never share a lockstep
-   batch.  With a :class:`~repro.service.pool.WorkerPool` backend the
+   :func:`~repro.core.pipeline.extend_suffixes_shard`, which resolves the
+   request's configured engine from the :mod:`repro.align.engines`
+   registry (lockstep inspector plus the bin-aware executor for the
+   batched/wholebin engines), so short and long extensions from
+   *different requests* still never share a lockstep batch.  With a :class:`~repro.service.pool.WorkerPool` backend the
    fused list is instead sharded LPT-balanced across persistent worker
    processes — bit-identical records, multiple cores; a broken pool
    (:class:`~repro.service.pool.PoolError`) degrades the batch back to
@@ -48,7 +49,7 @@ from dataclasses import dataclass, field
 
 from .. import obs
 from ..align.arena import release_thread_arenas
-from ..core.pipeline import extend_suffixes_batched, finish_fastz, prepare_fastz
+from ..core.pipeline import extend_suffixes_shard, finish_fastz, prepare_fastz
 from .cache import ResultCache
 from .pool import PoolError, WorkerPool
 from .request import AlignmentRequest
@@ -264,7 +265,7 @@ class Dispatcher:
             # at a time so the exception resolves only the culprit's future.
             for pending, prep in prepared:
                 try:
-                    per_anchor = extend_suffixes_batched(
+                    per_anchor = extend_suffixes_shard(
                         prep.suffixes(), scheme, options, tile
                     )
                     self._resolve(pending, prep, per_anchor)
@@ -317,7 +318,7 @@ class Dispatcher:
         def degrade() -> None:
             for pending, prep in prepared:
                 try:
-                    per_anchor = extend_suffixes_batched(
+                    per_anchor = extend_suffixes_shard(
                         prep.suffixes(), scheme, options, tile
                     )
                     self._resolve(pending, prep, per_anchor)
@@ -389,7 +390,7 @@ class Dispatcher:
         suffixes = []
         for _, prep in prepared:
             suffixes.extend(prep.suffixes())
-        return extend_suffixes_batched(suffixes, scheme, options, tile)
+        return extend_suffixes_shard(suffixes, scheme, options, tile)
 
     def _resolve(self, pending: Pending, prep, per_anchor) -> None:
         with obs.span("service.resolve", anchors=prep.n_anchors):

@@ -340,7 +340,7 @@ class WorkerPool:
         """Run one fused batch's extensions sharded across the workers.
 
         Returns per-anchor extension records in anchor order, bit-identical
-        to :func:`~repro.core.pipeline.extend_suffixes_batched` on the same
+        to :func:`~repro.core.pipeline.extend_suffixes_shard` on the same
         list.  Raises :class:`PoolError` when the pool cannot execute the
         batch (degrade in-process) and ``RuntimeError`` when a shard's
         handler failed (poisoned request: retry per request).

@@ -13,7 +13,7 @@ optionally with pre-selected anchors.  Two derived keys drive the service:
   requests' extension tasks to share one lockstep batch: the scoring
   scheme and the :class:`~repro.core.options.FastzOptions`.  Requests in
   one micro-batch are grouped by this key before their suffixes are
-  concatenated into :func:`~repro.core.pipeline.extend_suffixes_batched`.
+  concatenated into :func:`~repro.core.pipeline.extend_suffixes_shard`.
 """
 
 from __future__ import annotations

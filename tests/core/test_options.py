@@ -51,6 +51,15 @@ class TestOptions:
         with pytest.raises(ValueError, match="engine"):
             FastzOptions(engine=engine)
 
+    def test_unknown_engine_error_lists_registry(self):
+        """The message enumerates the live registry, not a frozen tuple."""
+        from repro.align.engines import registered_engines
+
+        with pytest.raises(ValueError) as err:
+            FastzOptions(engine="quantum")
+        for name in registered_engines():
+            assert repr(name) in str(err.value)
+
     @pytest.mark.parametrize("batch_size", [0, -1, -256])
     def test_rejects_non_positive_batch_size(self, batch_size):
         with pytest.raises(ValueError, match="batch_size"):
@@ -59,6 +68,7 @@ class TestOptions:
     def test_valid_variants_accepted(self):
         assert FastzOptions(engine="scalar").engine == "scalar"
         assert FastzOptions(engine="batched", batch_size=1).batch_size == 1
+        assert FastzOptions(engine="wholebin").engine == "wholebin"
         assert FastzOptions(bin_edges=(7,)).bin_edges == (7,)
 
     def test_label(self):
